@@ -1,0 +1,96 @@
+"""Simulation-engine micro-benchmarks (assembly, Newton, lines, estimation)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (Capacitor, Circuit, IdealLine, MNASystem,
+                           Resistor, TransientOptions, VoltageSource,
+                           run_transient)
+from repro.circuit.waveforms import Pulse
+from repro.devices import MD2, build_driver
+from repro.models import OLSOptions, fit_rbf_ols
+
+
+def ladder_circuit(n=40):
+    ckt = Circuit("ladder")
+    ckt.add(VoltageSource("vs", "n0", "0",
+                          Pulse(v2=1.0, rise=0.1e-9, width=2e-9)))
+    for k in range(n):
+        ckt.add(Resistor(f"r{k}", f"n{k}", f"n{k + 1}", 10.0))
+        ckt.add(Capacitor(f"c{k}", f"n{k + 1}", "0", 0.5e-12))
+    return ckt
+
+
+@pytest.mark.benchmark(group="engine")
+def test_linear_ladder_transient(benchmark):
+    def run():
+        return run_transient(ladder_circuit(),
+                             TransientOptions(dt=25e-12, t_stop=5e-9))
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    # the pulse has propagated down the RC ladder (diffusive delay ~ 4 ns)
+    v_end = res.v("n40")
+    assert np.all(np.isfinite(v_end))
+    assert v_end.max() > 0.2
+
+
+@pytest.mark.benchmark(group="engine")
+def test_transistor_driver_transient(benchmark):
+    def run():
+        ckt = Circuit("drv")
+        drv = build_driver(ckt, MD2, "d1", "out", initial_state="0")
+        drv.drive_pattern("0101", 2e-9)
+        ckt.add(Resistor("rl", "out", "0", 50.0))
+        return run_transient(ckt, TransientOptions(dt=25e-12, t_stop=8e-9,
+                                                   method="damped"))
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.v("out").max() > 0.5 * MD2.vdd
+
+
+@pytest.mark.benchmark(group="engine")
+def test_branin_line_transient(benchmark):
+    def run():
+        ckt = Circuit("line")
+        ckt.add(VoltageSource("vs", "src", "0",
+                              Pulse(v2=1.0, rise=0.1e-9, width=2e-9)))
+        ckt.add(Resistor("rs", "src", "ne", 50.0))
+        ckt.add(IdealLine("t1", "ne", "fe", 50.0, 1e-9))
+        ckt.add(Resistor("rl", "fe", "0", 50.0))
+        return run_transient(ckt, TransientOptions(dt=10e-12, t_stop=10e-9))
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert abs(res.v("fe")).max() > 0.4
+
+
+@pytest.mark.benchmark(group="engine")
+def test_mna_assembly(benchmark):
+    ckt = ladder_circuit()
+    sys_ = MNASystem(ckt)
+    sys_.build_base(25e-12, 0.55)
+    x = np.zeros(sys_.size)
+
+    def assemble():
+        b = sys_.assemble_rhs(1e-9)
+        return sys_.assemble_iter(x, 1e-9, b)
+    A, b, _ = benchmark.pedantic(assemble, rounds=20, iterations=5)
+    assert A.shape[0] == sys_.size
+
+
+@pytest.mark.benchmark(group="estimation")
+def test_ols_fit_cost(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(3000, 5))
+    y = np.tanh(X[:, 0]) + 0.2 * X[:, 1]
+    model = benchmark.pedantic(
+        lambda: fit_rbf_ols(X, y, OLSOptions(n_bases=12)),
+        rounds=3, iterations=1)
+    assert model.n_bases == 12
+
+
+@pytest.mark.benchmark(group="estimation")
+def test_full_driver_estimation_cost(benchmark):
+    """The paper: 'some ten seconds' on a Pentium-II; measure ours."""
+    from repro.models import estimate_driver_model
+    model = benchmark.pedantic(
+        lambda: estimate_driver_model(MD2, order=2, n_bases_high=9,
+                                      n_bases_low=9),
+        rounds=1, iterations=1)
+    assert model.meta["estimation_seconds"] < 60.0

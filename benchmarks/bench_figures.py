@@ -1,0 +1,65 @@
+"""Figure-regeneration benchmarks: one per paper figure.
+
+Each benchmark times the full experiment driver (reference + macromodel
+simulations) and asserts the figure's shape criterion, so the benchmark run
+doubles as the reproduction harness (``pytest benchmarks/ --benchmark-only``).
+"""
+
+import pytest
+
+from repro.experiments import fig1, fig2, fig4, fig5, fig6
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1_md1_vs_ibis(benchmark, md1_model, ibis_md1):
+    result = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    # PW-RBF overlays the reference; IBIS corners miss it
+    assert result.metrics["pwrbf_nrmse"] < 0.02
+    assert result.metrics["pwrbf_nrmse"] < \
+        0.5 * result.metrics["ibis_typ_nrmse"]
+    assert result.metrics["pwrbf_timing_ps"] < 20.0
+    # corner fan brackets the typical response
+    assert result.metrics["ibis_slow_nrmse"] > result.metrics["pwrbf_nrmse"]
+    assert result.metrics["ibis_fast_nrmse"] > result.metrics["pwrbf_nrmse"]
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig2_md2_three_lines(benchmark, md2_model):
+    result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    for panel in (1, 2, 3):
+        assert result.metrics[f"panel{panel}_nrmse"] < 0.03
+        assert result.metrics[f"panel{panel}_timing_ps"] < 20.0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4_coupled_mcm_crosstalk(benchmark, md3_model):
+    result = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    assert result.metrics["v21_nrmse"] < 0.04
+    # far-end crosstalk peak reproduced within 25%
+    ref_pk = result.metrics["v22_peak_ref_mV"]
+    mm_pk = result.metrics["v22_peak_pwrbf_mV"]
+    assert abs(mm_pk - ref_pk) < 0.25 * ref_pk
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_receiver_current(benchmark, md4_model, md4_cv):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    # the parametric model beats the C-V model on the current edge
+    assert result.metrics["parametric_nrmse_edge"] < \
+        result.metrics["cv_nrmse_edge"]
+    # and lands the current peak within 10%
+    ref = result.metrics["peak_ref_mA"]
+    assert abs(result.metrics["peak_parametric_mA"] - ref) < 0.1 * ref
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6_lossy_line_clamping(benchmark, md4_model, md4_cv):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    for amp in (2, 3, 4):
+        par = result.metrics[f"parametric_nrmse_{amp}V"]
+        cv = result.metrics[f"cv_nrmse_{amp}V"]
+        assert par < 0.05
+        assert par <= cv * 1.05  # parametric at least matches the C-V model
+    # the advantage grows as the clamps engage
+    assert result.metrics["parametric_nrmse_4V"] < \
+        result.metrics["cv_nrmse_4V"]

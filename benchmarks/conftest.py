@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures: models estimated once per session."""
+
+import pytest
+
+from repro.experiments import cache
+
+
+@pytest.fixture(scope="session")
+def md1_model():
+    return cache.driver_model("MD1")
+
+
+@pytest.fixture(scope="session")
+def md2_model():
+    return cache.driver_model("MD2")
+
+
+@pytest.fixture(scope="session")
+def md3_model():
+    return cache.driver_model("MD3")
+
+
+@pytest.fixture(scope="session")
+def md4_model():
+    return cache.receiver_model("MD4")
+
+
+@pytest.fixture(scope="session")
+def md4_cv():
+    return cache.cv_receiver_model("MD4")
+
+
+@pytest.fixture(scope="session")
+def ibis_md1():
+    return cache.ibis_model("MD1")

@@ -1,0 +1,68 @@
+"""IBIS workflow: extract a datasheet, write/read the .ibs file, compare.
+
+Walks the full IBIS 2.1 baseline used in the paper's Example 1: extract
+slow/typ/fast corner data from the transistor-level MD1 (74LVC244-class)
+driver, serialize it to IBIS text, parse it back, and race the IBIS buffer
+against the PW-RBF macromodel on the Figure-1 validation load.
+
+Run:  python examples/ibis_vs_pwrbf.py
+"""
+
+from pathlib import Path
+
+from repro.circuit import (Capacitor, Circuit, IdealLine, TransientOptions,
+                           run_transient)
+from repro.devices import MD1, build_driver
+from repro.emc import nrmse
+from repro.experiments.asciiplot import ascii_plot
+from repro.ibis import IbisDriverElement, extract_ibis, parse_ibis, write_ibis
+from repro.models import PWRBFDriverElement, estimate_driver_model
+
+
+def simulate(attach, t_stop=14e-9, ts=25e-12):
+    ckt = Circuit("fig1")
+    attach(ckt)
+    ckt.add(IdealLine("tline", "out", "fe", 100.0, 0.5e-9))
+    ckt.add(Capacitor("cl", "fe", "0", 10e-12))
+    res = run_transient(ckt, TransientOptions(dt=ts, t_stop=t_stop,
+                                              method="damped", ic="dcop"))
+    return res.t, res.v("out")
+
+
+def main():
+    print("extracting the IBIS 2.1 datasheet of MD1 (3 corners)...")
+    ibis = extract_ibis(MD1)
+    path = Path("md1_generated.ibs")
+    write_ibis(ibis, path)
+    print(f"  written to {path} ({path.stat().st_size} bytes); parsing back")
+    ibis = parse_ibis(str(path))
+
+    print("estimating the PW-RBF macromodel (paper: 10/15 bases)...")
+    model = estimate_driver_model(MD1, order=2, n_bases_high=10,
+                                  n_bases_low=15)
+
+    pattern, bit_time = "01", 2e-9
+    series = {}
+    t, v_ref = simulate(lambda c: build_driver(
+        c, MD1, "dut", "out", initial_state="0").drive_pattern(pattern,
+                                                               bit_time))
+    series["reference"] = (t, v_ref)
+    _, v_mm = simulate(lambda c: c.add(PWRBFDriverElement.for_pattern(
+        "dut", "out", model, pattern, bit_time, 14e-9)))
+    series["pw-rbf"] = (t, v_mm)
+    for corner in ("slow", "typ", "fast"):
+        _, v_ib = simulate(lambda c, cr=corner: c.add(
+            IbisDriverElement.for_pattern("dut", "out", ibis.corner(cr),
+                                          pattern, bit_time)))
+        series[f"ibis-{corner}"] = (t, v_ib)
+
+    print(ascii_plot(series, width=74, height=16))
+    print(f"PW-RBF NRMSE:    {nrmse(v_mm, v_ref) * 100:.2f} %")
+    for corner in ("slow", "typ", "fast"):
+        print(f"IBIS {corner:4s} NRMSE: "
+              f"{nrmse(series[f'ibis-{corner}'][1], v_ref) * 100:.2f} %")
+    path.unlink(missing_ok=True)
+
+
+if __name__ == "__main__":
+    main()

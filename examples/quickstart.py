@@ -1,0 +1,62 @@
+"""Quickstart: estimate a PW-RBF driver macromodel and validate it.
+
+Builds the transistor-level MD2 reference driver, runs the paper's
+identification process (fixed-state multilevel records + two-load switching
+records), and compares macromodel vs reference on an unseen transmission-line
+load -- the minimal end-to-end tour of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.circuit import (Capacitor, Circuit, IdealLine, TransientOptions,
+                           run_transient)
+from repro.devices import MD2, build_driver
+from repro.emc import nrmse, timing_error
+from repro.experiments.asciiplot import ascii_plot
+from repro.models import PWRBFDriverElement, estimate_driver_model
+
+
+def main():
+    print("1) estimating the PW-RBF macromodel of MD2 "
+          "(multilevel records + two-load switching)...")
+    model = estimate_driver_model(MD2, order=2, n_bases_high=9,
+                                  n_bases_low=9)
+    print(f"   done in {model.meta['estimation_seconds']:.1f} s; "
+          f"bases H/L = {model.meta['n_bases']}, ts = {model.ts * 1e12:.0f} ps")
+
+    pattern, bit_time, t_stop = "0101", 4e-9, 18e-9
+
+    def attach_line(ckt):
+        ckt.add(IdealLine("t1", "out", "fe", 75.0, 0.6e-9))
+        ckt.add(Capacitor("cl", "fe", "0", 2e-12))
+
+    print("2) reference simulation (transistor-level driver)...")
+    ckt = Circuit("ref")
+    drv = build_driver(ckt, MD2, "dut", "out", initial_state=pattern[0])
+    drv.drive_pattern(pattern, bit_time)
+    attach_line(ckt)
+    ref = run_transient(ckt, TransientOptions(dt=model.ts, t_stop=t_stop,
+                                              method="damped"))
+
+    print("3) macromodel simulation (PW-RBF element)...")
+    ckt2 = Circuit("mm")
+    ckt2.add(PWRBFDriverElement.for_pattern("dut", "out", model, pattern,
+                                            bit_time, t_stop))
+    attach_line(ckt2)
+    mm = run_transient(ckt2, TransientOptions(dt=model.ts, t_stop=t_stop,
+                                              method="damped", ic="dcop"))
+
+    err = nrmse(mm.v("fe"), ref.v("fe"))
+    rep = timing_error(ref.t, mm.v("fe"), ref.v("fe"), 0.5 * MD2.vdd)
+    print(ascii_plot({"reference": (ref.t, ref.v("fe")),
+                      "pw-rbf": (mm.t, mm.v("fe"))}, width=72, height=16))
+    print(f"far-end NRMSE: {err * 100:.2f} %   "
+          f"timing error: {rep.max_delay * 1e12:.1f} ps "
+          f"over {rep.n_matched} edges")
+    assert err < 0.05, "macromodel should track the reference closely"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Receiver macromodeling: parametric (ARX + RBF) vs the C-V strawman.
+
+Reproduces the paper's Example 4 story: inside the rails a receiver is
+nearly a linear capacitor, but fast edges and protection-clamp excursions
+need the parametric model.  Estimates both model classes for MD4 and
+compares their input-current prediction on a 100 ps edge.
+
+Run:  python examples/receiver_modeling.py
+"""
+
+from repro.circuit import (Circuit, Resistor, TransientOptions,
+                           VoltageSource, run_transient)
+from repro.circuit.waveforms import Trapezoid
+from repro.devices import MD4, build_receiver
+from repro.emc import nrmse
+from repro.experiments.asciiplot import ascii_plot
+from repro.models import (CVReceiverElement, ParametricReceiverElement,
+                          estimate_cv_receiver, estimate_receiver_model)
+
+
+def simulate(attach, ts, amplitude=2.0):
+    wave = Trapezoid(amplitude=amplitude, transition=100e-12, width=2e-9,
+                     delay=0.5e-9)
+    ckt = Circuit("rx")
+    ckt.add(VoltageSource("vs", "src", "0", wave))
+    ckt.add(Resistor("rs", "src", "pad", 50.0))
+    attach(ckt)
+    res = run_transient(ckt, TransientOptions(dt=ts, t_stop=4e-9,
+                                              method="damped", ic="zero"))
+    return res.t, (res.v("src") - res.v("pad")) / 50.0
+
+
+def main():
+    print("estimating the parametric receiver model (ARX + up/down RBF)...")
+    par = estimate_receiver_model(MD4)
+    print(f"  ARX order {par.linear.order}, poles "
+          f"{[f'{abs(p):.2f}' for p in par.linear.poles()]}, stable: "
+          f"{par.linear.is_stable()}")
+    print("extracting the C-V strawman (DC sweep + capacitance ramp)...")
+    cv = estimate_cv_receiver(MD4)
+    print(f"  C = {cv.capacitance * 1e12:.2f} pF")
+
+    ts = par.ts
+    t, i_ref = simulate(lambda c: build_receiver(c, MD4, "dut", "pad"), ts)
+    _, i_par = simulate(
+        lambda c: c.add(ParametricReceiverElement("dut", "pad", par)), ts)
+    _, i_cv = simulate(
+        lambda c: c.add(CVReceiverElement("dut", "pad", cv)), ts)
+
+    print(ascii_plot({"reference": (t, i_ref * 1e3),
+                      "parametric": (t, i_par * 1e3),
+                      "c-v": (t, i_cv * 1e3)}, width=72, height=14))
+    edge = (t > 0.4e-9) & (t < 1.1e-9)
+    print(f"edge-window NRMSE: parametric "
+          f"{nrmse(i_par[edge], i_ref[edge]) * 100:.2f} % | "
+          f"c-v {nrmse(i_cv[edge], i_ref[edge]) * 100:.2f} %")
+    print(f"peak current [mA]: reference {i_ref.max() * 1e3:.1f}, "
+          f"parametric {i_par.max() * 1e3:.1f}, c-v {i_cv.max() * 1e3:.1f}")
+
+
+if __name__ == "__main__":
+    main()

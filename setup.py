@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e . --no-build-isolation``
+works in offline environments whose setuptools lacks the ``wheel`` package
+(legacy develop installs do not need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro -- behavioral macromodeling of digital I/O ports (DATE 2002).
+
+Reproduction of I. S. Stievano et al., "Macromodeling of Digital I/O Ports
+for System EMC Assessment", DATE 2002.
+
+Public API layers
+-----------------
+``repro.circuit``      SPICE-class simulation engine (MNA, transient, lines)
+``repro.devices``      transistor-level reference drivers/receivers
+``repro.ident``        identification signals and virtual measurements
+``repro.models``       PW-RBF driver and ARX+RBF receiver macromodels (the
+                       paper's contribution), estimation and synthesis
+``repro.ibis``         IBIS baseline: extraction, simulation, file I/O
+``repro.emc``          accuracy metrics (timing error, RMS error)
+``repro.experiments``  one driver per paper figure/table
+"""
+
+from . import circuit, devices, emc, errors, ibis, ident, models
+
+__version__ = "0.1.0"
+
+__all__ = ["circuit", "devices", "emc", "errors", "ibis", "ident", "models",
+           "__version__"]

@@ -1,0 +1,273 @@
+"""Subnetwork builders: lossy (coupled) transmission lines and ladders.
+
+The paper's Example 3 uses a three-conductor lossy on-MCM interconnect (two
+signal lands over a reference plane) with dc resistance, skin effect and
+dielectric loss; Example 4 uses a 10 cm lossy single line.  We synthesize such
+lines as cascades of short ideal (modal, lossless) line sections with:
+
+* per-section series resistance lumps (half at each section end),
+* optional per-section skin-effect branches -- series chains of parallel R||L
+  cells fitted to the ``k * sqrt(f)`` resistance rise,
+* optional shunt dielectric-loss conductances ``G = 2*pi*f_knee*C*tan_delta``
+  evaluated at a stated knee frequency (a documented narrowband approximation
+  of the frequency-proportional dielectric loss).
+
+An independent fully lumped RLGC ladder builder is provided for
+cross-validation of the cascade approach.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CircuitError
+from .elements.rlc import (CapacitanceMatrix, Capacitor, CoupledInductors,
+                           Inductor, Resistor)
+from .elements.tline import CoupledIdealLine, IdealLine
+from .netlist import Circuit
+
+__all__ = ["SkinLadder", "fit_skin_ladder", "LineSpec", "add_lossy_line",
+           "add_rlgc_ladder"]
+
+
+@dataclass(frozen=True)
+class SkinLadder:
+    """Series chain of parallel R||L cells approximating skin-effect impedance.
+
+    Each cell has impedance ``jwLR/(R + jwL)``: inductive below its corner
+    frequency, resistive above.  Geometrically spaced corners give a staircase
+    that tracks ``k*sqrt(f)`` across the fitted band.
+    """
+
+    resistances: tuple[float, ...]
+    inductances: tuple[float, ...]
+
+    def impedance(self, f: np.ndarray) -> np.ndarray:
+        """Complex impedance of the chain at frequencies ``f`` (Hz)."""
+        w = 2.0 * math.pi * np.asarray(f, dtype=float)
+        z = np.zeros_like(w, dtype=complex)
+        for r, l in zip(self.resistances, self.inductances):
+            z += 1.0 / (1.0 / r + 1.0 / (1j * w * l))
+        return z
+
+
+def fit_skin_ladder(k_skin: float, f_min: float, f_max: float,
+                    n_cells: int = 3) -> SkinLadder:
+    """Fit an R||L chain to the skin-effect resistance ``R(f) = k*sqrt(f)``.
+
+    ``k_skin`` is in ohm/sqrt(Hz) (per meter when used per-unit-length).
+    Corner frequencies are log-spaced across ``[f_min, f_max]``; cell
+    resistances are set so the real part of the chain matches ``k*sqrt(f)``
+    in least squares on a log grid, via a non-negative scaling solve.
+    """
+    if k_skin <= 0.0:
+        raise CircuitError("k_skin must be positive")
+    if not (0.0 < f_min < f_max):
+        raise CircuitError("need 0 < f_min < f_max")
+    corners = np.logspace(math.log10(f_min), math.log10(f_max), n_cells)
+    # seed: each cell takes over k*sqrt at its corner
+    r_seed = k_skin * np.sqrt(corners)
+    l_seed = r_seed / (2.0 * math.pi * corners)
+    # least-squares scale alpha on all resistances to match Re(Z) ~ k sqrt(f)
+    f_grid = np.logspace(math.log10(f_min), math.log10(f_max), 40)
+    chain = SkinLadder(tuple(r_seed), tuple(l_seed))
+    re_z = chain.impedance(f_grid).real
+    target = k_skin * np.sqrt(f_grid)
+    alpha = float(np.dot(re_z, target) / np.dot(re_z, re_z))
+    return SkinLadder(tuple(alpha * r_seed), tuple(alpha * l_seed))
+
+
+@dataclass(frozen=True)
+class LineSpec:
+    """Per-unit-length description of an N-conductor lossy line.
+
+    ``L``: inductance matrix (H/m); ``C``: Maxwell capacitance matrix (F/m);
+    ``rdc``: dc resistance (ohm/m, per conductor); ``k_skin``: skin-effect
+    coefficient (ohm/(m*sqrt(Hz))); ``tan_delta``: dielectric loss factor;
+    ``f_knee``: frequency at which the dielectric loss conductance is
+    evaluated; ``length``: line length (m).
+    """
+
+    L: np.ndarray
+    C: np.ndarray
+    length: float
+    rdc: float = 0.0
+    k_skin: float = 0.0
+    tan_delta: float = 0.0
+    f_knee: float = 1e9
+    skin_f_min: float = 1e7
+    skin_f_max: float = 2e10
+    skin_cells: int = 3
+
+    def __post_init__(self):
+        object.__setattr__(self, "L", np.atleast_2d(np.asarray(self.L, float)))
+        object.__setattr__(self, "C", np.atleast_2d(np.asarray(self.C, float)))
+        if self.length <= 0:
+            raise CircuitError("line length must be positive")
+
+    @property
+    def n(self) -> int:
+        return self.L.shape[0]
+
+    @property
+    def delay(self) -> float:
+        """Slowest-mode one-way delay of the full line."""
+        lam = np.linalg.eigvals(self.L @ self.C).real
+        return self.length * float(np.sqrt(np.max(lam)))
+
+    @property
+    def z0(self) -> np.ndarray:
+        """Characteristic impedance matrix (lossless part)."""
+        from .elements.tline import modal_decomposition
+        W, zm, _ = modal_decomposition(self.L, self.C)
+        w_inv = np.linalg.inv(W)
+        return w_inv.T @ np.diag(zm) @ w_inv
+
+
+def _shunt_g(circuit: Circuit, name: str, nodes: list[str], spec: LineSpec,
+             seg_len: float) -> None:
+    """Add dielectric-loss conductances for one junction of the cascade.
+
+    The Maxwell conductance matrix ``G = 2*pi*f_knee * C * tan_delta`` is
+    expanded into its physical star: row sums go to ground, negated
+    off-diagonal entries connect conductor pairs.
+    """
+    if spec.tan_delta <= 0.0:
+        return
+    g_mat = 2.0 * math.pi * spec.f_knee * spec.C * spec.tan_delta * seg_len
+    for k in range(spec.n):
+        g_self = float(np.sum(g_mat[k]))  # Maxwell row sum = cond. to ground
+        if g_self > 0.0:
+            circuit.add(Resistor(f"{name}_gd{k}", nodes[k], "0", 1.0 / g_self))
+        for j in range(k + 1, spec.n):
+            g_mut = -float(g_mat[k, j])
+            if g_mut > 0.0:
+                circuit.add(Resistor(f"{name}_gm{k}_{j}", nodes[k], nodes[j],
+                                     1.0 / g_mut))
+
+
+def add_lossy_line(circuit: Circuit, name: str, end1, end2, spec: LineSpec,
+                   n_sections: int = 10) -> list:
+    """Cascade ``n_sections`` of [R/2 - ideal section - R/2 (+ skin + G)].
+
+    ``end1``/``end2`` are terminal node-name lists (length ``spec.n``).
+    Returns the list of created elements.  For ``spec.n == 1`` scalar
+    :class:`IdealLine` sections are used; otherwise modal
+    :class:`CoupledIdealLine` sections.
+    """
+    end1, end2 = [str(n) for n in np.atleast_1d(end1)], \
+                 [str(n) for n in np.atleast_1d(end2)]
+    if len(end1) != spec.n or len(end2) != spec.n:
+        raise CircuitError(f"{name}: terminal count must match spec.n={spec.n}")
+    if n_sections < 1:
+        raise CircuitError("need at least one section")
+    seg_len = spec.length / n_sections
+    created = []
+    lossless = spec.rdc == 0.0 and spec.k_skin == 0.0 and spec.tan_delta == 0.0
+
+    skin = None
+    if spec.k_skin > 0.0:
+        skin = fit_skin_ladder(spec.k_skin * seg_len, spec.skin_f_min,
+                               spec.skin_f_max, spec.skin_cells)
+
+    def series_chain(prefix: str, node_in: str, node_out: str) -> None:
+        """R/2-lump plus optional half-skin chain between two nodes.
+
+        The fitted skin ladder represents one full section; placing a
+        0.5-scaled copy at each side keeps the section total correct
+        (impedances in series add, and scaling R and L together scales the
+        cell impedance at all frequencies).
+        """
+        r_half = spec.rdc * seg_len / 2.0
+        cur = node_in
+        if skin is not None:
+            for ci, (r, l) in enumerate(zip(skin.resistances,
+                                            skin.inductances)):
+                nxt = f"{prefix}_sk{ci}"
+                created.append(circuit.add(
+                    Resistor(f"{prefix}_skr{ci}", cur, nxt, 0.5 * r)))
+                created.append(circuit.add(
+                    Inductor(f"{prefix}_skl{ci}", cur, nxt, 0.5 * l)))
+                cur = nxt
+        if r_half > 0.0:
+            created.append(circuit.add(
+                Resistor(f"{prefix}_r", cur, node_out, r_half)))
+        elif cur != node_out:
+            # tie the chain output to the section terminal
+            created.append(circuit.add(
+                Resistor(f"{prefix}_tie", cur, node_out, 1e-6)))
+
+    prev = end1
+    for s in range(n_sections):
+        last = s == n_sections - 1
+        sec_in = [f"{name}_s{s}a{k}" for k in range(spec.n)]
+        sec_out = end2 if (last and lossless) else \
+            [f"{name}_s{s}b{k}" for k in range(spec.n)]
+        if lossless:
+            sec_in = prev
+        else:
+            for k in range(spec.n):
+                series_chain(f"{name}_s{s}i{k}", prev[k], sec_in[k])
+        if spec.n == 1:
+            W = None
+            z0 = float(spec.z0[0, 0])
+            td = seg_len * math.sqrt(float(spec.L[0, 0] * spec.C[0, 0]))
+            created.append(circuit.add(
+                IdealLine(f"{name}_t{s}", sec_in[0], sec_out[0], z0, td)))
+        else:
+            created.append(circuit.add(
+                CoupledIdealLine(f"{name}_t{s}", sec_in, sec_out,
+                                 spec.L, spec.C, seg_len)))
+        if not lossless:
+            nxt = end2 if last else [f"{name}_s{s}c{k}" for k in range(spec.n)]
+            for k in range(spec.n):
+                series_chain(f"{name}_s{s}o{k}", sec_out[k], nxt[k])
+            _shunt_g(circuit, f"{name}_s{s}", sec_out, spec, seg_len)
+            prev = nxt
+        else:
+            prev = sec_out
+    return created
+
+
+def add_rlgc_ladder(circuit: Circuit, name: str, end1, end2, spec: LineSpec,
+                    n_sections: int = 40) -> list:
+    """Fully lumped RLGC ladder model of the same line (cross-validation).
+
+    Each section: series [R + coupled L] followed by shunt [C matrix + G].
+    Converges to the distributed solution as ``n_sections`` grows; used in
+    tests to validate :func:`add_lossy_line` independently.
+    """
+    end1, end2 = [str(n) for n in np.atleast_1d(end1)], \
+                 [str(n) for n in np.atleast_1d(end2)]
+    if len(end1) != spec.n or len(end2) != spec.n:
+        raise CircuitError(f"{name}: terminal count must match spec.n={spec.n}")
+    seg_len = spec.length / n_sections
+    created = []
+    prev = end1
+    for s in range(n_sections):
+        last = s == n_sections - 1
+        mid = [f"{name}_m{s}_{k}" for k in range(spec.n)]
+        nxt = end2 if last else [f"{name}_n{s}_{k}" for k in range(spec.n)]
+        # series resistance lumps
+        for k in range(spec.n):
+            r = max(spec.rdc * seg_len, 1e-9)
+            created.append(circuit.add(
+                Resistor(f"{name}_r{s}_{k}", prev[k], mid[k], r)))
+        # coupled series inductors
+        pairs = [(mid[k], nxt[k]) for k in range(spec.n)]
+        created.append(circuit.add(
+            CoupledInductors(f"{name}_l{s}", pairs, spec.L * seg_len)))
+        # shunt capacitance matrix + dielectric loss at the section output
+        if spec.n == 1:
+            created.append(circuit.add(
+                Capacitor(f"{name}_c{s}", nxt[0], "0",
+                          float(spec.C[0, 0]) * seg_len)))
+        else:
+            created.append(circuit.add(
+                CapacitanceMatrix(f"{name}_c{s}", nxt, spec.C * seg_len)))
+        _shunt_g(circuit, f"{name}_s{s}", nxt, spec, seg_len)
+        prev = nxt
+    return created

@@ -1,0 +1,19 @@
+"""Circuit element library."""
+
+from .controlled import CCCS, CCVS, VCCS, VCVS, NonlinearCurrentSource
+from .diode import Diode, DiodeParams
+from .mosfet import MOSFET, MOSParams, scale_corner
+from .rlc import (CapacitanceMatrix, Capacitor, CoupledInductors, Inductor,
+                  Resistor)
+from .sources import CurrentSource, VoltageSource
+from .tline import CoupledIdealLine, IdealLine, modal_decomposition
+
+__all__ = [
+    "Resistor", "Capacitor", "Inductor", "CoupledInductors",
+    "CapacitanceMatrix",
+    "VoltageSource", "CurrentSource",
+    "VCCS", "VCVS", "CCCS", "CCVS", "NonlinearCurrentSource",
+    "Diode", "DiodeParams",
+    "MOSFET", "MOSParams", "scale_corner",
+    "IdealLine", "CoupledIdealLine", "modal_decomposition",
+]

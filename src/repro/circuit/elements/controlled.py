@@ -1,0 +1,156 @@
+"""Linear controlled sources (VCCS, VCVS, CCCS, CCVS) and behavioral sources.
+
+The behavioral :class:`NonlinearCurrentSource` / :class:`NonlinearConductance`
+are the building blocks used by the macromodel synthesis backend (Section 2 of
+the paper: "RC circuits with controlled sources").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...errors import CircuitError
+from ..netlist import Element
+
+__all__ = ["VCCS", "VCVS", "CCCS", "CCVS", "NonlinearCurrentSource"]
+
+
+class VCCS(Element):
+    """Voltage-controlled current source: ``i = gm * (v(cp) - v(cn))``.
+
+    Current flows from ``a`` through the source into ``b``.
+    """
+
+    def __init__(self, name: str, a: str, b: str, cp: str, cn: str, gm: float):
+        super().__init__(name, [a, b, cp, cn])
+        self.gm = float(gm)
+
+    def stamp_const(self, st):
+        a, b, cp, cn = self.nodes
+        st.transconductance(a, b, cp, cn, self.gm)
+
+
+class VCVS(Element):
+    """Voltage-controlled voltage source: ``v(a) - v(b) = mu * (v(cp) - v(cn))``."""
+
+    n_branch = 1
+
+    def __init__(self, name: str, a: str, b: str, cp: str, cn: str, mu: float):
+        super().__init__(name, [a, b, cp, cn])
+        self.mu = float(mu)
+
+    def stamp_const(self, st):
+        a, b, cp, cn = self.nodes
+        br = self.branches[0]
+        st.kcl_branch(a, br, 1.0)
+        st.kcl_branch(b, br, -1.0)
+        st.branch_voltage(br, a, b, 1.0)
+        st.branch_voltage(br, cp, cn, -self.mu)
+
+    def current(self, x: np.ndarray) -> float:
+        return float(x[self.branches[0]])
+
+
+class CCCS(Element):
+    """Current-controlled current source: ``i = beta * i(ctrl)``.
+
+    ``ctrl`` is an element exposing a branch current (voltage source,
+    inductor, VCVS...).  Resolution of the controlling branch happens lazily at
+    stamp time so netlist ordering does not matter.
+    """
+
+    def __init__(self, name: str, a: str, b: str, ctrl, beta: float):
+        super().__init__(name, [a, b])
+        self.ctrl = ctrl
+        self.beta = float(beta)
+
+    def _ctrl_branch(self) -> int:
+        if not getattr(self.ctrl, "branches", None):
+            raise CircuitError(
+                f"{self.name}: controlling element {self.ctrl.name!r} has no branch current")
+        return self.ctrl.branches[0]
+
+    def stamp_const(self, st):
+        a, b = self.nodes
+        br = self._ctrl_branch()
+        st.kcl_branch(a, br, self.beta)
+        st.kcl_branch(b, br, -self.beta)
+
+
+class CCVS(Element):
+    """Current-controlled voltage source: ``v(a) - v(b) = r * i(ctrl)``."""
+
+    n_branch = 1
+
+    def __init__(self, name: str, a: str, b: str, ctrl, r: float):
+        super().__init__(name, [a, b])
+        self.ctrl = ctrl
+        self.r = float(r)
+
+    def stamp_const(self, st):
+        a, b = self.nodes
+        br = self.branches[0]
+        if not getattr(self.ctrl, "branches", None):
+            raise CircuitError(
+                f"{self.name}: controlling element {self.ctrl.name!r} has no branch current")
+        st.kcl_branch(a, br, 1.0)
+        st.kcl_branch(b, br, -1.0)
+        st.branch_voltage(br, a, b, 1.0)
+        st.add_A(br, self.ctrl.branches[0], -self.r)
+
+    def current(self, x: np.ndarray) -> float:
+        return float(x[self.branches[0]])
+
+
+class NonlinearCurrentSource(Element):
+    """Behavioral current source ``i = f(v_1, ..., v_k, t)``.
+
+    ``f(vs, t)`` receives the control-node voltage vector and must return the
+    current (A) flowing from ``a`` through the source into ``b``;
+    ``dfdv(vs, t)`` returns the gradient with respect to each control voltage.
+    If ``dfdv`` is omitted a forward-difference approximation is used.
+
+    This is the engine-level realization of SPICE "B" sources and the target
+    of the macromodel synthesis backend.
+    """
+
+    nonlinear = True
+
+    def __init__(self, name: str, a: str, b: str, controls: Sequence[str],
+                 f: Callable, dfdv: Callable | None = None):
+        super().__init__(name, [a, b, *controls])
+        self.f = f
+        self.dfdv = dfdv
+        self.n_controls = len(controls)
+
+    def _control_voltages(self, x) -> np.ndarray:
+        ctl = self.nodes[2:]
+        return np.array([x[n] if n >= 0 else 0.0 for n in ctl])
+
+    def stamp_nonlinear(self, st, x, t):
+        a, b = self.nodes[0], self.nodes[1]
+        vs = self._control_voltages(x)
+        i0 = float(self.f(vs, t))
+        if self.dfdv is not None:
+            grad = np.asarray(self.dfdv(vs, t), dtype=float)
+        else:
+            grad = np.empty(self.n_controls)
+            eps = 1e-7
+            for k in range(self.n_controls):
+                vp = vs.copy()
+                vp[k] += eps
+                grad[k] = (float(self.f(vp, t)) - i0) / eps
+        # Linearized: i ~= i0 + grad . (v - vs)
+        for k, ctl in enumerate(self.nodes[2:]):
+            g = grad[k]
+            if ctl >= 0:
+                if a >= 0:
+                    st.add_A(a, ctl, g)
+                if b >= 0:
+                    st.add_A(b, ctl, -g)
+        rhs = i0 - float(grad @ vs)
+        # current leaves node a: KCL row a gets +i = +(rhs + grad.v)
+        st.add_b(a, -rhs)
+        st.add_b(b, rhs)

@@ -1,0 +1,156 @@
+"""Junction diode with exponential I-V, junction capacitance and limiting.
+
+Used by the receiver reference devices (ESD protection clamps, Section 3 of
+the paper) and by the IBIS clamp extraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist import Element
+
+__all__ = ["DiodeParams", "Diode"]
+
+_EXP_LIM = 80.0  # argument above which exp() is linearized to avoid overflow
+
+
+@dataclass(frozen=True)
+class DiodeParams:
+    """Diode model card.
+
+    ``isat``: saturation current (A); ``n``: emission coefficient;
+    ``rs``: ohmic series resistance (ohm, 0 disables); ``cj0``: zero-bias
+    junction capacitance (F); ``vj``/``mj``: junction potential / grading;
+    ``temp_vt``: thermal voltage (V).
+    """
+
+    isat: float = 1e-14
+    n: float = 1.0
+    rs: float = 0.0
+    cj0: float = 0.0
+    vj: float = 0.7
+    mj: float = 0.5
+    temp_vt: float = 0.02585
+
+    @property
+    def nvt(self) -> float:
+        return self.n * self.temp_vt
+
+
+def diode_current(v: float, p: DiodeParams) -> tuple[float, float]:
+    """Return ``(i, di/dv)`` of the intrinsic exponential junction.
+
+    Above ``_EXP_LIM * nvt`` the exponential is continued linearly (value and
+    slope) so Newton iterates cannot overflow.
+    """
+    nvt = p.nvt
+    arg = v / nvt
+    if arg > _EXP_LIM:
+        e = math.exp(_EXP_LIM)
+        i = p.isat * (e * (1.0 + (arg - _EXP_LIM)) - 1.0)
+        g = p.isat * e / nvt
+    else:
+        e = math.exp(arg)
+        i = p.isat * (e - 1.0)
+        g = p.isat * e / nvt
+    return i, g
+
+
+def junction_capacitance(v: float, p: DiodeParams) -> float:
+    """Depletion capacitance; forward bias is clamped at ``fc = 0.5 * vj``."""
+    if p.cj0 <= 0.0:
+        return 0.0
+    fc = 0.5 * p.vj
+    if v < fc:
+        return p.cj0 / (1.0 - v / p.vj) ** p.mj
+    # linearized beyond fc (standard SPICE treatment)
+    c_fc = p.cj0 / (1.0 - fc / p.vj) ** p.mj
+    dcdv = c_fc * p.mj / (p.vj * (1.0 - fc / p.vj))
+    return c_fc + dcdv * (v - fc)
+
+
+class Diode(Element):
+    """Two-terminal diode (anode ``a``, cathode ``b``).
+
+    The junction capacitance is handled with the same theta-method companion
+    scheme as :class:`~repro.circuit.elements.rlc.Capacitor`, evaluated at the
+    bias of the previous accepted step (secant capacitance), which keeps the
+    Newton Jacobian simple while remaining charge-accurate for the smooth
+    waveforms of interest here.
+    """
+
+    nonlinear = True
+
+    def __init__(self, name: str, a: str, b: str,
+                 params: DiodeParams | None = None):
+        super().__init__(name, [a, b])
+        self.params = params or DiodeParams()
+        self._v_prev = 0.0   # bias at the last accepted timestep
+        self._v_iter = 0.0   # bias at the last Newton iterate (for limiting)
+        self._ic_prev = 0.0  # capacitive current history
+        self._dt = None
+        self._theta = 1.0
+
+    def _vab(self, x) -> float:
+        a, b = self.nodes
+        va = x[a] if a >= 0 else 0.0
+        vb = x[b] if b >= 0 else 0.0
+        return va - vb
+
+    def init_state(self, x, system) -> None:
+        self._v_prev = self._vab(x)
+        self._v_iter = self._v_prev
+        self._ic_prev = 0.0
+
+    def prepare(self, dt, theta):
+        self._dt = dt
+        self._theta = theta
+
+    def stamp_nonlinear(self, st, x, t):
+        p = self.params
+        a, b = self.nodes
+        v = self._vab(x)
+        # Junction voltage limiting (simplified pnjlim): pull extreme forward
+        # excursions back toward the previous Newton iterate so exp() cannot
+        # blow up; the limiting point must track the iterate, not the last
+        # accepted timestep, or Newton can stall against the limiter.
+        v_crit = p.nvt * math.log(p.nvt / (math.sqrt(2.0) * p.isat))
+        if v > v_crit and v - self._v_iter > 10.0 * p.nvt:
+            v = self._v_iter + 10.0 * p.nvt
+            st.limited = True  # convergence must wait for the limiter
+        self._v_iter = v
+        i, g = diode_current(v, p)
+        # Linearization around the (possibly limited) iterate v:
+        #   i(v') ~= i + g (v' - v)
+        st.conductance(a, b, g)
+        ieq = i - g * v
+        st.add_b(a, -ieq)
+        st.add_b(b, ieq)
+        # Companion of the junction capacitance, evaluated at the bias of the
+        # previous accepted step (secant treatment).
+        if self._dt is not None:
+            cj = junction_capacitance(self._v_prev, p)
+            if cj > 0.0:
+                gc = cj / (self._theta * self._dt)
+                st.conductance(a, b, gc)
+                ic_hist = gc * self._v_prev \
+                    + (1.0 - self._theta) / self._theta * self._ic_prev
+                st.inject(a, ic_hist)
+                st.inject(b, -ic_hist)
+
+    def update_state(self, x, t, dt, theta):
+        v_new = self._vab(x)
+        cj = junction_capacitance(self._v_prev, self.params)
+        gc = cj / (theta * dt)
+        self._ic_prev = gc * (v_new - self._v_prev) \
+            - (1.0 - theta) / theta * self._ic_prev
+        self._v_prev = v_new
+        self._v_iter = v_new
+
+    def current(self, x: np.ndarray) -> float:
+        i, _ = diode_current(self._vab(x), self.params)
+        return i + self._ic_prev

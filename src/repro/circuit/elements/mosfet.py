@@ -1,0 +1,159 @@
+"""Level-1 (square-law) MOSFET for the transistor-level reference devices.
+
+The paper estimates its macromodels from detailed transistor-level models of
+commercial buffers.  We reproduce that substrate with a classic SPICE level-1
+device: square-law channel with channel-length modulation, plus linear
+gate-source/gate-drain overlap capacitors handled by the device builders in
+:mod:`repro.devices` (keeping the element itself purely resistive makes the
+Newton Jacobian exact).
+
+Sign conventions follow SPICE: for NMOS, positive ``ids`` flows drain->source;
+PMOS mirrors all polarities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ...errors import CircuitError
+from ..netlist import Element
+
+__all__ = ["MOSParams", "MOSFET", "nmos_ids", "scale_corner"]
+
+
+@dataclass(frozen=True)
+class MOSParams:
+    """Level-1 model card (positive quantities also for PMOS).
+
+    ``kp``: process transconductance (A/V^2, already includes mobility*Cox);
+    ``vto``: threshold voltage magnitude (V); ``lam``: channel-length
+    modulation (1/V); ``w``/``l``: geometry (m).
+    """
+
+    kp: float = 100e-6
+    vto: float = 0.5
+    lam: float = 0.05
+    w: float = 10e-6
+    l: float = 0.35e-6
+
+    @property
+    def beta(self) -> float:
+        return self.kp * self.w / self.l
+
+
+def nmos_ids(vgs: float, vds: float, p: MOSParams) -> tuple[float, float, float]:
+    """Return ``(ids, gm, gds)`` of the level-1 NMOS equations.
+
+    Handles ``vds < 0`` by source/drain exchange symmetry so the device is
+    usable in pass-gate configurations.
+    """
+    if vds < 0.0:
+        # exchange drain and source: ids(vgs, vds) = -ids(vgd, -vds)
+        ids, gm, gds = nmos_ids(vgs - vds, -vds, p)
+        # derivative bookkeeping for the swap:
+        #   i = -f(vgs - vds, -vds)
+        #   di/dvgs = -f_vgs
+        #   di/dvds = f_vgs + f_vds
+        return -ids, -gm, gm + gds
+    vgt = vgs - p.vto
+    if vgt <= 0.0:
+        return 0.0, 0.0, 0.0
+    beta = p.beta
+    clm = 1.0 + p.lam * vds
+    if vds < vgt:  # triode
+        ids = beta * (vgt * vds - 0.5 * vds * vds) * clm
+        gm = beta * vds * clm
+        gds = beta * (vgt - vds) * clm + beta * (vgt * vds - 0.5 * vds * vds) * p.lam
+    else:  # saturation
+        ids = 0.5 * beta * vgt * vgt * clm
+        gm = beta * vgt * clm
+        gds = 0.5 * beta * vgt * vgt * p.lam
+    return ids, gm, gds
+
+
+def scale_corner(p: MOSParams, corner: str) -> MOSParams:
+    """Return process-corner variants of a model card.
+
+    ``slow``: -20% kp, +15% vto; ``fast``: +20% kp, -15% vto; ``typ``
+    unchanged.  These spreads emulate the slow/typical/fast data sets that the
+    74LVC244 IBIS file provides in the paper's Example 1.
+    """
+    if corner in ("typ", "typical"):
+        return p
+    if corner == "slow":
+        return replace(p, kp=p.kp * 0.8, vto=p.vto * 1.15)
+    if corner == "fast":
+        return replace(p, kp=p.kp * 1.2, vto=p.vto * 0.85)
+    raise CircuitError(f"unknown corner {corner!r}")
+
+
+class MOSFET(Element):
+    """Three-terminal (d, g, s) level-1 MOSFET; bulk is implied at source.
+
+    ``polarity``: ``"n"`` or ``"p"``.  The gate draws no DC current (gate
+    capacitance is added externally as linear capacitors by device builders).
+    """
+
+    nonlinear = True
+
+    def __init__(self, name: str, d: str, g: str, s: str,
+                 params: MOSParams, polarity: str = "n"):
+        super().__init__(name, [d, g, s])
+        if polarity not in ("n", "p"):
+            raise CircuitError(f"{name}: polarity must be 'n' or 'p'")
+        self.params = params
+        self.polarity = polarity
+        self._vgs_prev = 0.0
+        self._vds_prev = 0.0
+
+    def _voltages(self, x) -> tuple[float, float]:
+        d, g, s = self.nodes
+        vd = x[d] if d >= 0 else 0.0
+        vg = x[g] if g >= 0 else 0.0
+        vs = x[s] if s >= 0 else 0.0
+        return vg - vs, vd - vs
+
+    def init_state(self, x, system) -> None:
+        self._vgs_prev, self._vds_prev = self._voltages(x)
+
+    @staticmethod
+    def _limit(v_new: float, v_old: float, step: float = 0.6) -> float:
+        """Damp large voltage excursions between Newton iterates."""
+        if v_new > v_old + step:
+            return v_old + step
+        if v_new < v_old - step:
+            return v_old - step
+        return v_new
+
+    def evaluate(self, vgs: float, vds: float) -> tuple[float, float, float]:
+        """Return ``(id, gm, gds)`` in terminal polarity (drain current)."""
+        if self.polarity == "n":
+            return nmos_ids(vgs, vds, self.params)
+        ids, gm, gds = nmos_ids(-vgs, -vds, self.params)
+        return -ids, gm, gds
+
+    def stamp_nonlinear(self, st, x, t):
+        d, g, s = self.nodes
+        vgs_raw, vds_raw = self._voltages(x)
+        vgs = self._limit(vgs_raw, self._vgs_prev)
+        vds = self._limit(vds_raw, self._vds_prev, step=1.0)
+        if vgs != vgs_raw or vds != vds_raw:
+            st.limited = True  # convergence must wait for the limiter
+        self._vgs_prev, self._vds_prev = vgs, vds
+        ids, gm, gds = self.evaluate(vgs, vds)
+        # Linearized drain current flowing d -> s inside the device:
+        #   i ~= ids + gm*(vgs' - vgs) + gds*(vds' - vds)
+        st.transconductance(d, s, g, s, gm)
+        st.conductance(d, s, gds)
+        ieq = ids - gm * vgs - gds * vds
+        st.add_b(d, -ieq)
+        st.add_b(s, ieq)
+
+    def update_state(self, x, t, dt, theta):
+        self._vgs_prev, self._vds_prev = self._voltages(x)
+
+    def current(self, x: np.ndarray) -> float:
+        vgs, vds = self._voltages(x)
+        return self.evaluate(vgs, vds)[0]

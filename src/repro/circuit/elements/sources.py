@@ -1,0 +1,77 @@
+"""Independent sources driven by :mod:`repro.circuit.waveforms` objects."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Element
+from ..waveforms import Constant, Waveform
+
+__all__ = ["VoltageSource", "CurrentSource"]
+
+
+def _as_waveform(value) -> Waveform:
+    if isinstance(value, Waveform):
+        return value
+    return Constant(float(value))
+
+
+class VoltageSource(Element):
+    """Ideal independent voltage source ``v(a) - v(b) = w(t)``.
+
+    The branch current flows from terminal ``a`` through the source to ``b``
+    (SPICE convention: positive current means the source is absorbing).
+    """
+
+    n_branch = 1
+
+    def __init__(self, name: str, a: str, b: str, waveform):
+        super().__init__(name, [a, b])
+        self.waveform = _as_waveform(waveform)
+
+    def stamp_const(self, st):
+        a, b = self.nodes
+        br = self.branches[0]
+        st.kcl_branch(a, br, 1.0)
+        st.kcl_branch(b, br, -1.0)
+        st.branch_voltage(br, a, b, 1.0)
+
+    def stamp_rhs(self, st, t):
+        st.add_b(self.branches[0], float(self.waveform(t)))
+
+    def breakpoints(self, t_stop):
+        return self.waveform.breakpoints(t_stop)
+
+    def current(self, x: np.ndarray) -> float:
+        return float(x[self.branches[0]])
+
+    def value(self, t: float) -> float:
+        return float(self.waveform(t))
+
+
+class CurrentSource(Element):
+    """Ideal independent current source.
+
+    Positive ``w(t)`` drives current from terminal ``a`` through the source
+    into terminal ``b`` (out of node ``a``, into node ``b``), matching the
+    SPICE ``Ixxx n+ n-`` convention.
+    """
+
+    def __init__(self, name: str, a: str, b: str, waveform):
+        super().__init__(name, [a, b])
+        self.waveform = _as_waveform(waveform)
+
+    def stamp_rhs(self, st, t):
+        val = float(self.waveform(t))
+        a, b = self.nodes
+        st.inject(a, -val)
+        st.inject(b, val)
+
+    def breakpoints(self, t_stop):
+        return self.waveform.breakpoints(t_stop)
+
+    def current(self, x: np.ndarray) -> float:
+        return float(self.waveform(0.0))
+
+    def value(self, t: float) -> float:
+        return float(self.waveform(t))

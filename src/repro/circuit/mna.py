@@ -1,0 +1,396 @@
+"""Modified nodal analysis (MNA) system assembly.
+
+The unknown vector is ``x = [v_0 .. v_{n-1}, i_0 .. i_{m-1}]`` where the first
+``n`` entries are non-ground node voltages and the remaining ``m`` are branch
+currents requested by elements.  Ground has index ``-1`` and is skipped by the
+:class:`Stamper`.
+
+The assembly is split into layers that change at different rates, so the hot
+Newton loop only rewrites what it must:
+
+* ``A_const``   -- topology + linear element values (stamped once),
+* ``A_dyn``     -- companion conductances of reactive elements (re-stamped when
+  ``dt`` or the integration method changes),
+* per-iteration -- nonlinear linearized stamps on a copy of the base matrix.
+
+Dense storage is used up to :data:`DENSE_LIMIT` unknowns, above which the
+system switches to scipy sparse LU.  Both paths share the same Stamper API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import SingularMatrixError
+from .netlist import Circuit
+
+DENSE_LIMIT = 600
+
+
+class Stamper:
+    """Write helper that skips ground (-1) indices.
+
+    Matrix rows/cols 0..n-1 are node KCL equations / node voltages; rows/cols
+    n..n+m-1 are branch equations / branch currents.  Branch indices passed to
+    the ``*_branch`` helpers are already absolute (offset by ``n``).
+    """
+
+    __slots__ = ("A", "b", "n", "limited")
+
+    def __init__(self, A, b, n_nodes: int):
+        self.A = A
+        self.b = b
+        self.n = n_nodes
+        self.limited = False  # set by devices when junction limiting engaged
+
+    # -- raw access -------------------------------------------------------------
+    def add_A(self, row: int, col: int, val: float) -> None:
+        if row >= 0 and col >= 0:
+            self.A[row, col] += val
+
+    def add_b(self, row: int, val: float) -> None:
+        if row >= 0:
+            self.b[row] += val
+
+    # -- common stamp patterns ----------------------------------------------------
+    def conductance(self, a: int, bnode: int, g: float) -> None:
+        """Two-terminal conductance ``g`` between nodes ``a`` and ``bnode``."""
+        if a >= 0:
+            self.A[a, a] += g
+        if bnode >= 0:
+            self.A[bnode, bnode] += g
+        if a >= 0 and bnode >= 0:
+            self.A[a, bnode] -= g
+            self.A[bnode, a] -= g
+
+    def transconductance(self, out_p: int, out_n: int,
+                         ctl_p: int, ctl_n: int, g: float) -> None:
+        """Current ``g*(v_ctl_p - v_ctl_n)`` flowing out of ``out_p`` into
+        ``out_n`` through the element (VCCS pattern)."""
+        for row, sign_r in ((out_p, 1.0), (out_n, -1.0)):
+            if row < 0:
+                continue
+            for col, sign_c in ((ctl_p, 1.0), (ctl_n, -1.0)):
+                if col >= 0:
+                    self.A[row, col] += sign_r * sign_c * g
+
+    def inject(self, node: int, current: float) -> None:
+        """Current ``current`` flows from the element INTO ``node``."""
+        if node >= 0:
+            self.b[node] += current
+
+    def kcl_branch(self, node: int, branch: int, sign: float = 1.0) -> None:
+        """Register branch current (absolute index) leaving ``node``."""
+        if node >= 0:
+            self.A[node, branch] += sign
+
+    def branch_voltage(self, branch: int, a: int, bnode: int,
+                       coeff: float = 1.0) -> None:
+        """Add ``coeff*(v_a - v_b)`` to the branch equation ``branch``."""
+        if a >= 0:
+            self.A[branch, a] += coeff
+        if bnode >= 0:
+            self.A[branch, bnode] -= coeff
+
+
+class SparseStamper(Stamper):
+    """Stamper accumulating COO triplets for sparse assembly."""
+
+    __slots__ = ("rows", "cols", "vals")
+
+    def __init__(self, b, n_nodes: int):
+        # A is unused; triplets are collected instead.
+        self.A = None
+        self.b = b
+        self.n = n_nodes
+        self.limited = False
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.vals: list[float] = []
+
+    def add_A(self, row, col, val):
+        if row >= 0 and col >= 0:
+            self.rows.append(row)
+            self.cols.append(col)
+            self.vals.append(val)
+
+    def conductance(self, a, bnode, g):
+        if a >= 0:
+            self.add_A(a, a, g)
+        if bnode >= 0:
+            self.add_A(bnode, bnode, g)
+        if a >= 0 and bnode >= 0:
+            self.add_A(a, bnode, -g)
+            self.add_A(bnode, a, -g)
+
+    def transconductance(self, out_p, out_n, ctl_p, ctl_n, g):
+        for row, sign_r in ((out_p, 1.0), (out_n, -1.0)):
+            if row < 0:
+                continue
+            for col, sign_c in ((ctl_p, 1.0), (ctl_n, -1.0)):
+                if col >= 0:
+                    self.add_A(row, col, sign_r * sign_c * g)
+
+    def kcl_branch(self, node, branch, sign=1.0):
+        if node >= 0:
+            self.add_A(node, branch, sign)
+
+    def branch_voltage(self, branch, a, bnode, coeff=1.0):
+        if a >= 0:
+            self.add_A(branch, a, coeff)
+        if bnode >= 0:
+            self.add_A(branch, bnode, -coeff)
+
+    def to_coo(self, size: int) -> sp.coo_matrix:
+        return sp.coo_matrix(
+            (np.array(self.vals), (np.array(self.rows), np.array(self.cols))),
+            shape=(size, size))
+
+
+class TripletStamper(Stamper):
+    """Stamper collecting nonlinear matrix entries as COO triplets.
+
+    Used by the Woodbury solve path: the linear base matrix is factored once
+    per analysis and the per-iteration nonlinear stamps become a low-rank
+    correction (see :meth:`MNASystem.solve_step`).
+    """
+
+    __slots__ = ("rows", "cols", "vals")
+
+    def __init__(self, b, n_nodes: int):
+        self.A = None
+        self.b = b
+        self.n = n_nodes
+        self.limited = False
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.vals: list[float] = []
+
+    def add_A(self, row, col, val):
+        if row >= 0 and col >= 0:
+            self.rows.append(row)
+            self.cols.append(col)
+            self.vals.append(val)
+
+    def conductance(self, a, bnode, g):
+        if a >= 0:
+            self.add_A(a, a, g)
+        if bnode >= 0:
+            self.add_A(bnode, bnode, g)
+        if a >= 0 and bnode >= 0:
+            self.add_A(a, bnode, -g)
+            self.add_A(bnode, a, -g)
+
+    def transconductance(self, out_p, out_n, ctl_p, ctl_n, g):
+        for row, sign_r in ((out_p, 1.0), (out_n, -1.0)):
+            if row < 0:
+                continue
+            for col, sign_c in ((ctl_p, 1.0), (ctl_n, -1.0)):
+                if col >= 0:
+                    self.add_A(row, col, sign_r * sign_c * g)
+
+    def kcl_branch(self, node, branch, sign=1.0):
+        if node >= 0:
+            self.add_A(node, branch, sign)
+
+    def branch_voltage(self, branch, a, bnode, coeff=1.0):
+        if a >= 0:
+            self.add_A(branch, a, coeff)
+        if bnode >= 0:
+            self.add_A(branch, bnode, -coeff)
+
+
+class MNASystem:
+    """Assembles and solves the MNA equations of a bound :class:`Circuit`.
+
+    With ``woodbury=True`` (default) and a dense base matrix, transient
+    Newton steps factor the constant linear part once per analysis and apply
+    each iteration's nonlinear stamps as a low-rank Sherman-Morrison-Woodbury
+    correction -- macromodel elements touch a couple of matrix entries, so
+    their circuits solve in O(n^2) per iteration instead of O(n^3).
+    """
+
+    def __init__(self, circuit: Circuit, gmin: float = 1e-12,
+                 woodbury: bool = True):
+        circuit.validate()
+        self.circuit = circuit
+        self.n_nodes = circuit.n_nodes
+        self.gmin = gmin
+        self.woodbury = woodbury
+        # Assign branch-current unknowns.
+        m = 0
+        for el in circuit.elements:
+            if el.n_branch:
+                el.assign_branches(range(self.n_nodes + m,
+                                         self.n_nodes + m + el.n_branch))
+                m += el.n_branch
+        self.n_branches = m
+        self.size = self.n_nodes + m
+        self.dense = self.size <= DENSE_LIMIT
+        self._nl = [el for el in circuit.elements if el.nonlinear]
+        # elements that actually override stamp_rhs (skip passive R's etc.)
+        from .netlist import Element as _Base
+        self._rhs_els = [el for el in circuit.elements
+                         if type(el).stamp_rhs is not _Base.stamp_rhs]
+        self._A_base: np.ndarray | sp.csc_matrix | None = None
+        self._dt = None
+        self._theta = None
+        self._base_lu = None          # cached LU of the dense base matrix
+        self._wb_pattern = None       # (rows_key, cols_key) of nl stamps
+        self._wb_R = self._wb_C = None
+        self._wb_Z = None             # B^-1 E_R  (n x p)
+        self._wb_S = None             # E_C^T B^-1 E_R  (q x p)
+
+    # -- base matrix (constant + companion) -------------------------------------
+    def build_base(self, dt: float | None, theta: float) -> None:
+        """(Re)build the linear part of the system matrix.
+
+        ``dt is None`` means DC analysis: reactive companion stamps are skipped
+        (capacitors open, inductors short via their branch equation with
+        ``L/(theta*dt)`` term zeroed).
+        """
+        if self.dense:
+            A = np.zeros((self.size, self.size))
+            st = Stamper(A, np.zeros(self.size), self.n_nodes)
+        else:
+            st = SparseStamper(np.zeros(self.size), self.n_nodes)
+        for el in self.circuit.elements:
+            el.prepare(dt, theta)
+            el.stamp_const(st)
+            if dt is not None:
+                el.stamp_dynamic(st, dt, theta)
+            else:
+                dc = getattr(el, "stamp_dc", None)
+                if dc is not None:
+                    dc(st)
+        # gmin from every node to ground keeps the matrix regular when
+        # nonlinear devices are cut off.
+        for i in range(self.n_nodes):
+            st.add_A(i, i, self.gmin)
+        if self.dense:
+            self._A_base = st.A
+        else:
+            self._A_base = st.to_coo(self.size).tocsc()
+        self._dt = dt
+        self._theta = theta
+        self._base_lu = None
+        self._wb_pattern = None
+
+    # -- per-step / per-iteration assembly -----------------------------------------
+    def assemble_rhs(self, t: float, source_scale: float = 1.0) -> np.ndarray:
+        """Per-timestep right-hand side: sources + companion histories.
+
+        These terms do not depend on the Newton iterate, so they are built
+        once per step and reused across iterations.
+        """
+        b = np.zeros(self.size)
+        st = Stamper(None, b, self.n_nodes)
+        for el in self._rhs_els:
+            el.stamp_rhs(st, t)
+        if source_scale != 1.0:
+            b *= source_scale
+        return b
+
+    def assemble_iter(self, x: np.ndarray, t: float, b_step: np.ndarray, *,
+                      extra_gmin: float = 0.0):
+        """Linearize the nonlinear elements around ``x`` on top of the
+        per-step base; returns ``(A, b, limited)``."""
+        b = b_step.copy()
+        if self.dense:
+            A = self._A_base.copy()
+            st = Stamper(A, b, self.n_nodes)
+        else:
+            st = SparseStamper(b, self.n_nodes)
+        for el in self._nl:
+            el.stamp_nonlinear(st, x, t)
+        if extra_gmin > 0.0:
+            for i in range(self.n_nodes):
+                st.add_A(i, i, extra_gmin)
+        if not self.dense:
+            A = self._A_base + st.to_coo(self.size).tocsc()
+        return A, b, st.limited
+
+    def assemble(self, x: np.ndarray, t: float, *, extra_gmin: float = 0.0,
+                 source_scale: float = 1.0):
+        """One-shot assembly (convenience for tests and the residual)."""
+        b_step = self.assemble_rhs(t, source_scale)
+        return self.assemble_iter(x, t, b_step, extra_gmin=extra_gmin)
+
+    # -- linear algebra -------------------------------------------------------------
+    def solve(self, A, b: np.ndarray) -> np.ndarray:
+        try:
+            if self.dense:
+                return sla.solve(A, b)
+            return spla.splu(A.tocsc()).solve(b)
+        except (np.linalg.LinAlgError, sla.LinAlgError, RuntimeError) as exc:
+            raise SingularMatrixError(
+                f"MNA matrix is singular: {exc}") from exc
+
+    def residual(self, x: np.ndarray, t: float) -> np.ndarray:
+        """Newton residual ``A(x) x - b(x)`` at the iterate ``x``."""
+        A, b, _ = self.assemble(x, t)
+        return (A @ x) - b
+
+    # -- Woodbury fast path -----------------------------------------------------
+    def _ensure_base_lu(self):
+        if self._base_lu is None:
+            try:
+                self._base_lu = sla.lu_factor(self._A_base)
+            except (ValueError, sla.LinAlgError) as exc:
+                raise SingularMatrixError(
+                    f"linear base matrix is singular: {exc}") from exc
+
+    def _wb_prepare(self, rows, cols):
+        """(Re)build the position-dependent Woodbury caches."""
+        R = sorted(set(rows))
+        C = sorted(set(cols))
+        self._wb_R = {r: k for k, r in enumerate(R)}
+        self._wb_C = {c: k for k, c in enumerate(C)}
+        E_R = np.zeros((self.size, len(R)))
+        for k, r in enumerate(R):
+            E_R[r, k] = 1.0
+        Z = sla.lu_solve(self._base_lu, E_R)          # B^-1 E_R
+        self._wb_Z = Z
+        self._wb_S = Z[C, :]                          # E_C^T B^-1 E_R
+        self._wb_pattern = (tuple(R), tuple(C))
+        self._wb_Clist = C
+
+    def solve_step(self, x: np.ndarray, t: float, b_step: np.ndarray
+                   ) -> tuple[np.ndarray, bool]:
+        """One Newton linear solve via the low-rank update path.
+
+        Returns ``(x_new, limited)``.  Falls back to full assembly when the
+        system is sparse-stored, the Woodbury path is disabled, or the
+        correction is ill-conditioned.
+        """
+        if not (self.dense and self.woodbury):
+            A, b, limited = self.assemble_iter(x, t, b_step)
+            return self.solve(A, b), limited
+        self._ensure_base_lu()
+        b = b_step.copy()
+        st = TripletStamper(b, self.n_nodes)
+        for el in self._nl:
+            el.stamp_nonlinear(st, x, t)
+        if not st.rows:
+            return sla.lu_solve(self._base_lu, b), st.limited
+        pattern = (tuple(sorted(set(st.rows))), tuple(sorted(set(st.cols))))
+        if pattern != self._wb_pattern:
+            self._wb_prepare(st.rows, st.cols)
+        p = len(self._wb_R)
+        q = len(self._wb_C)
+        M = np.zeros((p, q))
+        r_map, c_map = self._wb_R, self._wb_C
+        for r, c, v in zip(st.rows, st.cols, st.vals):
+            M[r_map[r], c_map[c]] += v
+        y = sla.lu_solve(self._base_lu, b)            # B^-1 b
+        K = np.eye(q) + self._wb_S @ M                # I + E_C^T B^-1 E_R M
+        try:
+            w = np.linalg.solve(K, y[self._wb_Clist])
+        except np.linalg.LinAlgError:
+            A, bb, limited = self.assemble_iter(x, t, b_step)
+            return self.solve(A, bb), st.limited or limited
+        x_new = y - self._wb_Z @ (M @ w)
+        return x_new, st.limited

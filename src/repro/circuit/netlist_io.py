@@ -1,0 +1,166 @@
+"""SPICE-flavored netlist text writer and parser (round-trippable subset).
+
+Covers the cards the synthesis backend and the testbenches emit:
+
+``R/C/L`` passives, ``V/I`` sources (DC, ``PULSE``, ``PWL``), ``G/E``
+controlled sources, ``T`` ideal lines, comments (``*``/``;``) and ``.end``.
+Numbers accept SPICE suffixes (f p n u m k meg g t).
+
+The writer emits a :class:`~repro.circuit.netlist.Circuit`'s supported
+elements; unsupported ones (behavioral macromodel elements) are emitted as
+comment placeholders so a netlist stays human-readable documentation even
+when it is not fully re-simulatable elsewhere.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import NetlistSyntaxError
+from .elements.controlled import VCCS, VCVS
+from .elements.rlc import Capacitor, Inductor, Resistor
+from .elements.sources import CurrentSource, VoltageSource
+from .elements.tline import IdealLine
+from .netlist import Circuit
+from .waveforms import Constant, PiecewiseLinear, Pulse
+
+__all__ = ["write_netlist", "parse_netlist", "parse_spice_number",
+           "format_spice_number"]
+
+_SUFFIX = {"t": 1e12, "g": 1e9, "meg": 1e6, "k": 1e3, "m": 1e-3,
+           "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15}
+_NUM = re.compile(r"^([+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)"
+                  r"(meg|[tgkmunpf])?$", re.IGNORECASE)
+
+
+def parse_spice_number(token: str) -> float:
+    m = _NUM.match(token.strip())
+    if not m:
+        raise NetlistSyntaxError(f"bad number {token!r}")
+    val = float(m.group(1))
+    sfx = (m.group(2) or "").lower()
+    return val * _SUFFIX.get(sfx, 1.0)
+
+
+def format_spice_number(x: float) -> str:
+    """Plain scientific notation (always parseable, no suffix games)."""
+    return f"{x:.9g}"
+
+
+def _waveform_text(w) -> str:
+    if isinstance(w, Constant):
+        return format_spice_number(w.value)
+    if isinstance(w, Pulse):
+        return (f"PULSE({format_spice_number(w.v1)} "
+                f"{format_spice_number(w.v2)} {format_spice_number(w.delay)} "
+                f"{format_spice_number(w.rise)} {format_spice_number(w.fall)} "
+                f"{format_spice_number(w.width)} "
+                f"{format_spice_number(w.period)})")
+    if isinstance(w, PiecewiseLinear):
+        pairs = " ".join(f"{format_spice_number(t)} {format_spice_number(v)}"
+                         for t, v in zip(w.times, w.values))
+        return f"PWL({pairs})"
+    return f"* unsupported waveform {type(w).__name__}"
+
+
+def write_netlist(circuit: Circuit, title: str | None = None) -> str:
+    """Serialize the supported elements of ``circuit`` to netlist text."""
+    lines = [f"* {title or circuit.title or 'repro netlist'}"]
+    for el in circuit.elements:
+        n = el.node_names
+        if isinstance(el, Resistor):
+            lines.append(f"R{el.name} {n[0]} {n[1]} "
+                         f"{format_spice_number(el.resistance)}")
+        elif isinstance(el, Capacitor):
+            lines.append(f"C{el.name} {n[0]} {n[1]} "
+                         f"{format_spice_number(el.capacitance)}")
+        elif isinstance(el, Inductor):
+            lines.append(f"L{el.name} {n[0]} {n[1]} "
+                         f"{format_spice_number(el.inductance)}")
+        elif isinstance(el, VoltageSource):
+            lines.append(f"V{el.name} {n[0]} {n[1]} "
+                         f"{_waveform_text(el.waveform)}")
+        elif isinstance(el, CurrentSource):
+            lines.append(f"I{el.name} {n[0]} {n[1]} "
+                         f"{_waveform_text(el.waveform)}")
+        elif isinstance(el, VCCS):
+            lines.append(f"G{el.name} {n[0]} {n[1]} {n[2]} {n[3]} "
+                         f"{format_spice_number(el.gm)}")
+        elif isinstance(el, VCVS):
+            lines.append(f"E{el.name} {n[0]} {n[1]} {n[2]} {n[3]} "
+                         f"{format_spice_number(el.mu)}")
+        elif isinstance(el, IdealLine):
+            lines.append(f"T{el.name} {n[0]} {n[1]} "
+                         f"Z0={format_spice_number(el.z0)} "
+                         f"TD={format_spice_number(el.td)}")
+        else:
+            lines.append(f"* [{type(el).__name__}] {el.name} "
+                         f"{' '.join(n)} (behavioral; not serialized)")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_waveform(tokens: list[str], joined: str):
+    if joined.upper().startswith("PULSE("):
+        inner = joined[joined.index("(") + 1:joined.rindex(")")]
+        vals = [parse_spice_number(tk) for tk in inner.replace(",", " ").split()]
+        vals += [0.0] * (7 - len(vals))
+        return Pulse(v1=vals[0], v2=vals[1], delay=vals[2], rise=vals[3],
+                     fall=vals[4], width=vals[5], period=vals[6])
+    if joined.upper().startswith("PWL("):
+        inner = joined[joined.index("(") + 1:joined.rindex(")")]
+        vals = [parse_spice_number(tk) for tk in inner.replace(",", " ").split()]
+        if len(vals) % 2:
+            raise NetlistSyntaxError("PWL needs time/value pairs")
+        return PiecewiseLinear(vals[::2], vals[1::2])
+    return Constant(parse_spice_number(tokens[0]))
+
+
+def parse_netlist(text: str) -> Circuit:
+    """Parse netlist text back into a :class:`Circuit`."""
+    ckt = Circuit("parsed")
+    for ln_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].strip()
+        if not line or line.startswith("*"):
+            continue
+        if line.lower() in (".end", ".ends"):
+            break
+        tokens = line.split()
+        card = tokens[0][0].upper()
+        name = tokens[0][1:] or tokens[0]
+        if name in ckt:
+            name = tokens[0]  # disambiguate bare "R1"/"V1" style names
+        try:
+            if card == "R":
+                ckt.add(Resistor(name, tokens[1], tokens[2],
+                                 parse_spice_number(tokens[3])))
+            elif card == "C":
+                ckt.add(Capacitor(name, tokens[1], tokens[2],
+                                  parse_spice_number(tokens[3])))
+            elif card == "L":
+                ckt.add(Inductor(name, tokens[1], tokens[2],
+                                 parse_spice_number(tokens[3])))
+            elif card in ("V", "I"):
+                wave = _parse_waveform(tokens[3:], " ".join(tokens[3:]))
+                cls = VoltageSource if card == "V" else CurrentSource
+                ckt.add(cls(name, tokens[1], tokens[2], wave))
+            elif card == "G":
+                ckt.add(VCCS(name, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_spice_number(tokens[5])))
+            elif card == "E":
+                ckt.add(VCVS(name, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_spice_number(tokens[5])))
+            elif card == "T":
+                kw = dict(tk.split("=") for tk in tokens[3:])
+                ckt.add(IdealLine(name, tokens[1], tokens[2],
+                                  parse_spice_number(kw["Z0"]),
+                                  parse_spice_number(kw["TD"])))
+            else:
+                raise NetlistSyntaxError(f"unsupported card {tokens[0]!r}",
+                                         line_no=ln_no, line=raw)
+        except NetlistSyntaxError:
+            raise
+        except Exception as exc:
+            raise NetlistSyntaxError(str(exc), line_no=ln_no,
+                                     line=raw) from exc
+    return ckt

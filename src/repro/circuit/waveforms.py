@@ -1,0 +1,412 @@
+"""Time-domain source waveforms.
+
+All waveforms are callables ``w(t) -> value`` accepting scalar ``float`` time or
+numpy arrays, plus a small amount of metadata used by the transient engine
+(breakpoints, so the integrator never steps blindly across a sharp edge).
+
+The set mirrors what the paper's testbeds need:
+
+* :class:`Step`, :class:`Pulse`, :class:`Trapezoid` -- classic SPICE-style
+  stimuli for validation loads;
+* :class:`PiecewiseLinear` -- arbitrary (t, v) pairs; the workhorse for
+  identification signals;
+* :class:`BitPattern` -- trapezoidal NRZ waveform for patterns such as
+  ``"011011101010000"`` used in the paper's Example 3;
+* :class:`MultilevelNoise` -- the multilevel pseudo-random waveform used to
+  excite driver/receiver ports during model estimation (Section 2/3);
+* :class:`Sine` -- for small-signal sanity checks of the engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WaveformError
+
+__all__ = [
+    "Waveform",
+    "Constant",
+    "Step",
+    "Pulse",
+    "Trapezoid",
+    "PiecewiseLinear",
+    "BitPattern",
+    "MultilevelNoise",
+    "Sine",
+    "Sum",
+    "Scaled",
+    "Delayed",
+]
+
+
+class Waveform:
+    """Base class for time-domain waveforms.
+
+    Subclasses implement :meth:`__call__` (vectorized over numpy arrays) and
+    may override :meth:`breakpoints` to expose instants where the waveform has
+    a discontinuous derivative.
+    """
+
+    def __call__(self, t):
+        raise NotImplementedError
+
+    def breakpoints(self, t_stop: float) -> np.ndarray:
+        """Return sorted instants in ``[0, t_stop]`` of slope discontinuities."""
+        return np.empty(0)
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Evaluate the waveform on an array of time points."""
+        return np.asarray(self(np.asarray(times, dtype=float)), dtype=float)
+
+    # -- composition helpers ------------------------------------------------
+    def __add__(self, other: "Waveform") -> "Waveform":
+        if not isinstance(other, Waveform):
+            return NotImplemented
+        return Sum(self, other)
+
+    def __mul__(self, gain: float) -> "Waveform":
+        return Scaled(self, float(gain))
+
+    __rmul__ = __mul__
+
+    def delayed(self, delay: float) -> "Waveform":
+        """Return this waveform shifted right by ``delay`` seconds."""
+        return Delayed(self, delay)
+
+
+@dataclass(frozen=True)
+class Constant(Waveform):
+    """A DC value, ``w(t) = value``."""
+
+    value: float = 0.0
+
+    def __call__(self, t):
+        return self.value * np.ones_like(np.asarray(t, dtype=float))
+
+
+@dataclass(frozen=True)
+class Step(Waveform):
+    """A linear-ramp step from ``v0`` to ``v1`` starting at ``t0``.
+
+    The transition takes ``rise`` seconds; ``rise == 0`` degenerates to an
+    ideal step (discouraged for transient sources -- it forces the integrator
+    through a discontinuity).
+    """
+
+    v0: float = 0.0
+    v1: float = 1.0
+    t0: float = 0.0
+    rise: float = 0.0
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        if self.rise <= 0.0:
+            return np.where(t >= self.t0, self.v1, self.v0)
+        frac = np.clip((t - self.t0) / self.rise, 0.0, 1.0)
+        return self.v0 + (self.v1 - self.v0) * frac
+
+    def breakpoints(self, t_stop):
+        pts = [self.t0, self.t0 + max(self.rise, 0.0)]
+        return np.array([p for p in pts if 0.0 <= p <= t_stop])
+
+
+@dataclass(frozen=True)
+class Pulse(Waveform):
+    """SPICE-style periodic trapezoidal pulse.
+
+    Parameters mirror the SPICE ``PULSE(v1 v2 td tr tf pw per)`` card.  A
+    non-positive ``period`` makes the pulse one-shot.
+    """
+
+    v1: float = 0.0
+    v2: float = 1.0
+    delay: float = 0.0
+    rise: float = 1e-12
+    fall: float = 1e-12
+    width: float = 1e-9
+    period: float = 0.0
+
+    def __post_init__(self):
+        if self.rise < 0 or self.fall < 0 or self.width < 0:
+            raise WaveformError("Pulse rise/fall/width must be non-negative")
+
+    def _single(self, tau):
+        """Evaluate one period; ``tau`` is time since the pulse start."""
+        rise = max(self.rise, 1e-15)
+        fall = max(self.fall, 1e-15)
+        up = np.clip(tau / rise, 0.0, 1.0)
+        down = np.clip((tau - rise - self.width) / fall, 0.0, 1.0)
+        return self.v1 + (self.v2 - self.v1) * (up - down)
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        tau = t - self.delay
+        if self.period > 0.0:
+            tau = np.mod(tau, self.period)
+            tau = np.where(t < self.delay, -1.0, tau)
+        return np.where(tau >= 0.0, self._single(np.maximum(tau, 0.0)), self.v1)
+
+    def breakpoints(self, t_stop):
+        base = np.array([0.0, self.rise, self.rise + self.width,
+                         self.rise + self.width + self.fall])
+        starts = [self.delay]
+        if self.period > 0.0:
+            n = int(math.floor((t_stop - self.delay) / self.period)) + 1
+            starts = [self.delay + k * self.period for k in range(max(n, 1))]
+        pts = np.concatenate([s + base for s in starts])
+        return np.unique(pts[(pts >= 0.0) & (pts <= t_stop)])
+
+
+@dataclass(frozen=True)
+class Trapezoid(Waveform):
+    """One-shot trapezoidal pulse defined by amplitude and plateau duration.
+
+    This is the stimulus of the paper's Example 4: ``amplitude`` V pulse with
+    ``transition`` long edges and a flat top of ``width`` seconds.
+    """
+
+    amplitude: float = 1.0
+    transition: float = 100e-12
+    width: float = 1e-9
+    delay: float = 0.0
+    baseline: float = 0.0
+
+    def _pulse(self) -> Pulse:
+        return Pulse(v1=self.baseline, v2=self.baseline + self.amplitude,
+                     delay=self.delay, rise=self.transition,
+                     fall=self.transition, width=self.width, period=0.0)
+
+    def __call__(self, t):
+        return self._pulse()(t)
+
+    def breakpoints(self, t_stop):
+        return self._pulse().breakpoints(t_stop)
+
+
+class PiecewiseLinear(Waveform):
+    """Piecewise-linear waveform through ``(times, values)`` vertices.
+
+    Before the first vertex the waveform holds ``values[0]``; after the last it
+    holds ``values[-1]``.  Times must be strictly increasing.
+    """
+
+    def __init__(self, times, values):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise WaveformError("PWL times/values must be 1-D and equal length")
+        if times.size < 1:
+            raise WaveformError("PWL needs at least one vertex")
+        if np.any(np.diff(times) <= 0.0):
+            raise WaveformError("PWL times must be strictly increasing")
+        self.times = times
+        self.values = values
+
+    def __call__(self, t):
+        return np.interp(np.asarray(t, dtype=float), self.times, self.values)
+
+    def breakpoints(self, t_stop):
+        return self.times[(self.times >= 0.0) & (self.times <= t_stop)]
+
+    @classmethod
+    def from_samples(cls, values, ts: float, t0: float = 0.0) -> "PiecewiseLinear":
+        """Build a PWL from uniformly sampled data with sampling time ``ts``."""
+        values = np.asarray(values, dtype=float)
+        times = t0 + ts * np.arange(values.size)
+        return cls(times, values)
+
+
+class BitPattern(Waveform):
+    """Trapezoidal NRZ waveform for a bit string such as ``"010"``.
+
+    Each bit lasts ``bit_time``; logic levels are ``v_low`` / ``v_high``;
+    transitions between consecutive differing bits take ``transition`` seconds,
+    centred on the bit boundary.  The line idles at the first bit's level for
+    ``delay`` seconds before the pattern starts.
+    """
+
+    def __init__(self, pattern: str, bit_time: float, v_low: float = 0.0,
+                 v_high: float = 1.0, transition: float = 100e-12,
+                 delay: float = 0.0):
+        if not pattern or any(c not in "01" for c in pattern):
+            raise WaveformError(f"pattern must be a non-empty 0/1 string, got {pattern!r}")
+        if transition <= 0.0:
+            raise WaveformError("transition time must be positive")
+        if transition > bit_time:
+            raise WaveformError("transition time longer than the bit time")
+        self.pattern = pattern
+        self.bit_time = float(bit_time)
+        self.v_low = float(v_low)
+        self.v_high = float(v_high)
+        self.transition = float(transition)
+        self.delay = float(delay)
+        self._pwl = self._build_pwl()
+
+    def _level(self, bit: str) -> float:
+        return self.v_high if bit == "1" else self.v_low
+
+    def _build_pwl(self) -> PiecewiseLinear:
+        half = self.transition / 2.0
+        times = [0.0]
+        values = [self._level(self.pattern[0])]
+        for i in range(1, len(self.pattern)):
+            prev, cur = self.pattern[i - 1], self.pattern[i]
+            if prev == cur:
+                continue
+            edge = self.delay + i * self.bit_time
+            times += [edge - half, edge + half]
+            values += [self._level(prev), self._level(cur)]
+        end = self.delay + len(self.pattern) * self.bit_time
+        times.append(max(end, times[-1] + half))
+        values.append(self._level(self.pattern[-1]))
+        # Deduplicate/enforce monotonicity that can arise when delay == 0 and
+        # the first edge sits at t = bit_time with transition/2 overlap.
+        t_arr, v_arr = [times[0]], [values[0]]
+        for t, v in zip(times[1:], values[1:]):
+            if t <= t_arr[-1]:
+                t = t_arr[-1] + 1e-15
+            t_arr.append(t)
+            v_arr.append(v)
+        return PiecewiseLinear(t_arr, v_arr)
+
+    @property
+    def duration(self) -> float:
+        """Total pattern duration including the initial delay."""
+        return self.delay + len(self.pattern) * self.bit_time
+
+    def edges(self) -> list[tuple[float, str]]:
+        """Return ``(time, direction)`` for each logic transition.
+
+        ``direction`` is ``"up"`` or ``"down"``; ``time`` is the centre of the
+        trapezoidal edge.
+        """
+        out = []
+        for i in range(1, len(self.pattern)):
+            prev, cur = self.pattern[i - 1], self.pattern[i]
+            if prev == cur:
+                continue
+            out.append((self.delay + i * self.bit_time,
+                        "up" if cur == "1" else "down"))
+        return out
+
+    def __call__(self, t):
+        return self._pwl(t)
+
+    def breakpoints(self, t_stop):
+        return self._pwl.breakpoints(t_stop)
+
+
+class MultilevelNoise(Waveform):
+    """Multilevel pseudo-random identification waveform.
+
+    Holds a randomly drawn level from ``[v_min, v_max]`` for a random duration
+    in ``[dwell_min, dwell_max]``, with linear transitions of ``transition``
+    seconds between levels.  This is the standard excitation for black-box I/O
+    port identification: it spans the port voltage range with a rich mix of
+    slews and dwell times so the RBF submodels see both static and dynamic
+    behaviour.
+
+    The generator is deterministic given ``seed``.
+    """
+
+    def __init__(self, v_min: float, v_max: float, duration: float,
+                 dwell_min: float = 0.5e-9, dwell_max: float = 3e-9,
+                 transition: float = 100e-12, levels: int = 0,
+                 seed: int = 0):
+        if v_max <= v_min:
+            raise WaveformError("v_max must exceed v_min")
+        if duration <= 0:
+            raise WaveformError("duration must be positive")
+        if dwell_max < dwell_min or dwell_min <= 0:
+            raise WaveformError("bad dwell range")
+        rng = np.random.default_rng(seed)
+        times = [0.0]
+        values = [v_min]
+        t = 0.0
+        prev = v_min
+        while t < duration:
+            if levels > 0:
+                grid = np.linspace(v_min, v_max, levels)
+                nxt = float(rng.choice(grid))
+            else:
+                nxt = float(rng.uniform(v_min, v_max))
+            dwell = float(rng.uniform(dwell_min, dwell_max))
+            t_edge = t + dwell
+            times += [t_edge, t_edge + transition]
+            values += [prev, nxt]
+            prev = nxt
+            t = t_edge + transition
+        self._pwl = PiecewiseLinear(times, values)
+        self.v_min = v_min
+        self.v_max = v_max
+        self.duration = duration
+
+    def __call__(self, t):
+        return self._pwl(t)
+
+    def breakpoints(self, t_stop):
+        return self._pwl.breakpoints(t_stop)
+
+
+@dataclass(frozen=True)
+class Sine(Waveform):
+    """``offset + amplitude * sin(2*pi*freq*(t - delay))`` for ``t >= delay``."""
+
+    amplitude: float = 1.0
+    freq: float = 1e9
+    offset: float = 0.0
+    delay: float = 0.0
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        out = self.offset + self.amplitude * np.sin(
+            2.0 * math.pi * self.freq * (t - self.delay))
+        return np.where(t >= self.delay, out, self.offset)
+
+
+@dataclass(frozen=True)
+class Sum(Waveform):
+    """Pointwise sum of two waveforms."""
+
+    first: Waveform = field()
+    second: Waveform = field()
+
+    def __call__(self, t):
+        return self.first(t) + self.second(t)
+
+    def breakpoints(self, t_stop):
+        return np.unique(np.concatenate([self.first.breakpoints(t_stop),
+                                         self.second.breakpoints(t_stop)]))
+
+
+@dataclass(frozen=True)
+class Scaled(Waveform):
+    """A waveform multiplied by a constant gain."""
+
+    inner: Waveform = field()
+    gain: float = 1.0
+
+    def __call__(self, t):
+        return self.gain * self.inner(t)
+
+    def breakpoints(self, t_stop):
+        return self.inner.breakpoints(t_stop)
+
+
+@dataclass(frozen=True)
+class Delayed(Waveform):
+    """A waveform shifted right in time; holds its t=0 value beforehand."""
+
+    inner: Waveform = field()
+    delay: float = 0.0
+
+    def __call__(self, t):
+        t = np.asarray(t, dtype=float)
+        return self.inner(np.maximum(t - self.delay, 0.0))
+
+    def breakpoints(self, t_stop):
+        pts = self.inner.breakpoints(max(t_stop - self.delay, 0.0)) + self.delay
+        return pts[pts <= t_stop]

@@ -1,0 +1,15 @@
+"""Transistor-level reference devices (the paper's MD1..MD4 stand-ins)."""
+
+from .catalog import (DRIVERS, MD1, MD2, MD3, MD4, RECEIVERS, get_driver,
+                      get_receiver)
+from .driver import (DriverInstance, DriverSpec, build_driver, invert_logic,
+                     logic_waveform)
+from .receiver import ReceiverInstance, ReceiverSpec, build_receiver
+
+__all__ = [
+    "DriverSpec", "DriverInstance", "build_driver", "logic_waveform",
+    "invert_logic",
+    "ReceiverSpec", "ReceiverInstance", "build_receiver",
+    "MD1", "MD2", "MD3", "MD4", "DRIVERS", "RECEIVERS",
+    "get_driver", "get_receiver",
+]

@@ -1,0 +1,176 @@
+"""Transistor-level CMOS output buffer (driver) reference devices.
+
+These play the role of the vendor/IBM transistor-level models in the paper:
+the macromodeling flow treats them as black boxes observed at the output pad.
+
+Topology (classic pad driver):
+
+    logic in -> predriver inverter chain (tapered) -> final inverter -> pad
+                                                         |-> Rout -> out
+    gate/Miller capacitances at every internal node, diffusion cap at the pad
+
+The predriver chain shapes realistic (finite, state-dependent) switching
+edges; the final stage gives the strongly nonlinear output I-V that IBIS
+tables capture only statically and the PW-RBF model captures dynamically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..circuit import (Capacitor, Circuit, Diode, DiodeParams, MOSFET,
+                       MOSParams, Resistor, VoltageSource, scale_corner)
+from ..circuit.waveforms import BitPattern, Constant, Scaled, Sum, Waveform
+from ..errors import CircuitError
+
+__all__ = ["DriverSpec", "DriverInstance", "build_driver",
+           "logic_waveform"]
+
+
+@dataclass(frozen=True)
+class DriverSpec:
+    """Electrical description of a CMOS driver reference device.
+
+    ``nmos``/``pmos`` are the final-stage transistors; predriver stages are
+    scaled copies (``pre_scale`` fractions of the final width).  ``cg_stage``
+    is the total gate capacitance of the final stage (split between the
+    internal node and a Miller feedback cap), ``c_pad`` the output diffusion +
+    pad capacitance, ``r_out`` the series metal/package resistance and
+    ``input_transition`` the nominal edge rate of the core-side logic signal.
+    """
+
+    name: str
+    vdd: float
+    nmos: MOSParams
+    pmos: MOSParams
+    pre_scale: tuple[float, ...] = (0.06, 0.18, 0.45)
+    n_fingers: int = 4
+    esd_diodes: bool = True
+    r_esd: float = 3.0  # series resistance of each pad protection branch
+    cg_stage: float = 400e-15
+    c_pad: float = 1.2e-12
+    r_out: float = 2.0
+    input_transition: float = 150e-12
+
+    @property
+    def inversions(self) -> int:
+        """Logic inversions from the input source to the pad."""
+        return len(self.pre_scale) + 1
+
+    def corner(self, which: str) -> "DriverSpec":
+        """Return the slow/typ/fast process corner variant."""
+        return replace(self, nmos=scale_corner(self.nmos, which),
+                       pmos=scale_corner(self.pmos, which))
+
+
+def logic_waveform(spec: DriverSpec, pattern: str, bit_time: float,
+                   delay: float = 0.0,
+                   transition: float | None = None) -> Waveform:
+    """Build the core-side logic waveform so the *pad* follows ``pattern``.
+
+    Compensates for the inversion parity of the buffer chain.
+    """
+    transition = spec.input_transition if transition is None else transition
+    if spec.inversions % 2 == 1:
+        pattern = "".join("1" if b == "0" else "0" for b in pattern)
+    return BitPattern(pattern, bit_time=bit_time, v_low=0.0, v_high=spec.vdd,
+                      transition=transition, delay=delay)
+
+
+def invert_logic(spec: DriverSpec, wave: Waveform) -> Waveform:
+    """Invert an arbitrary logic waveform around the supply midpoint."""
+    return Sum(Constant(spec.vdd), Scaled(wave, -1.0))
+
+
+@dataclass
+class DriverInstance:
+    """Handle to an instantiated driver: node names and live elements."""
+
+    spec: DriverSpec
+    name: str
+    out: str
+    pad: str
+    vdd_node: str
+    input_source: VoltageSource
+    elements: list = field(default_factory=list)
+
+    def set_input(self, wave: Waveform) -> None:
+        """Replace the core-side logic waveform (same inversion rules as
+        :func:`logic_waveform` apply -- use it to build ``wave``)."""
+        self.input_source.waveform = wave
+
+    def drive_pattern(self, pattern: str, bit_time: float,
+                      delay: float = 0.0) -> None:
+        """Make the pad follow ``pattern`` (handles chain inversion parity)."""
+        self.set_input(logic_waveform(self.spec, pattern, bit_time,
+                                      delay=delay))
+
+
+def build_driver(ckt: Circuit, spec: DriverSpec, name: str, out: str,
+                 corner: str = "typ", initial_state: str = "0",
+                 own_rail: bool = True, vdd_node: str | None = None
+                 ) -> DriverInstance:
+    """Instantiate the transistor-level driver into ``ckt``.
+
+    ``out`` is the external pad node.  The logic input source starts at the
+    constant level that parks the pad at ``initial_state``; call
+    :meth:`DriverInstance.drive_pattern` to attach the stimulus.
+    """
+    if initial_state not in ("0", "1"):
+        raise CircuitError("initial_state must be '0' or '1'")
+    sp = spec.corner(corner)
+    vdd = vdd_node or f"{name}_vdd"
+    els: list = []
+    if own_rail:
+        els.append(ckt.add(VoltageSource(f"{name}_vdd", vdd, "0",
+                                         Constant(sp.vdd))))
+
+    level = logic_waveform(sp, initial_state, bit_time=1e-9)
+    vin = ckt.add(VoltageSource(f"{name}_vin", f"{name}_in", "0",
+                                Constant(float(level(0.0)))))
+    els.append(vin)
+
+    # Predriver chain: tapered inverters, each loaded by the next gate.
+    stages = [*sp.pre_scale, 1.0]
+    node_in = f"{name}_in"
+    for i, scale in enumerate(stages):
+        last = i == len(stages) - 1
+        node_out = f"{name}_pad" if last else f"{name}_g{i + 1}"
+        # the final stage is laid out as parallel fingers, like real pad
+        # drivers (electrically equivalent, structurally faithful)
+        fingers = sp.n_fingers if last else 1
+        nmos = replace(sp.nmos, w=sp.nmos.w * scale / fingers)
+        pmos = replace(sp.pmos, w=sp.pmos.w * scale / fingers)
+        for fg in range(fingers):
+            suffix = f"{i}" if fingers == 1 else f"{i}f{fg}"
+            els.append(ckt.add(MOSFET(f"{name}_mp{suffix}", node_out, node_in,
+                                      vdd, pmos, polarity="p")))
+            els.append(ckt.add(MOSFET(f"{name}_mn{suffix}", node_out, node_in,
+                                      "0", nmos, polarity="n")))
+        # gate capacitance of this stage at its input node
+        cg = max(sp.cg_stage * scale, 1e-18)
+        els.append(ckt.add(Capacitor(f"{name}_cg{i}", node_in, "0", cg)))
+        # Miller feedback capacitance (gate-drain overlap), ~25% of cg
+        els.append(ckt.add(Capacitor(f"{name}_cm{i}", node_in, node_out,
+                                     0.25 * cg)))
+        node_in = node_out
+
+    pad = f"{name}_pad"
+    els.append(ckt.add(Capacitor(f"{name}_cpad", pad, "0", sp.c_pad)))
+    if sp.esd_diodes:
+        dp = DiodeParams(isat=6e-13, n=1.1, cj0=0.6e-12)
+        els.append(ckt.add(Resistor(f"{name}_rup", pad, f"{name}_upx",
+                                    sp.r_esd)))
+        els.append(ckt.add(Diode(f"{name}_dup", f"{name}_upx", vdd, dp)))
+        els.append(ckt.add(Diode(f"{name}_ddn", "0", f"{name}_dnx", dp)))
+        els.append(ckt.add(Resistor(f"{name}_rdn", f"{name}_dnx", pad,
+                                    sp.r_esd)))
+    els.append(ckt.add(Resistor(f"{name}_rout", pad, out, sp.r_out)))
+    # small pad-side load at the external node keeps it well-defined even
+    # when the testbench leaves it lightly loaded
+    els.append(ckt.add(Capacitor(f"{name}_cout", out, "0", 0.2e-12)))
+
+    return DriverInstance(spec=sp, name=name, out=out, pad=pad,
+                          vdd_node=vdd, input_source=vin, elements=els)

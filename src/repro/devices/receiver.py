@@ -1,0 +1,81 @@
+"""Transistor-level CMOS input port (receiver) reference device.
+
+Receivers in the paper (Section 3) show "a mainly linear capacitive behavior"
+inside the supply range and strongly nonlinear behavior outside it, where the
+ESD protection circuits conduct.  The reference device reproduces exactly
+that structure:
+
+    pad --+-- C_pad to ground
+          +-- D_up   (pad -> vdd rail)          } protection clamps with
+          +-- D_down (ground -> pad)            } junction capacitance
+          +-- R_in -- gate node -- C_gate       } the (linear) input path
+          +-- R_leak to ground (sub-uA leakage)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuit import (Capacitor, Circuit, Diode, DiodeParams, Resistor,
+                       VoltageSource)
+from ..circuit.waveforms import Constant
+
+__all__ = ["ReceiverSpec", "ReceiverInstance", "build_receiver"]
+
+
+@dataclass(frozen=True)
+class ReceiverSpec:
+    """Electrical description of a CMOS receiver input port.
+
+    ``c_pad``/``c_gate``: pad and gate-oxide capacitance; ``r_in``: series
+    resistance into the gate; ``r_leak``: input leakage; ``d_up``/``d_down``:
+    protection diode model cards (sized wide: ESD devices).
+    """
+
+    name: str
+    vdd: float
+    c_pad: float = 0.8e-12
+    c_gate: float = 1.2e-12
+    r_in: float = 4.0
+    r_leak: float = 250e3
+    r_esd: float = 3.0  # series resistance of each protection branch
+    d_up: DiodeParams = field(default_factory=lambda: DiodeParams(
+        isat=4e-13, n=1.1, cj0=0.9e-12))
+    d_down: DiodeParams = field(default_factory=lambda: DiodeParams(
+        isat=4e-13, n=1.1, cj0=0.9e-12))
+
+
+@dataclass
+class ReceiverInstance:
+    """Handle to an instantiated receiver."""
+
+    spec: ReceiverSpec
+    name: str
+    pad: str
+    vdd_node: str
+    elements: list = field(default_factory=list)
+
+
+def build_receiver(ckt: Circuit, spec: ReceiverSpec, name: str, pad: str,
+                   own_rail: bool = True,
+                   vdd_node: str | None = None) -> ReceiverInstance:
+    """Instantiate the receiver; ``pad`` is the external input node."""
+    vdd = vdd_node or f"{name}_vdd"
+    els: list = []
+    if own_rail:
+        els.append(ckt.add(VoltageSource(f"{name}_vdd", vdd, "0",
+                                         Constant(spec.vdd))))
+    els.append(ckt.add(Capacitor(f"{name}_cpad", pad, "0", spec.c_pad)))
+    # protection branches: series resistance limits the clamp current to the
+    # ~100 mA class of real ESD structures
+    up_x, dn_x = f"{name}_upx", f"{name}_dnx"
+    els.append(ckt.add(Resistor(f"{name}_rup", pad, up_x, spec.r_esd)))
+    els.append(ckt.add(Diode(f"{name}_dup", up_x, vdd, spec.d_up)))
+    els.append(ckt.add(Diode(f"{name}_ddn", "0", dn_x, spec.d_down)))
+    els.append(ckt.add(Resistor(f"{name}_rdn", dn_x, pad, spec.r_esd)))
+    gate = f"{name}_gate"
+    els.append(ckt.add(Resistor(f"{name}_rin", pad, gate, spec.r_in)))
+    els.append(ckt.add(Capacitor(f"{name}_cgate", gate, "0", spec.c_gate)))
+    els.append(ckt.add(Resistor(f"{name}_rleak", pad, "0", spec.r_leak)))
+    return ReceiverInstance(spec=spec, name=name, pad=pad, vdd_node=vdd,
+                            elements=els)

@@ -1,0 +1,7 @@
+"""EMC/SI accuracy metrics."""
+
+from .metrics import (TimingReport, match_crossings, max_error, nrmse,
+                      rms_error, threshold_crossings, timing_error)
+
+__all__ = ["rms_error", "max_error", "nrmse", "threshold_crossings",
+           "match_crossings", "timing_error", "TimingReport"]

@@ -1,0 +1,131 @@
+"""Waveform accuracy metrics (paper Section 5).
+
+The paper quantifies model quality as "the maximum delay between the
+reference and the model responses measured at the crossing of a suitable
+voltage threshold" plus qualitative overlap of the waveforms.  This module
+implements that timing-error metric with robust crossing pairing, along with
+standard amplitude-error measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = ["rms_error", "max_error", "nrmse", "threshold_crossings",
+           "match_crossings", "timing_error", "TimingReport"]
+
+
+def _check(a, b):
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ExperimentError("waveforms must be equal-length 1-D arrays")
+    return a, b
+
+
+def rms_error(test, reference) -> float:
+    """Root-mean-square difference between two aligned waveforms."""
+    a, b = _check(test, reference)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def max_error(test, reference) -> float:
+    """Maximum absolute difference."""
+    a, b = _check(test, reference)
+    return float(np.max(np.abs(a - b)))
+
+
+def nrmse(test, reference) -> float:
+    """RMS error normalized by the reference peak-to-peak swing."""
+    a, b = _check(test, reference)
+    swing = float(np.max(b) - np.min(b))
+    if swing <= 0.0:
+        raise ExperimentError("reference waveform has no swing")
+    return rms_error(a, b) / swing
+
+
+def threshold_crossings(t, v, threshold: float,
+                        direction: str = "both") -> np.ndarray:
+    """Interpolated instants where ``v`` crosses ``threshold``.
+
+    ``direction``: ``"rising"``, ``"falling"`` or ``"both"``.
+    """
+    t = np.asarray(t, dtype=float)
+    v = np.asarray(v, dtype=float)
+    if direction not in ("rising", "falling", "both"):
+        raise ExperimentError("direction must be rising/falling/both")
+    below = v[:-1] < threshold
+    above = v[1:] >= threshold
+    rising = np.flatnonzero(below & above)
+    falling = np.flatnonzero(~below & ~above & (v[:-1] >= threshold)
+                             & (v[1:] < threshold))
+    if direction == "rising":
+        idx = rising
+    elif direction == "falling":
+        idx = falling
+    else:
+        idx = np.sort(np.concatenate([rising, falling]))
+    out = []
+    for k in idx:
+        dv = v[k + 1] - v[k]
+        frac = 0.5 if dv == 0.0 else (threshold - v[k]) / dv
+        out.append(t[k] + frac * (t[k + 1] - t[k]))
+    return np.asarray(out)
+
+
+def match_crossings(t_ref: np.ndarray, t_test: np.ndarray,
+                    window: float) -> list[tuple[float, float]]:
+    """Greedily pair reference and test crossings within ``window`` seconds.
+
+    Unpaired crossings (spurious ringing through the threshold, or missed
+    edges) are dropped -- the timing metric speaks only about edges both
+    waveforms produce; the count mismatch is reported separately.
+    """
+    pairs = []
+    used = np.zeros(len(t_test), dtype=bool)
+    for tr in np.asarray(t_ref, dtype=float):
+        if len(t_test) == 0:
+            break
+        d = np.abs(np.asarray(t_test) - tr)
+        d[used] = np.inf
+        j = int(np.argmin(d))
+        if d[j] <= window:
+            pairs.append((float(tr), float(t_test[j])))
+            used[j] = True
+    return pairs
+
+
+@dataclass
+class TimingReport:
+    """Result of :func:`timing_error`."""
+
+    max_delay: float
+    mean_delay: float
+    n_matched: int
+    n_ref: int
+    n_test: int
+    pairs: list
+
+    def __str__(self):  # pragma: no cover - cosmetic
+        return (f"timing error: max {self.max_delay * 1e12:.1f} ps, "
+                f"mean {self.mean_delay * 1e12:.1f} ps over "
+                f"{self.n_matched}/{self.n_ref} edges")
+
+
+def timing_error(t, v_test, v_reference, threshold: float,
+                 window: float = 2e-9) -> TimingReport:
+    """Paper Section 5 metric: max delay between matched threshold crossings."""
+    t = np.asarray(t, dtype=float)
+    c_ref = threshold_crossings(t, v_reference, threshold)
+    c_test = threshold_crossings(t, v_test, threshold)
+    pairs = match_crossings(c_ref, c_test, window)
+    if not pairs:
+        return TimingReport(np.inf if len(c_ref) else 0.0, np.nan, 0,
+                            len(c_ref), len(c_test), [])
+    delays = np.array([abs(a - b) for a, b in pairs])
+    return TimingReport(float(delays.max()), float(delays.mean()),
+                        len(pairs), len(c_ref), len(c_test), pairs)

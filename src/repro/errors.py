@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so user code
+can catch library failures with a single ``except`` clause while still being
+able to discriminate between simulator, estimation and I/O problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the library."""
+
+
+class CircuitError(ReproError):
+    """Malformed circuit description (bad nodes, duplicate names, missing refs)."""
+
+
+class StampError(CircuitError):
+    """An element produced inconsistent MNA stamps."""
+
+
+class ConvergenceError(ReproError):
+    """Newton-Raphson (DC or transient) failed to converge."""
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None, time: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+        self.time = time
+
+
+class SingularMatrixError(ReproError):
+    """The MNA system matrix is singular (floating node, V-source loop...)."""
+
+
+class WaveformError(ReproError):
+    """Invalid waveform specification (non-monotonic PWL, bad pulse timing...)."""
+
+
+class EstimationError(ReproError):
+    """Model estimation failed (rank-deficient regression, empty data...)."""
+
+
+class ModelError(ReproError):
+    """A behavioral model was used inconsistently (wrong order, missing state)."""
+
+
+class NetlistSyntaxError(ReproError):
+    """The SPICE-like netlist text could not be parsed."""
+
+    def __init__(self, message: str, *, line_no: int | None = None,
+                 line: str | None = None):
+        loc = f" (line {line_no}: {line!r})" if line_no is not None else ""
+        super().__init__(message + loc)
+        self.line_no = line_no
+        self.line = line
+
+
+class ExpressionError(ReproError):
+    """A behavioral-source expression failed to parse or evaluate."""
+
+
+class IbisError(ReproError):
+    """IBIS table/extraction/parsing problem."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

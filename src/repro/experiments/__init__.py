@@ -1,0 +1,6 @@
+"""Experiment drivers: one module per paper figure/table (see DESIGN.md)."""
+
+from . import cache, setups
+from .result import ExperimentResult
+
+__all__ = ["cache", "setups", "ExperimentResult"]

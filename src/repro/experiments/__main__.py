@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.experiments <experiment>``."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

@@ -1,0 +1,50 @@
+"""Tiny terminal plotting for experiment output (no matplotlib offline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(series: dict, width: int = 78, height: int = 18) -> str:
+    """Render ``{label: (t, v)}`` waveforms on a character canvas.
+
+    Time is scaled to nanoseconds for the axis annotations.
+    """
+    if not series:
+        return "(no data)"
+    t_min = min(float(t.min()) for t, _ in series.values())
+    t_max = max(float(t.max()) for t, _ in series.values())
+    v_min = min(float(v.min()) for _, v in series.values())
+    v_max = max(float(v.max()) for _, v in series.values())
+    if v_max == v_min:
+        v_max = v_min + 1.0
+    if t_max == t_min:
+        t_max = t_min + 1.0
+    pad = 0.05 * (v_max - v_min)
+    v_min -= pad
+    v_max += pad
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (label, (t, v)) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        cols = ((t - t_min) / (t_max - t_min) * (width - 1)).astype(int)
+        rows = ((v_max - v) / (v_max - v_min) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            if 0 <= r < height and 0 <= c < width:
+                canvas[r][c] = marker
+
+    lines = []
+    for r, row in enumerate(canvas):
+        v_axis = v_max - (v_max - v_min) * r / (height - 1)
+        lines.append(f"{v_axis:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9s} {t_min * 1e9:<12.3f}{'t [ns]':^{max(width - 24, 6)}}"
+                 f"{t_max * 1e9:>12.3f}")
+    legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]}={lbl}"
+                       for i, lbl in enumerate(series))
+    lines.append("  " + legend)
+    return "\n".join(lines)

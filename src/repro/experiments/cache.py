@@ -1,0 +1,58 @@
+"""Process-wide cache of estimated models and IBIS extractions.
+
+Model estimation costs seconds; every figure and benchmark that needs the
+MD1 PW-RBF model (say) should estimate it exactly once per process.
+"""
+
+from __future__ import annotations
+
+from ..devices import get_driver, get_receiver
+from ..ibis import IbisModel, extract_ibis
+from ..models import (estimate_cv_receiver, estimate_driver_model,
+                      estimate_receiver_model)
+from .setups import MODEL_SETTINGS, TS
+
+__all__ = ["driver_model", "receiver_model", "cv_receiver_model",
+           "ibis_model", "clear"]
+
+_cache: dict = {}
+
+
+def clear() -> None:
+    """Drop every cached model (mostly for tests)."""
+    _cache.clear()
+
+
+def driver_model(name: str, corner: str = "typ"):
+    """Estimated PW-RBF model of a catalog driver (cached)."""
+    key = ("driver", name, corner)
+    if key not in _cache:
+        settings = MODEL_SETTINGS[name]
+        _cache[key] = estimate_driver_model(
+            get_driver(name), ts=TS, corner=corner, **settings)
+    return _cache[key]
+
+
+def receiver_model(name: str = "MD4"):
+    """Estimated parametric receiver model (cached)."""
+    key = ("receiver", name)
+    if key not in _cache:
+        _cache[key] = estimate_receiver_model(get_receiver(name), ts=TS,
+                                              **MODEL_SETTINGS[name])
+    return _cache[key]
+
+
+def cv_receiver_model(name: str = "MD4"):
+    """Extracted C-V strawman receiver model (cached)."""
+    key = ("cv", name)
+    if key not in _cache:
+        _cache[key] = estimate_cv_receiver(get_receiver(name), ts=TS)
+    return _cache[key]
+
+
+def ibis_model(name: str = "MD1") -> IbisModel:
+    """Extracted slow/typ/fast IBIS model of a catalog driver (cached)."""
+    key = ("ibis", name)
+    if key not in _cache:
+        _cache[key] = extract_ibis(get_driver(name))
+    return _cache[key]

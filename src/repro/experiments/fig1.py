@@ -1,0 +1,84 @@
+"""Figure 1 -- Example 1: MD1 on an ideal line vs IBIS corners.
+
+Near-end voltage of an ideal transmission line driven by the MD1
+(74LVC244-class) driver and loaded by a capacitor, for a Low-to-High
+transition (bit pattern "01").  Compared models: transistor-level reference,
+PW-RBF macromodel, and slow/typ/fast IBIS models.
+
+Paper's message: the PW-RBF response overlays the reference; the IBIS corner
+fan brackets but misses it.
+"""
+
+from __future__ import annotations
+
+from ..circuit import (Capacitor, Circuit, IdealLine, TransientOptions,
+                       run_transient)
+from ..devices import MD1, build_driver
+from ..emc import nrmse, timing_error
+from ..ibis import IbisDriverElement
+from ..models import PWRBFDriverElement
+from . import cache
+from .result import ExperimentResult
+from .setups import FIG1, TS
+
+__all__ = ["run"]
+
+
+def _attach_line(ckt: Circuit, setup) -> None:
+    ckt.add(IdealLine("tline", "out", "fe", setup.z0, setup.td))
+    ckt.add(Capacitor("cload", "fe", "0", setup.c_load))
+
+
+def _simulate(build_driver_into, setup, ic: str) -> "TransientResult":
+    ckt = Circuit("fig1")
+    build_driver_into(ckt)
+    _attach_line(ckt, setup)
+    return run_transient(ckt, TransientOptions(dt=TS, t_stop=setup.t_stop,
+                                               method="damped", ic=ic))
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Figure 1.  ``fast`` trims nothing here (already short)."""
+    setup = FIG1
+    result = ExperimentResult(
+        "fig1", "MD1 near-end voltage: reference vs PW-RBF vs IBIS corners")
+
+    def ref_driver(ckt):
+        drv = build_driver(ckt, MD1, "dut", "out",
+                           initial_state=setup.pattern[0])
+        drv.drive_pattern(setup.pattern, setup.bit_time)
+
+    res_ref = _simulate(ref_driver, setup, ic="dcop")
+    result.add_series("reference", res_ref.t, res_ref.v("out"))
+
+    model = cache.driver_model("MD1")
+    res_mm = _simulate(
+        lambda ckt: ckt.add(PWRBFDriverElement.for_pattern(
+            "dut", "out", model, setup.pattern, setup.bit_time,
+            setup.t_stop)),
+        setup, ic="dcop")
+    result.add_series("pw-rbf", res_mm.t, res_mm.v("out"))
+
+    ibis = cache.ibis_model("MD1")
+    for corner in ("slow", "typ", "fast"):
+        res_ib = _simulate(
+            lambda ckt, c=corner: ckt.add(IbisDriverElement.for_pattern(
+                "dut", "out", ibis.corner(c), setup.pattern,
+                setup.bit_time)),
+            setup, ic="dcop")
+        result.add_series(f"ibis-{corner}", res_ib.t, res_ib.v("out"))
+
+    v_ref = result.series["reference"][1]
+    thr = 0.5 * MD1.vdd
+    rep = timing_error(res_ref.t, result.series["pw-rbf"][1], v_ref, thr)
+    result.metrics["pwrbf_nrmse"] = nrmse(result.series["pw-rbf"][1], v_ref)
+    result.metrics["pwrbf_timing_ps"] = rep.max_delay * 1e12
+    for corner in ("slow", "typ", "fast"):
+        result.metrics[f"ibis_{corner}_nrmse"] = nrmse(
+            result.series[f"ibis-{corner}"][1], v_ref)
+    rep_ib = timing_error(res_ref.t, result.series["ibis-typ"][1], v_ref, thr)
+    result.metrics["ibis_typ_timing_ps"] = rep_ib.max_delay * 1e12
+    result.notes.append(
+        "success criterion: pwrbf_nrmse << ibis_typ_nrmse and the IBIS "
+        "corner fan brackets the reference")
+    return result

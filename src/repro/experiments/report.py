@@ -1,0 +1,49 @@
+"""Section 5 -- aggregate accuracy & efficiency report.
+
+Collects the paper's headline quantities across all validation experiments:
+timing errors at threshold crossings (paper: < 20 ps, typically ~5 ps at
+Ts = 25 ps), model estimation CPU cost (paper: "some ten seconds"), and the
+simulation speedup (Table 1).
+"""
+
+from __future__ import annotations
+
+from . import cache, fig1, fig2, fig4, fig5, fig6, table1
+from .result import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Run every experiment and aggregate the Section 5 metrics."""
+    result = ExperimentResult(
+        "report", "Section 5 aggregate: accuracy and efficiency")
+    r1 = fig1.run(fast)
+    r2 = fig2.run(fast)
+    r4 = fig4.run(fast)
+    r5 = fig5.run(fast)
+    r6 = fig6.run(fast)
+    rt = table1.run(fast)
+
+    timing = [r1.metrics["pwrbf_timing_ps"]]
+    timing += [v for k, v in r2.metrics.items() if k.endswith("timing_ps")]
+    timing.append(r4.metrics["v21_timing_ps"])
+    result.metrics["max_timing_error_ps"] = max(timing)
+    result.metrics["mean_timing_error_ps"] = sum(timing) / len(timing)
+
+    est_cost = []
+    for name in ("MD1", "MD2", "MD3"):
+        est_cost.append(
+            cache.driver_model(name).meta["estimation_seconds"])
+    est_cost.append(cache.receiver_model().meta["estimation_seconds"])
+    result.metrics["max_estimation_seconds"] = max(est_cost)
+
+    result.metrics["table1_speedup"] = rt.metrics["speedup"]
+    result.metrics["fig1_pwrbf_nrmse"] = r1.metrics["pwrbf_nrmse"]
+    result.metrics["fig1_ibis_typ_nrmse"] = r1.metrics["ibis_typ_nrmse"]
+    result.metrics["fig5_parametric_vs_cv"] = (
+        r5.metrics["parametric_nrmse_edge"] / r5.metrics["cv_nrmse_edge"])
+    result.notes.append(
+        "paper claims: timing error < 20 ps (typ ~5 ps), estimation ~10 s, "
+        "simulation > 20x faster than transistor level")
+    return result

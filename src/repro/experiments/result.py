@@ -1,0 +1,62 @@
+"""Experiment result container + CSV export + terminal rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .asciiplot import ascii_plot
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Waveform series + metrics produced by one experiment driver.
+
+    ``series``: mapping label -> (t, values); ``metrics``: scalar results
+    (timing errors, NRMSE, CPU times...); ``notes``: free-text provenance.
+    """
+
+    name: str
+    title: str
+    series: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+
+    def add_series(self, label: str, t, values) -> None:
+        self.series[label] = (np.asarray(t, dtype=float),
+                              np.asarray(values, dtype=float))
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write all series on a common time axis (union grid, interpolated)."""
+        if not self.series:
+            raise ValueError("no series to export")
+        grids = [t for t, _ in self.series.values()]
+        t_common = grids[0]
+        for g in grids[1:]:
+            if len(g) > len(t_common):
+                t_common = g
+        labels = list(self.series)
+        cols = [t_common]
+        for lbl in labels:
+            t, v = self.series[lbl]
+            cols.append(np.interp(t_common, t, v))
+        header = ",".join(["t"] + labels)
+        np.savetxt(path, np.column_stack(cols), delimiter=",",
+                   header=header, comments="")
+
+    def render(self, width: int = 78, height: int = 18) -> str:
+        """Terminal rendering: plot + metric lines."""
+        out = [f"== {self.name}: {self.title} =="]
+        out.append(ascii_plot(self.series, width=width, height=height))
+        for key, val in self.metrics.items():
+            if isinstance(val, float):
+                out.append(f"  {key}: {val:.6g}")
+            else:
+                out.append(f"  {key}: {val}")
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)

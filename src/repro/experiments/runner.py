@@ -1,0 +1,70 @@
+"""Experiment registry and command-line entry point.
+
+Usage::
+
+    python -m repro.experiments <experiment> [--fast] [--outdir DIR]
+    python -m repro.experiments all --fast
+
+Each experiment prints an ASCII rendering of its waveforms plus the metric
+table, and optionally exports CSV series for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import ExperimentError
+from . import fig1, fig2, fig4, fig5, fig6, report, table1
+
+__all__ = ["REGISTRY", "run_experiment", "main"]
+
+REGISTRY = {
+    "fig1": (fig1.run, "Example 1: MD1 vs IBIS corners (near-end voltage)"),
+    "fig2": (fig2.run, "Example 2: MD2 pulse into three ideal lines"),
+    "fig4": (fig4.run, "Example 3: coupled MCM structure, crosstalk"),
+    "fig5": (fig5.run, "Example 4: receiver input current"),
+    "fig6": (fig6.run, "Example 4: lossy line into the receiver"),
+    "table1": (table1.run, "CPU time comparison on the Fig. 3 testbed"),
+    "report": (report.run, "Section 5 aggregate accuracy/efficiency report"),
+}
+
+
+def run_experiment(name: str, fast: bool = False):
+    """Run one registered experiment by id."""
+    if name not in REGISTRY:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {sorted(REGISTRY)}")
+    fn, _ = REGISTRY[name]
+    return fn(fast=fast)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures and tables.")
+    parser.add_argument("experiment",
+                        choices=[*REGISTRY, "all"],
+                        help="experiment id (or 'all')")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced patterns/panels for quick checks")
+    parser.add_argument("--outdir", type=Path, default=None,
+                        help="directory for CSV exports")
+    args = parser.parse_args(argv)
+
+    names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name, fast=args.fast)
+        print(result.render())
+        print()
+        if args.outdir is not None:
+            args.outdir.mkdir(parents=True, exist_ok=True)
+            csv_path = args.outdir / f"{name}.csv"
+            result.to_csv(csv_path)
+            print(f"  series written to {csv_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

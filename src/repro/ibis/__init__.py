@@ -1,0 +1,14 @@
+"""IBIS baseline: extraction, behavioral element, file I/O (paper Example 1)."""
+
+from .element import IbisDriverElement
+from .extract import extract_corner, extract_ibis
+from .fileio import (format_ibis_number, parse_ibis, parse_ibis_number,
+                     write_ibis)
+from .tables import CORNERS, IVTable, IbisCorner, IbisModel, Ramp
+
+__all__ = [
+    "IVTable", "Ramp", "IbisCorner", "IbisModel", "CORNERS",
+    "extract_ibis", "extract_corner",
+    "IbisDriverElement",
+    "write_ibis", "parse_ibis", "format_ibis_number", "parse_ibis_number",
+]

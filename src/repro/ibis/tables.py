@@ -1,0 +1,125 @@
+"""IBIS data structures: I-V tables, ramp rates, corner sets.
+
+Internal convention: every I-V table stores the current flowing INTO the pad
+as a function of the *pad voltage*, with the stage fully on.  The writer and
+parser convert to/from the IBIS specification conventions ([Pullup] and
+[Power Clamp] tables are referenced to ``Vcc - Vpad`` in the standard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import IbisError
+
+__all__ = ["IVTable", "Ramp", "IbisCorner", "IbisModel", "CORNERS"]
+
+CORNERS = ("typ", "slow", "fast")
+
+
+@dataclass
+class IVTable:
+    """Sampled I-V characteristic with linear interpolation.
+
+    Beyond the table ends the current is extended with the end slope
+    (matching how simulators treat IBIS tables).
+    """
+
+    v: np.ndarray
+    i: np.ndarray
+
+    def __post_init__(self):
+        self.v = np.asarray(self.v, dtype=float)
+        self.i = np.asarray(self.i, dtype=float)
+        if self.v.ndim != 1 or self.v.shape != self.i.shape:
+            raise IbisError("v and i must be equal-length 1-D arrays")
+        if self.v.size < 2:
+            raise IbisError("an I-V table needs at least two points")
+        if np.any(np.diff(self.v) <= 0):
+            raise IbisError("table voltages must be strictly increasing")
+
+    def current(self, v) -> np.ndarray:
+        v_arr = np.asarray(v, dtype=float)
+        out = np.interp(v_arr, self.v, self.i)
+        lo_slope = (self.i[1] - self.i[0]) / (self.v[1] - self.v[0])
+        hi_slope = (self.i[-1] - self.i[-2]) / (self.v[-1] - self.v[-2])
+        out = np.where(v_arr < self.v[0],
+                       self.i[0] + lo_slope * (v_arr - self.v[0]), out)
+        out = np.where(v_arr > self.v[-1],
+                       self.i[-1] + hi_slope * (v_arr - self.v[-1]), out)
+        return out if out.ndim else float(out)
+
+    def conductance(self, v: float) -> float:
+        """Table slope at ``v`` (for Newton stamps)."""
+        k = int(np.searchsorted(self.v, v))
+        k = min(max(k, 1), self.v.size - 1)
+        return float((self.i[k] - self.i[k - 1]) / (self.v[k] - self.v[k - 1]))
+
+    @classmethod
+    def zero(cls, v_min: float, v_max: float) -> "IVTable":
+        return cls(np.array([v_min, v_max]), np.zeros(2))
+
+
+@dataclass(frozen=True)
+class Ramp:
+    """IBIS [Ramp]: 20-80% output slew rates into the ramp fixture (V/s)."""
+
+    dv_dt_rise: float
+    dv_dt_fall: float
+    r_fixture: float = 50.0
+
+    def __post_init__(self):
+        if self.dv_dt_rise <= 0 or self.dv_dt_fall <= 0:
+            raise IbisError("ramp rates must be positive")
+
+    def rise_time(self, swing: float) -> float:
+        """Full-swing switching duration implied by the 20-80% rate.
+
+        For a linear 0->1 switching coefficient, the 20-80% portion covers
+        60% of the swing in 60% of the total time, so the full duration is
+        simply ``swing / dv_dt``.
+        """
+        return swing / self.dv_dt_rise
+
+    def fall_time(self, swing: float) -> float:
+        return swing / self.dv_dt_fall
+
+
+@dataclass
+class IbisCorner:
+    """One process corner of an IBIS buffer description."""
+
+    pullup: IVTable
+    pulldown: IVTable
+    power_clamp: IVTable
+    gnd_clamp: IVTable
+    ramp: Ramp
+    c_comp: float
+    vdd: float
+
+    def static_current(self, v: float, k_pu: float, k_pd: float) -> float:
+        """Pad current with the stages scaled by the switching coefficients."""
+        return (k_pu * float(self.pullup.current(v))
+                + k_pd * float(self.pulldown.current(v))
+                + float(self.power_clamp.current(v))
+                + float(self.gnd_clamp.current(v)))
+
+
+@dataclass
+class IbisModel:
+    """Three-corner IBIS buffer model (typ/slow/fast), paper Example 1."""
+
+    name: str
+    corners: dict = field(default_factory=dict)
+
+    def corner(self, which: str) -> IbisCorner:
+        if which not in self.corners:
+            raise IbisError(
+                f"corner {which!r} not present; have {sorted(self.corners)}")
+        return self.corners[which]
+
+    @property
+    def vdd(self) -> float:
+        return self.corner("typ").vdd

@@ -1,0 +1,98 @@
+"""Port waveform records used for model estimation and validation.
+
+A :class:`PortRecord` is the uniformly sampled pair ``(v(k), i(k))`` of port
+voltage and current -- what the paper calls *identification signals* when used
+for estimation.  Current is always the current flowing INTO the device port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import EstimationError
+
+__all__ = ["PortRecord"]
+
+
+@dataclass
+class PortRecord:
+    """Uniformly sampled port voltage/current waveforms.
+
+    ``ts``: sampling time (s); ``v``/``i``: equal-length arrays; ``meta``:
+    free-form provenance (device, load, excitation, corner...).
+    """
+
+    v: np.ndarray
+    i: np.ndarray
+    ts: float
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.v = np.asarray(self.v, dtype=float)
+        self.i = np.asarray(self.i, dtype=float)
+        if self.v.ndim != 1 or self.v.shape != self.i.shape:
+            raise EstimationError("v and i must be equal-length 1-D arrays")
+        if self.ts <= 0.0:
+            raise EstimationError("ts must be positive")
+
+    def __len__(self) -> int:
+        return self.v.size
+
+    @property
+    def t(self) -> np.ndarray:
+        """Time axis."""
+        return self.ts * np.arange(self.v.size)
+
+    @property
+    def duration(self) -> float:
+        return self.ts * (self.v.size - 1)
+
+    def slice(self, t_start: float, t_stop: float) -> "PortRecord":
+        """Sub-record covering ``[t_start, t_stop]`` (inclusive ends)."""
+        k0 = max(int(np.ceil(t_start / self.ts - 1e-9)), 0)
+        k1 = min(int(np.floor(t_stop / self.ts + 1e-9)), self.v.size - 1)
+        if k1 <= k0:
+            raise EstimationError("empty slice window")
+        return PortRecord(self.v[k0:k1 + 1].copy(), self.i[k0:k1 + 1].copy(),
+                          self.ts, dict(self.meta, slice=(t_start, t_stop)))
+
+    def decimate(self, factor: int) -> "PortRecord":
+        """Keep every ``factor``-th sample (no anti-alias filter: use only on
+        signals already bandlimited relative to the new rate)."""
+        if factor < 1:
+            raise EstimationError("factor must be >= 1")
+        return PortRecord(self.v[::factor].copy(), self.i[::factor].copy(),
+                          self.ts * factor, dict(self.meta, decimated=factor))
+
+    def split(self, fraction: float = 0.7) -> tuple["PortRecord", "PortRecord"]:
+        """Split into (estimation, validation) sub-records."""
+        if not 0.0 < fraction < 1.0:
+            raise EstimationError("fraction must be in (0, 1)")
+        k = int(self.v.size * fraction)
+        if k < 2 or self.v.size - k < 2:
+            raise EstimationError("record too short to split")
+        return (PortRecord(self.v[:k].copy(), self.i[:k].copy(), self.ts,
+                           dict(self.meta, part="estimation")),
+                PortRecord(self.v[k:].copy(), self.i[k:].copy(), self.ts,
+                           dict(self.meta, part="validation")))
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Save to ``.npz`` (metadata stored as repr strings)."""
+        meta_keys = list(self.meta.keys())
+        meta_vals = [repr(self.meta[k]) for k in meta_keys]
+        np.savez(path, v=self.v, i=self.i, ts=self.ts,
+                 meta_keys=np.array(meta_keys, dtype=object),
+                 meta_vals=np.array(meta_vals, dtype=object))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PortRecord":
+        with np.load(path, allow_pickle=True) as data:
+            meta = {}
+            if "meta_keys" in data:
+                for k, val in zip(data["meta_keys"], data["meta_vals"]):
+                    meta[str(k)] = str(val)
+            return cls(data["v"], data["i"], float(data["ts"]), meta)

@@ -1,0 +1,210 @@
+"""Virtual measurement harness: identification-signal experiments.
+
+These functions reproduce, on the simulation substrate, the waveform
+recordings the paper performs on transistor-level models:
+
+* :func:`record_driver_state` -- driver held in a fixed logic state, output
+  port forced by a multilevel noise voltage: estimation data for the
+  ``i_H``/``i_L`` RBF submodels (Section 2).
+* :func:`record_driver_switching` -- driver switching into an identification
+  load: data for the ``w_H``/``w_L`` weight inversion (Section 2).
+* :func:`record_receiver` -- receiver input forced by multilevel waveforms in
+  the linear / up-clamp / down-clamp regions (Section 3).
+
+All records sample the port voltage and the current flowing INTO the port at
+a fixed ``ts``.  Transients run with the damped-theta integrator: pure
+trapezoidal exhibits capacitor-current ringing after slope discontinuities,
+which would pollute the identification currents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit import (Circuit, TransientOptions, VoltageSource,
+                       run_transient)
+from ..circuit.waveforms import MultilevelNoise, Waveform
+from ..devices.driver import DriverSpec, build_driver
+from ..devices.receiver import ReceiverSpec, build_receiver
+from ..errors import ExperimentError
+from .dataset import PortRecord
+from .loads import validate_load_pair
+
+__all__ = ["DEFAULT_TS", "record_driver_state", "record_driver_switching",
+           "record_receiver", "measure_forced_port",
+           "measure_driver_static_iv", "measure_receiver_static_iv"]
+
+DEFAULT_TS = 25e-12  # the paper quotes Ts ~ 25..50 ps
+
+
+def _transient_opts(ts: float, t_stop: float) -> TransientOptions:
+    return TransientOptions(dt=ts, t_stop=t_stop, method="damped", ic="dcop")
+
+
+def measure_forced_port(ckt: Circuit, port: str, wave: Waveform, *,
+                        ts: float, t_stop: float,
+                        meta: dict | None = None) -> PortRecord:
+    """Force ``port`` with a voltage source and record (v, i-into-port).
+
+    The forcing source is added here; the circuit must not already drive the
+    node stiffly.
+    """
+    src = ckt.add(VoltageSource("_force", port, "0", wave))
+    res = run_transient(ckt, _transient_opts(ts, t_stop))
+    v = res.v(port)
+    i_into = -res.i("_force")
+    return PortRecord(v, i_into, ts, meta or {})
+
+
+def record_driver_state(spec: DriverSpec, state: str, *,
+                        ts: float = DEFAULT_TS,
+                        duration: float = 80e-9,
+                        v_min: float | None = None,
+                        v_max: float | None = None,
+                        seed: int = 0,
+                        corner: str = "typ",
+                        levels: int = 0,
+                        dwell: tuple[float, float] = (0.4e-9, 2.5e-9),
+                        transition: float = 150e-12) -> PortRecord:
+    """Record the port response of a driver parked in logic ``state``.
+
+    The output pad is forced by a multilevel noise waveform spanning
+    ``[v_min, v_max]`` (default: -0.4 V to vdd + 0.4 V, covering the mild
+    overdrive the validation loads produce).
+    """
+    if state not in ("0", "1"):
+        raise ExperimentError("state must be '0' or '1'")
+    v_min = -0.4 if v_min is None else v_min
+    v_max = spec.vdd + 0.4 if v_max is None else v_max
+    ckt = Circuit(f"ident_{spec.name}_{state}")
+    build_driver(ckt, spec, "dut", "port", corner=corner, initial_state=state)
+    wave = MultilevelNoise(v_min, v_max, duration, dwell_min=dwell[0],
+                           dwell_max=dwell[1], transition=transition,
+                           levels=levels, seed=seed)
+    rec = measure_forced_port(
+        ckt, "port", wave, ts=ts, t_stop=duration,
+        meta={"device": spec.name, "kind": "driver_state", "state": state,
+              "corner": corner, "seed": seed, "v_range": (v_min, v_max)})
+    return rec
+
+
+def record_driver_switching(spec: DriverSpec, load, pattern: str = "01", *,
+                            ts: float = DEFAULT_TS,
+                            bit_time: float = 10e-9,
+                            corner: str = "typ") -> PortRecord:
+    """Record port (v, i) while the driver switches into ``load``.
+
+    ``pattern`` is usually ``"01"`` (up transition) or ``"10"`` (down); the
+    edge sits at ``t = bit_time``.  A zero-volt ammeter source between the
+    device and the port keeps the current measurement load-agnostic.
+    """
+    ckt = Circuit(f"sw_{spec.name}_{pattern}")
+    drv = build_driver(ckt, spec, "dut", "dev_out", corner=corner,
+                       initial_state=pattern[0])
+    # 0 V ammeter: branch current flows dev_out -> port, i.e. out of the
+    # device; the record stores current INTO the device port.
+    amm = ckt.add(VoltageSource("vmeas", "dev_out", "port", 0.0))
+    load.attach(ckt, "port", drv.vdd_node, "idload")
+    drv.drive_pattern(pattern, bit_time)
+    t_stop = bit_time * len(pattern)
+    res = run_transient(ckt, _transient_opts(ts, t_stop))
+    return PortRecord(
+        res.v("port"), -res.i("vmeas"), ts,
+        {"device": spec.name, "kind": "driver_switching",
+         "pattern": pattern, "load": load.label(), "corner": corner,
+         "edge_time": bit_time, "bit_time": bit_time})
+
+
+def record_switching_pair(spec: DriverSpec, loads, pattern: str, *,
+                          ts: float = DEFAULT_TS, bit_time: float = 10e-9,
+                          corner: str = "typ") -> tuple[PortRecord, PortRecord]:
+    """Record the same transition into both identification loads."""
+    validate_load_pair(loads)
+    return tuple(record_driver_switching(spec, load, pattern, ts=ts,
+                                         bit_time=bit_time, corner=corner)
+                 for load in loads)
+
+
+def measure_driver_static_iv(spec: DriverSpec, state: str, v_grid, *,
+                             corner: str = "typ"
+                             ) -> tuple[np.ndarray, np.ndarray]:
+    """DC I-V sweep of the parked driver port (current INTO the port).
+
+    Used to anchor the static fixed points of the NARX submodels: one-step
+    least squares alone leaves the free-run statics poorly pinned when the
+    identification currents are dominated by capacitive transients.
+    """
+    from ..circuit import solve_dcop
+    from ..circuit.waveforms import Constant
+    v_grid = np.asarray(v_grid, dtype=float)
+    i_grid = np.empty_like(v_grid)
+    ckt = Circuit(f"dciv_{spec.name}_{state}")
+    build_driver(ckt, spec, "dut", "port", corner=corner,
+                 initial_state=state)
+    src = ckt.add(VoltageSource("vf", "port", "0", Constant(float(v_grid[0]))))
+    x_prev = None
+    for k, v in enumerate(v_grid):
+        src.waveform = Constant(float(v))
+        op = solve_dcop(ckt, x0=x_prev)
+        i_grid[k] = -op.i("vf")
+        x_prev = op.x
+    return v_grid, i_grid
+
+
+def measure_receiver_static_iv(spec: ReceiverSpec, v_grid
+                               ) -> tuple[np.ndarray, np.ndarray]:
+    """DC I-V sweep of the receiver pad (current INTO the pad)."""
+    from ..circuit import solve_dcop
+    from ..circuit.waveforms import Constant
+    v_grid = np.asarray(v_grid, dtype=float)
+    i_grid = np.empty_like(v_grid)
+    ckt = Circuit(f"dciv_{spec.name}")
+    build_receiver(ckt, spec, "dut", "port")
+    src = ckt.add(VoltageSource("vf", "port", "0", Constant(float(v_grid[0]))))
+    x_prev = None
+    for k, v in enumerate(v_grid):
+        src.waveform = Constant(float(v))
+        op = solve_dcop(ckt, x0=x_prev)
+        i_grid[k] = -op.i("vf")
+        x_prev = op.x
+    return v_grid, i_grid
+
+
+_RECEIVER_REGIONS = ("linear", "up", "down")
+
+
+def record_receiver(spec: ReceiverSpec, region: str, *,
+                    ts: float = DEFAULT_TS,
+                    duration: float = 60e-9,
+                    seed: int = 0,
+                    levels: int = 0,
+                    overdrive: float = 1.2,
+                    transition: float = 150e-12) -> PortRecord:
+    """Record receiver port (v, i) with region-targeted excitation.
+
+    ``region``:
+
+    * ``"linear"`` -- steps inside the rails where the port is nearly linear
+      (estimation data for the ARX submodel);
+    * ``"up"`` -- excursions above vdd engaging the up protection circuit
+      (data for the RBF ``i_U`` submodel);
+    * ``"down"`` -- excursions below ground (``i_D`` submodel).
+    """
+    if region not in _RECEIVER_REGIONS:
+        raise ExperimentError(
+            f"region must be one of {_RECEIVER_REGIONS}, got {region!r}")
+    if region == "linear":
+        v_min, v_max = 0.05 * spec.vdd, 0.95 * spec.vdd
+    elif region == "up":
+        v_min, v_max = spec.vdd - 0.3, spec.vdd + overdrive
+    else:
+        v_min, v_max = -overdrive, 0.3
+    ckt = Circuit(f"rx_{spec.name}_{region}")
+    build_receiver(ckt, spec, "dut", "port")
+    wave = MultilevelNoise(v_min, v_max, duration, dwell_min=0.4e-9,
+                           dwell_max=2.5e-9, transition=transition,
+                           levels=levels, seed=seed)
+    return measure_forced_port(
+        ckt, "port", wave, ts=ts, t_stop=duration,
+        meta={"device": spec.name, "kind": "receiver", "region": region,
+              "seed": seed, "v_range": (v_min, v_max)})

@@ -1,0 +1,65 @@
+"""Identification loads for the two-load weight estimation (Section 2).
+
+The switching weights ``w_H(k)``/``w_L(k)`` of the PW-RBF driver model are
+obtained by linear inversion of eq. (1) from waveforms recorded on **two
+different loads** during up/down transitions.  A resistor to ground and a
+resistor to the supply rail make the two transition trajectories maximally
+different, keeping the 2x2 inversion well conditioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit import Capacitor, Circuit, Resistor
+from ..errors import ExperimentError
+
+__all__ = ["ResistiveLoad", "SeriesRCLoad", "default_identification_loads"]
+
+
+@dataclass(frozen=True)
+class ResistiveLoad:
+    """Resistor from the port to ground or to the supply rail."""
+
+    resistance: float
+    to_rail: bool = False
+
+    def attach(self, ckt: Circuit, node: str, vdd_node: str,
+               prefix: str) -> None:
+        other = vdd_node if self.to_rail else "0"
+        ckt.add(Resistor(f"{prefix}_r", node, other, self.resistance))
+
+    def label(self) -> str:
+        target = "vdd" if self.to_rail else "gnd"
+        return f"R{self.resistance:g}->{target}"
+
+
+@dataclass(frozen=True)
+class SeriesRCLoad:
+    """Series R-C from the port to ground (a dynamic identification load)."""
+
+    resistance: float
+    capacitance: float
+
+    def attach(self, ckt: Circuit, node: str, vdd_node: str,
+               prefix: str) -> None:
+        ckt.add(Resistor(f"{prefix}_r", node, f"{prefix}_m", self.resistance))
+        ckt.add(Capacitor(f"{prefix}_c", f"{prefix}_m", "0",
+                          self.capacitance))
+
+    def label(self) -> str:
+        return f"R{self.resistance:g}+C{self.capacitance:g}"
+
+
+def default_identification_loads() -> tuple[ResistiveLoad, ResistiveLoad]:
+    """The standard pair: one pull-down, one pull-up resistor."""
+    return (ResistiveLoad(40.0, to_rail=False),
+            ResistiveLoad(40.0, to_rail=True))
+
+
+def validate_load_pair(loads) -> None:
+    """Reject degenerate load pairs (identical loads -> singular inversion)."""
+    if len(loads) != 2:
+        raise ExperimentError("weight estimation needs exactly two loads")
+    if loads[0] == loads[1]:
+        raise ExperimentError("the two identification loads must differ")

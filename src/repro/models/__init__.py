@@ -1,0 +1,35 @@
+"""Behavioral macromodels: the paper's primary contribution.
+
+Estimation (:mod:`pipeline`), model classes (:mod:`driver`,
+:mod:`receiver`), circuit embedding (:mod:`elements`) and SPICE-style
+synthesis (:mod:`synthesis`).
+"""
+
+from .arx import ARXModel, fit_arx
+from .driver import PWRBFDriverModel, SwitchingSignature, estimate_weights
+from .elements import (CVReceiverElement, ParametricReceiverElement,
+                       PWRBFDriverElement)
+from .ols import OLSOptions, fit_rbf_ols
+from .pipeline import (estimate_cv_receiver, estimate_driver_model,
+                       estimate_receiver_model, fit_state_submodel)
+from .rbf import GaussianRBF
+from .receiver import (CVReceiverModel, ParametricReceiverModel,
+                       fit_receiver_nonlinear)
+from .regressors import RegressorScaler, build_regressors, regressor_dim
+from .serialize import load_model, save_model
+from .statespace import StateSpace, arx_to_discrete_ss, discrete_to_continuous
+from .synthesis import SynthesisResult, synthesize_driver, synthesize_receiver
+
+__all__ = [
+    "ARXModel", "fit_arx",
+    "GaussianRBF", "OLSOptions", "fit_rbf_ols",
+    "RegressorScaler", "build_regressors", "regressor_dim",
+    "PWRBFDriverModel", "SwitchingSignature", "estimate_weights",
+    "ParametricReceiverModel", "CVReceiverModel", "fit_receiver_nonlinear",
+    "PWRBFDriverElement", "ParametricReceiverElement", "CVReceiverElement",
+    "estimate_driver_model", "estimate_receiver_model",
+    "estimate_cv_receiver", "fit_state_submodel",
+    "save_model", "load_model",
+    "StateSpace", "arx_to_discrete_ss", "discrete_to_continuous",
+    "SynthesisResult", "synthesize_driver", "synthesize_receiver",
+]

@@ -1,0 +1,116 @@
+"""ARX (AutoRegressive with eXtra input) linear parametric model.
+
+The receiver's dominant, nearly linear behavior inside the supply rails is
+captured by an ARX model [Ljung 1987], reference [9] of the paper:
+
+    i(k) = sum_{j=0..r} b_j v(k-j) - sum_{j=1..r} a_j i(k-j) + c
+
+estimated by linear least squares.  The constant ``c`` absorbs leakage
+offsets.  The same class doubles as the linear part of synthesized
+subcircuits (see :mod:`repro.models.statespace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import EstimationError, ModelError
+
+__all__ = ["ARXModel", "fit_arx"]
+
+
+@dataclass
+class ARXModel:
+    """Fitted ARX model; ``a`` has length ``order`` (a_1..a_r), ``b`` length
+    ``order + 1`` (b_0..b_r)."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: float = 0.0
+
+    def __post_init__(self):
+        self.a = np.asarray(self.a, dtype=float)
+        self.b = np.asarray(self.b, dtype=float)
+        if self.b.size != self.a.size + 1:
+            raise ModelError("need len(b) == len(a) + 1")
+
+    @property
+    def order(self) -> int:
+        return self.a.size
+
+    def poles(self) -> np.ndarray:
+        """Roots of ``A(z) = 1 + a_1 z^-1 + ... + a_r z^-r``."""
+        if self.order == 0:
+            return np.empty(0)
+        return np.roots(np.concatenate([[1.0], self.a]))
+
+    def is_stable(self) -> bool:
+        p = self.poles()
+        return bool(np.all(np.abs(p) < 1.0)) if p.size else True
+
+    def dc_gain(self) -> float:
+        """Steady-state di/dv (should be ~leakage conductance for receivers)."""
+        return float(np.sum(self.b) / (1.0 + np.sum(self.a)))
+
+    def eval_step(self, v_hist: np.ndarray, i_hist: np.ndarray) -> float:
+        """One-step output given ``v_hist = [v(k)..v(k-r)]`` and
+        ``i_hist = [i(k-1)..i(k-r)]``."""
+        return float(self.b @ v_hist - (self.a @ i_hist if self.order else 0.0)
+                     + self.c)
+
+    def simulate(self, v: np.ndarray,
+                 i_init: np.ndarray | None = None) -> np.ndarray:
+        """Free-run along a voltage sequence (own outputs fed back)."""
+        v = np.asarray(v, dtype=float)
+        r = self.order
+        i = np.zeros(v.size)
+        if i_init is not None:
+            i[:r] = np.asarray(i_init, dtype=float)[:r]
+        for k in range(r, v.size):
+            vh = v[k - r:k + 1][::-1] if r else v[k:k + 1]
+            ih = i[k - r:k][::-1] if r else np.empty(0)
+            i[k] = self.eval_step(vh, ih)
+        return i
+
+    def to_dict(self) -> dict:
+        return {"a": self.a.tolist(), "b": self.b.tolist(), "c": self.c}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ARXModel":
+        return cls(a=np.asarray(d["a"]), b=np.asarray(d["b"]),
+                   c=float(d["c"]))
+
+
+def fit_arx(v: np.ndarray, i: np.ndarray, order: int,
+            fit_offset: bool = True, ridge: float = 0.0) -> ARXModel:
+    """Least-squares ARX estimation from a sampled record."""
+    v = np.asarray(v, dtype=float)
+    i = np.asarray(i, dtype=float)
+    if v.shape != i.shape or v.ndim != 1:
+        raise EstimationError("v and i must be equal-length 1-D arrays")
+    if order < 0:
+        raise EstimationError("order must be non-negative")
+    n = v.size
+    if n <= 2 * order + 2:
+        raise EstimationError("record too short for the requested order")
+    rows = n - order
+    cols = []
+    for j in range(order + 1):               # b_j columns
+        cols.append(v[order - j:n - j])
+    for j in range(1, order + 1):            # -a_j columns
+        cols.append(-i[order - j:n - j])
+    if fit_offset:
+        cols.append(np.ones(rows))
+    M = np.column_stack(cols)
+    y = i[order:]
+    if ridge > 0.0:
+        reg = ridge * np.trace(M.T @ M) / M.shape[1]
+        theta = np.linalg.solve(M.T @ M + reg * np.eye(M.shape[1]), M.T @ y)
+    else:
+        theta, *_ = np.linalg.lstsq(M, y, rcond=None)
+    b = theta[:order + 1]
+    a = theta[order + 1:2 * order + 1]
+    c = float(theta[-1]) if fit_offset else 0.0
+    return ARXModel(a=a, b=b, c=c)

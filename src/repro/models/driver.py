@@ -1,0 +1,243 @@
+"""Piecewise RBF (PW-RBF) driver macromodel -- the paper's eq. (1).
+
+    i(k) = w_H(k) * i_H(k) + w_L(k) * i_L(k)
+
+``i_H``/``i_L`` are Gaussian-RBF NARX submodels of the port held in the High
+and Low logic states; ``w_H``/``w_L`` are switching weight sequences obtained
+by linear inversion of the equation along waveforms recorded on two different
+identification loads during Up and Down transitions.
+
+During simulation the weights are replayed: between logic events they sit at
+their steady values ((1, 0) in High, (0, 1) in Low); at each event the stored
+up/down *switching signature* is spliced into the timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import EstimationError, ModelError
+from ..ident.dataset import PortRecord
+from .rbf import GaussianRBF
+from .regressors import build_regressors
+
+__all__ = ["SwitchingSignature", "PWRBFDriverModel", "estimate_weights"]
+
+STEADY_HIGH = (1.0, 0.0)
+STEADY_LOW = (0.0, 1.0)
+
+
+@dataclass
+class SwitchingSignature:
+    """Weight sequences around one logic transition.
+
+    ``wh``/``wl`` are sampled at the model ``ts``; ``pre`` samples precede
+    the nominal edge instant.
+    """
+
+    wh: np.ndarray
+    wl: np.ndarray
+    pre: int
+
+    def __post_init__(self):
+        self.wh = np.asarray(self.wh, dtype=float)
+        self.wl = np.asarray(self.wl, dtype=float)
+        if self.wh.shape != self.wl.shape or self.wh.ndim != 1:
+            raise ModelError("wh and wl must be equal-length 1-D arrays")
+        if not 0 <= self.pre < self.wh.size:
+            raise ModelError("pre must index into the signature")
+
+    def __len__(self) -> int:
+        return self.wh.size
+
+    def to_dict(self) -> dict:
+        return {"wh": self.wh.tolist(), "wl": self.wl.tolist(),
+                "pre": self.pre}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SwitchingSignature":
+        return cls(np.asarray(d["wh"]), np.asarray(d["wl"]), int(d["pre"]))
+
+
+def _teacher_forced_outputs(sub: GaussianRBF, rec: PortRecord,
+                            order: int) -> np.ndarray:
+    """Submodel outputs along measured (v, i) sequences (teacher forcing).
+
+    Returns an array aligned with the record (first ``order`` samples hold
+    the first prediction, for index convenience).
+    """
+    X, _ = build_regressors(rec.v, rec.i, order)
+    out = np.asarray(sub.eval(X), dtype=float)
+    return np.concatenate([np.full(order, out[0]), out])
+
+
+def estimate_weights(sub_high: GaussianRBF, sub_low: GaussianRBF,
+                     order: int, rec_a: PortRecord, rec_b: PortRecord,
+                     direction: str, *,
+                     t_pre: float = 1e-9, t_sig: float = 8e-9,
+                     smoothing: float = 0.05) -> SwitchingSignature:
+    """Two-load linear inversion of eq. (1) for one transition direction.
+
+    For every sample ``k`` in the signature window the 2x2 system
+
+        [iH_a(k)  iL_a(k)] [wH(k)]   [i_a(k)]
+        [iH_b(k)  iL_b(k)] [wL(k)] = [i_b(k)]
+
+    is solved with a Tikhonov pull toward the previous sample's weights
+    (weight ``smoothing`` relative to the row energy), which regularizes the
+    stretches where both loads give nearly parallel rows (deep in a logic
+    state) and keeps the sequences smooth.
+    """
+    if direction not in ("up", "down"):
+        raise EstimationError("direction must be 'up' or 'down'")
+    if abs(rec_a.ts - rec_b.ts) > 1e-18:
+        raise EstimationError("both records must share the sampling time")
+    edge_a = rec_a.meta.get("edge_time")
+    edge_b = rec_b.meta.get("edge_time")
+    if edge_a is None or edge_a != edge_b:
+        raise EstimationError("records must carry matching edge_time meta")
+
+    ts = rec_a.ts
+    ih_a = _teacher_forced_outputs(sub_high, rec_a, order)
+    il_a = _teacher_forced_outputs(sub_low, rec_a, order)
+    ih_b = _teacher_forced_outputs(sub_high, rec_b, order)
+    il_b = _teacher_forced_outputs(sub_low, rec_b, order)
+
+    pre = int(round(t_pre / ts))
+    length = int(round(t_sig / ts))
+    k_edge = int(round(edge_a / ts))
+    k0 = k_edge - pre
+    if k0 < order or k0 + length > len(rec_a):
+        raise EstimationError("signature window exceeds the recorded span")
+
+    w_start = STEADY_LOW if direction == "up" else STEADY_HIGH
+    w_end = STEADY_HIGH if direction == "up" else STEADY_LOW
+    w_prev = np.array(w_start)
+    wh = np.empty(length)
+    wl = np.empty(length)
+    for n in range(length):
+        k = k0 + n
+        A = np.array([[ih_a[k], il_a[k]],
+                      [ih_b[k], il_b[k]]])
+        b = np.array([rec_a.i[k], rec_b.i[k]])
+        lam = smoothing * (np.sum(A * A) / 2.0 + 1e-30)
+        w = np.linalg.solve(A.T @ A + lam * np.eye(2),
+                            A.T @ b + lam * w_prev)
+        wh[n], wl[n] = w
+        w_prev = w
+    # taper the tail onto the exact steady values over the last 10%
+    tail = max(length // 10, 1)
+    ramp = np.linspace(0.0, 1.0, tail)
+    wh[-tail:] = (1.0 - ramp) * wh[-tail:] + ramp * w_end[0]
+    wl[-tail:] = (1.0 - ramp) * wl[-tail:] + ramp * w_end[1]
+    return SwitchingSignature(wh=wh, wl=wl, pre=pre)
+
+
+@dataclass
+class PWRBFDriverModel:
+    """Complete PW-RBF driver macromodel (eq. 1 + switching signatures)."""
+
+    name: str
+    order: int
+    ts: float
+    vdd: float
+    sub_high: GaussianRBF
+    sub_low: GaussianRBF
+    up: SwitchingSignature
+    down: SwitchingSignature
+    meta: dict = field(default_factory=dict)
+
+    # -- weight timeline -----------------------------------------------------
+    def steady_weights(self, state: str) -> tuple[float, float]:
+        return STEADY_HIGH if state == "1" else STEADY_LOW
+
+    def weights_timeline(self, edges, n_samples: int,
+                         initial_state: str = "0"
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        """Build per-sample (wh, wl) arrays for a scheduled bit stream.
+
+        ``edges``: iterable of ``(time, direction)`` as produced by
+        :meth:`repro.circuit.waveforms.BitPattern.edges`.
+        """
+        wh0, wl0 = self.steady_weights(initial_state)
+        wh = np.full(n_samples, wh0)
+        wl = np.full(n_samples, wl0)
+        for t_edge, direction in edges:
+            sig = self.up if direction == "up" else self.down
+            k_edge = int(round(t_edge / self.ts))
+            steady = STEADY_HIGH if direction == "up" else STEADY_LOW
+            # steady tail first (overwritten by later edges if they overlap)
+            wh[k_edge:] = steady[0]
+            wl[k_edge:] = steady[1]
+            # splice the signature from the nominal edge instant onward (its
+            # pre-edge samples are near-steady by construction; writing them
+            # would clobber a still-active previous transition when bits are
+            # shorter than the signature)
+            s0 = sig.pre + max(-k_edge, 0)
+            s1 = min(len(sig), n_samples - k_edge + sig.pre)
+            if s1 > s0:
+                wh[k_edge + s0 - sig.pre:k_edge + s1 - sig.pre] = sig.wh[s0:s1]
+                wl[k_edge + s0 - sig.pre:k_edge + s1 - sig.pre] = sig.wl[s0:s1]
+        return wh, wl
+
+    # -- free-run simulation against a known port voltage ----------------------
+    def simulate(self, v: np.ndarray, wh: np.ndarray,
+                 wl: np.ndarray) -> np.ndarray:
+        """Free-run eq. (1) along a voltage sequence with given weights.
+
+        The model's own current outputs feed the regressor history (no
+        teacher forcing), exactly as in a circuit co-simulation.
+        """
+        v = np.asarray(v, dtype=float)
+        r = self.order
+        n = v.size
+        if wh.shape != (n,) or wl.shape != (n,):
+            raise ModelError("weight arrays must match the voltage length")
+        i = np.zeros(n)
+        x = np.empty(2 * r + 1)
+        for k in range(r, n):
+            x[:r + 1] = v[k::-1][:r + 1]
+            if r:
+                x[r + 1:] = i[k - 1::-1][:r]
+            fh = self.sub_high.eval(x[None, :])
+            fl = self.sub_low.eval(x[None, :])
+            i[k] = wh[k] * fh + wl[k] * fl
+        return i
+
+    def static_current(self, v: float, state: str,
+                       iters: int = 50) -> float:
+        """Fixed-point DC current of the parked model at port voltage ``v``."""
+        sub = self.sub_high if state == "1" else self.sub_low
+        r = self.order
+        i = 0.0
+        for _ in range(iters):
+            x = np.concatenate([np.full(r + 1, v), np.full(r, i)])
+            i_new = float(sub.eval(x[None, :]))
+            if abs(i_new - i) < 1e-12:
+                i = i_new
+                break
+            i = 0.5 * i + 0.5 * i_new  # damped fixed point
+        return i
+
+    # -- persistence -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"kind": "pwrbf_driver", "name": self.name,
+                "order": self.order, "ts": self.ts, "vdd": self.vdd,
+                "sub_high": self.sub_high.to_dict(),
+                "sub_low": self.sub_low.to_dict(),
+                "up": self.up.to_dict(), "down": self.down.to_dict(),
+                "meta": dict(self.meta)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PWRBFDriverModel":
+        if d.get("kind") != "pwrbf_driver":
+            raise ModelError("not a pwrbf_driver payload")
+        return cls(name=d["name"], order=int(d["order"]), ts=float(d["ts"]),
+                   vdd=float(d["vdd"]),
+                   sub_high=GaussianRBF.from_dict(d["sub_high"]),
+                   sub_low=GaussianRBF.from_dict(d["sub_low"]),
+                   up=SwitchingSignature.from_dict(d["up"]),
+                   down=SwitchingSignature.from_dict(d["down"]),
+                   meta=d.get("meta", {}))

@@ -1,0 +1,271 @@
+"""Circuit elements embedding the estimated macromodels.
+
+This is the native-engine counterpart of the paper's SPICE implementation:
+the discrete-time models advance their internal state once per timestep (the
+engine must run at ``dt = ts``), and expose ``i(v)``/``di/dv`` of the present
+sample to the Newton loop, so the macromodel participates in the circuit
+solution exactly like a transistor-level device.
+
+For the text-netlist/state-space route see :mod:`repro.models.synthesis`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.netlist import Element
+from ..circuit.waveforms import BitPattern
+from ..errors import ModelError
+from .driver import PWRBFDriverModel
+from .receiver import CVReceiverModel, ParametricReceiverModel
+
+__all__ = ["PWRBFDriverElement", "ParametricReceiverElement",
+           "CVReceiverElement"]
+
+_TS_TOL = 1e-3  # relative tolerance between engine dt and model ts
+
+
+class _DiscretePortElement(Element):
+    """Shared plumbing: one-port element locked to the model sampling time."""
+
+    nonlinear = True
+
+    def __init__(self, name: str, port: str, ts: float):
+        super().__init__(name, [port])
+        self.ts = float(ts)
+        self._dc = False
+
+    def prepare(self, dt, theta):
+        if dt is None:
+            self._dc = True
+            return
+        self._dc = False
+        if abs(dt - self.ts) > _TS_TOL * self.ts:
+            raise ModelError(
+                f"{self.name}: engine dt={dt:g}s must equal the model "
+                f"sampling time ts={self.ts:g}s")
+
+    def _port_voltage(self, x) -> float:
+        node = self.nodes[0]
+        return float(x[node]) if node >= 0 else 0.0
+
+    def _stamp_iv(self, st, i: float, g: float, v: float) -> None:
+        """Stamp linearized ``i(v') ~= i + g (v' - v)`` into the port node."""
+        node = self.nodes[0]
+        st.conductance(node, -1, g)
+        ieq = i - g * v
+        st.add_b(node, -ieq)
+
+
+class PWRBFDriverElement(_DiscretePortElement):
+    """Eq. (1) as a circuit element with scheduled switching weights."""
+
+    def __init__(self, name: str, port: str, model: PWRBFDriverModel,
+                 wh: np.ndarray, wl: np.ndarray, initial_state: str = "0"):
+        super().__init__(name, port, model.ts)
+        self.model = model
+        self.wh = np.asarray(wh, dtype=float)
+        self.wl = np.asarray(wl, dtype=float)
+        if self.wh.shape != self.wl.shape:
+            raise ModelError("weight timelines must have equal length")
+        self.initial_state = initial_state
+        r = model.order
+        # plain-float histories: np.float64 arithmetic is several times
+        # slower than float in the pure-Python hot loop
+        self._v_hist = [0.0] * r     # v(k-1) .. v(k-r)
+        self._i_hist = [0.0] * r     # i(k-1) .. i(k-r)
+        self._i_dc = 0.0
+        # pure-Python compiled evaluators for the per-iteration hot path
+        self._fast_high = model.sub_high.compile()
+        self._fast_low = model.sub_low.compile()
+
+    @classmethod
+    def for_pattern(cls, name: str, port: str, model: PWRBFDriverModel,
+                    pattern: str, bit_time: float, t_stop: float,
+                    delay: float = 0.0) -> "PWRBFDriverElement":
+        """Build the element with the weight timeline of a bit pattern."""
+        wave = BitPattern(pattern, bit_time=bit_time, v_low=0.0,
+                          v_high=model.vdd, delay=delay)
+        n = int(round(t_stop / model.ts)) + 2
+        wh, wl = model.weights_timeline(wave.edges(), n,
+                                        initial_state=pattern[0])
+        return cls(name, port, model, wh, wl, initial_state=pattern[0])
+
+    def _weights(self, k: int) -> tuple[float, float]:
+        k = min(max(k, 0), self.wh.size - 1)
+        return float(self.wh[k]), float(self.wl[k])
+
+    def _eval(self, v_now: float, wh: float, wl: float
+              ) -> tuple[float, float]:
+        x = [v_now, *self._v_hist, *self._i_hist]
+        i = g = 0.0
+        if wh != 0.0:
+            fh, gh = self._fast_high.eval_grad(x)
+            i += wh * fh
+            g += wh * gh
+        if wl != 0.0:
+            fl, gl = self._fast_low.eval_grad(x)
+            i += wl * fl
+            g += wl * gl
+        return i, g
+
+    def init_state(self, x, system) -> None:
+        v0 = self._port_voltage(x)
+        i0 = float(self.model.static_current(v0, self.initial_state))
+        r = self.model.order
+        self._v_hist = [v0] * r
+        self._i_hist = [i0] * r
+        self._i_dc = i0
+
+    def stamp_nonlinear(self, st, x, t):
+        v = self._port_voltage(x)
+        if self._dc:
+            wh, wl = self.model.steady_weights(self.initial_state)
+            r = self.model.order
+            xr = np.concatenate([np.full(r + 1, v), np.full(r, self._i_dc)])
+            sub = (self.model.sub_high if self.initial_state == "1"
+                   else self.model.sub_low)
+            i, g = sub.eval_with_gradient(xr)
+            self._i_dc = 0.5 * self._i_dc + 0.5 * i  # damped fixed point
+            self._stamp_iv(st, i, g, v)
+            return
+        k = int(round(t / self.ts))
+        wh, wl = self._weights(k)
+        i, g = self._eval(v, wh, wl)
+        self._stamp_iv(st, i, g, v)
+
+    def update_state(self, x, t, dt, theta):
+        v = self._port_voltage(x)
+        k = int(round(t / self.ts))
+        wh, wl = self._weights(k)
+        i, _ = self._eval(v, wh, wl)
+        if self._v_hist:
+            self._v_hist = [v] + self._v_hist[:-1]
+            self._i_hist = [i] + self._i_hist[:-1]
+        self._last_i = i
+
+    def current(self, x) -> float:
+        """Port current (into the device) at the last accepted step."""
+        return getattr(self, "_last_i", 0.0)
+
+
+class ParametricReceiverElement(_DiscretePortElement):
+    """Eq. (2): ARX + up/down RBF submodels as a circuit element."""
+
+    def __init__(self, name: str, port: str,
+                 model: ParametricReceiverModel):
+        super().__init__(name, port, model.ts)
+        self.model = model
+        r_max = max(model.linear.order, model.up_order, model.down_order)
+        self._v_hist = [0.0] * r_max       # v(k-1) .. v(k-r_max)
+        self._lin_hist = [0.0] * max(model.linear.order, 1)
+        self._b_lin = [float(v) for v in model.linear.b]
+        self._a_lin = [float(v) for v in model.linear.a]
+        self._c_lin = float(model.linear.c)
+        self._fast_up = model.up.compile()
+        self._fast_down = model.down.compile()
+
+    def _nfir_regressor(self, v_now: float, order: int) -> np.ndarray:
+        x = np.empty(order + 1)
+        x[0] = v_now
+        x[1:] = self._v_hist[:order]
+        return x
+
+    def _eval(self, v_now: float) -> tuple[float, float, float, float, float]:
+        m = self.model
+        r_lin = m.linear.order
+        i_lin = self._c_lin + self._b_lin[0] * v_now
+        for j in range(r_lin):
+            i_lin += self._b_lin[j + 1] * self._v_hist[j] \
+                - self._a_lin[j] * self._lin_hist[j]
+        g_lin = self._b_lin[0]
+        i_up, g_up = self._fast_up.eval_grad(
+            [v_now, *self._v_hist[:m.up_order]])
+        i_dn, g_dn = self._fast_down.eval_grad(
+            [v_now, *self._v_hist[:m.down_order]])
+        return i_lin, i_up, i_dn, g_lin + g_up + g_dn, i_lin + i_up + i_dn
+
+    def init_state(self, x, system) -> None:
+        v0 = self._port_voltage(x)
+        self._v_hist = [v0] * len(self._v_hist)
+        # settle the linear submodel at its DC fixed point (the NFIR
+        # protection submodels have no output state to settle)
+        g_dc = self.model.linear.dc_gain()
+        i0 = g_dc * v0 + self.model.linear.c \
+            / max(1.0 + float(np.sum(self.model.linear.a)), 1e-12)
+        self._lin_hist = [i0] * len(self._lin_hist)
+
+    def stamp_nonlinear(self, st, x, t):
+        v = self._port_voltage(x)
+        if self._dc:
+            # static composite: linear dc conductance + RBF slopes
+            _, _, _, g, i = self._eval(v)
+            self._stamp_iv(st, i, g, v)
+            return
+        _, _, _, g, i = self._eval(v)
+        self._stamp_iv(st, i, g, v)
+
+    def update_state(self, x, t, dt, theta):
+        v = self._port_voltage(x)
+        i_lin, i_up, i_dn, _, i_tot = self._eval(v)
+        self._lin_hist = [i_lin] + self._lin_hist[:-1]
+        self._v_hist = [v] + self._v_hist[:-1]
+        self._last_i = i_tot
+
+    def current(self, x) -> float:
+        return getattr(self, "_last_i", 0.0)
+
+
+class CVReceiverElement(Element):
+    """C-V baseline receiver: shunt C plus static nonlinear resistor.
+
+    Continuous-time (no ``ts`` lock): the capacitor uses the standard
+    theta-method companion, the resistor a table linearization.
+    """
+
+    nonlinear = True
+
+    def __init__(self, name: str, port: str, model: CVReceiverModel):
+        super().__init__(name, [port])
+        self.model = model
+        self._v_prev = 0.0
+        self._ic_prev = 0.0
+        self._dt = None
+        self._theta = 1.0
+
+    def prepare(self, dt, theta):
+        self._dt = dt
+        self._theta = theta
+
+    def _port_voltage(self, x) -> float:
+        node = self.nodes[0]
+        return float(x[node]) if node >= 0 else 0.0
+
+    def init_state(self, x, system) -> None:
+        self._v_prev = self._port_voltage(x)
+        self._ic_prev = 0.0
+
+    def stamp_nonlinear(self, st, x, t):
+        node = self.nodes[0]
+        v = self._port_voltage(x)
+        i_st = float(self.model.static_current(np.array(v)))
+        g_st = self.model.static_conductance(v)
+        st.conductance(node, -1, g_st)
+        st.add_b(node, -(i_st - g_st * v))
+        if self._dt is not None:
+            gc = self.model.capacitance / (self._theta * self._dt)
+            st.conductance(node, -1, gc)
+            ic_hist = gc * self._v_prev \
+                + (1.0 - self._theta) / self._theta * self._ic_prev
+            st.inject(node, ic_hist)
+
+    def update_state(self, x, t, dt, theta):
+        v_new = self._port_voltage(x)
+        gc = self.model.capacitance / (theta * dt)
+        self._ic_prev = gc * (v_new - self._v_prev) \
+            - (1.0 - theta) / theta * self._ic_prev
+        self._v_prev = v_new
+
+    def current(self, x) -> float:
+        v = self._port_voltage(x)
+        return float(self.model.static_current(np.array(v))) + self._ic_prev

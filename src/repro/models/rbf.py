@@ -1,0 +1,198 @@
+"""Gaussian radial-basis-function network with affine tail.
+
+The paper's nonlinear submodels are "linear combinations of gaussian
+functions ... properly centered in the vector space of the voltage and
+current sequences" [Sjoberg et al. 1995].  We add the customary affine tail
+(linear-in-regressors + bias), which carries the nearly linear bulk behavior
+so the Gaussian units only model the nonlinear residue:
+
+    f(x) = sum_j w_j exp(-||z - c_j||^2 / (2 sigma^2)) + a . z + b,
+    z = scaler(x)
+
+Distances are computed in scaled regressor space (see
+:class:`~repro.models.regressors.RegressorScaler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import exp
+
+import numpy as np
+
+from ..errors import ModelError
+from .regressors import RegressorScaler
+
+__all__ = ["GaussianRBF"]
+
+
+@dataclass
+class GaussianRBF:
+    """A fitted RBF network over scaled regressors.
+
+    ``centers``: (M, d) in scaled space; ``sigma``: shared width;
+    ``weights``: (M,); ``affine``: (d,); ``bias``: scalar;
+    ``scaler``: the fitted column scaler (owns the clip box).
+    """
+
+    centers: np.ndarray
+    sigma: float
+    weights: np.ndarray
+    affine: np.ndarray
+    bias: float
+    scaler: RegressorScaler = field(default_factory=RegressorScaler)
+
+    def __post_init__(self):
+        self.centers = np.atleast_2d(np.asarray(self.centers, dtype=float))
+        self.weights = np.asarray(self.weights, dtype=float)
+        self.affine = np.asarray(self.affine, dtype=float)
+        if self.sigma <= 0.0:
+            raise ModelError("sigma must be positive")
+        if self.centers.shape[0] != self.weights.size:
+            raise ModelError("one weight per center required")
+
+    @property
+    def n_bases(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.centers.shape[1]
+
+    # -- evaluation ------------------------------------------------------------
+    def phi(self, Z: np.ndarray) -> np.ndarray:
+        """Basis activations for scaled regressors ``Z`` (N, d) -> (N, M)."""
+        d2 = np.sum((Z[:, None, :] - self.centers[None, :, :]) ** 2, axis=2)
+        return np.exp(-d2 / (2.0 * self.sigma ** 2))
+
+    def eval(self, X: np.ndarray, clip: bool = True) -> np.ndarray:
+        """Evaluate on raw regressors ``X`` (N, d) or a single (d,) vector."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Z = self.scaler.transform(X, clip=clip)
+        out = self.phi(Z) @ self.weights + Z @ self.affine + self.bias
+        return out if out.size > 1 else float(out[0])
+
+    def eval_with_gradient(self, x: np.ndarray,
+                           clip: bool = True) -> tuple[float, float]:
+        """Return ``(f(x), df/dx[0])`` for a single regressor vector.
+
+        The gradient w.r.t. the *present voltage* (first regressor component)
+        is what the circuit Newton loop needs.  When clipping saturates the
+        first component the reported derivative is 0, consistent with the
+        clipped surface.
+        """
+        x = np.asarray(x, dtype=float)
+        z = self.scaler.transform(x[None, :], clip=clip)[0]
+        diff = z - self.centers          # (M, d)
+        d2 = np.sum(diff * diff, axis=1)
+        act = np.exp(-d2 / (2.0 * self.sigma ** 2))
+        f = float(act @ self.weights + z @ self.affine + self.bias)
+        # d z0 / d x0 = 1/scale[0], unless x0 was clipped
+        if clip and (x[0] <= self.scaler.lo[0] or x[0] >= self.scaler.hi[0]):
+            return f, 0.0
+        dz0 = 1.0 / self.scaler.scale[0]
+        dphi = act * (-diff[:, 0] / self.sigma ** 2)
+        grad = float((dphi @ self.weights + self.affine[0]) * dz0)
+        return f, grad
+
+    # -- free-run simulation -------------------------------------------------------
+    def simulate(self, v: np.ndarray, order: int,
+                 i_init: np.ndarray | None = None) -> np.ndarray:
+        """Free-run the NARX recursion along a voltage sequence.
+
+        ``i(k) = f([v(k..k-r), i(k-1..k-r)])`` with the model's own outputs
+        fed back.  ``i_init`` supplies the first ``order`` current samples
+        (zeros by default).
+        """
+        v = np.asarray(v, dtype=float)
+        n = v.size
+        i = np.zeros(n)
+        if i_init is not None:
+            i[:order] = np.asarray(i_init, dtype=float)[:order]
+        x = np.empty(2 * order + 1)
+        for k in range(order, n):
+            x[:order + 1] = v[k::-1][:order + 1]
+            if order:
+                x[order + 1:] = i[k - 1::-1][:order]
+            i[k] = self.eval(x[None, :])
+        return i
+
+    def compile(self) -> "_CompiledRBF":
+        """Return a pure-Python evaluator for scalar hot loops.
+
+        Circuit elements call the network once per Newton iteration with a
+        handful of Gaussians; numpy's per-call overhead dominates at that
+        size, so the compiled form unrolls everything into float lists.
+        """
+        return _CompiledRBF(self)
+
+    # -- persistence ---------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"centers": self.centers.tolist(), "sigma": self.sigma,
+                "weights": self.weights.tolist(),
+                "affine": self.affine.tolist(), "bias": self.bias,
+                "scaler": self.scaler.to_dict()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "GaussianRBF":
+        return cls(centers=np.asarray(d["centers"]), sigma=float(d["sigma"]),
+                   weights=np.asarray(d["weights"]),
+                   affine=np.asarray(d["affine"]), bias=float(d["bias"]),
+                   scaler=RegressorScaler.from_dict(d["scaler"]))
+
+
+class _CompiledRBF:
+    """Scalar evaluator mirroring :meth:`GaussianRBF.eval_with_gradient`.
+
+    Stores everything as plain Python float lists; a 10-basis, 5-dim call
+    costs ~50 multiplications with no numpy dispatch.
+    """
+
+    __slots__ = ("centers", "weights", "affine", "bias", "inv_two_sigma2",
+                 "inv_sigma2", "mean", "scale", "lo", "hi", "dim")
+
+    def __init__(self, model: GaussianRBF):
+        self.centers = [list(map(float, row)) for row in model.centers]
+        self.weights = list(map(float, model.weights))
+        self.affine = list(map(float, model.affine))
+        self.bias = float(model.bias)
+        self.inv_two_sigma2 = 1.0 / (2.0 * model.sigma ** 2)
+        self.inv_sigma2 = 1.0 / model.sigma ** 2
+        sc = model.scaler
+        self.mean = list(map(float, sc.mean))
+        self.scale = list(map(float, sc.scale))
+        self.lo = list(map(float, sc.lo))
+        self.hi = list(map(float, sc.hi))
+        self.dim = len(self.mean)
+
+    def eval_grad(self, x) -> tuple[float, float]:
+        """Return ``(f(x), df/dx[0])`` with box clipping, like the model."""
+        mean, scale, lo, hi = self.mean, self.scale, self.lo, self.hi
+        z = [0.0] * self.dim
+        clipped0 = False
+        for j in range(self.dim):
+            xv = x[j]
+            if xv < lo[j]:
+                xv = lo[j]
+                clipped0 = clipped0 or j == 0
+            elif xv > hi[j]:
+                xv = hi[j]
+                clipped0 = clipped0 or j == 0
+            z[j] = (xv - mean[j]) / scale[j]
+        f = self.bias
+        g = 0.0
+        for c_row, w in zip(self.centers, self.weights):
+            d2 = 0.0
+            for j in range(self.dim):
+                diff = z[j] - c_row[j]
+                d2 += diff * diff
+            a = w * exp(-d2 * self.inv_two_sigma2)
+            f += a
+            g += a * (-(z[0] - c_row[0]) * self.inv_sigma2)
+        aff = self.affine
+        for j in range(self.dim):
+            f += aff[j] * z[j]
+        g += aff[0]
+        if clipped0:
+            return f, 0.0
+        return f, g / scale[0]

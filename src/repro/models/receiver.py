@@ -1,0 +1,197 @@
+"""Receiver macromodels -- the paper's eq. (2) and the C-V baseline.
+
+    i_in(k) = i_L(k) + i_NL(k),     i_NL = i_U + i_D
+
+``i_L`` is a linear ARX submodel (dominant inside the supply rails);
+``i_U``/``i_D`` are Gaussian-RBF NARX submodels of the up/down protection
+circuits, fitted on the *residual* of the linear part over records that
+drive the port above vdd / below ground.
+
+The simple :class:`CVReceiverModel` (shunt capacitor + static nonlinear
+resistor) belongs to the same class -- the paper uses it as the strawman
+showing why the parametric model is needed (Figs. 5-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import EstimationError, ModelError
+from ..ident.dataset import PortRecord
+from .arx import ARXModel, fit_arx
+from .ols import OLSOptions, fit_rbf_ols
+from .rbf import GaussianRBF
+from .regressors import build_nfir_regressors, static_anchor_rows
+
+__all__ = ["ParametricReceiverModel", "CVReceiverModel",
+           "fit_receiver_nonlinear"]
+
+
+def fit_receiver_nonlinear(linear: ARXModel, rec: PortRecord, order: int,
+                           n_bases: int, seed: int = 0,
+                           static_anchor=None,
+                           static_fraction: float = 0.5,
+                           quiet_records=()) -> GaussianRBF:
+    """Fit one protection-circuit RBF submodel on the ARX residual.
+
+    The submodels are NFIR (voltage lags only, no output feedback): the
+    ARX part of eq. (2) already carries the linear dynamics, and dropping
+    the current feedback makes the protection submodels unconditionally
+    stable in free run.  ``static_anchor``: optional ``(v_grid,
+    i_residual_grid)`` rows pinning the statics (zero outside the
+    submodel's protection region, DC-sweep residual inside it).
+    ``quiet_records``: additional records outside the protection region
+    used as zero-residual dynamic training data.
+    """
+    i_lin = linear.simulate(rec.v)
+    resid = rec.i - i_lin
+    X, y = build_nfir_regressors(rec.v, resid, order)
+    # "quietness" records: waveforms outside this submodel's protection
+    # region whose ARX residual is ~zero; including their (dynamic!)
+    # regressors teaches the submodel to stay silent for fast mid-rail
+    # edges instead of extrapolating the clamp response there.
+    for q in quiet_records:
+        q_resid = q.i - linear.simulate(q.v)
+        Xq, yq = build_nfir_regressors(q.v, q_resid, order)
+        X = np.vstack([X, Xq])
+        y = np.concatenate([y, yq])
+    if static_anchor is not None:
+        v_g = np.asarray(static_anchor[0], dtype=float)
+        i_g = np.asarray(static_anchor[1], dtype=float)
+        reps = max(1, int(static_fraction * X.shape[0] / max(v_g.size, 1)))
+        X_s = np.tile(np.repeat(v_g[:, None], order + 1, axis=1), (reps, 1))
+        y_s = np.tile(i_g, reps)
+        X = np.vstack([X, X_s])
+        y = np.concatenate([y, y_s])
+    # pure Gaussian units (no affine tail) with *narrow* widths: the
+    # protection current must stay local to the clamp regions; a global
+    # linear tail or wide Gaussians leak a spurious dv/dt response into the
+    # mid-rail region (visible as a fake current peak on fast edges)
+    return fit_rbf_ols(X, y, OLSOptions(n_bases=n_bases, seed=seed,
+                                        affine=False, width_scale=0.5))
+
+
+@dataclass
+class ParametricReceiverModel:
+    """ARX + RBF receiver macromodel (paper eq. 2)."""
+
+    name: str
+    ts: float
+    vdd: float
+    linear: ARXModel
+    up: GaussianRBF
+    down: GaussianRBF
+    up_order: int
+    down_order: int
+    meta: dict = field(default_factory=dict)
+
+    def simulate(self, v: np.ndarray) -> np.ndarray:
+        """Free-run the three submodels along a voltage sequence."""
+        v = np.asarray(v, dtype=float)
+        i_lin = self.linear.simulate(v)
+        i_up = self._nfir(self.up, v, self.up_order)
+        i_dn = self._nfir(self.down, v, self.down_order)
+        return i_lin + i_up + i_dn
+
+    @staticmethod
+    def _nfir(sub, v: np.ndarray, order: int) -> np.ndarray:
+        """Vectorized NFIR evaluation along a voltage sequence."""
+        n = v.size
+        X = np.empty((n - order, order + 1))
+        for j in range(order + 1):
+            X[:, j] = v[order - j:n - j]
+        out = np.asarray(sub.eval(X), dtype=float).reshape(-1)
+        return np.concatenate([np.full(order, out[0] if out.size else 0.0),
+                               out])
+
+    def to_dict(self) -> dict:
+        return {"kind": "parametric_receiver", "name": self.name,
+                "ts": self.ts, "vdd": self.vdd,
+                "linear": self.linear.to_dict(),
+                "up": self.up.to_dict(), "down": self.down.to_dict(),
+                "up_order": self.up_order, "down_order": self.down_order,
+                "meta": dict(self.meta)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ParametricReceiverModel":
+        if d.get("kind") != "parametric_receiver":
+            raise ModelError("not a parametric_receiver payload")
+        return cls(name=d["name"], ts=float(d["ts"]), vdd=float(d["vdd"]),
+                   linear=ARXModel.from_dict(d["linear"]),
+                   up=GaussianRBF.from_dict(d["up"]),
+                   down=GaussianRBF.from_dict(d["down"]),
+                   up_order=int(d["up_order"]),
+                   down_order=int(d["down_order"]),
+                   meta=d.get("meta", {}))
+
+
+@dataclass
+class CVReceiverModel:
+    """Shunt capacitor + static nonlinear resistor (the paper's C-V model).
+
+    The static I-V is a lookup table ``(v_grid, i_grid)`` with linear
+    interpolation; the capacitance is a single constant.  This is the
+    simplest member of the class defined by eq. (2).
+    """
+
+    name: str
+    capacitance: float
+    v_grid: np.ndarray
+    i_grid: np.ndarray
+    vdd: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.v_grid = np.asarray(self.v_grid, dtype=float)
+        self.i_grid = np.asarray(self.i_grid, dtype=float)
+        if self.v_grid.ndim != 1 or self.v_grid.shape != self.i_grid.shape:
+            raise ModelError("v_grid and i_grid must be equal-length 1-D")
+        if np.any(np.diff(self.v_grid) <= 0):
+            raise ModelError("v_grid must be strictly increasing")
+        if self.capacitance <= 0:
+            raise ModelError("capacitance must be positive")
+
+    def static_current(self, v) -> np.ndarray:
+        """Table lookup with end-slope extrapolation."""
+        v = np.asarray(v, dtype=float)
+        out = np.interp(v, self.v_grid, self.i_grid)
+        # linear extrapolation beyond the table
+        lo_slope = ((self.i_grid[1] - self.i_grid[0])
+                    / (self.v_grid[1] - self.v_grid[0]))
+        hi_slope = ((self.i_grid[-1] - self.i_grid[-2])
+                    / (self.v_grid[-1] - self.v_grid[-2]))
+        out = np.where(v < self.v_grid[0],
+                       self.i_grid[0] + lo_slope * (v - self.v_grid[0]), out)
+        out = np.where(v > self.v_grid[-1],
+                       self.i_grid[-1] + hi_slope * (v - self.v_grid[-1]), out)
+        return out
+
+    def static_conductance(self, v: float) -> float:
+        """Slope of the table at ``v`` (for Newton stamps)."""
+        eps = 1e-4
+        i1 = float(self.static_current(np.array(v + eps)))
+        i0 = float(self.static_current(np.array(v - eps)))
+        return (i1 - i0) / (2 * eps)
+
+    def simulate(self, v: np.ndarray, ts: float) -> np.ndarray:
+        """i = C dv/dt + g(v) along a sampled voltage (central differences)."""
+        v = np.asarray(v, dtype=float)
+        dvdt = np.gradient(v, ts)
+        return self.capacitance * dvdt + self.static_current(v)
+
+    def to_dict(self) -> dict:
+        return {"kind": "cv_receiver", "name": self.name,
+                "capacitance": self.capacitance, "vdd": self.vdd,
+                "v_grid": self.v_grid.tolist(),
+                "i_grid": self.i_grid.tolist(), "meta": dict(self.meta)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CVReceiverModel":
+        if d.get("kind") != "cv_receiver":
+            raise ModelError("not a cv_receiver payload")
+        return cls(name=d["name"], capacitance=float(d["capacitance"]),
+                   v_grid=np.asarray(d["v_grid"]),
+                   i_grid=np.asarray(d["i_grid"]), vdd=float(d["vdd"]),
+                   meta=d.get("meta", {}))

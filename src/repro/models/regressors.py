@@ -1,0 +1,145 @@
+"""Regressor construction for the NARX-type parametric models.
+
+The paper's submodels relate the port current sample ``i(k)`` to the present
+and past ``r`` samples of the port voltage and the past ``r`` samples of the
+port current (``r`` is the *dynamic order*):
+
+    x(k) = [v(k), v(k-1), ..., v(k-r), i(k-1), ..., i(k-r)]
+
+This module builds such regression matrices from sampled records and provides
+the column scaler that keeps Gaussian RBF distances well conditioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EstimationError
+
+__all__ = ["build_regressors", "build_nfir_regressors", "regressor_dim",
+           "RegressorScaler", "static_anchor_rows"]
+
+
+def regressor_dim(order: int) -> int:
+    """Dimension of the regressor vector for dynamic order ``order``."""
+    return 2 * order + 1
+
+
+def build_regressors(v: np.ndarray, i: np.ndarray, order: int
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(X, y)`` with ``X[k] = [v(k..k-r), i(k-1..k-r)]``, ``y = i(k)``.
+
+    Rows start at ``k = order`` so every lag is available.
+    """
+    v = np.asarray(v, dtype=float)
+    i = np.asarray(i, dtype=float)
+    if v.ndim != 1 or v.shape != i.shape:
+        raise EstimationError("v and i must be equal-length 1-D arrays")
+    if order < 0:
+        raise EstimationError("order must be non-negative")
+    n = v.size
+    if n <= order + 1:
+        raise EstimationError(
+            f"record too short ({n} samples) for order {order}")
+    rows = n - order
+    d = regressor_dim(order)
+    X = np.empty((rows, d))
+    for j in range(order + 1):
+        X[:, j] = v[order - j:n - j]
+    for j in range(1, order + 1):
+        X[:, order + j] = i[order - j:n - j]
+    y = i[order:]
+    return X, y
+
+
+def build_nfir_regressors(v: np.ndarray, y: np.ndarray, order: int
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Voltage-lags-only regressors: ``X[k] = [v(k), ..., v(k-r)]``.
+
+    Used for the receiver protection submodels: with no output feedback the
+    free-run is unconditionally stable, and the linear dynamics are already
+    carried by the ARX part of eq. (2).
+    """
+    v = np.asarray(v, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if v.ndim != 1 or v.shape != y.shape:
+        raise EstimationError("v and y must be equal-length 1-D arrays")
+    if order < 0:
+        raise EstimationError("order must be non-negative")
+    n = v.size
+    if n <= order + 1:
+        raise EstimationError(
+            f"record too short ({n} samples) for order {order}")
+    X = np.empty((n - order, order + 1))
+    for j in range(order + 1):
+        X[:, j] = v[order - j:n - j]
+    return X, y[order:]
+
+
+@dataclass
+class RegressorScaler:
+    """Affine column scaler ``z = (x - mean) / scale`` for RBF distances.
+
+    ``fit`` uses per-column mean and a robust scale (std, floored to protect
+    constant columns).  Also remembers per-column min/max of the training
+    data so simulation-time regressors can be clipped to the fitted box --
+    the documented safeguard against free-run excursions outside the region
+    the RBF submodels were estimated on.
+    """
+
+    mean: np.ndarray | None = None
+    scale: np.ndarray | None = None
+    lo: np.ndarray | None = None
+    hi: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "RegressorScaler":
+        X = np.asarray(X, dtype=float)
+        self.mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        floor = 1e-12 * max(float(np.max(np.abs(X))), 1.0)
+        self.scale = np.where(std > floor, std, 1.0)
+        margin = 0.05 * (X.max(axis=0) - X.min(axis=0) + 1e-30)
+        self.lo = X.min(axis=0) - margin
+        self.hi = X.max(axis=0) + margin
+        return self
+
+    def transform(self, X: np.ndarray, clip: bool = False) -> np.ndarray:
+        if self.mean is None:
+            raise EstimationError("scaler not fitted")
+        X = np.asarray(X, dtype=float)
+        if clip:
+            X = np.clip(X, self.lo, self.hi)
+        return (X - self.mean) / self.scale
+
+    def to_dict(self) -> dict:
+        return {"mean": self.mean.tolist(), "scale": self.scale.tolist(),
+                "lo": self.lo.tolist(), "hi": self.hi.tolist()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RegressorScaler":
+        return cls(mean=np.asarray(d["mean"]), scale=np.asarray(d["scale"]),
+                   lo=np.asarray(d["lo"]), hi=np.asarray(d["hi"]))
+
+
+def static_anchor_rows(v_grid: np.ndarray, i_grid: np.ndarray, order: int,
+                       n_dynamic: int, fraction: float = 0.5
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Replicated fixed-point rows ``[v..v, i..i] -> i`` from a DC sweep.
+
+    One-step least squares leaves the NARX free-run statics poorly pinned
+    when the sum of the current-feedback coefficients approaches one (slow
+    discrete pole): a tiny one-step residual then shifts the fixed point by
+    ``residual / (1 - sum a_i)``.  Adding exact, heavily replicated
+    fixed-point equations from a DC sweep pins the statics without
+    disturbing the dynamic fit.
+    """
+    v_grid = np.asarray(v_grid, dtype=float)
+    i_grid = np.asarray(i_grid, dtype=float)
+    reps = max(1, int(fraction * n_dynamic / max(v_grid.size, 1)))
+    X_s = np.hstack([np.repeat(v_grid[:, None], order + 1, axis=1),
+                     np.repeat(i_grid[:, None], order, axis=1)])
+    X_s = np.tile(X_s, (reps, 1))
+    y_s = np.tile(i_grid, reps)
+    return X_s, y_s

@@ -1,0 +1,41 @@
+"""Model persistence: save/load estimated macromodels as JSON files.
+
+Estimation costs seconds; EMC decks are simulated thousands of times.  The
+paper's workflow ships estimated models as SPICE subcircuit files -- the
+JSON payloads here are the library-native equivalent (every model class also
+emits its subcircuit form via :mod:`repro.models.synthesis`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ModelError
+from .driver import PWRBFDriverModel
+from .receiver import CVReceiverModel, ParametricReceiverModel
+
+__all__ = ["save_model", "load_model"]
+
+_KINDS = {
+    "pwrbf_driver": PWRBFDriverModel,
+    "parametric_receiver": ParametricReceiverModel,
+    "cv_receiver": CVReceiverModel,
+}
+
+
+def save_model(model, path: str | Path) -> None:
+    """Serialize any estimated macromodel to a JSON file."""
+    payload = model.to_dict()
+    if payload.get("kind") not in _KINDS:
+        raise ModelError(f"unknown model kind {payload.get('kind')!r}")
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_model(path: str | Path):
+    """Load a macromodel saved by :func:`save_model` (kind auto-detected)."""
+    payload = json.loads(Path(path).read_text())
+    kind = payload.get("kind")
+    if kind not in _KINDS:
+        raise ModelError(f"file {path} holds unknown model kind {kind!r}")
+    return _KINDS[kind].from_dict(payload)

@@ -1,0 +1,119 @@
+"""Discrete-time -> continuous-time state-space conversion (paper Section 2).
+
+The estimated models are discrete-time; the paper implements them in SPICE
+"by converting equation (1) into a continuous time state-space model and by
+synthesizing it via RC circuits with controlled sources".  This module does
+the linear-algebra half of that step:
+
+* :func:`arx_to_discrete_ss` -- ARX polynomial -> controllable-canonical
+  discrete state space;
+* :func:`discrete_to_continuous` -- inverse bilinear (Tustin) map, which is
+  exact for the trapezoidal integrator the circuit simulator applies to the
+  synthesized RC network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from .arx import ARXModel
+
+__all__ = ["StateSpace", "arx_to_discrete_ss", "discrete_to_continuous"]
+
+
+@dataclass
+class StateSpace:
+    """``x' = A x + B u; y = C x + D u`` (continuous) or the discrete analog."""
+
+    A: np.ndarray
+    B: np.ndarray
+    C: np.ndarray
+    D: float
+    discrete: bool
+    ts: float | None = None
+
+    def __post_init__(self):
+        self.A = np.atleast_2d(np.asarray(self.A, dtype=float))
+        self.B = np.asarray(self.B, dtype=float).reshape(-1)
+        self.C = np.asarray(self.C, dtype=float).reshape(-1)
+        self.D = float(self.D)
+        n = self.A.shape[0]
+        if self.A.shape != (n, n) or self.B.size != n or self.C.size != n:
+            raise ModelError("inconsistent state-space dimensions")
+
+    @property
+    def order(self) -> int:
+        return self.A.shape[0]
+
+    def transfer_at(self, s_or_z: complex) -> complex:
+        """Transfer function value at a complex frequency point."""
+        n = self.order
+        M = s_or_z * np.eye(n) - self.A
+        return complex(self.C @ np.linalg.solve(M, self.B) + self.D)
+
+    def simulate_discrete(self, u: np.ndarray) -> np.ndarray:
+        """Step the discrete recursion along an input sequence."""
+        if not self.discrete:
+            raise ModelError("simulate_discrete needs a discrete system")
+        x = np.zeros(self.order)
+        y = np.empty(u.size)
+        for k, uk in enumerate(np.asarray(u, dtype=float)):
+            y[k] = self.C @ x + self.D * uk
+            x = self.A @ x + self.B * uk
+        return y
+
+
+def arx_to_discrete_ss(model: ARXModel, ts: float) -> StateSpace:
+    """ARX ``i(k) = sum b_j v(k-j) - sum a_j i(k-j)`` to state space.
+
+    Uses the explicit (non-minimal, 2r-state) shift-register realization
+    ``x = [i(k-1)..i(k-r), v(k-1)..v(k-r)]`` -- correct by construction and
+    directly synthesizable with one integrator per state.  The constant
+    offset ``c`` is handled separately by the synthesis backend.
+    """
+    r = model.order
+    if r == 0:
+        return StateSpace(np.zeros((1, 1)), np.zeros(1), np.zeros(1),
+                          float(model.b[0]), discrete=True, ts=ts)
+    a = np.asarray(model.a, dtype=float)
+    b = np.asarray(model.b, dtype=float)
+    n = 2 * r
+    C = np.concatenate([-a, b[1:]])
+    D = float(b[0])
+    A = np.zeros((n, n))
+    B = np.zeros(n)
+    A[0, :] = C          # i(k-1)' = i(k) = C x + D u
+    B[0] = D
+    for j in range(1, r):
+        A[j, j - 1] = 1.0            # shift the current history
+    B[r] = 1.0                       # v(k-1)' = u
+    for j in range(1, r):
+        A[r + j, r + j - 1] = 1.0    # shift the voltage history
+    return StateSpace(A, B, C, D, discrete=True, ts=ts)
+
+
+def discrete_to_continuous(ss: StateSpace) -> StateSpace:
+    """Inverse bilinear (Tustin) transform.
+
+    Maps ``z = (1 + s T/2) / (1 - s T/2)``; a circuit simulator integrating
+    the resulting continuous network with the trapezoidal rule at step ``T``
+    reproduces the discrete model exactly (the synthesis guarantee the paper
+    relies on).
+    """
+    if not ss.discrete or ss.ts is None:
+        raise ModelError("need a discrete system with a sampling time")
+    T = ss.ts
+    n = ss.order
+    identity = np.eye(n)
+    M = ss.A + identity
+    if abs(np.linalg.det(M)) < 1e-300:
+        raise ModelError("bilinear transform singular: pole at z = -1")
+    M_inv = np.linalg.inv(M)
+    A_c = (2.0 / T) * (ss.A - identity) @ M_inv
+    B_c = (2.0 / T) * ((identity - (ss.A - identity) @ M_inv) @ ss.B)
+    C_c = ss.C @ M_inv
+    D_c = ss.D - float(ss.C @ M_inv @ ss.B)
+    return StateSpace(A_c, B_c, C_c, D_c, discrete=False, ts=T)

@@ -1,0 +1,233 @@
+"""Equivalent-circuit synthesis of the estimated macromodels (Section 2).
+
+The paper implements its models in SPICE "by converting [them] into a
+continuous time state-space model and by synthesizing it via RC circuits
+with controlled sources".  This module builds that equivalent circuit, both
+as native engine elements and as SPICE-like netlist text:
+
+* the **linear ARX part** maps exactly: inverse-bilinear state space (see
+  :mod:`repro.models.statespace`), realized with 1 F integrator capacitors
+  and VCCS elements -- trapezoidal integration of that network at ``dt = Ts``
+  reproduces the discrete recursion to rounding error;
+* **tapped-delay regressors** of the RBF parts are realized with chains of
+  first-order RC lags of time constant ``Ts`` (a Pade-style delay
+  approximation, accurate for signal content below ``~1/(2 pi Ts)``);
+* the **RBF nonlinearities** become behavioral current sources (SPICE
+  ``B``-elements) whose expression text this module also emits.
+
+The delay-chain approximation is the one documented deviation from the
+mathematically exact discrete elements of :mod:`repro.models.elements`;
+tests bound the deviation on the paper's validation waveforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuit import (VCVS, Capacitor, Circuit, CurrentSource, Resistor,
+                       VCCS, VoltageSource)
+from ..circuit.elements.controlled import NonlinearCurrentSource
+from ..circuit.waveforms import PiecewiseLinear
+from ..errors import ModelError
+from .driver import PWRBFDriverModel
+from .rbf import GaussianRBF
+from .receiver import ParametricReceiverModel
+from .statespace import arx_to_discrete_ss, discrete_to_continuous
+
+__all__ = ["SynthesisResult", "synthesize_receiver", "synthesize_driver",
+           "rbf_expression"]
+
+
+@dataclass
+class SynthesisResult:
+    """Synthesized subcircuit: live elements plus the netlist text."""
+
+    elements: list = field(default_factory=list)
+    netlist: str = ""
+    nodes: dict = field(default_factory=dict)
+
+
+def rbf_expression(model: GaussianRBF, controls: list[str]) -> str:
+    """SPICE B-source expression text for an RBF network.
+
+    ``controls`` are node names supplying the raw regressor components in
+    order.  Clipping is emitted with min/max just like the runtime applies.
+    """
+    sc = model.scaler
+    terms = []
+    zs = []
+    for j, node in enumerate(controls):
+        clipped = f"min(max(v({node}),{sc.lo[j]:.6g}),{sc.hi[j]:.6g})"
+        zs.append(f"(({clipped})-({sc.mean[j]:.6g}))/({sc.scale[j]:.6g})")
+    for c_row, w in zip(model.centers, model.weights):
+        d2 = "+".join(f"({z}-({c:.6g}))**2" for z, c in zip(zs, c_row))
+        terms.append(f"({w:.6g})*exp(-({d2})/({2.0 * model.sigma ** 2:.6g}))")
+    for j, z in enumerate(zs):
+        if model.affine[j] != 0.0:
+            terms.append(f"({model.affine[j]:.6g})*({z})")
+    terms.append(f"({model.bias:.6g})")
+    return " + ".join(terms)
+
+
+def _delay_chain(ckt: Circuit, prefix: str, src_node: str, n_taps: int,
+                 ts: float, elements: list, stages: int = 3) -> list[str]:
+    """RC lag chains approximating unit delays of ``ts`` seconds per tap.
+
+    Each tap delay is realized as ``stages`` cascaded first-order lags of
+    time constant ``ts/stages``: the cascade keeps the group delay at ``ts``
+    while pushing the dispersion to higher frequency than a single pole
+    (Pade-style all-pole delay approximation).
+    """
+    taps = []
+    # unity-gain buffer isolates the lag chain from the source node --
+    # without it the 1 ohm chain would load the port
+    buf = f"{prefix}_buf"
+    elements.append(ckt.add(VCVS(f"{prefix}_ebuf", buf, "0", src_node, "0",
+                                 1.0)))
+    prev = buf
+    tau = ts / stages
+    for j in range(n_taps):
+        for m in range(stages):
+            node = f"{prefix}_d{j + 1}_{m}" if m < stages - 1 \
+                else f"{prefix}_d{j + 1}"
+            elements.append(ckt.add(Resistor(f"{prefix}_rd{j + 1}_{m}",
+                                             prev, node, 1.0)))
+            elements.append(ckt.add(Capacitor(f"{prefix}_cd{j + 1}_{m}",
+                                              node, "0", tau)))
+            prev = node
+        taps.append(prev)
+    return taps
+
+
+def _linear_part(ckt: Circuit, prefix: str, port: str, linear, ts: float,
+                 elements: list, lines: list) -> None:
+    """Integrator/VCCS realization of the continuous ARX state space."""
+    ss_d = arx_to_discrete_ss(linear, ts)
+    ss_c = discrete_to_continuous(ss_d)
+    n = ss_c.order
+    state_nodes = [f"{prefix}_x{k}" for k in range(n)]
+    for k, node in enumerate(state_nodes):
+        elements.append(ckt.add(Capacitor(f"{prefix}_cx{k}", node, "0", 1.0)))
+        lines.append(f"C{prefix}x{k} {node} 0 1")
+        # dx_k/dt currents: A row into the 1 F cap + B from the port voltage
+        for j, a in enumerate(ss_c.A[k]):
+            if a != 0.0:
+                elements.append(ckt.add(VCCS(f"{prefix}_ga{k}_{j}", "0", node,
+                                             state_nodes[j], "0", a)))
+                lines.append(f"G{prefix}a{k}_{j} 0 {node} "
+                             f"{state_nodes[j]} 0 {a:.9g}")
+        if ss_c.B[k] != 0.0:
+            elements.append(ckt.add(VCCS(f"{prefix}_gb{k}", "0", node,
+                                         port, "0", ss_c.B[k])))
+            lines.append(f"G{prefix}b{k} 0 {node} {port} 0 {ss_c.B[k]:.9g}")
+        # small leak keeps the integrator node well-conditioned
+        elements.append(ckt.add(Resistor(f"{prefix}_rlk{k}", node, "0",
+                                         1e12)))
+        lines.append(f"R{prefix}lk{k} {node} 0 1e12")
+    # output: i = C x + D v + offset, drawn from the port
+    for j, c in enumerate(ss_c.C):
+        if c != 0.0:
+            elements.append(ckt.add(VCCS(f"{prefix}_gc{j}", port, "0",
+                                         state_nodes[j], "0", c)))
+            lines.append(f"G{prefix}c{j} {port} 0 {state_nodes[j]} 0 {c:.9g}")
+    if ss_c.D != 0.0:
+        elements.append(ckt.add(VCCS(f"{prefix}_gd", port, "0", port, "0",
+                                     ss_c.D)))
+        lines.append(f"G{prefix}d {port} 0 {port} 0 {ss_c.D:.9g}")
+    denom = 1.0 + float(np.sum(linear.a))
+    offset = linear.c / denom if abs(denom) > 1e-12 else 0.0
+    if offset != 0.0:
+        elements.append(ckt.add(CurrentSource(f"{prefix}_ioff", port, "0",
+                                              offset)))
+        lines.append(f"I{prefix}off {port} 0 {offset:.9g}")
+
+
+def synthesize_receiver(ckt: Circuit, model: ParametricReceiverModel,
+                        name: str, port: str) -> SynthesisResult:
+    """Build the receiver macromodel as an RC/controlled-source subcircuit."""
+    elements: list = []
+    lines = [f"* synthesized parametric receiver {model.name}"]
+    _linear_part(ckt, f"{name}_lin", port, model.linear, model.ts,
+                 elements, lines)
+    n_taps = max(model.up_order, model.down_order)
+    taps = _delay_chain(ckt, f"{name}_v", port, n_taps, model.ts, elements)
+    for j, node in enumerate(taps):
+        lines.append(f"R{name}vd{j} {'port' if j == 0 else taps[j-1]} "
+                     f"{node} 1")
+        lines.append(f"C{name}vd{j} {node} 0 {model.ts:.6g}")
+    for sub, order, tag in ((model.up, model.up_order, "up"),
+                            (model.down, model.down_order, "dn")):
+        controls = [port, *taps[:order]]
+        compiled = sub.compile()
+        elements.append(ckt.add(NonlinearCurrentSource(
+            f"{name}_b{tag}", port, "0", controls,
+            f=lambda vs, t, c=compiled: c.eval_grad(list(vs))[0],
+            dfdv=None)))
+        lines.append(f"B{name}{tag} {port} 0 "
+                     f"I={rbf_expression(sub, controls)}")
+    return SynthesisResult(elements=elements, netlist="\n".join(lines),
+                           nodes={"port": port})
+
+
+def synthesize_driver(ckt: Circuit, model: PWRBFDriverModel, name: str,
+                      port: str, pattern: str, bit_time: float,
+                      t_stop: float) -> SynthesisResult:
+    """Build the PW-RBF driver as a behavioral subcircuit.
+
+    The switching weights become piecewise-linear voltage sources on
+    internal nodes (the SPICE-file equivalent of the paper's precomputed
+    weight sequences); the model current feeds back through an auxiliary
+    1 ohm node carrying ``v = i_model`` so its delayed samples are available
+    as regressors.
+    """
+    from ..circuit.waveforms import BitPattern
+    elements: list = []
+    lines = [f"* synthesized PW-RBF driver {model.name}"]
+    wave = BitPattern(pattern, bit_time=bit_time, v_low=0.0,
+                      v_high=model.vdd)
+    n = int(round(t_stop / model.ts)) + 2
+    wh, wl = model.weights_timeline(wave.edges(), n, pattern[0])
+    t_grid = model.ts * np.arange(n)
+    w_nodes = {}
+    for tag, w in (("wh", wh), ("wl", wl)):
+        node = f"{name}_{tag}"
+        w_nodes[tag] = node
+        elements.append(ckt.add(VoltageSource(
+            f"{name}_v{tag}", node, "0",
+            PiecewiseLinear(t_grid, w))))
+        lines.append(f"V{name}{tag} {node} 0 PWL(...)  * weight sequence")
+        elements.append(ckt.add(Resistor(f"{name}_r{tag}", node, "0", 1e6)))
+
+    r = model.order
+    v_taps = _delay_chain(ckt, f"{name}_v", port, r, model.ts, elements)
+    # auxiliary node y carries the model current as a voltage (1 ohm scale)
+    y = f"{name}_y"
+    elements.append(ckt.add(Resistor(f"{name}_ry", y, "0", 1.0)))
+    y_taps = _delay_chain(ckt, f"{name}_y", y, r, model.ts, elements)
+
+    fh = model.sub_high.compile()
+    fl = model.sub_low.compile()
+    controls = [port, *v_taps, *y_taps, w_nodes["wh"], w_nodes["wl"]]
+
+    def eq1(vs, t):
+        x = list(vs[:2 * r + 1])
+        w_h, w_l = vs[-2], vs[-1]
+        out = 0.0
+        if w_h != 0.0:
+            out += w_h * fh.eval_grad(x)[0]
+        if w_l != 0.0:
+            out += w_l * fl.eval_grad(x)[0]
+        return out
+
+    # current injected into the y node so that v(y) = i_model
+    elements.append(ckt.add(NonlinearCurrentSource(
+        f"{name}_by", "0", y, controls, f=eq1)))
+    # and the same current drawn from the port
+    elements.append(ckt.add(NonlinearCurrentSource(
+        f"{name}_bp", port, "0", controls, f=eq1)))
+    lines.append(f"B{name}y 0 {y} I=wH*fH(...)+wL*fL(...)")
+    lines.append(f"B{name}p {port} 0 I=v({y})")
+    return SynthesisResult(elements=elements, netlist="\n".join(lines),
+                           nodes={"port": port, "y": y})

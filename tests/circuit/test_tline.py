@@ -1,0 +1,370 @@
+"""Transmission-line elements: delays, reflections, coupling, loss."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (Capacitor, Circuit, CoupledIdealLine, IdealLine,
+                           LineSpec, Resistor, TransientOptions,
+                           VoltageSource, add_lossy_line, add_rlgc_ladder,
+                           fit_skin_ladder, modal_decomposition,
+                           run_transient, solve_dcop)
+from repro.circuit.waveforms import Constant, Step
+from repro.errors import CircuitError
+
+Z0 = 50.0
+TD = 1e-9
+
+
+def line_setup(load: str, rs: float = Z0, z0: float = Z0, td: float = TD,
+               rise: float = 50e-12):
+    """Source -> Rs -> line -> load ('open', 'short', 'matched', 'cap')."""
+    ckt = Circuit("line")
+    ckt.add(VoltageSource("vs", "src", "0", Step(v1=1.0, t0=0.1e-9, rise=rise)))
+    ckt.add(Resistor("rs", "src", "ne", rs))
+    ckt.add(IdealLine("t1", "ne", "fe", z0, td))
+    if load == "matched":
+        ckt.add(Resistor("rl", "fe", "0", z0))
+    elif load == "short":
+        ckt.add(Resistor("rl", "fe", "0", 1e-3))
+    elif load == "cap":
+        ckt.add(Capacitor("cl", "fe", "0", 5e-12))
+    elif load == "open":
+        ckt.add(Resistor("rl", "fe", "0", 1e9))
+    return ckt
+
+
+def run(ckt, t_stop=8e-9, dt=10e-12):
+    return run_transient(ckt, TransientOptions(dt=dt, t_stop=t_stop))
+
+
+class TestIdealLine:
+    def test_matched_no_reflection(self):
+        res = run(line_setup("matched"))
+        v_ne = res.v("ne")
+        # after the edge settles, near end sits at 0.5 V forever (no echo)
+        settled = v_ne[res.t > 1e-9]
+        assert np.allclose(settled, 0.5, atol=5e-3)
+
+    def test_far_end_delay(self):
+        res = run(line_setup("matched"))
+        v_fe = res.v("fe")
+        # edge at source 0.1 ns, arrival at far end 0.1 + 1.0 ns
+        t_cross = res.t[np.argmax(v_fe > 0.25)]
+        assert t_cross == pytest.approx(0.1e-9 + TD + 25e-12, abs=60e-12)
+
+    def test_open_end_doubles(self):
+        res = run(line_setup("open"))
+        v_fe = res.v("fe")
+        idx = (res.t > 1.5e-9) & (res.t < 2.0e-9)
+        assert np.allclose(v_fe[idx], 1.0, atol=0.01)
+
+    def test_short_end_zero(self):
+        res = run(line_setup("short"))
+        v_fe = res.v("fe")
+        assert np.max(np.abs(v_fe)) < 0.01
+
+    def test_mismatch_reflection_coefficient(self):
+        # Rs = 3*Z0 source, open line: first plateau at near end is
+        # v * Z0/(Z0+Rs) = 0.25, far end first sees 0.5
+        res = run(line_setup("open", rs=3 * Z0))
+        v_ne = res.v("ne")
+        idx = (res.t > 0.5e-9) & (res.t < 1.9e-9)
+        assert np.allclose(v_ne[idx], 0.25, atol=0.01)
+
+    def test_round_trip_echo_timing(self):
+        # open far end: near-end steps up again after 2*td
+        res = run(line_setup("open", rs=3 * Z0))
+        v_ne = res.v("ne")
+        t_second = res.t[np.argmax(v_ne > 0.3)]
+        assert t_second == pytest.approx(0.1e-9 + 2 * TD, abs=0.1e-9)
+
+    def test_dc_through_connection(self):
+        ckt = Circuit("dc")
+        ckt.add(VoltageSource("vs", "a", "0", Constant(2.0)))
+        ckt.add(Resistor("rs", "a", "ne", 100.0))
+        ckt.add(IdealLine("t1", "ne", "fe", Z0, TD))
+        ckt.add(Resistor("rl", "fe", "0", 100.0))
+        op = solve_dcop(ckt)
+        assert op.v("fe") == pytest.approx(1.0, rel=1e-6)
+        assert op.v("ne") == pytest.approx(1.0, rel=1e-6)
+
+    def test_dt_exceeding_delay_rejected(self):
+        ckt = line_setup("matched")
+        with pytest.raises(CircuitError):
+            run_transient(ckt, TransientOptions(dt=2 * TD, t_stop=10 * TD))
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(CircuitError):
+            IdealLine("t", "a", "b", -50.0, 1e-9)
+        with pytest.raises(CircuitError):
+            IdealLine("t", "a", "b", 50.0, 0.0)
+
+
+SYM_L = np.array([[300e-9, 60e-9], [60e-9, 300e-9]])
+SYM_C = np.array([[100e-12, -5e-12], [-5e-12, 100e-12]])
+
+
+class TestModalDecomposition:
+    def test_scalar_reduces_to_textbook(self):
+        W, zm, tau = modal_decomposition([[250e-9]], [[100e-12]])
+        # terminal impedance Zc = W^-T zm W^-1 must equal sqrt(L/C)
+        z0 = zm[0] / W[0, 0] ** 2
+        assert z0 == pytest.approx(np.sqrt(250e-9 / 100e-12), rel=1e-9)
+        assert tau[0] == pytest.approx(np.sqrt(250e-9 * 100e-12), rel=1e-9)
+
+    def test_symmetric_pair_modes(self):
+        W, zm, tau = modal_decomposition(SYM_L, SYM_C)
+        # even/odd mode velocities from (L11 +/- L12)(C11 +/- C12)
+        v_pairs = sorted([tau[0], tau[1]])
+        expect = sorted([np.sqrt((300e-9 + 60e-9) * (100e-12 - 5e-12)),
+                         np.sqrt((300e-9 - 60e-9) * (100e-12 + 5e-12))])
+        np.testing.assert_allclose(v_pairs, expect, rtol=1e-9)
+
+    def test_characteristic_impedance_spd(self):
+        W, zm, _ = modal_decomposition(SYM_L, SYM_C)
+        w_inv = np.linalg.inv(W)
+        zc = w_inv.T @ np.diag(zm) @ w_inv
+        assert np.allclose(zc, zc.T)
+        assert np.all(np.linalg.eigvalsh(zc) > 0)
+        # symmetric geometry: equal diagonal entries, positive mutual
+        assert zc[0, 0] == pytest.approx(zc[1, 1], rel=1e-9)
+        assert zc[0, 1] > 0
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(CircuitError):
+            modal_decomposition([[1e-9, 0.5e-9], [0.4e-9, 1e-9]],
+                                [[1e-12, 0], [0, 1e-12]])
+
+    @given(st.floats(0.05, 0.45), st.floats(0.01, 0.3))
+    @settings(max_examples=30, deadline=None)
+    def test_random_coupling_produces_valid_modes(self, kl, kc):
+        L = 300e-9 * np.array([[1.0, kl], [kl, 1.0]])
+        C = 100e-12 * np.array([[1.0, -kc], [-kc, 1.0]])
+        W, zm, tau = modal_decomposition(L, C)
+        assert np.all(zm > 0) and np.all(tau > 0)
+        # round trip: W diag(zm^2)?? -> check L*C = W diag(tau^2) W^-1
+        lam = np.diag(tau ** 2)
+        np.testing.assert_allclose(L @ C, W @ lam @ np.linalg.inv(W),
+                                   rtol=1e-8, atol=1e-22)
+
+
+class TestCoupledIdealLine:
+    def test_uncoupled_matches_single_line(self):
+        L = np.diag([250e-9, 250e-9])
+        C = np.diag([100e-12, 100e-12])
+        z0 = np.sqrt(250e-9 / 100e-12)
+        td = 0.4 * np.sqrt(250e-9 * 100e-12)
+
+        def build(coupled: bool) -> Circuit:
+            ckt = Circuit("x")
+            ckt.add(VoltageSource("vs", "src", "0",
+                                  Step(v1=1.0, t0=0.1e-9, rise=50e-12)))
+            ckt.add(Resistor("rs", "src", "ne1", z0))
+            ckt.add(Resistor("rq", "ne2", "0", z0))
+            if coupled:
+                ckt.add(CoupledIdealLine("tc", ["ne1", "ne2"],
+                                         ["fe1", "fe2"], L, C, 0.4))
+            else:
+                ckt.add(IdealLine("ta", "ne1", "fe1", z0, td))
+                ckt.add(IdealLine("tb", "ne2", "fe2", z0, td))
+            ckt.add(Resistor("rl1", "fe1", "0", z0))
+            ckt.add(Resistor("rl2", "fe2", "0", z0))
+            return ckt
+
+        opts = TransientOptions(dt=10e-12, t_stop=6e-9)
+        ref = run_transient(build(False), opts)
+        cpl = run_transient(build(True), opts)
+        np.testing.assert_allclose(cpl.v("fe1"), ref.v("fe1"), atol=1e-6)
+        assert np.max(np.abs(cpl.v("fe2"))) < 1e-9  # no crosstalk
+
+    def coupled_setup(self, L=SYM_L, C=SYM_C, length=0.1):
+        ckt = Circuit("ct")
+        ckt.add(VoltageSource("vs", "src", "0",
+                              Step(v1=1.0, t0=0.2e-9, rise=100e-12)))
+        ckt.add(Resistor("rs", "src", "ne1", Z0))
+        ckt.add(Resistor("rq", "ne2", "0", Z0))
+        ckt.add(CoupledIdealLine("tc", ["ne1", "ne2"], ["fe1", "fe2"],
+                                 L, C, length))
+        ckt.add(Resistor("rl1", "fe1", "0", Z0))
+        ckt.add(Resistor("rl2", "fe2", "0", Z0))
+        return ckt
+
+    def test_crosstalk_appears_on_quiet_line(self):
+        res = run_transient(self.coupled_setup(),
+                            TransientOptions(dt=10e-12, t_stop=6e-9))
+        assert np.max(np.abs(res.v("fe2"))) > 0.005
+        # victim disturbance must stay well below the aggressor signal
+        assert np.max(np.abs(res.v("fe2"))) < 0.5 * np.max(res.v("fe1"))
+
+    def test_homogeneous_medium_kills_far_end_crosstalk(self):
+        # When L*C = const * I (equal modal velocities), far-end crosstalk
+        # cancels to first order; make C proportional to inv(L).
+        L = SYM_L
+        v = 1.5e8
+        C = np.linalg.inv(L) / v ** 2
+        res = run_transient(self.coupled_setup(L=L, C=C),
+                            TransientOptions(dt=10e-12, t_stop=6e-9))
+        inhom = run_transient(self.coupled_setup(),
+                              TransientOptions(dt=10e-12, t_stop=6e-9))
+        assert np.max(np.abs(res.v("fe2"))) < 0.3 * np.max(np.abs(inhom.v("fe2")))
+
+    def test_symmetry_swap_conductors(self):
+        # driving land 2 instead of land 1 must mirror the solution
+        ckt = Circuit("swap")
+        ckt.add(VoltageSource("vs", "src", "0",
+                              Step(v1=1.0, t0=0.2e-9, rise=100e-12)))
+        ckt.add(Resistor("rs", "src", "ne2", Z0))
+        ckt.add(Resistor("rq", "ne1", "0", Z0))
+        ckt.add(CoupledIdealLine("tc", ["ne1", "ne2"], ["fe1", "fe2"],
+                                 SYM_L, SYM_C, 0.1))
+        ckt.add(Resistor("rl1", "fe1", "0", Z0))
+        ckt.add(Resistor("rl2", "fe2", "0", Z0))
+        opts = TransientOptions(dt=10e-12, t_stop=6e-9)
+        res_swapped = run_transient(ckt, opts)
+        res = run_transient(self.coupled_setup(), opts)
+        np.testing.assert_allclose(res_swapped.v("fe2"), res.v("fe1"),
+                                   atol=1e-9)
+
+
+class TestSkinLadder:
+    def test_fit_tracks_sqrt_f(self):
+        k = 1.6e-3  # ohm / sqrt(Hz)
+        lad = fit_skin_ladder(k, 1e7, 2e10, n_cells=4)
+        f = np.logspace(7.2, 10.2, 30)
+        re_z = lad.impedance(f).real
+        target = k * np.sqrt(f)
+        err = np.abs(re_z - target) / target
+        assert np.median(err) < 0.35
+
+    def test_monotone_resistance(self):
+        lad = fit_skin_ladder(1e-3, 1e7, 1e10)
+        f = np.logspace(6, 11, 50)
+        re_z = lad.impedance(f).real
+        assert np.all(np.diff(re_z) > -1e-12)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(CircuitError):
+            fit_skin_ladder(-1.0, 1e7, 1e10)
+        with pytest.raises(CircuitError):
+            fit_skin_ladder(1e-3, 1e10, 1e7)
+
+
+def mcm_spec(**kw):
+    defaults = dict(L=SYM_L, C=SYM_C, length=0.1, rdc=60.0,
+                    k_skin=0.0, tan_delta=0.0)
+    defaults.update(kw)
+    return LineSpec(**defaults)
+
+
+class TestLossyLine:
+    def single_spec(self, **kw):
+        d = dict(L=[[250e-9]], C=[[100e-12]], length=0.1, rdc=50.0)
+        d.update(kw)
+        return LineSpec(**d)
+
+    def test_dc_attenuation_matches_resistive_divider(self):
+        spec = self.single_spec()
+        ckt = Circuit("dcl")
+        ckt.add(VoltageSource("vs", "src", "0", Step(v1=1.0, rise=0.1e-9)))
+        ckt.add(Resistor("rs", "src", "ne", 50.0))
+        add_lossy_line(ckt, "lt", ["ne"], ["fe"], spec, n_sections=8)
+        ckt.add(Resistor("rl", "fe", "0", 50.0))
+        res = run_transient(ckt, TransientOptions(dt=20e-12, t_stop=40e-9))
+        # steady state: divider 50 / (50 + 5 + 50) with rdc*len = 5 ohm
+        assert res.v("fe")[-1] == pytest.approx(50.0 / 105.0, rel=0.01)
+
+    def test_cascade_matches_rlgc_ladder(self):
+        """Two independent discretizations must agree on the waveform."""
+        spec = self.single_spec()
+
+        def build(kind):
+            ckt = Circuit(kind)
+            ckt.add(VoltageSource("vs", "src", "0",
+                                  Step(v1=1.0, t0=0.5e-9, rise=200e-12)))
+            ckt.add(Resistor("rs", "src", "ne", 50.0))
+            if kind == "cascade":
+                add_lossy_line(ckt, "lt", ["ne"], ["fe"], spec, n_sections=10)
+            else:
+                add_rlgc_ladder(ckt, "lt", ["ne"], ["fe"], spec,
+                                n_sections=60)
+            ckt.add(Resistor("rl", "fe", "0", 50.0))
+            return ckt
+
+        opts = TransientOptions(dt=10e-12, t_stop=10e-9)
+        a = run_transient(build("cascade"), opts)
+        b = run_transient(build("ladder"), opts)
+        err = np.sqrt(np.mean((a.v("fe") - b.v("fe")) ** 2))
+        swing = np.max(np.abs(b.v("fe")))
+        assert err < 0.05 * swing
+
+    def test_coupled_lossy_crosstalk_sign_consistency(self):
+        spec = mcm_spec()
+        ckt = Circuit("cl")
+        ckt.add(VoltageSource("vs", "src", "0",
+                              Step(v1=1.0, t0=0.5e-9, rise=200e-12)))
+        ckt.add(Resistor("rs", "src", "ne1", 50.0))
+        ckt.add(Resistor("rq", "ne2", "0", 50.0))
+        add_lossy_line(ckt, "lt", ["ne1", "ne2"], ["fe1", "fe2"], spec,
+                       n_sections=6)
+        ckt.add(Capacitor("cl1", "fe1", "0", 1e-12))
+        ckt.add(Capacitor("cl2", "fe2", "0", 1e-12))
+        res = run_transient(ckt, TransientOptions(dt=10e-12, t_stop=15e-9))
+        v_fe1 = res.v("fe1")
+        v_fe2 = res.v("fe2")
+        assert v_fe1[-1] > 0.7          # signal arrives despite loss
+        assert np.max(np.abs(v_fe2)) > 1e-3   # some crosstalk
+        assert np.max(np.abs(v_fe2)) < 0.35 * np.max(v_fe1)
+
+    def test_skin_effect_slows_edge(self):
+        spec_noskin = self.single_spec()
+        spec_skin = self.single_spec(k_skin=2e-3)
+
+        def build(spec):
+            ckt = Circuit("sk")
+            ckt.add(VoltageSource("vs", "src", "0",
+                                  Step(v1=1.0, t0=0.5e-9, rise=100e-12)))
+            ckt.add(Resistor("rs", "src", "ne", 50.0))
+            add_lossy_line(ckt, "lt", ["ne"], ["fe"], spec, n_sections=8)
+            ckt.add(Resistor("rl", "fe", "0", 50.0))
+            return ckt
+
+        opts = TransientOptions(dt=10e-12, t_stop=12e-9)
+        fast = run_transient(build(spec_noskin), opts)
+        slow = run_transient(build(spec_skin), opts)
+        # skin effect attenuates the leading edge: 90% level reached later
+        lvl = 0.9 * fast.v("fe")[-1]
+        t_fast = fast.t[np.argmax(fast.v("fe") > lvl)]
+        t_slow = slow.t[np.argmax(slow.v("fe") > lvl)]
+        assert t_slow > t_fast
+
+    def test_dielectric_loss_attenuates(self):
+        lossless = self.single_spec(rdc=0.0)
+        lossy = self.single_spec(rdc=0.0, tan_delta=0.05, f_knee=1e9)
+
+        def build(spec):
+            ckt = Circuit("dl")
+            ckt.add(VoltageSource("vs", "src", "0",
+                                  Step(v1=1.0, t0=0.2e-9, rise=100e-12)))
+            ckt.add(Resistor("rs", "src", "ne", 50.0))
+            add_lossy_line(ckt, "lt", ["ne"], ["fe"], spec, n_sections=8)
+            ckt.add(Resistor("rl", "fe", "0", 50.0))
+            return ckt
+
+        opts = TransientOptions(dt=10e-12, t_stop=6e-9)
+        a = run_transient(build(lossless), opts)
+        b = run_transient(build(lossy), opts)
+        assert b.v("fe")[-1] < a.v("fe")[-1] - 1e-3
+
+    def test_spec_properties(self):
+        spec = self.single_spec()
+        assert spec.z0[0, 0] == pytest.approx(50.0, rel=1e-9)
+        assert spec.delay == pytest.approx(0.1 * np.sqrt(250e-9 * 100e-12),
+                                           rel=1e-9)
+        assert mcm_spec().n == 2
+
+    def test_wrong_terminal_count_rejected(self):
+        ckt = Circuit("bad")
+        with pytest.raises(CircuitError):
+            add_lossy_line(ckt, "lt", ["a"], ["b"], mcm_spec())

@@ -1,0 +1,230 @@
+"""Unit and property tests for source waveforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.waveforms import (BitPattern, Constant, Delayed,
+                                     MultilevelNoise, PiecewiseLinear, Pulse,
+                                     Sine, Step, Trapezoid)
+from repro.errors import WaveformError
+
+
+class TestConstant:
+    def test_scalar(self):
+        assert Constant(3.3)(0.5e-9) == pytest.approx(3.3)
+
+    def test_vectorized(self):
+        t = np.linspace(0, 1e-9, 7)
+        np.testing.assert_allclose(Constant(1.5)(t), 1.5)
+
+
+class TestStep:
+    def test_before_after(self):
+        w = Step(v0=0.0, v1=2.5, t0=1e-9, rise=100e-12)
+        assert w(0.0) == 0.0
+        assert w(2e-9) == 2.5
+
+    def test_midpoint_of_ramp(self):
+        w = Step(v0=0.0, v1=2.0, t0=0.0, rise=1e-9)
+        assert w(0.5e-9) == pytest.approx(1.0)
+
+    def test_ideal_step(self):
+        w = Step(v0=1.0, v1=-1.0, t0=1e-9, rise=0.0)
+        assert w(0.999e-9) == 1.0
+        assert w(1.0e-9) == -1.0
+
+    def test_breakpoints_inside_window(self):
+        w = Step(t0=1e-9, rise=0.2e-9)
+        np.testing.assert_allclose(w.breakpoints(2e-9), [1e-9, 1.2e-9])
+
+    def test_breakpoints_clipped(self):
+        w = Step(t0=5e-9, rise=0.2e-9)
+        assert len(w.breakpoints(1e-9)) == 0
+
+
+class TestPulse:
+    def test_levels(self):
+        w = Pulse(v1=0.0, v2=3.3, delay=1e-9, rise=0.1e-9, fall=0.1e-9,
+                  width=2e-9)
+        assert w(0.5e-9) == pytest.approx(0.0)
+        assert w(2e-9) == pytest.approx(3.3)
+        assert w(10e-9) == pytest.approx(0.0)
+
+    def test_edges_linear(self):
+        w = Pulse(v1=0.0, v2=1.0, delay=0.0, rise=1e-9, fall=1e-9, width=5e-9)
+        assert w(0.5e-9) == pytest.approx(0.5)
+        assert w(6.5e-9) == pytest.approx(0.5)
+
+    def test_periodic(self):
+        w = Pulse(v1=0.0, v2=1.0, delay=0.0, rise=0.1e-9, fall=0.1e-9,
+                  width=0.8e-9, period=2e-9)
+        assert w(0.5e-9) == pytest.approx(w(2.5e-9))
+        assert w(0.5e-9) == pytest.approx(w(4.5e-9))
+
+    def test_before_delay_is_v1(self):
+        w = Pulse(v1=-0.3, v2=1.0, delay=3e-9, period=2e-9)
+        assert w(1e-9) == pytest.approx(-0.3)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(WaveformError):
+            Pulse(width=-1.0)
+
+
+class TestTrapezoid:
+    def test_shape(self):
+        w = Trapezoid(amplitude=2.0, transition=100e-12, width=1e-9,
+                      delay=1e-9)
+        assert w(0.0) == pytest.approx(0.0)
+        assert w(1.05e-9) == pytest.approx(1.0)
+        assert w(1.6e-9) == pytest.approx(2.0)
+        assert w(5e-9) == pytest.approx(0.0)
+
+    def test_baseline_offset(self):
+        w = Trapezoid(amplitude=1.0, baseline=-0.5, width=1e-9,
+                      transition=0.1e-9)
+        assert w(0.0) == pytest.approx(-0.5)
+        assert w(0.5e-9) == pytest.approx(0.5)
+
+
+class TestPiecewiseLinear:
+    def test_interpolation(self):
+        w = PiecewiseLinear([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        assert w(0.5) == pytest.approx(0.5)
+        assert w(1.5) == pytest.approx(0.5)
+
+    def test_holds_outside(self):
+        w = PiecewiseLinear([1.0, 2.0], [5.0, 7.0])
+        assert w(0.0) == pytest.approx(5.0)
+        assert w(3.0) == pytest.approx(7.0)
+
+    def test_non_monotonic_rejected(self):
+        with pytest.raises(WaveformError):
+            PiecewiseLinear([0.0, 2.0, 1.0], [0.0, 1.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WaveformError):
+            PiecewiseLinear([0.0, 1.0], [0.0])
+
+    def test_from_samples(self):
+        w = PiecewiseLinear.from_samples([0.0, 1.0, 2.0], ts=1e-9)
+        assert w(0.5e-9) == pytest.approx(0.5)
+        assert w(2e-9) == pytest.approx(2.0)
+
+
+class TestBitPattern:
+    def test_levels_at_bit_centers(self):
+        w = BitPattern("010", bit_time=1e-9, v_high=2.5, transition=0.1e-9)
+        assert w(0.5e-9) == pytest.approx(0.0)
+        assert w(1.5e-9) == pytest.approx(2.5)
+        assert w(2.5e-9) == pytest.approx(0.0)
+
+    def test_edges(self):
+        w = BitPattern("0110", bit_time=2e-9, transition=0.2e-9)
+        edges = w.edges()
+        assert [d for _, d in edges] == ["up", "down"]
+        assert [t for t, _ in edges] == pytest.approx([2e-9, 6e-9])
+
+    def test_constant_pattern_has_no_edges(self):
+        w = BitPattern("0000", bit_time=1e-9)
+        assert w.edges() == []
+        assert w(2e-9) == pytest.approx(0.0)
+
+    def test_paper_example3_pattern(self):
+        w = BitPattern("011011101010000", bit_time=2e-9, v_high=1.8,
+                       transition=0.2e-9)
+        assert w.duration == pytest.approx(30e-9)
+        # the string 011011101010000 has 8 level changes
+        assert len(w.edges()) == 8
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(WaveformError):
+            BitPattern("01a", bit_time=1e-9)
+        with pytest.raises(WaveformError):
+            BitPattern("", bit_time=1e-9)
+
+    def test_transition_longer_than_bit_rejected(self):
+        with pytest.raises(WaveformError):
+            BitPattern("01", bit_time=1e-9, transition=2e-9)
+
+    @given(st.text(alphabet="01", min_size=1, max_size=24))
+    @settings(max_examples=50, deadline=None)
+    def test_output_always_within_levels(self, pattern):
+        w = BitPattern(pattern, bit_time=1e-9, v_low=-0.1, v_high=3.4,
+                       transition=0.2e-9)
+        t = np.linspace(0, w.duration, 500)
+        v = w.sample(t)
+        assert np.all(v >= -0.1 - 1e-12)
+        assert np.all(v <= 3.4 + 1e-12)
+
+
+class TestMultilevelNoise:
+    def test_range_respected(self):
+        w = MultilevelNoise(-1.0, 4.0, duration=50e-9, seed=3)
+        t = np.linspace(0, 50e-9, 2000)
+        v = w.sample(t)
+        assert v.min() >= -1.0 - 1e-12
+        assert v.max() <= 4.0 + 1e-12
+
+    def test_deterministic_given_seed(self):
+        a = MultilevelNoise(0.0, 1.0, 20e-9, seed=7)
+        b = MultilevelNoise(0.0, 1.0, 20e-9, seed=7)
+        t = np.linspace(0, 20e-9, 100)
+        np.testing.assert_array_equal(a.sample(t), b.sample(t))
+
+    def test_different_seeds_differ(self):
+        t = np.linspace(0, 20e-9, 100)
+        a = MultilevelNoise(0.0, 1.0, 20e-9, seed=1).sample(t)
+        b = MultilevelNoise(0.0, 1.0, 20e-9, seed=2).sample(t)
+        assert not np.allclose(a, b)
+
+    def test_covers_range(self):
+        w = MultilevelNoise(0.0, 3.0, duration=200e-9, seed=0)
+        v = w.sample(np.linspace(0, 200e-9, 5000))
+        assert v.max() > 2.4
+        assert v.min() < 0.6
+
+    def test_discrete_levels(self):
+        w = MultilevelNoise(0.0, 3.0, duration=100e-9, levels=4, seed=0,
+                            transition=10e-12)
+        # plateau samples should only take the 4 grid values
+        t = np.linspace(0, 100e-9, 4000)
+        v = w.sample(t)
+        grid = np.linspace(0.0, 3.0, 4)
+        on_grid = np.min(np.abs(v[:, None] - grid[None, :]), axis=1) < 1e-9
+        assert on_grid.mean() > 0.8  # most samples sit on plateaus
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(WaveformError):
+            MultilevelNoise(1.0, 1.0, 10e-9)
+
+
+class TestComposition:
+    def test_sum_and_scale(self):
+        w = Constant(1.0) + 2.0 * Constant(0.5)
+        assert w(0.0) == pytest.approx(2.0)
+
+    def test_delayed(self):
+        inner = Step(v0=0.0, v1=1.0, t0=1e-9, rise=0.0)
+        w = Delayed(inner, delay=1e-9)
+        # holds inner(0) before the delay, then replays inner shifted right
+        assert w(0.5e-9) == pytest.approx(0.0)
+        assert w(1.5e-9) == pytest.approx(inner(0.5e-9))
+        assert w(2.5e-9) == pytest.approx(1.0)
+
+    def test_sine_offset_before_delay(self):
+        w = Sine(amplitude=1.0, freq=1e9, offset=0.3, delay=1e-9)
+        assert w(0.0) == pytest.approx(0.3)
+
+
+@given(st.floats(min_value=0.0, max_value=10e-9),
+       st.floats(min_value=0.1e-9, max_value=2e-9))
+@settings(max_examples=40, deadline=None)
+def test_pulse_bounded_by_levels(delay, width):
+    w = Pulse(v1=-0.2, v2=1.7, delay=delay, rise=0.1e-9, fall=0.1e-9,
+              width=width)
+    t = np.linspace(0, 20e-9, 400)
+    v = w.sample(t)
+    assert np.all(v >= -0.2 - 1e-9)
+    assert np.all(v <= 1.7 + 1e-9)

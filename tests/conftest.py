@@ -1,0 +1,25 @@
+"""Shared fixtures: estimated macromodels are expensive, build them once."""
+
+import pytest
+
+from repro.devices import MD2, MD4
+from repro.models import (estimate_cv_receiver, estimate_driver_model,
+                          estimate_receiver_model)
+
+
+@pytest.fixture(scope="session")
+def md2_model():
+    """PW-RBF model of the MD2 driver (paper Example 2 class)."""
+    return estimate_driver_model(MD2, order=2, n_bases_high=9, n_bases_low=9)
+
+
+@pytest.fixture(scope="session")
+def md4_model():
+    """Parametric (ARX + RBF) model of the MD4 receiver."""
+    return estimate_receiver_model(MD4)
+
+
+@pytest.fixture(scope="session")
+def md4_cv():
+    """C-V baseline model of the MD4 receiver."""
+    return estimate_cv_receiver(MD4)

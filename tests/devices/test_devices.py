@@ -1,0 +1,190 @@
+"""Reference devices: switching behavior, corners, receiver clamps."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (Capacitor, Circuit, Resistor, TransientOptions,
+                           VoltageSource, run_transient, solve_dcop)
+from repro.circuit.waveforms import Constant, PiecewiseLinear, Step
+from repro.devices import (MD1, MD2, MD3, MD4, build_driver, build_receiver,
+                           get_driver, get_receiver, logic_waveform)
+from repro.errors import CircuitError
+
+
+def driver_testbench(spec, corner="typ", rload=50.0, initial="0"):
+    ckt = Circuit("tb")
+    drv = build_driver(ckt, spec, "d1", "out", corner=corner,
+                       initial_state=initial)
+    ckt.add(Resistor("rl", "out", "0", rload))
+    return ckt, drv
+
+
+class TestDriverStatics:
+    @pytest.mark.parametrize("spec", [MD1, MD2, MD3])
+    def test_low_state_near_ground(self, spec):
+        ckt, drv = driver_testbench(spec, initial="0")
+        op = solve_dcop(ckt)
+        assert abs(op.v("out")) < 0.05 * spec.vdd
+
+    @pytest.mark.parametrize("spec", [MD1, MD2, MD3])
+    def test_high_state_near_vdd(self, spec):
+        ckt, drv = driver_testbench(spec, initial="1", rload=1e6)
+        op = solve_dcop(ckt)
+        assert op.v("out") > 0.95 * spec.vdd
+
+    def test_high_state_drive_strength(self):
+        # into 50 ohm, a strong driver must hold well above half swing
+        ckt, drv = driver_testbench(MD1, initial="1", rload=50.0)
+        op = solve_dcop(ckt)
+        assert op.v("out") > 0.55 * MD1.vdd
+
+
+class TestDriverSwitching:
+    def run_edge(self, spec, corner="typ", pattern="01", bit_time=4e-9,
+                 rload=50.0, t_stop=9e-9):
+        ckt, drv = driver_testbench(spec, corner=corner, rload=rload,
+                                    initial=pattern[0])
+        drv.drive_pattern(pattern, bit_time)
+        res = run_transient(ckt, TransientOptions(dt=25e-12, t_stop=t_stop,
+                                                  method="damped"))
+        return res
+
+    @pytest.mark.parametrize("spec", [MD1, MD2, MD3])
+    def test_up_transition_settles_high(self, spec):
+        res = self.run_edge(spec, rload=200.0)
+        v = res.v("out")
+        assert v[0] < 0.1 * spec.vdd
+        assert v[-1] > 0.85 * spec.vdd
+
+    def test_down_transition(self):
+        res = self.run_edge(MD2, pattern="10", rload=200.0)
+        v = res.v("out")
+        assert v[0] > 0.9 * MD2.vdd
+        assert v[-1] < 0.1 * MD2.vdd
+
+    def test_edge_rate_plausible(self):
+        """10-90% rise time within 100 ps .. 3 ns (a real pad driver)."""
+        res = self.run_edge(MD1, rload=200.0)
+        v = res.v("out")
+        v10, v90 = 0.1 * MD1.vdd, 0.9 * MD1.vdd
+        t10 = res.t[np.argmax(v > v10)]
+        t90 = res.t[np.argmax(v > v90)]
+        assert 50e-12 < t90 - t10 < 3e-9
+
+    def test_corners_order_edge_speed(self):
+        t_cross = {}
+        for corner in ("slow", "typ", "fast"):
+            res = self.run_edge(MD1, corner=corner, rload=200.0)
+            v = res.v("out")
+            t_cross[corner] = res.t[np.argmax(v > 0.5 * MD1.vdd)]
+        assert t_cross["fast"] < t_cross["typ"] < t_cross["slow"]
+
+    def test_propagation_delay_positive(self):
+        res = self.run_edge(MD3, rload=200.0)
+        v = res.v("out")
+        t_cross = res.t[np.argmax(v > 0.5 * MD3.vdd)]
+        assert t_cross > 4e-9  # edge launched at the 2nd bit boundary
+
+
+class TestLogicWaveform:
+    def test_parity_compensation(self):
+        # 3 inversions (2 predrivers + final): logic input must be inverted
+        w = logic_waveform(MD1, "01", bit_time=1e-9)
+        assert w(0.2e-9) == pytest.approx(MD1.vdd)  # pad low -> input high
+        assert w(1.8e-9) == pytest.approx(0.0)
+
+    def test_bad_initial_state_rejected(self):
+        ckt = Circuit("x")
+        with pytest.raises(CircuitError):
+            build_driver(ckt, MD1, "d", "out", initial_state="z")
+
+    def test_catalog_lookup(self):
+        assert get_driver("MD2").vdd == pytest.approx(2.5)
+        assert get_receiver("MD4").vdd == pytest.approx(2.5)
+        with pytest.raises(CircuitError):
+            get_driver("MD9")
+        with pytest.raises(CircuitError):
+            get_receiver("MD1")
+
+
+def receiver_iv(v_pad: float) -> float:
+    """Static pad current of MD4 at a forced DC pad voltage."""
+    ckt = Circuit("rx")
+    rx = build_receiver(ckt, MD4, "r1", "pad")
+    src = ckt.add(VoltageSource("vf", "pad", "0", Constant(v_pad)))
+    op = solve_dcop(ckt)
+    return -op.i("vf")  # current INTO the pad
+
+
+class TestReceiverStatics:
+    def test_small_current_inside_rails(self):
+        for v in (0.0, 0.5 * MD4.vdd, MD4.vdd):
+            assert abs(receiver_iv(v)) < 50e-6  # leakage only
+
+    def test_up_clamp_conducts_above_vdd(self):
+        i = receiver_iv(MD4.vdd + 1.0)
+        assert i > 1e-3  # clamp pulls milliamps
+
+    def test_down_clamp_conducts_below_ground(self):
+        i = receiver_iv(-1.0)
+        assert i < -1e-3
+
+    def test_clamp_asymmetry_about_rails(self):
+        # clamp knee referenced to vdd on top, ground at the bottom
+        i_hi = receiver_iv(MD4.vdd + 0.8)
+        i_lo = receiver_iv(-0.8)
+        assert i_hi > 0 and i_lo < 0
+
+
+class TestReceiverDynamics:
+    def test_capacitive_current_inside_rails(self):
+        """dv/dt through the input capacitance dominates inside the rails.
+
+        Uses the damped-theta integrator: pure trapezoidal exhibits the
+        classic capacitor-current ringing when a V-source ramp kinks.
+        """
+        ckt = Circuit("rxd")
+        build_receiver(ckt, MD4, "r1", "pad")
+        ramp = Step(v0=0.2, v1=MD4.vdd - 0.3, t0=1e-9, rise=1e-9)
+        ckt.add(VoltageSource("vs", "pad", "0", ramp))
+        res = run_transient(ckt, TransientOptions(dt=10e-12, t_stop=3e-9,
+                                                  ic="dcop", method="damped"))
+        i_pad = -res.i("vs")
+        # mid-ramp: i ~ C_total * dv/dt
+        k = np.argmin(np.abs(res.t - 1.5e-9))
+        dvdt = (MD4.vdd - 0.5) / 1e-9
+        c_est = i_pad[k] / dvdt
+        c_total = MD4.c_pad + MD4.c_gate + 2 * 1.0e-12  # + junction caps
+        assert 0.3 * c_total < c_est < 1.6 * c_total
+
+    def test_trap_current_ringing_damped_by_theta(self):
+        """Document the integrator choice: damped theta kills the +/- current
+        alternation that pure trapezoidal shows after a dv/dt kink."""
+        def run(method):
+            ckt = Circuit("ring")
+            ckt.add(Capacitor("c", "pad", "0", 1e-12))
+            ckt.add(Resistor("rx", "pad", "0", 1e6))
+            ckt.add(VoltageSource("vs", "pad", "0",
+                                  Step(v0=0.0, v1=1.0, t0=0.5e-9, rise=1e-9)))
+            res = run_transient(ckt, TransientOptions(
+                dt=10e-12, t_stop=2.4e-9, method=method))
+            i = -res.i("vs")
+            mid = (res.t > 0.8e-9) & (res.t < 1.2e-9)
+            return i[mid]
+        i_trap = run("trap")
+        i_damp = run("damped")
+        # alternation metric: step-to-step swing relative to the mean
+        swing_trap = np.max(np.abs(np.diff(i_trap)))
+        swing_damp = np.max(np.abs(np.diff(i_damp)))
+        assert swing_damp < 0.25 * swing_trap
+        assert np.mean(i_damp) == pytest.approx(1e-12 * 1e9, rel=0.05)
+
+    def test_overdrive_engages_clamp(self):
+        ckt = Circuit("rxo")
+        build_receiver(ckt, MD4, "r1", "pad")
+        ckt.add(VoltageSource("vs", "src", "0",
+                              Step(v1=2 * MD4.vdd, t0=0.5e-9, rise=0.2e-9)))
+        ckt.add(Resistor("rs", "src", "pad", 50.0))
+        res = run_transient(ckt, TransientOptions(dt=10e-12, t_stop=5e-9))
+        # pad clamped below vdd + 1 V
+        assert np.max(res.v("pad")) < MD4.vdd + 1.0

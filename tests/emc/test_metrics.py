@@ -1,0 +1,111 @@
+"""Timing-error and amplitude metrics (paper Section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emc import (match_crossings, max_error, nrmse, rms_error,
+                       threshold_crossings, timing_error)
+from repro.errors import ExperimentError
+
+
+def edge(t, t0, rise=0.1e-9, v=1.0):
+    return np.clip((t - t0) / rise, 0.0, 1.0) * v
+
+
+class TestAmplitudeMetrics:
+    def test_rms_and_max(self):
+        a = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.0, 0.0, 0.0])
+        assert rms_error(a, b) == pytest.approx(np.sqrt(5 / 3))
+        assert max_error(a, b) == 2.0
+
+    def test_nrmse_normalization(self):
+        ref = np.array([0.0, 2.0])
+        test = np.array([0.1, 2.1])
+        assert nrmse(test, ref) == pytest.approx(0.05)
+
+    def test_flat_reference_rejected(self):
+        with pytest.raises(ExperimentError):
+            nrmse(np.zeros(5), np.ones(5))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            rms_error(np.zeros(4), np.zeros(5))
+
+    @given(st.floats(-5, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_waveforms_zero_error(self, offset):
+        w = offset + np.sin(np.linspace(0, 7, 40))
+        assert rms_error(w, w) == 0.0
+        assert max_error(w, w) == 0.0
+
+
+class TestCrossings:
+    def test_interpolated_instant(self):
+        t = np.linspace(0, 1e-9, 11)
+        v = np.linspace(0, 1, 11)
+        (c,) = threshold_crossings(t, v, 0.55)
+        assert c == pytest.approx(0.55e-9)
+
+    def test_direction_filter(self):
+        t = np.linspace(0, 4.5, 451)
+        v = np.sin(2 * np.pi * t / 2.0)
+        rising = threshold_crossings(t, v, 0.0, "rising")
+        falling = threshold_crossings(t, v, 0.0, "falling")
+        np.testing.assert_allclose(rising, [2.0, 4.0], atol=0.02)
+        np.testing.assert_allclose(falling, [1.0, 3.0], atol=0.02)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ExperimentError):
+            threshold_crossings([0, 1], [0, 1], 0.5, "sideways")
+
+    def test_match_within_window(self):
+        pairs = match_crossings(np.array([1.0, 5.0]),
+                                np.array([1.1, 4.8, 9.0]), window=0.5)
+        assert pairs == [(1.0, 1.1), (5.0, 4.8)]
+
+    def test_unmatched_dropped(self):
+        pairs = match_crossings(np.array([1.0]), np.array([9.0]), window=0.5)
+        assert pairs == []
+
+
+class TestTimingError:
+    def test_known_shift(self):
+        t = np.linspace(0, 10e-9, 2001)
+        ref = edge(t, 2e-9) - edge(t, 6e-9)      # a 0->1->0 pulse
+        test = edge(t, 2e-9 + 15e-12) - edge(t, 6e-9 + 5e-12)
+        rep = timing_error(t, test, ref, threshold=0.7)
+        assert rep.max_delay == pytest.approx(15e-12, abs=1e-12)
+        assert rep.n_matched == 2
+
+    def test_spurious_crossings_ignored(self):
+        t = np.linspace(0, 10e-9, 2001)
+        ref = edge(t, 2e-9)
+        # test waveform rings through the threshold far from any ref edge
+        test = edge(t, 2e-9) + 0.9 * np.exp(-((t - 0.6e-9) / 0.1e-9) ** 2)
+        rep = timing_error(t, test, ref, threshold=0.7, window=0.5e-9)
+        assert rep.max_delay < 5e-12
+        assert rep.n_test > rep.n_ref  # extra crossings exist but are dropped
+
+    def test_no_reference_edges(self):
+        t = np.linspace(0, 1e-9, 100)
+        rep = timing_error(t, np.zeros_like(t), np.zeros_like(t), 0.5)
+        assert rep.max_delay == 0.0
+        assert rep.n_matched == 0
+
+    def test_missed_edge_reported_infinite(self):
+        t = np.linspace(0, 10e-9, 1001)
+        ref = edge(t, 2e-9)
+        rep = timing_error(t, np.zeros_like(t), ref, 0.5)
+        assert rep.max_delay == np.inf
+
+    @given(st.floats(1e-12, 40e-12))
+    @settings(max_examples=25, deadline=None)
+    def test_shift_recovered_property(self, shift):
+        t = np.linspace(0, 10e-9, 4001)
+        ref = edge(t, 3e-9, rise=0.3e-9)
+        test = edge(t, 3e-9 + shift, rise=0.3e-9)
+        rep = timing_error(t, test, ref, threshold=0.5)
+        assert rep.max_delay == pytest.approx(shift, abs=2e-12)

@@ -1,0 +1,98 @@
+"""Experiment harness: registry, fast-mode runs, result container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentResult, cache
+from repro.experiments.asciiplot import ascii_plot
+from repro.experiments.runner import REGISTRY, run_experiment
+from repro.experiments.setups import FIG3_LINE, MODEL_SETTINGS
+
+
+class TestResultContainer:
+    def make(self):
+        r = ExperimentResult("x", "demo")
+        t = np.linspace(0, 1e-9, 11)
+        r.add_series("a", t, np.sin(1e10 * t))
+        r.add_series("b", t, np.cos(1e10 * t))
+        r.metrics["m"] = 1.234
+        return r
+
+    def test_csv_export(self, tmp_path):
+        r = self.make()
+        path = tmp_path / "out.csv"
+        r.to_csv(path)
+        data = np.loadtxt(path, delimiter=",", skiprows=1)
+        assert data.shape == (11, 3)
+        header = path.read_text().splitlines()[0]
+        assert header == "t,a,b"
+
+    def test_render_contains_metrics(self):
+        text = self.make().render(width=40, height=8)
+        assert "m: 1.234" in text
+        assert "demo" in text
+
+    def test_empty_csv_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExperimentResult("x", "t").to_csv(tmp_path / "x.csv")
+
+
+class TestAsciiPlot:
+    def test_plots_all_series(self):
+        t = np.linspace(0, 1e-9, 50)
+        out = ascii_plot({"one": (t, np.sin(1e10 * t)),
+                          "two": (t, np.cos(1e10 * t))}, width=40, height=10)
+        assert "one" in out and "two" in out
+        assert "t [ns]" in out
+
+    def test_flat_series_no_crash(self):
+        t = np.linspace(0, 1e-9, 10)
+        out = ascii_plot({"flat": (t, np.zeros(10))})
+        assert "flat" in out
+
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data)"
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        # every evaluation figure/table of the paper has a driver
+        assert set(REGISTRY) >= {"fig1", "fig2", "fig4", "fig5", "fig6",
+                                 "table1", "report"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig9")
+
+    def test_setups_consistent_with_paper(self):
+        # paper-anchored facts: 0.1 m line, basis counts, bit patterns
+        assert FIG3_LINE.length == pytest.approx(0.1)
+        assert MODEL_SETTINGS["MD1"]["n_bases_high"] == 10
+        assert MODEL_SETTINGS["MD1"]["n_bases_low"] == 15
+        assert MODEL_SETTINGS["MD3"]["n_bases_low"] == 6
+
+
+class TestFastRuns:
+    """End-to-end smoke of the experiment drivers on reduced grids."""
+
+    def test_fig2_fast(self, md2_model, monkeypatch):
+        monkeypatch.setitem(cache._cache, ("driver", "MD2", "typ"),
+                            md2_model)
+        result = run_experiment("fig2", fast=True)
+        assert result.metrics["panel1_nrmse"] < 0.05
+
+    def test_fig4_fast(self):
+        result = run_experiment("fig4", fast=True)
+        assert result.metrics["v21_nrmse"] < 0.06
+        assert result.metrics["cpu_reference_s"] > 0
+
+    def test_table1_fast(self):
+        result = run_experiment("table1", fast=True)
+        assert result.metrics["speedup"] > 0.5
+
+    def test_fig6_fast(self, md4_model, monkeypatch):
+        monkeypatch.setitem(cache._cache, ("receiver", "MD4"), md4_model)
+        result = run_experiment("fig6", fast=True)
+        key = [k for k in result.metrics if k.startswith("parametric")][0]
+        assert result.metrics[key] < 0.08

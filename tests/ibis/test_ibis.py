@@ -1,0 +1,140 @@
+"""IBIS tables, extraction, buffer element, file round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (Capacitor, Circuit, IdealLine, Resistor,
+                           TransientOptions, run_transient)
+from repro.devices import MD1
+from repro.errors import IbisError
+from repro.ibis import (IVTable, IbisDriverElement, Ramp, extract_corner,
+                        extract_ibis, format_ibis_number, parse_ibis,
+                        parse_ibis_number, write_ibis)
+
+
+@pytest.fixture(scope="module")
+def ibis_md1():
+    return extract_ibis(MD1)
+
+
+class TestIVTable:
+    def test_interpolation(self):
+        t = IVTable([0.0, 1.0, 2.0], [0.0, 1e-3, 4e-3])
+        assert t.current(0.5) == pytest.approx(0.5e-3)
+
+    def test_end_slope_extrapolation(self):
+        t = IVTable([0.0, 1.0], [0.0, 1e-3])
+        assert t.current(2.0) == pytest.approx(2e-3)
+        assert t.current(-1.0) == pytest.approx(-1e-3)
+
+    def test_conductance(self):
+        t = IVTable([0.0, 1.0, 2.0], [0.0, 1e-3, 4e-3])
+        assert t.conductance(1.5) == pytest.approx(3e-3)
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(IbisError):
+            IVTable([0.0, 0.0, 1.0], [0, 0, 0])
+
+    def test_ramp_guards(self):
+        with pytest.raises(IbisError):
+            Ramp(dv_dt_rise=-1.0, dv_dt_fall=1.0)
+        assert Ramp(2e9, 1e9).rise_time(3.3) == pytest.approx(3.3 / 2e9)
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text,value", [
+        ("1.5m", 1.5e-3), ("2p", 2e-12), ("3.3V", 3.3), ("4Meg", 4e6),
+        ("-12.5mA", -12.5e-3), ("0.5n", 0.5e-9),
+    ])
+    def test_parse(self, text, value):
+        assert parse_ibis_number(text) == pytest.approx(value)
+
+    def test_roundtrip(self):
+        for x in (1.234e-12, -5.6e-3, 3.3, 0.0, 2.2e9):
+            assert parse_ibis_number(format_ibis_number(x)) == pytest.approx(
+                x, rel=1e-3, abs=1e-18)
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(IbisError):
+            parse_ibis_number("abc")
+
+
+class TestExtraction:
+    def test_corner_ordering(self, ibis_md1):
+        i_pd = {c: ibis_md1.corner(c).pulldown.current(MD1.vdd)
+                for c in ("slow", "typ", "fast")}
+        assert i_pd["slow"] < i_pd["typ"] < i_pd["fast"]
+
+    def test_pullup_sources_current(self, ibis_md1):
+        # pullup at pad = 0: current INTO the pad is negative (sourcing)
+        assert ibis_md1.corner("typ").pullup.current(0.0) < -0.01
+
+    def test_c_comp_plausible(self, ibis_md1):
+        for c in ("slow", "typ", "fast"):
+            assert 0.5e-12 < ibis_md1.corner(c).c_comp < 10e-12
+
+    def test_ramp_rates_positive_and_ordered(self, ibis_md1):
+        assert ibis_md1.corner("fast").ramp.dv_dt_rise > \
+            ibis_md1.corner("slow").ramp.dv_dt_rise
+
+    def test_missing_corner_rejected(self, ibis_md1):
+        with pytest.raises(IbisError):
+            ibis_md1.corner("nominal")
+
+
+class TestFileRoundtrip:
+    def test_write_parse_consistency(self, ibis_md1, tmp_path):
+        path = tmp_path / "md1.ibs"
+        write_ibis(ibis_md1, path)
+        back = parse_ibis(str(path))
+        v = np.linspace(-1.0, 2 * MD1.vdd - 1.0, 23)
+        for corner in ("typ", "slow", "fast"):
+            a = ibis_md1.corner(corner)
+            b = back.corner(corner)
+            np.testing.assert_allclose(b.pulldown.current(v),
+                                       a.pulldown.current(v),
+                                       rtol=2e-3, atol=1e-6)
+            np.testing.assert_allclose(b.pullup.current(v),
+                                       a.pullup.current(v),
+                                       rtol=2e-3, atol=1e-6)
+            assert b.c_comp == pytest.approx(a.c_comp, rel=1e-3)
+            assert b.ramp.dv_dt_rise == pytest.approx(a.ramp.dv_dt_rise,
+                                                      rel=1e-3)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(IbisError):
+            parse_ibis("not an ibis file\n")
+
+
+class TestIbisElement:
+    def run_edge(self, corner, pattern="01"):
+        ckt = Circuit("ib")
+        ckt.add(IbisDriverElement.for_pattern("dut", "out", corner, pattern,
+                                              bit_time=2e-9))
+        ckt.add(IdealLine("t1", "out", "fe", 100.0, 0.5e-9))
+        ckt.add(Capacitor("cl", "fe", "0", 10e-12))
+        return run_transient(ckt, TransientOptions(
+            dt=25e-12, t_stop=12e-9, method="damped", ic="dcop"))
+
+    def test_up_transition_reaches_rails(self, ibis_md1):
+        res = self.run_edge(ibis_md1.corner("typ"))
+        v = res.v("out")
+        assert v[0] < 0.2
+        assert v[-1] > 0.9 * MD1.vdd
+
+    def test_coefficients_schedule(self, ibis_md1):
+        el = IbisDriverElement.for_pattern("x", "out", ibis_md1.corner("typ"),
+                                           "01", bit_time=2e-9)
+        k_pu0, k_pd0 = el.coefficients(0.0)
+        assert (k_pu0, k_pd0) == (0.0, 1.0)
+        k_pu1, k_pd1 = el.coefficients(2e-9 + 10e-9)
+        assert k_pu1 == pytest.approx(1.0)
+        assert k_pd1 == pytest.approx(0.0)
+
+    def test_corners_bracket_speed(self, ibis_md1):
+        t_cross = {}
+        for corner in ("slow", "fast"):
+            res = self.run_edge(ibis_md1.corner(corner))
+            v = res.v("out")
+            t_cross[corner] = res.t[np.argmax(v > 0.5 * MD1.vdd)]
+        assert t_cross["fast"] < t_cross["slow"]

@@ -1,0 +1,249 @@
+"""PW-RBF driver and ARX+RBF receiver macromodels: accuracy + behavior."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (Capacitor, Circuit, IdealLine, Resistor,
+                           TransientOptions, VoltageSource, run_transient)
+from repro.circuit.waveforms import Trapezoid
+from repro.devices import MD2, MD4, build_driver, build_receiver
+from repro.errors import EstimationError, ModelError
+from repro.ident import record_driver_state, record_receiver
+from repro.models import (CVReceiverElement, CVReceiverModel,
+                          ParametricReceiverElement, ParametricReceiverModel,
+                          PWRBFDriverElement, PWRBFDriverModel,
+                          SwitchingSignature)
+
+
+def nrmse(a, b):
+    return float(np.sqrt(np.mean((a - b) ** 2)) / (np.max(b) - np.min(b)))
+
+
+class TestDriverSubmodels:
+    def test_free_run_accuracy_high(self, md2_model):
+        rec = record_driver_state(MD2, "1", duration=20e-9, seed=123,
+                                  v_min=-0.8, v_max=MD2.vdd + 0.8)
+        i_sim = md2_model.sub_high.simulate(rec.v, md2_model.order,
+                                            i_init=rec.i[:md2_model.order])
+        assert nrmse(i_sim, rec.i) < 0.03
+
+    def test_free_run_accuracy_low(self, md2_model):
+        rec = record_driver_state(MD2, "0", duration=20e-9, seed=124,
+                                  v_min=-0.8, v_max=MD2.vdd + 0.8)
+        i_sim = md2_model.sub_low.simulate(rec.v, md2_model.order,
+                                           i_init=rec.i[:md2_model.order])
+        assert nrmse(i_sim, rec.i) < 0.03
+
+    def test_static_fixed_points(self, md2_model):
+        # parked Low at 0 V and parked High at vdd: port current ~ 0
+        assert abs(md2_model.static_current(0.0, "0")) < 10e-3
+        assert abs(md2_model.static_current(MD2.vdd, "1")) < 10e-3
+
+    def test_static_output_conductance_sign(self, md2_model):
+        # both states must present a positive output conductance (passivity
+        # of the incremental behavior around the parked operating point)
+        for state, v0 in (("0", 0.0), ("1", MD2.vdd)):
+            g = (md2_model.static_current(v0 + 0.1, state)
+                 - md2_model.static_current(v0 - 0.1, state)) / 0.2
+            assert g > 0.0
+
+    def test_estimation_metadata(self, md2_model):
+        assert md2_model.meta["n_bases"] == (9, 9)
+        assert md2_model.meta["estimation_seconds"] < 60.0
+
+
+class TestSwitchingWeights:
+    def test_up_signature_endpoints(self, md2_model):
+        sig = md2_model.up
+        assert sig.wh[0] == pytest.approx(0.0, abs=0.08)
+        assert sig.wl[0] == pytest.approx(1.0, abs=0.08)
+        assert sig.wh[-1] == pytest.approx(1.0, abs=1e-9)
+        assert sig.wl[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_down_signature_endpoints(self, md2_model):
+        sig = md2_model.down
+        assert sig.wh[0] == pytest.approx(1.0, abs=0.08)
+        assert sig.wl[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_weights_bounded(self, md2_model):
+        for sig in (md2_model.up, md2_model.down):
+            assert np.all(np.abs(sig.wh) < 1.6)
+            assert np.all(np.abs(sig.wl) < 1.6)
+
+    def test_timeline_splicing(self, md2_model):
+        edges = [(10e-9, "up"), (20e-9, "down")]
+        n = int(round(30e-9 / md2_model.ts))
+        wh, wl = md2_model.weights_timeline(edges, n, initial_state="0")
+        ts = md2_model.ts
+        assert wh[0] == 0.0 and wl[0] == 1.0
+        k_mid = int(round(15e-9 / ts))
+        assert wh[k_mid] == pytest.approx(1.0, abs=0.05)
+        assert wh[-1] == pytest.approx(0.0, abs=0.05)
+
+    def test_signature_validation(self):
+        with pytest.raises(ModelError):
+            SwitchingSignature(wh=np.zeros(5), wl=np.zeros(4), pre=0)
+        with pytest.raises(ModelError):
+            SwitchingSignature(wh=np.zeros(5), wl=np.zeros(5), pre=9)
+
+
+class TestDriverSerialization:
+    def test_roundtrip(self, md2_model):
+        d = md2_model.to_dict()
+        m2 = PWRBFDriverModel.from_dict(d)
+        v = np.linspace(0, MD2.vdd, 50)
+        for state in ("0", "1"):
+            for vv in (0.0, 1.0, MD2.vdd):
+                assert m2.static_current(vv, state) == pytest.approx(
+                    md2_model.static_current(vv, state), rel=1e-9, abs=1e-12)
+
+    def test_wrong_kind_rejected(self, md2_model):
+        d = md2_model.to_dict()
+        d["kind"] = "other"
+        with pytest.raises(ModelError):
+            PWRBFDriverModel.from_dict(d)
+
+
+class TestDriverElementInCircuit:
+    def build_pair(self, md2_model, pattern="010", bit_time=5e-9,
+                   t_stop=20e-9, z0=75.0, td=0.5e-9, cl=1e-12):
+        ts = md2_model.ts
+
+        def load(ckt):
+            ckt.add(IdealLine("t1", "out", "fe", z0, td))
+            ckt.add(Capacitor("cl", "fe", "0", cl))
+
+        ckt = Circuit("ref")
+        drv = build_driver(ckt, MD2, "d1", "out", initial_state=pattern[0])
+        drv.drive_pattern(pattern, bit_time)
+        load(ckt)
+        ref = run_transient(ckt, TransientOptions(dt=ts, t_stop=t_stop,
+                                                  method="damped"))
+        ckt2 = Circuit("mm")
+        ckt2.add(PWRBFDriverElement.for_pattern("mm", "out", md2_model,
+                                                pattern, bit_time, t_stop))
+        load(ckt2)
+        # dcop start: the element solves its parked-state fixed point, so
+        # patterns beginning High start from a consistent operating point
+        mm = run_transient(ckt2, TransientOptions(dt=ts, t_stop=t_stop,
+                                                  method="damped", ic="dcop"))
+        return ref, mm
+
+    def test_pulse_into_mismatched_line(self, md2_model):
+        ref, mm = self.build_pair(md2_model)
+        assert nrmse(mm.v("fe"), ref.v("fe")) < 0.03
+        assert nrmse(mm.v("out"), ref.v("out")) < 0.03
+
+    def test_down_up_pattern(self, md2_model):
+        ref, mm = self.build_pair(md2_model, pattern="101")
+        assert nrmse(mm.v("fe"), ref.v("fe")) < 0.04
+
+    def test_quiet_high_stays_high(self, md2_model):
+        ref, mm = self.build_pair(md2_model, pattern="111", t_stop=10e-9)
+        assert np.all(np.abs(mm.v("out") - ref.v("out")) < 0.15)
+
+    def test_wrong_dt_rejected(self, md2_model):
+        ckt = Circuit("bad")
+        ckt.add(PWRBFDriverElement.for_pattern("mm", "out", md2_model,
+                                               "01", 5e-9, 10e-9))
+        ckt.add(Resistor("rl", "out", "0", 50.0))
+        with pytest.raises(ModelError):
+            run_transient(ckt, TransientOptions(dt=md2_model.ts * 3,
+                                                t_stop=10e-9, ic="zero"))
+
+    def test_dc_operating_point_supported(self, md2_model):
+        from repro.circuit import solve_dcop
+        ckt = Circuit("dc")
+        ckt.add(PWRBFDriverElement.for_pattern("mm", "out", md2_model,
+                                               "11", 5e-9, 10e-9))
+        ckt.add(Resistor("rl", "out", "0", 200.0))
+        op = solve_dcop(ckt)
+        # parked High into 200 ohm: output well above half swing
+        assert op.v("out") > 0.5 * MD2.vdd
+
+
+class TestReceiverModels:
+    def test_linear_region_accuracy(self, md4_model):
+        rec = record_receiver(MD4, "linear", duration=20e-9, seed=321)
+        i_sim = md4_model.simulate(rec.v)
+        assert nrmse(i_sim[4:], rec.i[4:]) < 0.05
+
+    def test_clamp_region_accuracy(self, md4_model):
+        for region, seed in (("up", 322), ("down", 323)):
+            rec = record_receiver(MD4, region, duration=20e-9, seed=seed)
+            i_sim = md4_model.simulate(rec.v)
+            assert nrmse(i_sim[4:], rec.i[4:]) < 0.07
+
+    def test_arx_part_is_stable(self, md4_model):
+        assert md4_model.linear.is_stable()
+
+    def test_roundtrip(self, md4_model):
+        m2 = ParametricReceiverModel.from_dict(md4_model.to_dict())
+        v = np.linspace(0, MD4.vdd, 200)
+        np.testing.assert_allclose(m2.simulate(v), md4_model.simulate(v))
+
+    def test_cv_capacitance_plausible(self, md4_cv):
+        # c_pad + c_gate + junction caps: a few pF
+        assert 2e-12 < md4_cv.capacitance < 8e-12
+
+    def test_cv_static_table_monotone_ends(self, md4_cv):
+        # clamps: strong conduction at the table ends
+        assert md4_cv.static_current(np.array(md4_cv.v_grid[0])) < -1e-3
+        assert md4_cv.static_current(np.array(md4_cv.v_grid[-1])) > 1e-3
+
+    def test_cv_extrapolation_linear(self, md4_cv):
+        v_hi = md4_cv.v_grid[-1]
+        i_end = float(md4_cv.static_current(np.array(v_hi)))
+        i_ext = float(md4_cv.static_current(np.array(v_hi + 0.2)))
+        slope = (md4_cv.i_grid[-1] - md4_cv.i_grid[-2]) / \
+            (md4_cv.v_grid[-1] - md4_cv.v_grid[-2])
+        assert i_ext == pytest.approx(i_end + 0.2 * slope, rel=1e-6)
+
+    def test_cv_roundtrip(self, md4_cv):
+        m2 = CVReceiverModel.from_dict(md4_cv.to_dict())
+        v = np.linspace(-1, 4, 100)
+        np.testing.assert_allclose(m2.static_current(v),
+                                   md4_cv.static_current(v))
+
+    def test_cv_bad_grid_rejected(self):
+        with pytest.raises(ModelError):
+            CVReceiverModel("x", 1e-12, [0.0, 0.0, 1.0], [0, 0, 0])
+
+
+class TestReceiverElementsInCircuit:
+    def run_fig5_style(self, element_factory, ts, amplitude=2.0):
+        wave = Trapezoid(amplitude=amplitude, transition=100e-12,
+                         width=2e-9, delay=0.5e-9)
+        ckt = Circuit("rx")
+        ckt.add(VoltageSource("vs", "src", "0", wave))
+        ckt.add(Resistor("rs", "src", "pad", 50.0))
+        element_factory(ckt)
+        res = run_transient(ckt, TransientOptions(dt=ts, t_stop=5e-9,
+                                                  method="damped",
+                                                  ic="zero"))
+        return res.t, (res.v("src") - res.v("pad")) / 50.0
+
+    def test_parametric_beats_cv_at_fast_edges(self, md4_model, md4_cv):
+        ts = md4_model.ts
+        t, i_ref = self.run_fig5_style(
+            lambda c: build_receiver(c, MD4, "dut", "pad"), ts)
+        _, i_par = self.run_fig5_style(
+            lambda c: c.add(ParametricReceiverElement("dut", "pad",
+                                                      md4_model)), ts)
+        _, i_cv = self.run_fig5_style(
+            lambda c: c.add(CVReceiverElement("dut", "pad", md4_cv)), ts)
+        edge = (t > 0.4e-9) & (t < 1.1e-9)
+        sc = i_ref[edge].max() - i_ref[edge].min()
+        err_par = np.sqrt(np.mean((i_par[edge] - i_ref[edge]) ** 2)) / sc
+        err_cv = np.sqrt(np.mean((i_cv[edge] - i_ref[edge]) ** 2)) / sc
+        assert err_par < err_cv          # the paper's Fig. 5 message
+        assert err_par < 0.06
+
+    def test_peak_current_matched(self, md4_model):
+        ts = md4_model.ts
+        t, i_ref = self.run_fig5_style(
+            lambda c: build_receiver(c, MD4, "dut", "pad"), ts)
+        _, i_par = self.run_fig5_style(
+            lambda c: c.add(ParametricReceiverElement("dut", "pad",
+                                                      md4_model)), ts)
+        assert i_par.max() == pytest.approx(i_ref.max(), rel=0.1)

@@ -1,0 +1,65 @@
+"""Model persistence round-trips through JSON files."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models.serialize import load_model, save_model
+
+
+class TestSaveLoad:
+    def test_driver_roundtrip(self, md2_model, tmp_path):
+        path = tmp_path / "md2.json"
+        save_model(md2_model, path)
+        back = load_model(path)
+        assert type(back) is type(md2_model)
+        for v in (0.0, 1.0, 2.5):
+            for state in ("0", "1"):
+                assert back.static_current(v, state) == pytest.approx(
+                    md2_model.static_current(v, state), rel=1e-9, abs=1e-12)
+        np.testing.assert_allclose(back.up.wh, md2_model.up.wh)
+
+    def test_receiver_roundtrip(self, md4_model, tmp_path):
+        path = tmp_path / "md4.json"
+        save_model(md4_model, path)
+        back = load_model(path)
+        v = np.linspace(-1.0, 3.5, 120)
+        np.testing.assert_allclose(back.simulate(v), md4_model.simulate(v))
+
+    def test_cv_roundtrip(self, md4_cv, tmp_path):
+        path = tmp_path / "cv.json"
+        save_model(md4_cv, path)
+        back = load_model(path)
+        v = np.linspace(-1.5, 4.0, 60)
+        np.testing.assert_allclose(back.static_current(v),
+                                   md4_cv.static_current(v))
+        assert back.capacitance == pytest.approx(md4_cv.capacitance)
+
+    def test_reloaded_model_works_in_circuit(self, md2_model, tmp_path):
+        from repro.circuit import (Capacitor, Circuit, IdealLine,
+                                   TransientOptions, run_transient)
+        from repro.models import PWRBFDriverElement
+        path = tmp_path / "m.json"
+        save_model(md2_model, path)
+        model = load_model(path)
+        ckt = Circuit("reload")
+        ckt.add(PWRBFDriverElement.for_pattern("d", "out", model, "01",
+                                               4e-9, 10e-9))
+        ckt.add(IdealLine("t1", "out", "fe", 60.0, 0.5e-9))
+        ckt.add(Capacitor("cl", "fe", "0", 1e-12))
+        res = run_transient(ckt, TransientOptions(dt=model.ts, t_stop=10e-9,
+                                                  method="damped", ic="dcop"))
+        assert res.v("fe")[-1] > 0.7 * model.vdd
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "mystery"}')
+        with pytest.raises(ModelError):
+            load_model(path)
+
+    def test_unregistered_object_rejected(self, tmp_path):
+        class Fake:
+            def to_dict(self):
+                return {"kind": "nope"}
+        with pytest.raises(ModelError):
+            save_model(Fake(), tmp_path / "x.json")

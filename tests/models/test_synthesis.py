@@ -1,0 +1,137 @@
+"""State-space conversion and SPICE-style synthesis (paper Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (Circuit, Resistor, TransientOptions,
+                           VoltageSource, run_transient)
+from repro.circuit.waveforms import Trapezoid
+from repro.devices import MD4, build_receiver
+from repro.errors import ModelError
+from repro.models import ARXModel, ParametricReceiverElement
+from repro.models.statespace import (StateSpace, arx_to_discrete_ss,
+                                     discrete_to_continuous)
+from repro.models.synthesis import (rbf_expression, synthesize_driver,
+                                    synthesize_receiver)
+
+
+class TestStateSpace:
+    def demo_arx(self):
+        return ARXModel(a=[-0.7, 0.1], b=[2e-3, -1e-3, 0.5e-3])
+
+    def test_discrete_ss_matches_recursion(self):
+        arx = self.demo_arx()
+        ss = arx_to_discrete_ss(arx, 25e-12)
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=200)
+        y_ss = ss.simulate_discrete(u)
+        y_arx = arx.simulate(u)
+        # the two recursions imply different initial conditions (ss outputs
+        # D*u immediately; the ARX helper zeroes the first r samples) -- the
+        # discrepancy decays with the model poles, so compare the tail
+        np.testing.assert_allclose(y_ss[40:], y_arx[40:], atol=1e-10)
+
+    def test_bilinear_transfer_equivalence(self):
+        ss_d = arx_to_discrete_ss(self.demo_arx(), 25e-12)
+        ss_c = discrete_to_continuous(ss_d)
+        for f in (1e7, 1e9, 8e9):
+            s = 2j * np.pi * f
+            z = (1 + s * 25e-12 / 2) / (1 - s * 25e-12 / 2)
+            assert abs(ss_d.transfer_at(z) - ss_c.transfer_at(s)) < 1e-12
+
+    def test_order_zero(self):
+        ss = arx_to_discrete_ss(ARXModel(a=np.empty(0), b=[3e-3]), 1e-12)
+        assert ss.transfer_at(1.0 + 0j) == pytest.approx(3e-3)
+
+    def test_dimension_guard(self):
+        with pytest.raises(ModelError):
+            StateSpace(np.eye(2), np.zeros(3), np.zeros(2), 0.0,
+                       discrete=True)
+
+    def test_pole_at_minus_one_rejected(self):
+        bad = StateSpace(np.array([[-1.0]]), np.array([1.0]),
+                         np.array([1.0]), 0.0, discrete=True, ts=1e-12)
+        with pytest.raises(ModelError):
+            discrete_to_continuous(bad)
+
+
+class TestReceiverSynthesis:
+    def run_fig5(self, attach, ts):
+        wave = Trapezoid(amplitude=2.0, transition=100e-12, width=2e-9,
+                         delay=0.5e-9)
+        ckt = Circuit("syn")
+        ckt.add(VoltageSource("vs", "src", "0", wave))
+        ckt.add(Resistor("rs", "src", "pad", 50.0))
+        attach(ckt)
+        res = run_transient(ckt, TransientOptions(dt=ts, t_stop=5e-9,
+                                                  method="trap", ic="zero"))
+        return res.t, (res.v("src") - res.v("pad")) / 50.0
+
+    def test_matches_discrete_element(self, md4_model):
+        ts = md4_model.ts
+        _, i_el = self.run_fig5(
+            lambda c: c.add(ParametricReceiverElement("dut", "pad",
+                                                      md4_model)), ts)
+        _, i_sy = self.run_fig5(
+            lambda c: synthesize_receiver(c, md4_model, "dut", "pad"), ts)
+        sc = i_el.max() - i_el.min()
+        assert np.sqrt(np.mean((i_sy - i_el) ** 2)) / sc < 0.02
+
+    def test_matches_transistor_reference(self, md4_model):
+        ts = md4_model.ts
+        _, i_ref = self.run_fig5(
+            lambda c: build_receiver(c, MD4, "dut", "pad"), ts)
+        _, i_sy = self.run_fig5(
+            lambda c: synthesize_receiver(c, md4_model, "dut", "pad"), ts)
+        sc = i_ref.max() - i_ref.min()
+        assert np.sqrt(np.mean((i_sy - i_ref) ** 2)) / sc < 0.06
+
+    def test_netlist_text_contains_structure(self, md4_model):
+        ckt = Circuit("txt")
+        ckt.add(Resistor("rground", "pad", "0", 1e6))
+        result = synthesize_receiver(ckt, md4_model, "dut", "pad")
+        assert "1 F" in result.netlist or "C" in result.netlist
+        assert "exp(" in result.netlist      # the RBF B-source expressions
+        assert "Bdutup" in result.netlist
+        assert "Bdutdn" in result.netlist
+
+
+class TestRbfExpression:
+    def test_expression_is_valid_python(self, md4_model):
+        expr = rbf_expression(md4_model.up, ["n1", "n2"])
+        # substitute node voltages and evaluate with math functions
+        expr_py = expr.replace("v(n1)", "0.5").replace("v(n2)", "0.4")
+        from math import exp  # noqa: F401
+        value = eval(expr_py, {"exp": exp, "min": min, "max": max})
+        direct = float(md4_model.up.eval(np.array([[0.5, 0.4]])))
+        assert value == pytest.approx(direct, rel=1e-4, abs=1e-9)
+
+
+class TestDriverSynthesis:
+    def test_matches_discrete_element(self, md2_model):
+        from repro.circuit import Capacitor, IdealLine
+        from repro.models import PWRBFDriverElement
+        pattern, bit_time, t_stop = "010", 5e-9, 20e-9
+
+        def load(ckt):
+            ckt.add(IdealLine("t1", "out", "fe", 75.0, 0.5e-9))
+            ckt.add(Capacitor("cl", "fe", "0", 1e-12))
+
+        ckt = Circuit("el")
+        ckt.add(PWRBFDriverElement.for_pattern("d", "out", md2_model,
+                                               pattern, bit_time, t_stop))
+        load(ckt)
+        el = run_transient(ckt, TransientOptions(dt=md2_model.ts,
+                                                 t_stop=t_stop,
+                                                 method="damped", ic="dcop"))
+        ckt2 = Circuit("sy")
+        synthesize_driver(ckt2, md2_model, "d", "out", pattern, bit_time,
+                          t_stop)
+        load(ckt2)
+        sy = run_transient(ckt2, TransientOptions(dt=md2_model.ts,
+                                                  t_stop=t_stop,
+                                                  method="damped", ic="zero"))
+        sc = el.v("fe").max() - el.v("fe").min()
+        err = np.sqrt(np.mean((sy.v("fe") - el.v("fe")) ** 2)) / sc
+        # delay-chain approximation: agreement within a few percent
+        assert err < 0.08
