@@ -61,6 +61,37 @@ def test_branin_line_transient(benchmark):
 
 
 @pytest.mark.benchmark(group="engine")
+def test_linear_ladder_newton_path(benchmark):
+    """Same bench with the linear fast path disabled: the price of Newton."""
+    def run():
+        return run_transient(ladder_circuit(),
+                             TransientOptions(dt=25e-12, t_stop=5e-9,
+                                              fast_path=False))
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not res.fast_path
+    assert res.v("n40").max() > 0.2
+
+
+@pytest.mark.benchmark(group="engine")
+def test_scenario_sweep_small(benchmark, md2_model):
+    """A small serial ScenarioRunner sweep (driver + 4 load/pattern corners)."""
+    from repro.experiments import LoadSpec, ScenarioRunner, scenario_grid
+
+    grid = scenario_grid(
+        patterns=["01", "0110"],
+        loads=[LoadSpec(kind="r", r=50.0),
+               LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e4)],
+        t_stop=8e-9)
+
+    def run():
+        runner = ScenarioRunner(models={("MD2", "typ"): md2_model},
+                                n_workers=1)
+        return runner.run(grid)
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) == 4 and not result.failures
+
+
+@pytest.mark.benchmark(group="engine")
 def test_mna_assembly(benchmark):
     ckt = ladder_circuit()
     sys_ = MNASystem(ckt)

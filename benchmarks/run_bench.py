@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Run a benchmark group and append its medians to a trajectory file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --label after-fast-path
+    PYTHONPATH=src python benchmarks/run_bench.py --group engine -k "ladder"
+
+Runs ``benchmarks/bench_<group>.py`` under pytest-benchmark, extracts the
+median seconds per test, and appends a labelled run to ``BENCH_<group>.json``
+at the repository root.  The trajectory file is machine-readable so perf
+regressions across PRs are a diff, not a re-measurement:
+
+    {"group": "engine",
+     "runs": [{"label": "seed", "timestamp": ..., "results":
+               [{"test": "test_linear_ladder_transient", "median_s": ...}]}]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_group(group: str, k_expr: str | None = None) -> list[dict]:
+    """Run one benchmark module and return [{test, median_s}, ...]."""
+    bench_file = ROOT / "benchmarks" / f"bench_{group}.py"
+    if not bench_file.exists():
+        raise SystemExit(f"no benchmark module {bench_file}")
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        cmd = [sys.executable, "-m", "pytest", str(bench_file), "-q",
+               "--benchmark-only", f"--benchmark-json={json_path}"]
+        if k_expr:
+            cmd += ["-k", k_expr]
+        proc = subprocess.run(cmd, cwd=ROOT)
+        if proc.returncode not in (0, 5):  # 5 = no tests collected
+            raise SystemExit(f"benchmark run failed (rc={proc.returncode})")
+        if not json_path.exists():
+            return []
+        data = json.loads(json_path.read_text())
+    results = []
+    dropped: dict[str, int] = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("group") != group:
+            g = bench.get("group") or "<none>"
+            dropped[g] = dropped.get(g, 0) + 1
+            continue
+        results.append({
+            "test": bench["name"],
+            "median_s": bench["stats"]["median"],
+        })
+    if dropped:
+        # the module name and the benchmark group label need not coincide;
+        # make the filtering visible so no group silently vanishes from
+        # the trajectory
+        drops = ", ".join(f"{g} ({n})" for g, n in sorted(dropped.items()))
+        print(f"note: excluded benchmarks from other groups: {drops}")
+    return results
+
+
+def append_run(out: Path, group: str, label: str,
+               results: list[dict]) -> dict:
+    if out.exists():
+        doc = json.loads(out.read_text())
+    else:
+        doc = {"group": group, "runs": []}
+    run = {"label": label,
+           "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+           "results": sorted(results, key=lambda r: r["test"])}
+    doc["runs"].append(run)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    return run
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--group", default="engine",
+                        help="benchmark group / bench_<group>.py module")
+    parser.add_argument("--label", default="run",
+                        help="label recorded with this run (e.g. 'seed')")
+    parser.add_argument("-k", dest="k_expr", default=None,
+                        help="pytest -k expression forwarded to the run")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="trajectory file (default BENCH_<group>.json)")
+    args = parser.parse_args(argv)
+
+    out = args.out or ROOT / f"BENCH_{args.group}.json"
+    results = run_group(args.group, args.k_expr)
+    if not results:
+        print(f"no benchmarks matched group {args.group!r}")
+        return 1
+    run = append_run(out, args.group, args.label, results)
+    width = max(len(r["test"]) for r in run["results"])
+    print(f"\n{out.name} <- run {args.label!r}:")
+    for r in run["results"]:
+        print(f"  {r['test']:<{width}}  {r['median_s'] * 1e3:9.3f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Vectorized companion-model updates for the transient hot loop.
+
+A transient analysis of an EMC test bench is dominated by two-terminal
+reactive elements (RC ladders, lumped line sections).  Stamping their
+companion history currents one element at a time costs a Python call per
+element per step; this module gathers all plain :class:`Capacitor` and
+:class:`Inductor` instances of a circuit into struct-of-arrays groups so the
+per-step RHS contribution and the post-step history advance collapse to a
+handful of numpy operations regardless of the element count.
+
+The groups *take over* the grouped elements' ``stamp_rhs``/``update_state``
+roles for the duration of one ``run_transient`` call: state is loaded from
+the elements after ``init_state``/``prepare`` and written back by
+:meth:`CompanionGroups.flush` when the analysis ends, so post-run accessors
+(``Capacitor.current`` etc.) keep working.  Mid-run, the arrays -- not the
+elements -- are authoritative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .elements.rlc import Capacitor, Inductor
+
+__all__ = ["CompanionGroups", "build_companion_groups"]
+
+
+class _CapacitorGroup:
+    """All plain two-terminal capacitors of a circuit, as arrays."""
+
+    def __init__(self, caps: list[Capacitor]):
+        self.caps = caps
+        self.a = np.array([c.nodes[0] for c in caps], dtype=np.intp)
+        self.b = np.array([c.nodes[1] for c in caps], dtype=np.intp)
+        self.mask_a = self.a >= 0
+        self.mask_b = self.b >= 0
+        self.ia = self.a[self.mask_a]
+        self.ib = self.b[self.mask_b]
+        # ground terminals read x[0] via the clipped index but are masked out
+        self.a_clip = np.where(self.mask_a, self.a, 0)
+        self.b_clip = np.where(self.mask_b, self.b, 0)
+        self.geq = np.array([c._geq for c in caps])
+        self.beta = (1.0 - caps[0]._theta) / caps[0]._theta
+        self.v_prev = np.array([c._v_prev for c in caps])
+        self.i_prev = np.array([c._i_prev for c in caps])
+
+    def _vab(self, x: np.ndarray) -> np.ndarray:
+        return (x[self.a_clip] * self.mask_a) - (x[self.b_clip] * self.mask_b)
+
+    def add_rhs(self, rhs: np.ndarray) -> None:
+        ieq = self.geq * self.v_prev + self.beta * self.i_prev
+        np.add.at(rhs, self.ia, ieq[self.mask_a])
+        np.subtract.at(rhs, self.ib, ieq[self.mask_b])
+
+    def update(self, x: np.ndarray) -> None:
+        v_new = self._vab(x)
+        self.i_prev = self.geq * (v_new - self.v_prev) \
+            - self.beta * self.i_prev
+        self.v_prev = v_new
+
+    def flush(self) -> None:
+        for c, v, i in zip(self.caps, self.v_prev, self.i_prev):
+            c._v_prev = float(v)
+            c._i_prev = float(i)
+
+
+class _InductorGroup:
+    """All plain two-terminal inductors of a circuit, as arrays."""
+
+    def __init__(self, inds: list[Inductor]):
+        self.inds = inds
+        self.br = np.array([el.branches[0] for el in inds], dtype=np.intp)
+        self.a = np.array([el.nodes[0] for el in inds], dtype=np.intp)
+        self.b = np.array([el.nodes[1] for el in inds], dtype=np.intp)
+        self.mask_a = self.a >= 0
+        self.mask_b = self.b >= 0
+        self.a_clip = np.where(self.mask_a, self.a, 0)
+        self.b_clip = np.where(self.mask_b, self.b, 0)
+        self.req = np.array([el._req for el in inds])
+        self.beta = (1.0 - inds[0]._theta) / inds[0]._theta
+        self.i_prev = np.array([el._i_prev for el in inds])
+        self.v_prev = np.array([el._v_prev for el in inds])
+
+    def add_rhs(self, rhs: np.ndarray) -> None:
+        rhs[self.br] += -self.req * self.i_prev - self.beta * self.v_prev
+
+    def update(self, x: np.ndarray) -> None:
+        self.i_prev = x[self.br].copy()
+        self.v_prev = (x[self.a_clip] * self.mask_a) \
+            - (x[self.b_clip] * self.mask_b)
+
+    def flush(self) -> None:
+        for el, i, v in zip(self.inds, self.i_prev, self.v_prev):
+            el._i_prev = float(i)
+            el._v_prev = float(v)
+
+
+class CompanionGroups:
+    """Bundle of vectorized companion groups plus the leftover elements."""
+
+    def __init__(self, groups, hist_els, upd_els):
+        self.groups = groups
+        #: history-RHS elements NOT covered by a group (lines, matrices, ...)
+        self.hist_els = hist_els
+        #: update_state elements NOT covered by a group
+        self.upd_els = upd_els
+
+    def add_rhs(self, rhs: np.ndarray) -> None:
+        for g in self.groups:
+            g.add_rhs(rhs)
+
+    def update(self, x: np.ndarray) -> None:
+        for g in self.groups:
+            g.update(x)
+
+    def flush(self) -> None:
+        """Write group state back onto the owning elements."""
+        for g in self.groups:
+            g.flush()
+
+
+def build_companion_groups(hist_els, upd_els) -> CompanionGroups:
+    """Partition per-step elements into vectorized groups and leftovers.
+
+    Only exact ``Capacitor``/``Inductor`` types are grouped -- subclasses may
+    override the stamping hooks, so they stay on the per-element path.
+    ``hist_els``/``upd_els`` are the lists the transient loop would otherwise
+    iterate; grouped elements are removed from both.
+    """
+    caps = [el for el in hist_els if type(el) is Capacitor]
+    inds = [el for el in hist_els if type(el) is Inductor]
+    grouped = set(map(id, caps)) | set(map(id, inds))
+    groups = []
+    if caps:
+        groups.append(_CapacitorGroup(caps))
+    if inds:
+        groups.append(_InductorGroup(inds))
+    return CompanionGroups(
+        groups,
+        [el for el in hist_els if id(el) not in grouped],
+        [el for el in upd_els if id(el) not in grouped])

@@ -39,6 +39,9 @@ class VoltageSource(Element):
     def stamp_rhs(self, st, t):
         st.add_b(self.branches[0], float(self.waveform(t)))
 
+    def stamp_rhs_table(self, st, t_grid):
+        st.add_b(self.branches[0], self.waveform.sample(t_grid))
+
     def breakpoints(self, t_stop):
         return self.waveform.breakpoints(t_stop)
 
@@ -66,6 +69,12 @@ class CurrentSource(Element):
         a, b = self.nodes
         st.inject(a, -val)
         st.inject(b, val)
+
+    def stamp_rhs_table(self, st, t_grid):
+        vals = self.waveform.sample(t_grid)
+        a, b = self.nodes
+        st.inject(a, -vals)
+        st.inject(b, vals)
 
     def breakpoints(self, t_stop):
         return self.waveform.breakpoints(t_stop)

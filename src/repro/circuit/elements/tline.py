@@ -99,7 +99,11 @@ class IdealLine(Element):
             raise CircuitError(f"{name}: z0 and td must be positive")
         self.z0 = float(z0)
         self.td = float(td)
-        self._hist = _History()  # stores [a1, a2] = v + z0*i at each port
+        # incident waves a = v + z0*i per port, as plain float lists: the
+        # per-step lookup/append stays free of numpy scalar dispatch
+        self._h1: list[float] = []
+        self._h2: list[float] = []
+        self._hist_dt = 0.0
         self._t_accepted = 0.0
 
     def _port_voltages(self, x) -> tuple[float, float]:
@@ -111,8 +115,21 @@ class IdealLine(Element):
     def init_state(self, x, system) -> None:
         v1, v2 = self._port_voltages(x)
         i1, i2 = x[self.branches[0]], x[self.branches[1]]
-        self._hist.reset(0.0, np.array([v1 + self.z0 * i1, v2 + self.z0 * i2]))
+        self._h1 = [float(v1 + self.z0 * i1)]
+        self._h2 = [float(v2 + self.z0 * i2)]
+        self._hist_dt = 0.0
         self._t_accepted = 0.0
+
+    def _lookup(self, data: list, t_delayed: float) -> float:
+        """History value at absolute ``t_delayed``, clamped at the ends."""
+        if t_delayed <= 0.0 or len(data) == 1:
+            return data[0]
+        pos = t_delayed / self._hist_dt
+        k = int(pos)
+        if k >= len(data) - 1:
+            return data[-1]
+        frac = pos - k
+        return (1.0 - frac) * data[k] + frac * data[k + 1]
 
     def stamp_const(self, st):
         p1, p2 = self.nodes
@@ -148,19 +165,21 @@ class IdealLine(Element):
         st.add_A(b2, b2, 1.0)
 
     def stamp_rhs(self, st, t):
-        if not self._hist._data:
+        if not self._h1:
             return  # DC analysis before init_state: stamp_dc rules apply
-        a = self._hist.lookup(t - self.td)
-        st.add_b(self.branches[0], float(a[1]))  # E1 = a2(t - td)
-        st.add_b(self.branches[1], float(a[0]))  # E2 = a1(t - td)
+        t_delayed = t - self.td
+        st.add_b(self.branches[0], self._lookup(self._h2, t_delayed))
+        st.add_b(self.branches[1], self._lookup(self._h1, t_delayed))
 
     def update_state(self, x, t, dt, theta):
-        if self._hist._dt != dt:
-            self._hist.reset(dt, self._hist._data[0])
+        if self._hist_dt != dt:
+            self._h1 = self._h1[:1]
+            self._h2 = self._h2[:1]
+            self._hist_dt = dt
         v1, v2 = self._port_voltages(x)
         i1, i2 = x[self.branches[0]], x[self.branches[1]]
-        self._hist._dt = dt
-        self._hist.append(np.array([v1 + self.z0 * i1, v2 + self.z0 * i2]))
+        self._h1.append(float(v1 + self.z0 * i1))
+        self._h2.append(float(v2 + self.z0 * i2))
 
     def current(self, x: np.ndarray) -> float:
         return float(x[self.branches[0]])

@@ -96,6 +96,69 @@ class Stamper:
             self.A[branch, bnode] -= coeff
 
 
+class SourceTable:
+    """Column-sparse ``(n_t, size)`` table of the time-only RHS.
+
+    Sources touch a handful of rows, so only those columns are stored as
+    ``(n_t,)`` arrays -- memory scales with the number of driven rows, not
+    with ``n_steps * size`` (a long run of a large sparse-path circuit would
+    otherwise allocate gigabytes of zeros).
+    """
+
+    __slots__ = ("n_t", "size", "cols")
+
+    def __init__(self, n_t: int, size: int):
+        self.n_t = n_t
+        self.size = size
+        self.cols: dict[int, np.ndarray] = {}
+
+    def col(self, row: int) -> np.ndarray:
+        """The (n_t,) column of ``row``, created zero-filled on first use."""
+        c = self.cols.get(row)
+        if c is None:
+            c = self.cols[row] = np.zeros(self.n_t)
+        return c
+
+    def fill_row(self, k: int, out: np.ndarray) -> np.ndarray:
+        """Write time-row ``k`` (the source RHS at ``t_grid[k]``) into ``out``."""
+        out[:] = 0.0
+        for r, vals in self.cols.items():
+            out[r] = vals[k]
+        return out
+
+    def dense(self) -> np.ndarray:
+        """Materialize the full ``(n_t, size)`` array (tests/inspection)."""
+        table = np.zeros((self.n_t, self.size))
+        for r, vals in self.cols.items():
+            table[:, r] = vals
+        return table
+
+
+class TableStamper:
+    """RHS stamper over a whole time grid at once.
+
+    Elements whose RHS depends only on time add a ``(n_t,)`` array per
+    touched row via :meth:`add_b` / :meth:`inject`; the backing
+    :class:`SourceTable` stores only the touched columns.
+    """
+
+    __slots__ = ("table", "n")
+
+    def __init__(self, table: SourceTable, n_nodes: int):
+        self.table = table
+        self.n = n_nodes
+
+    def add_b(self, row: int, vals) -> None:
+        if row >= 0:
+            col = self.table.col(row)
+            col += vals
+
+    def inject(self, node: int, vals) -> None:
+        if node >= 0:
+            col = self.table.col(node)
+            col += vals
+
+
 class SparseStamper(Stamper):
     """Stamper accumulating COO triplets for sparse assembly."""
 
@@ -235,10 +298,21 @@ class MNASystem:
         from .netlist import Element as _Base
         self._rhs_els = [el for el in circuit.elements
                          if type(el).stamp_rhs is not _Base.stamp_rhs]
+        # sources with a vectorized whole-grid RHS hook; the remaining RHS
+        # elements carry per-step history (companion currents, line waves)
+        self._table_els = [el for el in circuit.elements
+                           if type(el).stamp_rhs_table
+                           is not _Base.stamp_rhs_table]
+        _tabled = set(map(id, self._table_els))
+        self._hist_els = [el for el in self._rhs_els
+                          if id(el) not in _tabled]
         self._A_base: np.ndarray | sp.csc_matrix | None = None
         self._dt = None
         self._theta = None
         self._base_lu = None          # cached LU of the dense base matrix
+        self._base_splu = None        # cached splu of the sparse base matrix
+        self._A_scratch = None        # reusable dense A for assemble_iter
+        self._b_scratch = None        # reusable b for the Newton iteration
         self._wb_pattern = None       # (rows_key, cols_key) of nl stamps
         self._wb_R = self._wb_C = None
         self._wb_Z = None             # B^-1 E_R  (n x p)
@@ -277,6 +351,7 @@ class MNASystem:
         self._dt = dt
         self._theta = theta
         self._base_lu = None
+        self._base_splu = None
         self._wb_pattern = None
 
     # -- per-step / per-iteration assembly -----------------------------------------
@@ -294,13 +369,67 @@ class MNASystem:
             b *= source_scale
         return b
 
+    def build_source_table(self, t_grid: np.ndarray) -> SourceTable:
+        """Evaluate every vectorized source over the whole time grid at once.
+
+        Returns a :class:`SourceTable` whose row ``k`` is the time-only part
+        of the RHS at ``t_grid[k]``.  Waveforms are sampled vectorized (one
+        numpy call per source for the entire analysis), so the per-step loop
+        never touches source elements again.
+        """
+        t_grid = np.asarray(t_grid, dtype=float)
+        table = SourceTable(t_grid.size, self.size)
+        st = TableStamper(table, self.n_nodes)
+        for el in self._table_els:
+            el.stamp_rhs_table(st, t_grid)
+        return table
+
+    def assemble_rhs_step(self, t: float, source: SourceTable, k: int,
+                          out: np.ndarray | None = None,
+                          hist_els=None) -> np.ndarray:
+        """Per-step RHS: source-table row ``k`` plus history stamps.
+
+        Only history-carrying elements (companion currents, delayed line
+        waves) are stamped here; the returned buffer is ``out`` when given,
+        so the transient loop can reuse one allocation for every step.
+        ``hist_els`` overrides the stamped element list (the transient loop
+        passes the leftovers not covered by a vectorized companion group).
+        """
+        if out is None:
+            out = np.empty(self.size)
+        source.fill_row(k, out)
+        els = self._hist_els if hist_els is None else hist_els
+        if els:
+            st = Stamper(None, out, self.n_nodes)
+            for el in els:
+                el.stamp_rhs(st, t)
+        return out
+
     def assemble_iter(self, x: np.ndarray, t: float, b_step: np.ndarray, *,
-                      extra_gmin: float = 0.0):
+                      extra_gmin: float = 0.0, scratch: bool = False):
         """Linearize the nonlinear elements around ``x`` on top of the
-        per-step base; returns ``(A, b, limited)``."""
-        b = b_step.copy()
+        per-step base; returns ``(A, b, limited)``.
+
+        With ``scratch=True`` the returned dense ``A`` and ``b`` live in
+        buffers reused across calls (the Newton loop consumes them before the
+        next assembly); callers that hold on to the arrays must use the
+        default fresh copies.
+        """
+        if scratch:
+            if self._b_scratch is None:
+                self._b_scratch = np.empty(self.size)
+            b = self._b_scratch
+            np.copyto(b, b_step)
+        else:
+            b = b_step.copy()
         if self.dense:
-            A = self._A_base.copy()
+            if scratch:
+                if self._A_scratch is None:
+                    self._A_scratch = np.empty_like(self._A_base)
+                A = self._A_scratch
+                np.copyto(A, self._A_base)
+            else:
+                A = self._A_base.copy()
             st = Stamper(A, b, self.n_nodes)
         else:
             st = SparseStamper(b, self.n_nodes)
@@ -310,7 +439,13 @@ class MNASystem:
             for i in range(self.n_nodes):
                 st.add_A(i, i, extra_gmin)
         if not self.dense:
-            A = self._A_base + st.to_coo(self.size).tocsc()
+            if st.rows or not scratch:
+                A = self._A_base + st.to_coo(self.size).tocsc()
+            else:
+                # pure-linear scratch iteration: hand back the base matrix
+                # itself so solve() can reuse its cached factorization
+                # (scratch callers never mutate the returned matrix)
+                A = self._A_base
         return A, b, st.limited
 
     def assemble(self, x: np.ndarray, t: float, *, extra_gmin: float = 0.0,
@@ -324,10 +459,26 @@ class MNASystem:
         try:
             if self.dense:
                 return sla.solve(A, b)
+            if A is self._A_base:
+                # linear iterations hand the base matrix back untouched;
+                # factor it once per build_base instead of on every call
+                self._ensure_base_factor()
+                return self._base_splu.solve(b)
             return spla.splu(A.tocsc()).solve(b)
         except (np.linalg.LinAlgError, sla.LinAlgError, RuntimeError) as exc:
             raise SingularMatrixError(
                 f"MNA matrix is singular: {exc}") from exc
+
+    def solve_linear_step(self, b: np.ndarray) -> np.ndarray:
+        """Advance one step of a circuit with no nonlinear elements.
+
+        One cached-factorization back-substitution -- no Newton iteration,
+        no matrix assembly.  ``build_base`` must have been called.
+        """
+        self._ensure_base_factor()
+        if self.dense:
+            return sla.lu_solve(self._base_lu, b)
+        return self._base_splu.solve(b)
 
     def residual(self, x: np.ndarray, t: float) -> np.ndarray:
         """Newton residual ``A(x) x - b(x)`` at the iterate ``x``."""
@@ -340,6 +491,18 @@ class MNASystem:
             try:
                 self._base_lu = sla.lu_factor(self._A_base)
             except (ValueError, sla.LinAlgError) as exc:
+                raise SingularMatrixError(
+                    f"linear base matrix is singular: {exc}") from exc
+
+    def _ensure_base_factor(self):
+        """Cache the base-matrix factorization (dense LU or sparse splu)."""
+        if self.dense:
+            self._ensure_base_lu()
+            return
+        if self._base_splu is None:
+            try:
+                self._base_splu = spla.splu(self._A_base.tocsc())
+            except (RuntimeError, ValueError) as exc:
                 raise SingularMatrixError(
                     f"linear base matrix is singular: {exc}") from exc
 
@@ -367,10 +530,13 @@ class MNASystem:
         correction is ill-conditioned.
         """
         if not (self.dense and self.woodbury):
-            A, b, limited = self.assemble_iter(x, t, b_step)
+            A, b, limited = self.assemble_iter(x, t, b_step, scratch=True)
             return self.solve(A, b), limited
         self._ensure_base_lu()
-        b = b_step.copy()
+        if self._b_scratch is None:
+            self._b_scratch = np.empty(self.size)
+        b = self._b_scratch
+        np.copyto(b, b_step)
         st = TripletStamper(b, self.n_nodes)
         for el in self._nl:
             el.stamp_nonlinear(st, x, t)

@@ -82,6 +82,17 @@ class Element:
     def stamp_rhs(self, st, t: float) -> None:
         """Stamp right-hand-side entries for the step ending at time ``t``."""
 
+    def stamp_rhs_table(self, st, t_grid: np.ndarray) -> None:
+        """Stamp the *time-only* RHS contribution for a whole time grid.
+
+        Elements whose ``stamp_rhs`` depends only on ``t`` (independent
+        sources) override this with a vectorized evaluation over ``t_grid``;
+        ``st`` is a :class:`~repro.circuit.mna.TableStamper` whose ``add_b`` /
+        ``inject`` accept ``(len(t_grid),)`` arrays.  Elements overriding this
+        hook are evaluated once per analysis and skipped by the per-step RHS
+        loop, so history-dependent elements must NOT override it.
+        """
+
     def stamp_nonlinear(self, st, x: np.ndarray, t: float) -> None:
         """Stamp linearized nonlinear contributions around the iterate ``x``."""
 

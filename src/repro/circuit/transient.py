@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CircuitError, ConvergenceError
+from .companion import build_companion_groups
 from .dcop import solve_dcop
 from .mna import MNASystem
 from .netlist import Circuit
@@ -37,7 +38,10 @@ class TransientOptions:
     ``theta`` directly to override; ``ic``: ``"dcop"`` (default), ``"zero"``,
     or a mapping of node names to initial voltages; ``newton``: tolerance
     bundle; ``strict``: raise on Newton failure (else carry the best iterate
-    forward and record the event in ``TransientResult.warnings``).
+    forward and record the event in ``TransientResult.warnings``);
+    ``fast_path``: advance circuits with no nonlinear elements by one cached
+    back-substitution per step instead of Newton iteration (set False to
+    force the Newton path, e.g. for equivalence checks).
     """
 
     dt: float = 1e-12
@@ -47,6 +51,7 @@ class TransientOptions:
     ic: object = "dcop"
     newton: NewtonOptions = field(default_factory=NewtonOptions)
     strict: bool = True
+    fast_path: bool = True
 
     def resolved_theta(self) -> float:
         if self.theta is not None:
@@ -65,12 +70,14 @@ class TransientResult:
     """Uniformly sampled transient solution with name-based accessors."""
 
     def __init__(self, circuit: Circuit, system: MNASystem,
-                 t: np.ndarray, x: np.ndarray, warnings: list[str]):
+                 t: np.ndarray, x: np.ndarray, warnings: list[str],
+                 fast_path: bool = False):
         self.circuit = circuit
         self.system = system
         self.t = t
         self.x = x  # shape (len(t), system.size)
         self.warnings = warnings
+        self.fast_path = fast_path  # True when the linear solver path ran
 
     @property
     def dt(self) -> float:
@@ -143,25 +150,50 @@ def run_transient(circuit: Circuit, options: TransientOptions,
     xs[0] = x0
     warnings: list[str] = []
 
+    # Per-analysis precomputation: every source waveform is sampled over the
+    # whole grid in one vectorized pass, and plain C/L companion elements are
+    # gathered into struct-of-arrays groups.  The per-step Python work left
+    # is one table-row copy, the group updates, and any leftover
+    # history elements (transmission lines, coupled matrices).
+    b_src = sys_.build_source_table(t_grid)
+    comp = build_companion_groups(sys_._hist_els, upd_els)
+    b_buf = np.empty(sys_.size)
+    linear = options.fast_path and not sys_._nl
+
     x = x0
     x_prev = x0
-    for k in range(1, n_steps + 1):
-        t = t_grid[k]
-        # linear predictor as the Newton starting point
-        guess = 2.0 * x - x_prev if k > 1 else x
-        res = newton_solve(sys_, guess, t, options.newton)
-        if not res.converged:
-            # retry from the previous accepted solution without the predictor
-            res = newton_solve(sys_, x, t, options.newton)
-        if not res.converged:
-            msg = (f"transient Newton failed at t={t:.4g}s "
-                   f"(|delta|={res.delta_norm:.3g})")
-            if options.strict:
-                raise ConvergenceError(msg, time=t, residual=res.delta_norm)
-            warnings.append(msg)
-        x_prev = x
-        x = res.x
-        for el in upd_els:
-            el.update_state(x, t, options.dt, theta)
-        xs[k] = x
-    return TransientResult(circuit, sys_, t_grid, xs, warnings)
+    dt = options.dt
+    try:
+        for k in range(1, n_steps + 1):
+            t = t_grid[k]
+            sys_.assemble_rhs_step(t, b_src, k, out=b_buf,
+                                   hist_els=comp.hist_els)
+            comp.add_rhs(b_buf)
+            if linear:
+                x = sys_.solve_linear_step(b_buf)
+            else:
+                # linear predictor as the Newton starting point
+                guess = 2.0 * x - x_prev if k > 1 else x
+                res = newton_solve(sys_, guess, t, options.newton,
+                                   b_step=b_buf)
+                if not res.converged:
+                    # retry from the previous accepted solution, no predictor
+                    res = newton_solve(sys_, x, t, options.newton,
+                                       b_step=b_buf)
+                if not res.converged:
+                    msg = (f"transient Newton failed at t={t:.4g}s "
+                           f"(|delta|={res.delta_norm:.3g})")
+                    if options.strict:
+                        raise ConvergenceError(msg, time=t,
+                                               residual=res.delta_norm)
+                    warnings.append(msg)
+                x_prev = x
+                x = res.x
+            comp.update(x)
+            for el in comp.upd_els:
+                el.update_state(x, t, dt, theta)
+            xs[k] = x
+    finally:
+        comp.flush()
+    return TransientResult(circuit, sys_, t_grid, xs, warnings,
+                           fast_path=linear)

@@ -2,5 +2,9 @@
 
 from . import cache, setups
 from .result import ExperimentResult
+from .sweep import (LoadSpec, Scenario, ScenarioOutcome, ScenarioRunner,
+                    SweepResult, scenario_grid)
 
-__all__ = ["cache", "setups", "ExperimentResult"]
+__all__ = ["cache", "setups", "ExperimentResult",
+           "LoadSpec", "Scenario", "ScenarioOutcome", "ScenarioRunner",
+           "SweepResult", "scenario_grid"]

@@ -1,0 +1,384 @@
+"""Parallel EMC scenario sweeps over the macromodel engine.
+
+The paper's pitch is that PW-RBF macromodels make system-level transient
+assessment cheap; what an EMC engineer actually runs is not one transient but
+a *grid* of them -- bit patterns x loads x drivers x corners -- looking for
+the worst-case overshoot, ringing, or timing corner.  This module turns that
+grid into a one-call batch:
+
+    runner = ScenarioRunner(models={("MD2", "typ"): model})
+    result = runner.run(scenario_grid(
+        patterns=["01", "0110", "010101"],
+        loads=[LoadSpec(kind="r", r=50.0),
+               LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e5)]))
+    worst = max(result, key=lambda o: o.metrics["overshoot"])
+
+Scenarios fan out across ``multiprocessing`` workers (each worker
+deserializes every distinct driver model once), results carry the
+:mod:`repro.emc.metrics`-style summary per scenario, and a repeated ``run``
+on the same runner answers from the per-scenario result cache.  Driver
+models named by catalog id are resolved -- and estimated at most once per
+process -- through :mod:`repro.experiments.cache`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+import time
+from dataclasses import dataclass, field, replace
+from itertools import product
+
+import numpy as np
+
+from ..circuit import (Capacitor, Circuit, IdealLine, Resistor,
+                       TransientOptions, run_transient)
+from ..emc.metrics import threshold_crossings
+from ..errors import ExperimentError
+from ..models import PWRBFDriverElement, PWRBFDriverModel
+from . import cache
+
+__all__ = ["LoadSpec", "Scenario", "ScenarioOutcome", "SweepResult",
+           "ScenarioRunner", "scenario_grid"]
+
+
+# ---------------------------------------------------------------------------
+# scenario description
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Termination attached to the driver port.
+
+    ``kind``: ``"r"`` (shunt resistor), ``"rc"`` (shunt R parallel C) or
+    ``"line"`` (ideal line of impedance ``z0``/delay ``td`` into a far-end
+    resistor ``r`` with optional capacitor ``c``).
+    """
+
+    kind: str = "r"
+    r: float = 50.0
+    c: float = 0.0
+    z0: float = 50.0
+    td: float = 1e-9
+    label: str = ""
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        if self.kind == "r":
+            return f"r{self.r:g}"
+        if self.kind == "rc":
+            return f"r{self.r:g}c{self.c * 1e12:g}p"
+        cap = f"c{self.c * 1e12:g}p" if self.c > 0.0 else ""
+        return f"line{self.z0:g}x{self.td * 1e9:g}n-r{self.r:g}{cap}"
+
+    def physics_key(self) -> tuple:
+        """Identity of the electrical load, excluding the cosmetic label."""
+        return (self.kind, self.r, self.c, self.z0, self.td)
+
+    def build(self, ckt: Circuit, port: str) -> str:
+        """Attach the load; returns the far-end observation node."""
+        if self.kind == "r":
+            if self.c != 0.0:
+                raise ExperimentError(
+                    "kind='r' is a pure resistor; use kind='rc' for R||C")
+            ckt.add(Resistor("rload", port, "0", self.r))
+            return port
+        if self.kind == "rc":
+            if self.c <= 0.0:
+                raise ExperimentError("rc load needs c > 0")
+            ckt.add(Resistor("rload", port, "0", self.r))
+            ckt.add(Capacitor("cload", port, "0", self.c))
+            return port
+        if self.kind == "line":
+            ckt.add(IdealLine("tload", port, "far", self.z0, self.td))
+            ckt.add(Resistor("rload", "far", "0", self.r))
+            if self.c > 0.0:
+                ckt.add(Capacitor("cload", "far", "0", self.c))
+            return "far"
+        raise ExperimentError(f"unknown load kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of an EMC sweep grid."""
+
+    pattern: str
+    load: LoadSpec = field(default_factory=LoadSpec)
+    driver: str = "MD2"
+    corner: str = "typ"
+    bit_time: float = 2e-9
+    dt: float | None = None       # None -> the driver model's sampling time
+    t_stop: float | None = None   # None -> pattern duration + 2 bit times
+    name: str = ""
+
+    def resolved_name(self) -> str:
+        return self.name or (f"{self.driver}-{self.corner}-{self.pattern}-"
+                             f"{self.load.describe()}")
+
+    def key(self) -> tuple:
+        """Hashable identity used by the runner's result cache.
+
+        Cosmetic fields (``name``, ``load.label``) are excluded: scenarios
+        that simulate the same physics share one cache entry.
+        """
+        return (self.pattern, self.load.physics_key(), self.driver,
+                self.corner, self.bit_time, self.dt, self.t_stop)
+
+
+def scenario_grid(patterns, loads, drivers=("MD2",), corners=("typ",),
+                  **common) -> list[Scenario]:
+    """Cartesian product of patterns x loads x drivers x corners."""
+    return [Scenario(pattern=p, load=ld, driver=drv, corner=c, **common)
+            for drv, c, p, ld in product(drivers, corners, patterns, loads)]
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScenarioOutcome:
+    """Waveform + EMC summary of one simulated scenario."""
+
+    scenario: Scenario
+    t: np.ndarray
+    v_port: np.ndarray
+    metrics: dict
+    warnings: list
+    elapsed_s: float
+    cache_hit: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SweepResult:
+    """Ordered collection of :class:`ScenarioOutcome` with summary helpers."""
+
+    def __init__(self, outcomes: list[ScenarioOutcome]):
+        self.outcomes = outcomes
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __getitem__(self, idx):
+        return self.outcomes[idx]
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def failures(self) -> list[ScenarioOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def metric(self, key: str) -> np.ndarray:
+        """One metric across every scenario (NaN where a scenario failed)."""
+        return np.array([o.metrics.get(key, np.nan) if o.ok else np.nan
+                         for o in self.outcomes])
+
+    def worst(self, key: str) -> ScenarioOutcome:
+        """The scenario maximizing ``metrics[key]`` (failures excluded)."""
+        ok = [o for o in self.outcomes if o.ok and key in o.metrics]
+        if not ok:
+            raise ExperimentError(f"no successful scenario carries {key!r}")
+        return max(ok, key=lambda o: o.metrics[key])
+
+    def table(self) -> str:
+        """Plain-text summary table of the sweep."""
+        header = (f"{'scenario':<38} {'v_max':>7} {'v_min':>7} "
+                  f"{'overshoot':>9} {'ringing':>8} {'edges':>5}")
+        lines = [header, "-" * len(header)]
+        for o in self.outcomes:
+            name = o.scenario.resolved_name()[:38]
+            if not o.ok:
+                lines.append(f"{name:<38} FAILED: {o.error}")
+                continue
+            m = o.metrics
+            lines.append(
+                f"{name:<38} {m['v_max']:>7.3f} {m['v_min']:>7.3f} "
+                f"{m['overshoot']:>9.3f} {m['ringing_rms']:>8.4f} "
+                f"{m['n_crossings']:>5d}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# per-scenario simulation (runs inside workers)
+# ---------------------------------------------------------------------------
+
+def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
+                 sc: Scenario) -> dict:
+    """Single-waveform EMC summary (threshold edges + amplitude margins)."""
+    v_max = float(np.max(v))
+    v_min = float(np.min(v))
+    crossings = threshold_crossings(t, v, vdd / 2.0)
+    # nominal instant of the first logic edge, for edge-delay reporting
+    first_edge = next((k * sc.bit_time for k in range(1, len(sc.pattern))
+                       if sc.pattern[k] != sc.pattern[k - 1]), None)
+    first_crossing = float(crossings[0]) if crossings.size else float("nan")
+    # ringing: residual oscillation around the settled level over the last
+    # bit (std, so a resistive-divider level drop does not count as ringing);
+    # the settled-level error vs the ideal rail is reported separately.
+    # The reference level is the bit actually driven at the end of the run
+    # -- t_stop may truncate the pattern
+    tail = t >= (t[-1] - sc.bit_time)
+    k_bit = min(int(t[-1] / sc.bit_time), len(sc.pattern) - 1)
+    v_final = vdd if sc.pattern[k_bit] == "1" else 0.0
+    ringing = float(np.std(v[tail]))
+    settle_error = abs(float(np.mean(v[tail])) - v_final)
+    return {
+        "v_max": v_max,
+        "v_min": v_min,
+        "overshoot": max(v_max - vdd, 0.0),
+        "undershoot": max(-v_min, 0.0),
+        "swing": v_max - v_min,
+        "n_crossings": int(crossings.size),
+        "first_crossing": first_crossing,
+        "first_edge_delay": (first_crossing - first_edge
+                             if first_edge is not None else float("nan")),
+        "ringing_rms": ringing,
+        "settle_error": settle_error,
+    }
+
+
+def _simulate_scenario(sc: Scenario,
+                       model: PWRBFDriverModel) -> ScenarioOutcome:
+    """Build and run one driver-plus-load bench; never raises."""
+    t0 = time.perf_counter()
+    try:
+        dt = model.ts if sc.dt is None else sc.dt
+        t_stop = sc.t_stop
+        if t_stop is None:
+            t_stop = (len(sc.pattern) + 2) * sc.bit_time
+        ckt = Circuit(sc.resolved_name())
+        ckt.add(PWRBFDriverElement.for_pattern(
+            "drv", "out", model, sc.pattern, sc.bit_time, t_stop))
+        obs = sc.load.build(ckt, "out")
+        res = run_transient(ckt, TransientOptions(
+            dt=dt, t_stop=t_stop, method="damped", strict=False))
+        # copy: res.v() is a view into the full (n_steps, size) solution
+        # matrix, which must not stay alive per retained outcome
+        v = res.v(obs).copy()
+        return ScenarioOutcome(
+            scenario=sc, t=res.t, v_port=v,
+            metrics=_emc_metrics(res.t, v, model.vdd, sc),
+            warnings=list(res.warnings),
+            elapsed_s=time.perf_counter() - t0)
+    except Exception as exc:  # noqa: BLE001 - one bad corner must not kill a sweep
+        return ScenarioOutcome(
+            scenario=sc, t=np.empty(0), v_port=np.empty(0), metrics={},
+            warnings=[], elapsed_s=time.perf_counter() - t0,
+            error=f"{type(exc).__name__}: {exc}")
+
+
+# worker-process model store: each worker deserializes every distinct driver
+# model exactly once (in the initializer), not once per scenario
+_WORKER_MODELS: dict = {}
+
+
+def _worker_init(model_payloads: dict) -> None:
+    global _WORKER_MODELS
+    _WORKER_MODELS = {key: PWRBFDriverModel.from_dict(d)
+                      for key, d in model_payloads.items()}
+
+
+def _worker_run(args):
+    idx, sc, model_key = args
+    return idx, _simulate_scenario(sc, _WORKER_MODELS[model_key])
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+class ScenarioRunner:
+    """Fan a grid of scenarios across processes and cache the results.
+
+    ``models`` maps ``(driver, corner)`` to an already-estimated
+    :class:`PWRBFDriverModel`; scenarios naming a driver not in the map are
+    resolved (and estimated once per process) via
+    :func:`repro.experiments.cache.driver_model`.  ``n_workers`` defaults to
+    the CPU count; ``0``/``1`` runs serially in-process.
+    """
+
+    def __init__(self, models: dict | None = None,
+                 n_workers: int | None = None,
+                 use_result_cache: bool = True):
+        self._models: dict = dict(models or {})
+        self.n_workers = (os.cpu_count() or 1) if n_workers is None \
+            else int(n_workers)
+        self.use_result_cache = use_result_cache
+        self._result_cache: dict = {}
+
+    def _model_for(self, sc: Scenario) -> PWRBFDriverModel:
+        key = (sc.driver, sc.corner)
+        if key not in self._models:
+            self._models[key] = cache.driver_model(sc.driver, sc.corner)
+        return self._models[key]
+
+    def clear_cache(self) -> None:
+        self._result_cache.clear()
+
+    def run(self, scenarios) -> SweepResult:
+        """Simulate every scenario; order of outcomes matches the input."""
+        scenarios = list(scenarios)
+        outcomes: list = [None] * len(scenarios)
+        pending: list[tuple[int, Scenario]] = []
+        for idx, sc in enumerate(scenarios):
+            hit = self._result_cache.get(sc.key()) \
+                if self.use_result_cache else None
+            if hit is not None:
+                # fresh containers per hit: the cache must not alias arrays
+                # a caller may mutate, and the requesting scenario carries
+                # the label (key() ignores `name`)
+                outcomes[idx] = replace(
+                    hit, scenario=sc, cache_hit=True, elapsed_s=0.0,
+                    t=hit.t.copy(), v_port=hit.v_port.copy(),
+                    metrics=dict(hit.metrics), warnings=list(hit.warnings))
+            else:
+                pending.append((idx, sc))
+
+        # resolve models up front so estimation cost is paid in the parent
+        # (workers only deserialize) and duplicate scenarios share one model
+        model_keys = {}
+        for _, sc in pending:
+            self._model_for(sc)
+            model_keys[(sc.driver, sc.corner)] = True
+
+        if len(pending) > 1 and self.n_workers > 1:
+            payloads = {key: self._models[key].to_dict() for key in model_keys}
+            jobs = [(idx, sc, (sc.driver, sc.corner)) for idx, sc in pending]
+            # fork only where it is the safe default (Linux): on macOS the
+            # interpreter lists 'fork' as available but forking after
+            # threaded BLAS/Objective-C work can crash the children, which
+            # is exactly why CPython moved the macOS default to spawn
+            use_fork = (sys.platform.startswith("linux")
+                        and "fork" in mp.get_all_start_methods())
+            ctx = mp.get_context("fork") if use_fork else mp.get_context()
+            workers = min(self.n_workers, len(pending))
+            with ctx.Pool(workers, initializer=_worker_init,
+                          initargs=(payloads,)) as pool:
+                for idx, outcome in pool.imap_unordered(_worker_run, jobs):
+                    outcomes[idx] = outcome
+        else:
+            for idx, sc in pending:
+                outcomes[idx] = _simulate_scenario(sc, self._model_for(sc))
+
+        if self.use_result_cache:
+            for idx, sc in pending:
+                out = outcomes[idx]
+                if out.ok:
+                    # store a private copy so in-place edits on the returned
+                    # outcome cannot poison later cache hits
+                    self._result_cache[sc.key()] = replace(
+                        out, t=out.t.copy(), v_port=out.v_port.copy(),
+                        metrics=dict(out.metrics),
+                        warnings=list(out.warnings))
+        return SweepResult(outcomes)

@@ -195,26 +195,45 @@ class PWRBFDriverModel:
         n = v.size
         if wh.shape != (n,) or wl.shape != (n,):
             raise ModelError("weight arrays must match the voltage length")
-        i = np.zeros(n)
-        x = np.empty(2 * r + 1)
+        # sequential feedback recursion: run both submodels through their
+        # compiled scalar evaluators on plain float lists (numpy N=1 dispatch
+        # per sample is the dominant cost otherwise), and skip whichever
+        # submodel has zero weight -- between logic events that is one of
+        # the two on every sample
+        fast_h = self.sub_high.compile()
+        fast_l = self.sub_low.compile()
+        vf = v.tolist()
+        whf = wh.tolist()
+        wlf = wl.tolist()
+        out = [0.0] * n
+        x = [0.0] * (2 * r + 1)
         for k in range(r, n):
-            x[:r + 1] = v[k::-1][:r + 1]
-            if r:
-                x[r + 1:] = i[k - 1::-1][:r]
-            fh = self.sub_high.eval(x[None, :])
-            fl = self.sub_low.eval(x[None, :])
-            i[k] = wh[k] * fh + wl[k] * fl
-        return i
+            x[0] = vf[k]
+            for j in range(1, r + 1):
+                x[j] = vf[k - j]
+                x[r + j] = out[k - j]
+            ik = 0.0
+            w = whf[k]
+            if w != 0.0:
+                ik += w * fast_h.eval(x)
+            w = wlf[k]
+            if w != 0.0:
+                ik += w * fast_l.eval(x)
+            out[k] = ik
+        return np.asarray(out)
 
     def static_current(self, v: float, state: str,
                        iters: int = 50) -> float:
         """Fixed-point DC current of the parked model at port voltage ``v``."""
         sub = self.sub_high if state == "1" else self.sub_low
+        fast = sub.compile()
         r = self.order
         i = 0.0
+        x = [float(v)] * (r + 1) + [0.0] * r
         for _ in range(iters):
-            x = np.concatenate([np.full(r + 1, v), np.full(r, i)])
-            i_new = float(sub.eval(x[None, :]))
+            for j in range(r):
+                x[r + 1 + j] = i
+            i_new = fast.eval(x)
             if abs(i_new - i) < 1e-12:
                 i = i_new
                 break

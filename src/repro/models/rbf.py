@@ -109,13 +109,20 @@ class GaussianRBF:
         i = np.zeros(n)
         if i_init is not None:
             i[:order] = np.asarray(i_init, dtype=float)[:order]
-        x = np.empty(2 * order + 1)
+        # the feedback recursion is inherently sequential; run it through the
+        # compiled scalar evaluator (plain floats) instead of paying numpy's
+        # N=1 dispatch on every sample
+        fast = self.compile()
+        vf = v.tolist()
+        out = i.tolist()
+        x = [0.0] * (2 * order + 1)
         for k in range(order, n):
-            x[:order + 1] = v[k::-1][:order + 1]
-            if order:
-                x[order + 1:] = i[k - 1::-1][:order]
-            i[k] = self.eval(x[None, :])
-        return i
+            x[0] = vf[k]
+            for j in range(1, order + 1):
+                x[j] = vf[k - j]
+                x[order + j] = out[k - j]
+            out[k] = fast.eval(x)
+        return np.asarray(out)
 
     def compile(self) -> "_CompiledRBF":
         """Return a pure-Python evaluator for scalar hot loops.
@@ -164,6 +171,29 @@ class _CompiledRBF:
         self.lo = list(map(float, sc.lo))
         self.hi = list(map(float, sc.hi))
         self.dim = len(self.mean)
+
+    def eval(self, x) -> float:
+        """Value-only evaluation with box clipping, like the model's eval."""
+        mean, scale, lo, hi = self.mean, self.scale, self.lo, self.hi
+        z = [0.0] * self.dim
+        for j in range(self.dim):
+            xv = x[j]
+            if xv < lo[j]:
+                xv = lo[j]
+            elif xv > hi[j]:
+                xv = hi[j]
+            z[j] = (xv - mean[j]) / scale[j]
+        f = self.bias
+        for c_row, w in zip(self.centers, self.weights):
+            d2 = 0.0
+            for j in range(self.dim):
+                diff = z[j] - c_row[j]
+                d2 += diff * diff
+            f += w * exp(-d2 * self.inv_two_sigma2)
+        aff = self.affine
+        for j in range(self.dim):
+            f += aff[j] * z[j]
+        return f
 
     def eval_grad(self, x) -> tuple[float, float]:
         """Return ``(f(x), df/dx[0])`` with box clipping, like the model."""

@@ -1,0 +1,117 @@
+"""Equivalence of the engine's solver paths.
+
+The linear fast path (cached-factorization back-substitution, no Newton)
+must reproduce the damped-Newton path bit-for-bit on the EMC workhorse
+benches, and the Woodbury low-rank ``solve_step`` must match the full
+assemble-and-solve on a nonlinear driver circuit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (Capacitor, Circuit, IdealLine, Inductor,
+                           MNASystem, Resistor, TransientOptions,
+                           VoltageSource, run_transient, solve_dcop)
+from repro.circuit.waveforms import Pulse
+from repro.devices import MD2, build_driver
+
+TOL = 1e-9
+
+
+def rc_ladder(n=40):
+    ckt = Circuit("ladder")
+    ckt.add(VoltageSource("vs", "n0", "0",
+                          Pulse(v2=1.0, rise=0.1e-9, width=2e-9)))
+    for k in range(n):
+        ckt.add(Resistor(f"r{k}", f"n{k}", f"n{k + 1}", 10.0))
+        ckt.add(Capacitor(f"c{k}", f"n{k + 1}", "0", 0.5e-12))
+    return ckt
+
+
+def branin_line():
+    ckt = Circuit("line")
+    ckt.add(VoltageSource("vs", "src", "0",
+                          Pulse(v2=1.0, rise=0.1e-9, width=2e-9)))
+    ckt.add(Resistor("rs", "src", "ne", 50.0))
+    ckt.add(IdealLine("t1", "ne", "fe", 50.0, 1e-9))
+    ckt.add(Resistor("rl", "fe", "0", 50.0))
+    return ckt
+
+
+def rlc_tank():
+    ckt = Circuit("rlc")
+    ckt.add(VoltageSource("vs", "in", "0",
+                          Pulse(v2=1.0, rise=0.2e-9, width=3e-9)))
+    ckt.add(Resistor("r1", "in", "mid", 25.0))
+    ckt.add(Inductor("l1", "mid", "out", 5e-9))
+    ckt.add(Capacitor("c1", "out", "0", 2e-12))
+    ckt.add(Resistor("r2", "out", "0", 200.0))
+    return ckt
+
+
+class TestLinearFastPath:
+    @pytest.mark.parametrize("build,opts", [
+        (rc_ladder, TransientOptions(dt=25e-12, t_stop=5e-9)),
+        (branin_line, TransientOptions(dt=10e-12, t_stop=10e-9)),
+        (rlc_tank, TransientOptions(dt=20e-12, t_stop=6e-9, method="damped")),
+    ], ids=["rc-ladder", "branin-line", "rlc-tank"])
+    def test_matches_newton_path(self, build, opts):
+        from dataclasses import replace
+        res_fast = run_transient(build(), opts)
+        res_newton = run_transient(build(), replace(opts, fast_path=False))
+        assert res_fast.fast_path
+        assert not res_newton.fast_path
+        assert np.max(np.abs(res_fast.x - res_newton.x)) <= TOL
+
+    def test_fast_path_not_taken_for_nonlinear(self):
+        ckt = Circuit("drv")
+        drv = build_driver(ckt, MD2, "d1", "out", initial_state="0")
+        drv.drive_pattern("01", 2e-9)
+        ckt.add(Resistor("rl", "out", "0", 50.0))
+        res = run_transient(ckt, TransientOptions(dt=25e-12, t_stop=3e-9,
+                                                  method="damped"))
+        assert not res.fast_path
+        assert res.v("out").max() > 0.5 * MD2.vdd
+
+    def test_source_table_matches_scalar_rhs(self):
+        ckt = rc_ladder(8)
+        sys_ = MNASystem(ckt)
+        sys_.build_base(25e-12, 0.55)
+        t_grid = 25e-12 * np.arange(80)
+        table = sys_.build_source_table(t_grid)
+        # only the rows a source actually drives are materialized (one
+        # voltage-source branch row here), not n_steps x size zeros
+        assert len(table.cols) == 1
+        dense = table.dense()
+        row = np.empty(sys_.size)
+        # source-only circuit state: compare a handful of rows against the
+        # scalar per-element assembly (companion histories are all zero
+        # before any step is accepted, so assemble_rhs == source row)
+        for k in (0, 1, 7, 41, 79):
+            np.testing.assert_allclose(dense[k],
+                                       sys_.assemble_rhs(t_grid[k]),
+                                       rtol=0.0, atol=1e-15)
+            np.testing.assert_array_equal(table.fill_row(k, row), dense[k])
+
+
+class TestWoodburyStepEquivalence:
+    def test_solve_step_matches_full_assembly(self):
+        """Low-rank updated solve == dense assemble+solve on a real driver."""
+        ckt = Circuit("drv")
+        drv = build_driver(ckt, MD2, "d1", "out", initial_state="0")
+        drv.drive_pattern("01", 2e-9)
+        ckt.add(Resistor("rl", "out", "0", 50.0))
+        sys_ = MNASystem(ckt, woodbury=True)
+        op = solve_dcop(ckt, system=sys_)
+        for el in ckt.elements:
+            el.init_state(op.x, sys_)
+        dt, theta = 25e-12, 0.55
+        sys_.build_base(dt, theta)
+        t = dt
+        b_step = sys_.assemble_rhs(t)
+        # iterate at the (unlimited) DC solution: stamps are identical
+        # across repeated linearizations there
+        A, b, _ = sys_.assemble_iter(op.x, t, b_step)
+        x_ref = sys_.solve(A, b)
+        x_wb, _ = sys_.solve_step(op.x, t, b_step)
+        assert np.max(np.abs(x_wb - x_ref)) <= TOL

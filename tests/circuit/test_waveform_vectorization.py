@@ -1,0 +1,69 @@
+"""Every waveform's ``sample`` must be truly vectorized.
+
+The transient engine evaluates each source once over the whole time grid
+(the source table), so ``w.sample(t_grid)`` has to agree with the scalar
+``w(t)`` call at every grid point, for every Waveform subclass including
+the composition wrappers (sums, scales, delays).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.waveforms import (BitPattern, Constant, Delayed,
+                                     MultilevelNoise, PiecewiseLinear, Pulse,
+                                     Scaled, Sine, Step, Sum, Trapezoid)
+
+T_STOP = 12e-9
+GRID = np.linspace(0.0, T_STOP, 977)  # dense, incommensurate with edges
+
+
+def waveform_cases():
+    pwl = PiecewiseLinear([0.0, 1e-9, 2.5e-9, 7e-9], [0.0, 1.2, 0.3, 0.9])
+    cases = {
+        "constant": Constant(0.7),
+        "step": Step(v0=0.2, v1=1.5, t0=1e-9, rise=0.3e-9),
+        "step-ideal": Step(v0=0.0, v1=1.0, t0=2e-9, rise=0.0),
+        "pulse-oneshot": Pulse(v1=0.1, v2=2.4, delay=0.5e-9, rise=0.2e-9,
+                               fall=0.3e-9, width=1.5e-9),
+        "pulse-periodic": Pulse(v1=0.0, v2=1.0, delay=1e-9, rise=0.1e-9,
+                                fall=0.1e-9, width=0.8e-9, period=3e-9),
+        "trapezoid": Trapezoid(amplitude=2.5, transition=150e-12,
+                               width=2e-9, delay=1e-9, baseline=0.1),
+        "pwl": pwl,
+        "bitpattern": BitPattern("011011101010000", bit_time=0.8e-9,
+                                 v_low=0.0, v_high=1.8,
+                                 transition=100e-12, delay=0.4e-9),
+        "noise": MultilevelNoise(0.0, 2.5, duration=10e-9, seed=42),
+        "sine": Sine(amplitude=0.8, freq=0.7e9, offset=0.4, delay=1.3e-9),
+        "sum": Sum(Sine(amplitude=0.2, freq=1e9), pwl),
+        "scaled": Scaled(pwl, -2.5),
+        "delayed": Delayed(Pulse(v2=1.0, width=1e-9), 2e-9),
+        "composed": (0.5 * (pwl + Sine(amplitude=0.1, freq=2e9))
+                     ).delayed(0.7e-9),
+    }
+    return list(cases.items())
+
+
+@pytest.mark.parametrize("wave", [w for _, w in waveform_cases()],
+                         ids=[k for k, _ in waveform_cases()])
+def test_sample_matches_scalar_eval(wave):
+    vec = wave.sample(GRID)
+    assert isinstance(vec, np.ndarray)
+    assert vec.shape == GRID.shape
+    assert vec.dtype == np.float64
+    scalar = np.array([float(wave(float(t))) for t in GRID])
+    np.testing.assert_array_equal(vec, scalar)
+
+
+@pytest.mark.parametrize("wave", [w for _, w in waveform_cases()],
+                         ids=[k for k, _ in waveform_cases()])
+def test_sample_does_not_mutate_input(wave):
+    times = GRID.copy()
+    wave.sample(times)
+    np.testing.assert_array_equal(times, GRID)
+
+
+def test_sample_accepts_list_input():
+    w = Step(v0=0.0, v1=1.0, t0=1e-9, rise=0.5e-9)
+    out = w.sample([0.0, 1e-9, 1.25e-9, 2e-9])
+    np.testing.assert_allclose(out, [0.0, 0.0, 0.5, 1.0])

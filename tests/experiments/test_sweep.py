@@ -1,0 +1,143 @@
+"""ScenarioRunner: grid construction, parallel fan-out, metrics, caching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (LoadSpec, Scenario, ScenarioRunner,
+                               scenario_grid)
+
+PATTERNS = ["01", "0110", "010", "0011"]
+LOADS = [LoadSpec(kind="r", r=50.0),
+         LoadSpec(kind="rc", r=150.0, c=5e-12),
+         LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e4)]
+
+
+@pytest.fixture()
+def runner(md2_model):
+    return ScenarioRunner(models={("MD2", "typ"): md2_model}, n_workers=2)
+
+
+def test_grid_is_cartesian_product():
+    grid = scenario_grid(PATTERNS, LOADS, bit_time=1e-9)
+    assert len(grid) == len(PATTERNS) * len(LOADS)
+    assert len({sc.key() for sc in grid}) == len(grid)
+    assert all(sc.bit_time == 1e-9 for sc in grid)
+
+
+def test_parallel_sweep_runs_grid_and_reports_metrics(runner, md2_model):
+    grid = scenario_grid(PATTERNS, LOADS)
+    assert len(grid) >= 12
+    result = runner.run(grid)
+    assert len(result) == len(grid)
+    assert not result.failures
+    for out in result:
+        assert out.t.size == out.v_port.size > 0
+        for key in ("v_max", "v_min", "overshoot", "undershoot",
+                    "ringing_rms", "n_crossings", "first_crossing"):
+            assert key in out.metrics
+        # driven port must swing: every pattern here has at least one edge
+        assert out.metrics["swing"] > 0.5 * md2_model.vdd
+        assert out.metrics["n_crossings"] >= 1
+    # the unterminated line must ring harder than the matched resistor
+    line_overshoot = max(o.metrics["overshoot"] for o in result
+                         if o.scenario.load.kind == "line")
+    r_overshoot = max(o.metrics["overshoot"] for o in result
+                      if o.scenario.load.kind == "r")
+    assert line_overshoot > r_overshoot + 0.2
+
+
+def test_repeated_run_hits_result_cache(runner):
+    grid = scenario_grid(PATTERNS[:2], LOADS[:2])
+    first = runner.run(grid)
+    assert first.n_cache_hits == 0
+    second = runner.run(grid)
+    assert second.n_cache_hits == len(grid)
+    for a, b in zip(first, second):
+        assert b.cache_hit
+        np.testing.assert_array_equal(a.v_port, b.v_port)
+        assert a.metrics == b.metrics
+
+
+def test_result_cache_is_isolated_from_caller_mutation(runner):
+    grid = scenario_grid(PATTERNS[:1], LOADS[:1])
+    first = runner.run(grid)
+    pristine = first[0].v_port.copy()
+    # mutating a returned outcome (arrays or metrics) must not poison
+    # what later cache hits see
+    first[0].v_port *= 1e3
+    first[0].metrics["overshoot"] = 99.0
+    hit = runner.run(grid)[0]
+    assert hit.cache_hit
+    np.testing.assert_array_equal(hit.v_port, pristine)
+    assert hit.metrics["overshoot"] != 99.0
+    # renamed-but-identical scenario reuses the result under the new label
+    renamed = [scenario_grid(PATTERNS[:1], LOADS[:1])[0]]
+    renamed[0] = type(renamed[0])(**{**renamed[0].__dict__, "name": "retest"})
+    out = runner.run(renamed)[0]
+    assert out.cache_hit
+    assert out.scenario.resolved_name() == "retest"
+    # a relabeled (but electrically identical) load also hits the cache
+    relabeled = Scenario(pattern=PATTERNS[0],
+                         load=LoadSpec(kind=LOADS[0].kind, r=LOADS[0].r,
+                                       label="matched"))
+    assert runner.run([relabeled])[0].cache_hit
+
+
+def test_serial_and_parallel_agree(md2_model):
+    grid = scenario_grid(PATTERNS[:2], LOADS[:2])
+    serial = ScenarioRunner(models={("MD2", "typ"): md2_model},
+                            n_workers=1).run(grid)
+    parallel = ScenarioRunner(models={("MD2", "typ"): md2_model},
+                              n_workers=2).run(grid)
+    for a, b in zip(serial, parallel):
+        np.testing.assert_array_equal(a.v_port, b.v_port)
+
+
+def test_failed_scenario_is_contained(runner):
+    # dt far from the model sampling time must fail that scenario only
+    bad = Scenario(pattern="01", load=LOADS[0], dt=1e-12)
+    good = Scenario(pattern="01", load=LOADS[0])
+    result = runner.run([bad, good])
+    assert not result[0].ok and result[0].error
+    assert result[1].ok
+    assert len(result.failures) == 1
+    # failures never enter the result cache
+    assert runner.run([bad]).n_cache_hits == 0
+
+
+def test_worst_and_metric_helpers(runner):
+    result = runner.run(scenario_grid(PATTERNS[:2], LOADS))
+    worst = result.worst("overshoot")
+    assert worst.scenario.load.kind == "line"
+    overshoots = result.metric("overshoot")
+    assert overshoots.shape == (len(result),)
+    assert np.nanmax(overshoots) == worst.metrics["overshoot"]
+    with pytest.raises(ExperimentError):
+        result.worst("no_such_metric")
+    assert "overshoot" in result.table() or worst.ok  # table renders
+    assert isinstance(result.table(), str)
+
+
+def test_load_spec_validation():
+    from repro.circuit import Circuit
+    with pytest.raises(ExperimentError):
+        LoadSpec(kind="rc", r=50.0).build(Circuit("x"), "out")
+    with pytest.raises(ExperimentError):
+        LoadSpec(kind="bogus").build(Circuit("x"), "out")
+    # a pure-R load with a stray capacitance must be rejected, not silently
+    # simulated under an 'r...' label that hides the C
+    with pytest.raises(ExperimentError):
+        LoadSpec(kind="r", r=50.0, c=1e-12).build(Circuit("x"), "out")
+    assert "c2p" in LoadSpec(kind="line", z0=50.0, td=1e-9, r=1e4,
+                             c=2e-12).describe()
+
+
+def test_truncated_pattern_uses_active_bit_as_settle_reference(runner,
+                                                               md2_model):
+    # t_stop ends inside bit 0 of "01": the port correctly sits at 0 V, so
+    # settle_error must be measured against the low rail, not pattern[-1]
+    sc = Scenario(pattern="01", load=LOADS[0], bit_time=2e-9, t_stop=1.9e-9)
+    out = runner.run([sc])[0]
+    assert out.ok
+    assert out.metrics["settle_error"] < 0.25 * md2_model.vdd
