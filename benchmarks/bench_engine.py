@@ -60,6 +60,71 @@ def test_branin_line_transient(benchmark):
     assert abs(res.v("fe")).max() > 0.4
 
 
+def coupled_bus_circuit(n_sections=6):
+    """Two-land lossy MCM bus (Fig. 3 class): CoupledIdealLine cascade."""
+    from repro.circuit.builders import LineSpec, add_lossy_line
+
+    spec = LineSpec(
+        L=np.array([[300e-9, 60e-9], [60e-9, 300e-9]]),
+        C=np.array([[100e-12, -5e-12], [-5e-12, 100e-12]]),
+        length=0.1, rdc=60.0, k_skin=1.6e-3, tan_delta=0.02, f_knee=1e9)
+    ckt = Circuit("bus")
+    ckt.add(VoltageSource("vs", "src", "0",
+                          Pulse(v2=1.0, rise=0.1e-9, width=4e-9)))
+    ckt.add(Resistor("rs", "src", "ne1", 25.0))
+    ckt.add(Resistor("rq", "ne2", "0", 50.0))
+    add_lossy_line(ckt, "bus", ["ne1", "ne2"], ["fe1", "fe2"], spec,
+                   n_sections=n_sections)
+    ckt.add(Resistor("rl1", "fe1", "0", 50.0))
+    ckt.add(Resistor("rl2", "fe2", "0", 50.0))
+    return ckt
+
+
+def rlgc_coupled_ladder(n_sections=30):
+    """Fully lumped coupled RLGC ladder: CoupledInductors + CapacitanceMatrix."""
+    from repro.circuit.builders import LineSpec, add_rlgc_ladder
+
+    spec = LineSpec(
+        L=np.array([[300e-9, 60e-9], [60e-9, 300e-9]]),
+        C=np.array([[100e-12, -5e-12], [-5e-12, 100e-12]]),
+        length=0.1, rdc=60.0)
+    ckt = Circuit("rlgc")
+    ckt.add(VoltageSource("vs", "src", "0",
+                          Pulse(v2=1.0, rise=0.1e-9, width=4e-9)))
+    ckt.add(Resistor("rs", "src", "ne1", 25.0))
+    ckt.add(Resistor("rq", "ne2", "0", 50.0))
+    add_rlgc_ladder(ckt, "bus", ["ne1", "ne2"], ["fe1", "fe2"], spec,
+                    n_sections=n_sections)
+    ckt.add(Resistor("rl1", "fe1", "0", 50.0))
+    ckt.add(Resistor("rl2", "fe2", "0", 50.0))
+    return ckt
+
+
+@pytest.mark.benchmark(group="engine")
+def test_coupled_bus_transient(benchmark):
+    """Modal coupled-line cascade: the CoupledIdealLine group hot path."""
+    def run():
+        return run_transient(coupled_bus_circuit(),
+                             TransientOptions(dt=10e-12, t_stop=10e-9,
+                                              method="damped"))
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.v("fe1").max() > 0.2
+    # the quiet land sees nonzero coupled noise
+    assert np.abs(res.v("fe2")).max() > 1e-4
+
+
+@pytest.mark.benchmark(group="engine")
+def test_rlgc_coupled_ladder_transient(benchmark):
+    """Lumped coupled ladder: CoupledInductors/CapacitanceMatrix groups."""
+    def run():
+        return run_transient(rlgc_coupled_ladder(),
+                             TransientOptions(dt=10e-12, t_stop=10e-9,
+                                              method="damped"))
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.v("fe1").max() > 0.2
+    assert np.abs(res.v("fe2")).max() > 1e-4
+
+
 @pytest.mark.benchmark(group="engine")
 def test_linear_ladder_newton_path(benchmark):
     """Same bench with the linear fast path disabled: the price of Newton."""

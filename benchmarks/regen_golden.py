@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden waveforms.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regen_golden.py            # all cases
+    PYTHONPATH=src python benchmarks/regen_golden.py fig2_panel1
+
+Rebuilds the reference ``.npz`` files under ``tests/experiments/golden/``
+from the case builders in :mod:`repro.experiments.golden` -- the same
+functions the regression test runs -- and prints a summary of what changed
+versus the previous files.  Run this ONLY when a waveform change is
+intended and reviewed (an engine fix, a re-keyed setup constant); the whole
+point of the suite is that unintended changes fail CI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments import golden  # noqa: E402
+
+GOLDEN_DIR = ROOT / "tests" / "experiments" / "golden"
+
+
+def main(argv=None) -> int:
+    cases = (argv or sys.argv[1:]) or sorted(golden.CASES)
+    unknown = [c for c in cases if c not in golden.CASES]
+    if unknown:
+        raise SystemExit(f"unknown cases {unknown}; "
+                         f"available: {sorted(golden.CASES)}")
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for case in cases:
+        print(f"building {case} ...")
+        waves = golden.generate(case)
+        path = GOLDEN_DIR / f"{case}.npz"
+        if path.exists():
+            with np.load(path) as old:
+                for name, arr in waves.items():
+                    if name in old and old[name].shape == arr.shape:
+                        delta = float(np.max(np.abs(old[name] - arr)))
+                        print(f"  {name:<10} max |delta| vs committed: "
+                              f"{delta:.3e}")
+                    else:
+                        print(f"  {name:<10} (new or reshaped)")
+        np.savez_compressed(path, **waves)
+        size = path.stat().st_size
+        print(f"  wrote {path.relative_to(ROOT)} ({size / 1024:.1f} KiB)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

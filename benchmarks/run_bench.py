@@ -5,6 +5,8 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py --label after-fast-path
     PYTHONPATH=src python benchmarks/run_bench.py --group engine -k "ladder"
+    PYTHONPATH=src python benchmarks/run_bench.py --check \\
+        -k "test_linear_ladder_transient or test_branin_line_transient"
 
 Runs ``benchmarks/bench_<group>.py`` under pytest-benchmark, extracts the
 median seconds per test, and appends a labelled run to ``BENCH_<group>.json``
@@ -14,6 +16,12 @@ regressions across PRs are a diff, not a re-measurement:
     {"group": "engine",
      "runs": [{"label": "seed", "timestamp": ..., "results":
                [{"test": "test_linear_ladder_transient", "median_s": ...}]}]}
+
+``--check`` turns the script into a CI gate: instead of appending, the
+fresh medians of the gated tests (``--gate``, default the two tier-1 perf
+workhorses) are compared against the most recent recorded value in the
+trajectory; the run fails when any gated median regresses by more than
+``--max-regression`` (default 25%).
 """
 
 from __future__ import annotations
@@ -27,6 +35,10 @@ import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+
+#: medians gated by ``--check`` unless ``--gate`` overrides them
+DEFAULT_GATES = ("test_linear_ladder_transient",
+                 "test_branin_line_transient")
 
 
 def run_group(group: str, k_expr: str | None = None) -> list[dict]:
@@ -80,6 +92,54 @@ def append_run(out: Path, group: str, label: str,
     return run
 
 
+def last_recorded(doc: dict, test: str) -> float | None:
+    """The most recent recorded median of ``test`` in a trajectory doc."""
+    for run in reversed(doc.get("runs", [])):
+        for r in run.get("results", []):
+            if r.get("test") == test:
+                return float(r["median_s"])
+    return None
+
+
+def check_regressions(out: Path, results: list[dict], gates,
+                      max_regression: float) -> int:
+    """Compare fresh medians against the trajectory; 0 = within budget.
+
+    A gated test missing from the fresh results is an error (the gate must
+    not silently pass because a rename dropped it); a gated test with no
+    recorded history is reported and skipped (nothing to compare yet).
+    """
+    if not out.exists():
+        print(f"{out.name} does not exist; nothing to gate against")
+        return 1
+    doc = json.loads(out.read_text())
+    fresh = {r["test"]: r["median_s"] for r in results}
+    failures = []
+    width = max(len(t) for t in gates)
+    print(f"\nperf gate vs {out.name} "
+          f"(max regression {max_regression:.0%}):")
+    for test in gates:
+        if test not in fresh:
+            print(f"  {test:<{width}}  MISSING from the fresh run")
+            failures.append(test)
+            continue
+        base = last_recorded(doc, test)
+        if base is None:
+            print(f"  {test:<{width}}  no recorded history; skipped")
+            continue
+        ratio = fresh[test] / base
+        verdict = "OK" if ratio <= 1.0 + max_regression else "REGRESSED"
+        print(f"  {test:<{width}}  {base * 1e3:9.3f} ms -> "
+              f"{fresh[test] * 1e3:9.3f} ms  ({ratio:6.2f}x)  {verdict}")
+        if verdict == "REGRESSED":
+            failures.append(test)
+    if failures:
+        print(f"\nperf gate FAILED for: {', '.join(failures)}")
+        return 2
+    print("\nperf gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--group", default="engine",
@@ -90,6 +150,17 @@ def main(argv=None) -> int:
                         help="pytest -k expression forwarded to the run")
     parser.add_argument("--out", type=Path, default=None,
                         help="trajectory file (default BENCH_<group>.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="CI gate mode: compare gated medians against "
+                             "the last recorded trajectory entry instead "
+                             "of appending a run")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional slowdown in --check mode "
+                             "(0.25 = 25%%)")
+    parser.add_argument("--gate", action="append", default=None,
+                        metavar="TEST",
+                        help="test name gated by --check (repeatable; "
+                             f"default: {', '.join(DEFAULT_GATES)})")
     args = parser.parse_args(argv)
 
     out = args.out or ROOT / f"BENCH_{args.group}.json"
@@ -97,6 +168,9 @@ def main(argv=None) -> int:
     if not results:
         print(f"no benchmarks matched group {args.group!r}")
         return 1
+    if args.check:
+        gates = tuple(args.gate) if args.gate else DEFAULT_GATES
+        return check_regressions(out, results, gates, args.max_regression)
     run = append_run(out, args.group, args.label, results)
     width = max(len(r["test"]) for r in run["results"])
     print(f"\n{out.name} <- run {args.label!r}:")

@@ -4,10 +4,14 @@ Estimates the MD2 PW-RBF driver macromodel once, then fans a grid of
 bit patterns x terminations across worker processes, collects per-scenario
 EMC metrics (overshoot, undershoot, ringing, edge counts), and prints the
 worst corners.  A second `run` on the same grid answers from the result
-cache without re-simulating -- the workflow for iterating on a single
-scenario inside a large swept set.
+cache without re-simulating, and the cache is *disk-persistent*: re-running
+this script answers most of the grid from `.sweep_cache/` without touching
+the engine -- the workflow for iterating on a single scenario inside a
+large swept set.
 
 Run:  python examples/scenario_sweep.py
+(see examples/crosstalk_corner_sweep.py for the coupled-line / receiver /
+process-corner scenario kinds)
 """
 
 import time
@@ -16,6 +20,8 @@ from repro.devices import MD2
 from repro.experiments import LoadSpec, ScenarioRunner, scenario_grid
 from repro.experiments.asciiplot import ascii_plot
 from repro.models import estimate_driver_model
+
+CACHE_DIR = ".sweep_cache"
 
 
 def main():
@@ -36,13 +42,15 @@ def main():
         bit_time=2e-9)
     print(f"   {len(grid)} scenarios")
 
-    print("3) sweeping in parallel...")
-    runner = ScenarioRunner(models={("MD2", "typ"): model})
+    print(f"3) sweeping in parallel (disk cache: {CACHE_DIR}/)...")
+    runner = ScenarioRunner(models={("MD2", "typ"): model},
+                            disk_cache=CACHE_DIR)
     t0 = time.perf_counter()
     result = runner.run(grid)
     print(f"   swept {len(result)} scenarios in "
           f"{time.perf_counter() - t0:.2f} s "
-          f"({runner.n_workers} workers)\n")
+          f"({runner.n_workers} workers, "
+          f"{result.n_cache_hits} answered from a previous process)\n")
 
     print(result.table())
 
@@ -58,6 +66,8 @@ def main():
     again = runner.run(grid)
     print(f"   {again.n_cache_hits}/{len(again)} cache hits in "
           f"{time.perf_counter() - t0:.3f} s")
+    print(f"   (re-run this script: a fresh process answers from "
+          f"{CACHE_DIR}/ too)")
 
 
 if __name__ == "__main__":

@@ -1,26 +1,37 @@
 """Vectorized companion-model updates for the transient hot loop.
 
-A transient analysis of an EMC test bench is dominated by two-terminal
-reactive elements (RC ladders, lumped line sections).  Stamping their
-companion history currents one element at a time costs a Python call per
-element per step; this module gathers all plain :class:`Capacitor` and
-:class:`Inductor` instances of a circuit into struct-of-arrays groups so the
-per-step RHS contribution and the post-step history advance collapse to a
-handful of numpy operations regardless of the element count.
+A transient analysis of an EMC test bench is dominated by reactive and
+delayed elements (RC ladders, lumped line sections, coupled-line cascades).
+Stamping their companion history currents one element at a time costs a
+Python call per element per step; this module gathers same-shaped elements
+of a circuit into struct-of-arrays groups so the per-step RHS contribution
+and the post-step history advance collapse to a handful of numpy operations
+regardless of the element count:
+
+* :class:`Capacitor` / :class:`Inductor` -- plain two-terminal companions,
+* :class:`CoupledInductors` / :class:`CapacitanceMatrix` -- matrix
+  companions, batched per conductor count with one ``einsum`` per step,
+* :class:`CoupledIdealLine` -- modal Branin lines, batched per conductor
+  count with a shared preallocated wave-history array and vectorized
+  delayed-lookup interpolation.
 
 The groups *take over* the grouped elements' ``stamp_rhs``/``update_state``
 roles for the duration of one ``run_transient`` call: state is loaded from
 the elements after ``init_state``/``prepare`` and written back by
 :meth:`CompanionGroups.flush` when the analysis ends, so post-run accessors
 (``Capacitor.current`` etc.) keep working.  Mid-run, the arrays -- not the
-elements -- are authoritative.
+elements -- are authoritative.  ``TransientOptions.vector_groups=False``
+disables grouping entirely (every element stamps itself), which is how the
+equivalence tests pin the grouped path to the per-element reference.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .elements.rlc import Capacitor, Inductor
+from .elements.rlc import (CapacitanceMatrix, Capacitor, CoupledInductors,
+                           Inductor)
+from .elements.tline import CoupledIdealLine
 
 __all__ = ["CompanionGroups", "build_companion_groups"]
 
@@ -95,12 +106,204 @@ class _InductorGroup:
             el._v_prev = float(v)
 
 
+class _CoupledInductorsGroup:
+    """All N-conductor :class:`CoupledInductors` of one size, batched.
+
+    Branch indices are unique per element, so the RHS scatter is a plain
+    fancy-index add; the matrix companion current is one batched ``einsum``
+    over the stacked ``(n_el, n, n)`` equivalent-resistance tensor.
+    """
+
+    def __init__(self, els: list[CoupledInductors]):
+        self.els = els
+        n = els[0].n
+        self.br = np.array([el.branches for el in els], dtype=np.intp)
+        self.a = np.array([[el.nodes[2 * k] for k in range(n)]
+                           for el in els], dtype=np.intp)
+        self.b = np.array([[el.nodes[2 * k + 1] for k in range(n)]
+                           for el in els], dtype=np.intp)
+        self.mask_a = self.a >= 0
+        self.mask_b = self.b >= 0
+        self.a_clip = np.where(self.mask_a, self.a, 0)
+        self.b_clip = np.where(self.mask_b, self.b, 0)
+        self.Req = np.array([el._Req for el in els])
+        self.beta = (1.0 - els[0]._theta) / els[0]._theta
+        self.i_prev = np.array([el._i_prev for el in els])
+        self.v_prev = np.array([el._v_prev for el in els])
+        self.br_flat = self.br.ravel()
+
+    def add_rhs(self, rhs: np.ndarray) -> None:
+        vals = -np.einsum("eij,ej->ei", self.Req, self.i_prev) \
+            - self.beta * self.v_prev
+        rhs[self.br_flat] += vals.ravel()
+
+    def update(self, x: np.ndarray) -> None:
+        self.i_prev = x[self.br]
+        self.v_prev = (x[self.a_clip] * self.mask_a) \
+            - (x[self.b_clip] * self.mask_b)
+
+    def flush(self) -> None:
+        for k, el in enumerate(self.els):
+            el._i_prev = self.i_prev[k].copy()
+            el._v_prev = self.v_prev[k].copy()
+
+
+class _CapacitanceMatrixGroup:
+    """All N-node :class:`CapacitanceMatrix` elements of one size, batched.
+
+    Node indices may repeat across elements (shared junctions), so the
+    injection scatter uses ``np.add.at``.
+    """
+
+    def __init__(self, els: list[CapacitanceMatrix]):
+        self.els = els
+        self.nodes = np.array([el.nodes for el in els], dtype=np.intp)
+        self.mask = self.nodes >= 0
+        self.clip = np.where(self.mask, self.nodes, 0)
+        self.Geq = np.array([el._Geq for el in els])
+        self.beta = (1.0 - els[0]._theta) / els[0]._theta
+        self.v_prev = np.array([el._v_prev for el in els])
+        self.i_prev = np.array([el._i_prev for el in els])
+        self.nodes_live = self.nodes[self.mask]
+        self.mask_flat = self.mask.ravel()
+
+    def add_rhs(self, rhs: np.ndarray) -> None:
+        ieq = np.einsum("eij,ej->ei", self.Geq, self.v_prev) \
+            + self.beta * self.i_prev
+        np.add.at(rhs, self.nodes_live, ieq.ravel()[self.mask_flat])
+
+    def update(self, x: np.ndarray) -> None:
+        v_new = x[self.clip] * self.mask
+        # Geq = C/(theta*dt): the same matrix the element update uses
+        self.i_prev = np.einsum("eij,ej->ei", self.Geq,
+                                v_new - self.v_prev) \
+            - self.beta * self.i_prev
+        self.v_prev = v_new
+
+    def flush(self) -> None:
+        for k, el in enumerate(self.els):
+            el._v_prev = self.v_prev[k].copy()
+            el._i_prev = self.i_prev[k].copy()
+
+
+class _CoupledLineGroup:
+    """All N-conductor :class:`CoupledIdealLine` elements of one size.
+
+    The per-element ``_History`` (a Python list of rows, interpolated one
+    mode at a time) is replaced by one preallocated ``(rows, n_el, 2n)``
+    wave array shared by the whole group; the delayed lookups of every mode
+    of every line collapse to two gathers and a vectorized interpolation.
+    Lookup semantics (end clamping, linear interpolation between accepted
+    steps) match ``_History.lookup`` exactly.
+    """
+
+    def __init__(self, els: list[CoupledIdealLine], dt: float):
+        self.els = els
+        self.dt = float(dt)
+        n = els[0].n
+        self.n = n
+        n_el = len(els)
+        self.br1 = np.array([el.branches[:n] for el in els], dtype=np.intp)
+        self.br2 = np.array([el.branches[n:] for el in els], dtype=np.intp)
+        self.n1 = np.array([el.nodes[:n] for el in els], dtype=np.intp)
+        self.n2 = np.array([el.nodes[n:] for el in els], dtype=np.intp)
+        self.m1 = self.n1 >= 0
+        self.m2 = self.n2 >= 0
+        self.c1 = np.where(self.m1, self.n1, 0)
+        self.c2 = np.where(self.m2, self.n2, 0)
+        self.W = np.array([el.W for el in els])          # (n_el, n, n)
+        self.zm = np.array([el.zm for el in els])        # (n_el, n)
+        self.td = np.array([el.td for el in els])        # (n_el, n)
+        self.br1_flat = self.br1.ravel()
+        self.br2_flat = self.br2.ravel()
+        self._e_idx = np.arange(n_el)[:, None]
+        self._m_near = np.broadcast_to(np.arange(n)[None, :], (n_el, n))
+        self._m_far = self._m_near + n
+        # The analysis advances on the fixed grid t_k = k*dt and this group
+        # stamps exactly once per step, so the delayed-lookup position of
+        # mode (e, m) at step k is k - td/dt: an integer row offset plus a
+        # *constant* interpolation fraction.  Precompute both; the per-step
+        # lookup is then pure gathering.
+        d = self.td / self.dt
+        self._koff = np.ceil(d - 1e-12).astype(np.intp)   # rows of delay
+        self._frac = self._koff - d                        # in [0, 1)
+        self._one_m_frac = 1.0 - self._frac
+        self._koff_max = int(self._koff.max())
+        self._interior = int(self._koff.min()) >= 2
+        # wave history: row k holds [a1_modes, a2_modes] accepted at t_k;
+        # init_state has already recorded row 0 on every element
+        self._hist = np.empty((256, n_el, 2 * n))
+        self._hist[0] = np.array([el._hist._data[0] for el in els])
+        self._rows = 1
+
+    def _lookup(self) -> tuple[np.ndarray, np.ndarray]:
+        """Interpolated (a1, a2) of every mode at its own delayed time.
+
+        Called while stamping step ``k = self._rows`` (rows ``0..k-1`` are
+        recorded), matching ``_History.lookup`` semantics: clamp to row 0
+        before the wave arrives and to the newest row at the record end.
+        """
+        H = self._hist
+        e, mn, mf = self._e_idx, self._m_near, self._m_far
+        nrow = self._rows
+        if nrow == 1:
+            return H[0, e, mn], H[0, e, mf]
+        k_idx = nrow - self._koff
+        if self._interior and nrow > self._koff_max:
+            # steady state: every mode reads strictly inside the record
+            a1 = self._one_m_frac * H[k_idx, e, mn] \
+                + self._frac * H[k_idx + 1, e, mn]
+            a2 = self._one_m_frac * H[k_idx, e, mf] \
+                + self._frac * H[k_idx + 1, e, mf]
+            return a1, a2
+        kc = np.clip(k_idx, 0, nrow - 2)
+        frac = self._frac
+        a1 = (1.0 - frac) * H[kc, e, mn] + frac * H[kc + 1, e, mn]
+        a2 = (1.0 - frac) * H[kc, e, mf] + frac * H[kc + 1, e, mf]
+        low = k_idx < 0           # t_delayed <= 0: wave not yet arrived
+        high = k_idx >= nrow - 1  # beyond the newest recorded row
+        if low.any():
+            a1 = np.where(low, H[0, e, mn], a1)
+            a2 = np.where(low, H[0, e, mf], a2)
+        if high.any():
+            a1 = np.where(high, H[nrow - 1, e, mn], a1)
+            a2 = np.where(high, H[nrow - 1, e, mf], a2)
+        return a1, a2
+
+    def add_rhs(self, rhs: np.ndarray) -> None:
+        a1, a2 = self._lookup()
+        # each end's Thevenin EMF is the wave launched from the *other* end
+        rhs[self.br1_flat] += a2.ravel()
+        rhs[self.br2_flat] += a1.ravel()
+
+    def update(self, x: np.ndarray) -> None:
+        v1 = x[self.c1] * self.m1
+        v2 = x[self.c2] * self.m2
+        vm1 = np.einsum("eki,ek->ei", self.W, v1)        # W^T v per line
+        vm2 = np.einsum("eki,ek->ei", self.W, v2)
+        a1 = vm1 + self.zm * x[self.br1]
+        a2 = vm2 + self.zm * x[self.br2]
+        if self._rows == self._hist.shape[0]:
+            grown = np.empty((2 * self._rows,) + self._hist.shape[1:])
+            grown[:self._rows] = self._hist
+            self._hist = grown
+        self._hist[self._rows, :, :self.n] = a1
+        self._hist[self._rows, :, self.n:] = a2
+        self._rows += 1
+
+    def flush(self) -> None:
+        for k, el in enumerate(self.els):
+            el._hist._data = [self._hist[r, k].copy()
+                              for r in range(self._rows)]
+            el._hist._dt = self.dt
+
+
 class CompanionGroups:
     """Bundle of vectorized companion groups plus the leftover elements."""
 
     def __init__(self, groups, hist_els, upd_els):
         self.groups = groups
-        #: history-RHS elements NOT covered by a group (lines, matrices, ...)
+        #: history-RHS elements NOT covered by a group
         self.hist_els = hist_els
         #: update_state elements NOT covered by a group
         self.upd_els = upd_els
@@ -119,22 +322,47 @@ class CompanionGroups:
             g.flush()
 
 
-def build_companion_groups(hist_els, upd_els) -> CompanionGroups:
+def _by_size(els):
+    """Partition a homogeneous element list into same-``n`` sublists."""
+    sizes: dict[int, list] = {}
+    for el in els:
+        sizes.setdefault(el.n, []).append(el)
+    return sizes.values()
+
+
+def build_companion_groups(hist_els, upd_els,
+                           dt: float | None = None) -> CompanionGroups:
     """Partition per-step elements into vectorized groups and leftovers.
 
-    Only exact ``Capacitor``/``Inductor`` types are grouped -- subclasses may
-    override the stamping hooks, so they stay on the per-element path.
-    ``hist_els``/``upd_els`` are the lists the transient loop would otherwise
-    iterate; grouped elements are removed from both.
+    Only exact ``Capacitor``/``Inductor``/``CoupledInductors``/
+    ``CapacitanceMatrix``/``CoupledIdealLine`` types are grouped --
+    subclasses may override the stamping hooks, so they stay on the
+    per-element path.  Matrix and modal-line elements are batched per
+    conductor count so their state stacks into rectangular arrays.
+    ``dt`` is the analysis timestep, needed by the delayed-wave lookups of
+    the line group (lines stay ungrouped when it is ``None``).
+    ``hist_els``/``upd_els`` are the lists the transient loop would
+    otherwise iterate; grouped elements are removed from both.
     """
     caps = [el for el in hist_els if type(el) is Capacitor]
     inds = [el for el in hist_els if type(el) is Inductor]
-    grouped = set(map(id, caps)) | set(map(id, inds))
+    cinds = [el for el in hist_els if type(el) is CoupledInductors]
+    cmats = [el for el in hist_els if type(el) is CapacitanceMatrix]
+    lines = [el for el in hist_els
+             if type(el) is CoupledIdealLine] if dt is not None else []
+    grouped = set(map(id, caps)) | set(map(id, inds)) \
+        | set(map(id, cinds)) | set(map(id, cmats)) | set(map(id, lines))
     groups = []
     if caps:
         groups.append(_CapacitorGroup(caps))
     if inds:
         groups.append(_InductorGroup(inds))
+    for sub in _by_size(cinds):
+        groups.append(_CoupledInductorsGroup(sub))
+    for sub in _by_size(cmats):
+        groups.append(_CapacitanceMatrixGroup(sub))
+    for sub in _by_size(lines):
+        groups.append(_CoupledLineGroup(sub, dt))
     return CompanionGroups(
         groups,
         [el for el in hist_els if id(el) not in grouped],

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CircuitError, ConvergenceError
-from .companion import build_companion_groups
+from .companion import CompanionGroups, build_companion_groups
 from .dcop import solve_dcop
 from .mna import MNASystem
 from .netlist import Circuit
@@ -41,7 +41,10 @@ class TransientOptions:
     forward and record the event in ``TransientResult.warnings``);
     ``fast_path``: advance circuits with no nonlinear elements by one cached
     back-substitution per step instead of Newton iteration (set False to
-    force the Newton path, e.g. for equivalence checks).
+    force the Newton path, e.g. for equivalence checks);
+    ``vector_groups``: gather same-shaped companion/line elements into
+    struct-of-arrays groups (set False to force per-element stamping, e.g.
+    for group-vs-element equivalence checks).
     """
 
     dt: float = 1e-12
@@ -52,6 +55,7 @@ class TransientOptions:
     newton: NewtonOptions = field(default_factory=NewtonOptions)
     strict: bool = True
     fast_path: bool = True
+    vector_groups: bool = True
 
     def resolved_theta(self) -> float:
         if self.theta is not None:
@@ -156,7 +160,10 @@ def run_transient(circuit: Circuit, options: TransientOptions,
     # is one table-row copy, the group updates, and any leftover
     # history elements (transmission lines, coupled matrices).
     b_src = sys_.build_source_table(t_grid)
-    comp = build_companion_groups(sys_._hist_els, upd_els)
+    if options.vector_groups:
+        comp = build_companion_groups(sys_._hist_els, upd_els, options.dt)
+    else:
+        comp = CompanionGroups([], list(sys_._hist_els), list(upd_els))
     b_buf = np.empty(sys_.size)
     linear = options.fast_path and not sys_._nl
 

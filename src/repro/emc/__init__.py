@@ -1,7 +1,9 @@
 """EMC/SI accuracy metrics."""
 
-from .metrics import (TimingReport, match_crossings, max_error, nrmse,
-                      rms_error, threshold_crossings, timing_error)
+from .metrics import (TimingReport, crosstalk_metrics, match_crossings,
+                      max_error, nrmse, rms_error, threshold_crossings,
+                      timing_error)
 
 __all__ = ["rms_error", "max_error", "nrmse", "threshold_crossings",
-           "match_crossings", "timing_error", "TimingReport"]
+           "match_crossings", "timing_error", "TimingReport",
+           "crosstalk_metrics"]

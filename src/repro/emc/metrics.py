@@ -16,7 +16,8 @@ import numpy as np
 from ..errors import ExperimentError
 
 __all__ = ["rms_error", "max_error", "nrmse", "threshold_crossings",
-           "match_crossings", "timing_error", "TimingReport"]
+           "match_crossings", "timing_error", "TimingReport",
+           "crosstalk_metrics"]
 
 
 def _check(a, b):
@@ -75,6 +76,30 @@ def threshold_crossings(t, v, threshold: float,
         frac = 0.5 if dv == 0.0 else (threshold - v[k]) / dv
         out.append(t[k] + frac * (t[k + 1] - t[k]))
     return np.asarray(out)
+
+
+def crosstalk_metrics(v_near, v_far, vdd: float) -> dict:
+    """Near/far-end crosstalk summary of a quiet victim conductor.
+
+    ``v_near``/``v_far`` are the victim's near- and far-end voltage
+    waveforms (idle level 0 V); ``vdd`` is the aggressor supply used to
+    normalize the coupled-noise ratios.  Peak magnitudes are used, so the
+    metrics are invariant under a time shift of the waveforms.
+    """
+    v_near = np.asarray(v_near, dtype=float)
+    v_far = np.asarray(v_far, dtype=float)
+    if v_near.ndim != 1 or v_far.ndim != 1:
+        raise ExperimentError("victim waveforms must be 1-D arrays")
+    if vdd <= 0.0:
+        raise ExperimentError("vdd must be positive")
+    next_peak = float(np.max(np.abs(v_near))) if v_near.size else 0.0
+    fext_peak = float(np.max(np.abs(v_far))) if v_far.size else 0.0
+    return {
+        "next_peak": next_peak,
+        "fext_peak": fext_peak,
+        "next_ratio": next_peak / vdd,
+        "fext_ratio": fext_peak / vdd,
+    }
 
 
 def match_crossings(t_ref: np.ndarray, t_test: np.ndarray,

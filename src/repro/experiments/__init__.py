@@ -1,10 +1,13 @@
 """Experiment drivers: one module per paper figure/table (see DESIGN.md)."""
 
 from . import cache, setups
+from .cache import SweepDiskCache
 from .result import ExperimentResult
-from .sweep import (LoadSpec, Scenario, ScenarioOutcome, ScenarioRunner,
-                    SweepResult, scenario_grid)
+from .sweep import (CORNERS, CoupledLoadSpec, LoadSpec, Scenario,
+                    ScenarioOutcome, ScenarioRunner, SweepResult,
+                    scenario_grid)
 
 __all__ = ["cache", "setups", "ExperimentResult",
-           "LoadSpec", "Scenario", "ScenarioOutcome", "ScenarioRunner",
-           "SweepResult", "scenario_grid"]
+           "LoadSpec", "CoupledLoadSpec", "Scenario", "ScenarioOutcome",
+           "ScenarioRunner", "SweepResult", "SweepDiskCache",
+           "scenario_grid", "CORNERS"]

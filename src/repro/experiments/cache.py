@@ -1,10 +1,34 @@
-"""Process-wide cache of estimated models and IBIS extractions.
+"""Process-wide model cache and the disk-persistent sweep result cache.
 
 Model estimation costs seconds; every figure and benchmark that needs the
 MD1 PW-RBF model (say) should estimate it exactly once per process.
+
+:class:`SweepDiskCache` persists per-scenario sweep results
+(:class:`~repro.experiments.sweep.ScenarioRunner` outcomes) to a directory
+so repeated sweeps across *processes* answer from disk.  Layout::
+
+    <root>/index.json          # digest -> {name, key} catalog (best effort)
+    <root>/<digest>.npz        # t, v_port, probe_* arrays + meta json
+
+Entries are keyed on the sha256 digest of a canonical JSON rendering of
+``Scenario.key()``, which is stable across processes and platforms.  The
+``.npz`` files are written to a temp file and atomically renamed, so
+concurrent sweeps sharing one cache directory can never observe a torn
+entry; the JSON index is a redundant human-readable catalog (lookups never
+depend on it), so a lost index update under concurrency is harmless.
 """
 
 from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+
+import numpy as np
 
 from ..devices import get_driver, get_receiver
 from ..ibis import IbisModel, extract_ibis
@@ -13,7 +37,8 @@ from ..models import (estimate_cv_receiver, estimate_driver_model,
 from .setups import MODEL_SETTINGS, TS
 
 __all__ = ["driver_model", "receiver_model", "cv_receiver_model",
-           "ibis_model", "clear"]
+           "ibis_model", "clear", "SweepDiskCache", "scenario_key_digest",
+           "model_fingerprint"]
 
 _cache: dict = {}
 
@@ -56,3 +81,155 @@ def ibis_model(name: str = "MD1") -> IbisModel:
     if key not in _cache:
         _cache[key] = extract_ibis(get_driver(name))
     return _cache[key]
+
+
+# ---------------------------------------------------------------------------
+# disk-persistent sweep result cache
+# ---------------------------------------------------------------------------
+
+def _jsonable(obj):
+    """Tuples become lists so the rendering is canonical JSON."""
+    if isinstance(obj, (tuple, list)):
+        return [_jsonable(o) for o in obj]
+    return obj
+
+
+def scenario_key_digest(key) -> str:
+    """Stable hex digest of a ``Scenario.key()`` tuple.
+
+    The key is rendered as canonical JSON (tuples as lists, floats via
+    ``repr`` -- the shortest round-trip form, identical across processes
+    and platforms) and hashed with sha256.
+    """
+    canon = json.dumps(_jsonable(key), separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:32]
+
+
+def model_fingerprint(model) -> str:
+    """Short content digest of a serializable macromodel.
+
+    Disk-persistent sweep entries fold this into their key so results
+    computed with one model are never served for a different one (a
+    re-estimated or hand-tweaked model, or a change of the estimation
+    defaults between versions).  The ``meta`` block is excluded: it holds
+    provenance/diagnostics (wall-clock estimation time, settings echoes)
+    that vary between identical re-estimations and never affect the
+    simulated waveforms.
+    """
+    d = dict(model.to_dict())
+    d.pop("meta", None)
+    canon = json.dumps(_jsonable(d), separators=(",", ":"),
+                       sort_keys=True, default=str)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+class SweepDiskCache:
+    """Directory-backed store of per-scenario sweep payloads.
+
+    ``payload`` dicts hold ``t``/``v_port`` (1-D float arrays), ``probes``
+    (name -> 1-D float array), ``metrics`` (JSON-able dict) and
+    ``warnings`` (list of strings).  Safe for concurrent writers: entries
+    are written atomically (temp file + ``os.replace``) and lookups only
+    touch the per-entry files, never the shared index.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{digest}.npz"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.npz"))
+
+    def __contains__(self, key) -> bool:
+        return self._path(scenario_key_digest(key)).exists()
+
+    def get(self, key) -> dict | None:
+        """Stored payload for a scenario key, or ``None`` on a miss."""
+        path = self._path(scenario_key_digest(key))
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["meta"]))
+                return {
+                    "t": np.asarray(data["t"], dtype=float),
+                    "v_port": np.asarray(data["v_port"], dtype=float),
+                    "probes": {name: np.asarray(data[f"probe_{name}"],
+                                                dtype=float)
+                               for name in meta["probe_names"]},
+                    "metrics": meta["metrics"],
+                    "warnings": list(meta["warnings"]),
+                }
+        except FileNotFoundError:
+            return None
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+            # a corrupt entry is a miss, not a sweep failure; drop it so a
+            # fresh result can replace it
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+
+    def put(self, key, payload: dict, name: str = "") -> str:
+        """Persist one payload atomically; returns the entry digest."""
+        digest = scenario_key_digest(key)
+        arrays = {
+            "t": np.asarray(payload["t"], dtype=float),
+            "v_port": np.asarray(payload["v_port"], dtype=float),
+        }
+        probes = payload.get("probes") or {}
+        for pname, wave in probes.items():
+            arrays[f"probe_{pname}"] = np.asarray(wave, dtype=float)
+        meta = {
+            "metrics": payload.get("metrics") or {},
+            "warnings": list(payload.get("warnings") or []),
+            "probe_names": sorted(probes),
+            "name": name,
+        }
+        buf = io.BytesIO()
+        np.savez(buf, meta=json.dumps(meta), **arrays)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(buf.getvalue())
+            os.replace(tmp, self._path(digest))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._update_index(digest, key, name)
+        return digest
+
+    def _update_index(self, digest: str, key, name: str) -> None:
+        """Best-effort human-readable catalog; lookups never depend on it."""
+        index_path = self.root / "index.json"
+        try:
+            index = json.loads(index_path.read_text())
+            if not isinstance(index, dict):
+                index = {}
+        except (OSError, ValueError):
+            index = {}
+        index[digest] = {"name": name, "key": _jsonable(key)}
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                json.dump(index, fh, indent=1, sort_keys=True)
+            os.replace(tmp, index_path)
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Drop every stored entry (and the index)."""
+        for path in self.root.glob("*.npz"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            (self.root / "index.json").unlink(missing_ok=True)
+        except OSError:
+            pass

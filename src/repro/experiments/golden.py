@@ -1,0 +1,76 @@
+"""Golden-waveform cases for the regression suite.
+
+One function per committed reference: each returns a dict of named 1-D
+arrays (a shared ``"t"`` grid plus waveforms) that is compared sample by
+sample against ``tests/experiments/golden/<case>.npz``.  The builders are
+shared by the test suite (``tests/experiments/test_golden_waveforms.py``)
+and the regeneration script (``benchmarks/regen_golden.py``) so the two can
+never drift apart.
+
+The cases pin the paper's two validation workhorses:
+
+* ``fig2_panel1`` -- MD2 sends a 1 ns pulse into the first Fig. 2 ideal
+  line (z0 = 50 ohm, td = 0.5 ns, 1 pF far-end load): transistor-level
+  reference and PW-RBF macromodel far-end voltages;
+* ``fig5_receiver`` -- MD4 driven through 50 ohm by a trapezoid:
+  transistor-level, parametric (ARX + RBF) and C-V model input currents.
+
+Tolerances are absolute, in the waveform's own unit, and deliberately much
+tighter than any physical effect of interest: the engine is deterministic
+(fixed-step theta integration, seeded estimation), so the slack only has to
+absorb BLAS reduction-order noise across machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..devices import MD4, build_receiver
+from ..models import CVReceiverElement, ParametricReceiverElement
+from . import cache
+from .fig2 import _panel as _fig2_panel
+from .fig5 import _simulate as _fig5_simulate
+from .setups import FIG2, FIG5
+
+__all__ = ["CASES", "TOLERANCES", "generate"]
+
+#: per-case absolute comparison tolerance (volts for fig2, amperes for fig5)
+TOLERANCES = {
+    "fig2_panel1": 2e-3,
+    "fig5_receiver": 2e-5,
+}
+
+
+def fig2_panel1(driver_model=None) -> dict[str, np.ndarray]:
+    """Far-end voltages of the first Fig. 2 line (reference + PW-RBF)."""
+    model = driver_model if driver_model is not None \
+        else cache.driver_model("MD2")
+    z0, td = FIG2.lines[0]
+    ref, mm = _fig2_panel(z0, td, FIG2, model)
+    return {"t": ref.t, "ref_fe": ref.v("fe").copy(),
+            "pwrbf_fe": mm.v("fe").copy()}
+
+
+def fig5_receiver(receiver_model=None, cv_model=None) -> dict[str, np.ndarray]:
+    """MD4 input currents (reference + parametric + C-V strawman)."""
+    par = receiver_model if receiver_model is not None \
+        else cache.receiver_model("MD4")
+    cv = cv_model if cv_model is not None else cache.cv_receiver_model("MD4")
+    t, i_ref = _fig5_simulate(
+        lambda c: build_receiver(c, MD4, "dut", "pad"), FIG5)
+    _, i_par = _fig5_simulate(
+        lambda c: c.add(ParametricReceiverElement("dut", "pad", par)), FIG5)
+    _, i_cv = _fig5_simulate(
+        lambda c: c.add(CVReceiverElement("dut", "pad", cv)), FIG5)
+    return {"t": t, "i_ref": i_ref, "i_par": i_par, "i_cv": i_cv}
+
+
+CASES = {
+    "fig2_panel1": fig2_panel1,
+    "fig5_receiver": fig5_receiver,
+}
+
+
+def generate(case: str, **models) -> dict[str, np.ndarray]:
+    """Build one golden case by name (models override the cached ones)."""
+    return CASES[case](**models)

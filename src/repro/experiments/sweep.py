@@ -2,23 +2,46 @@
 
 The paper's pitch is that PW-RBF macromodels make system-level transient
 assessment cheap; what an EMC engineer actually runs is not one transient but
-a *grid* of them -- bit patterns x loads x drivers x corners -- looking for
-the worst-case overshoot, ringing, or timing corner.  This module turns that
-grid into a one-call batch:
+a *grid* of them -- bit patterns x loads x drivers x process corners --
+looking for the worst-case overshoot, ringing, crosstalk, or timing corner.
+This module turns that grid into a one-call batch:
 
-    runner = ScenarioRunner(models={("MD2", "typ"): model})
+    runner = ScenarioRunner(disk_cache=".sweep_cache")
     result = runner.run(scenario_grid(
         patterns=["01", "0110", "010101"],
         loads=[LoadSpec(kind="r", r=50.0),
-               LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e5)]))
-    worst = max(result, key=lambda o: o.metrics["overshoot"])
+               LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e5),
+               LoadSpec(kind="rx", z0=50.0, td=1e-9, receiver="MD4"),
+               CoupledLoadSpec(length=0.1)],
+        corners=CORNERS))
+    worst = result.worst("overshoot")
+
+Scenario kinds:
+
+* :class:`LoadSpec` -- single-victim terminations: shunt R (``"r"``),
+  R parallel C (``"rc"``), an ideal line into a far-end R/C (``"line"``),
+  or a line into a macromodeled *receiver* input port (``"rx"``, the
+  receiver-side termination of the paper's Example 4);
+* :class:`CoupledLoadSpec` -- an aggressor/victim pair over a
+  :class:`~repro.circuit.CoupledIdealLine`: the driver switches land 1
+  while land 2 idles behind terminations, and the outcome carries the
+  victim's near/far-end waveforms plus NEXT/FEXT metrics
+  (``next_peak``/``fext_peak``/``next_ratio``/``fext_ratio``).
+
+``scenario_grid(..., corners=CORNERS)`` fans the slow/typ/fast process
+corners through the full cartesian product; each ``(driver, corner)`` pair
+resolves to its own estimated macromodel.
 
 Scenarios fan out across ``multiprocessing`` workers (each worker
 deserializes every distinct driver model once), results carry the
 :mod:`repro.emc.metrics`-style summary per scenario, and a repeated ``run``
-on the same runner answers from the per-scenario result cache.  Driver
-models named by catalog id are resolved -- and estimated at most once per
-process -- through :mod:`repro.experiments.cache`.
+on the same runner answers from the per-scenario result cache.  Passing
+``disk_cache=<dir>`` additionally persists every successful outcome to a
+:class:`~repro.experiments.cache.SweepDiskCache` (JSON index + one ``.npz``
+per scenario, keyed on ``Scenario.key()``), so repeated sweeps *across
+processes* answer from disk.  Driver models named by catalog id are
+resolved -- and estimated at most once per process -- through
+:mod:`repro.experiments.cache`.
 """
 
 from __future__ import annotations
@@ -32,15 +55,19 @@ from itertools import product
 
 import numpy as np
 
-from ..circuit import (Capacitor, Circuit, IdealLine, Resistor,
-                       TransientOptions, run_transient)
-from ..emc.metrics import threshold_crossings
+from ..circuit import (Capacitor, Circuit, CoupledIdealLine, IdealLine,
+                       Resistor, TransientOptions, run_transient)
+from ..emc.metrics import crosstalk_metrics, threshold_crossings
 from ..errors import ExperimentError
-from ..models import PWRBFDriverElement, PWRBFDriverModel
+from ..models import (ParametricReceiverElement, PWRBFDriverElement,
+                      PWRBFDriverModel)
 from . import cache
 
-__all__ = ["LoadSpec", "Scenario", "ScenarioOutcome", "SweepResult",
-           "ScenarioRunner", "scenario_grid"]
+__all__ = ["LoadSpec", "CoupledLoadSpec", "Scenario", "ScenarioOutcome",
+           "SweepResult", "ScenarioRunner", "scenario_grid", "CORNERS"]
+
+#: the paper's process corners, for ``scenario_grid(..., corners=CORNERS)``
+CORNERS = ("slow", "typ", "fast")
 
 
 # ---------------------------------------------------------------------------
@@ -51,9 +78,14 @@ __all__ = ["LoadSpec", "Scenario", "ScenarioOutcome", "SweepResult",
 class LoadSpec:
     """Termination attached to the driver port.
 
-    ``kind``: ``"r"`` (shunt resistor), ``"rc"`` (shunt R parallel C) or
+    ``kind``: ``"r"`` (shunt resistor), ``"rc"`` (shunt R parallel C),
     ``"line"`` (ideal line of impedance ``z0``/delay ``td`` into a far-end
-    resistor ``r`` with optional capacitor ``c``).
+    resistor ``r`` with optional capacitor ``c``) or ``"rx"`` (ideal line
+    into the parametric macromodel of a catalog *receiver* input port --
+    the paper's receiver-side termination; ``r > 0`` adds a parallel
+    termination resistor at the receiver pad, ``r = 0`` leaves the pad
+    unterminated, and ``td = 0`` attaches the receiver directly to the
+    driver port).
     """
 
     kind: str = "r"
@@ -61,6 +93,7 @@ class LoadSpec:
     c: float = 0.0
     z0: float = 50.0
     td: float = 1e-9
+    receiver: str = "MD4"
     label: str = ""
 
     def describe(self) -> str:
@@ -70,12 +103,22 @@ class LoadSpec:
             return f"r{self.r:g}"
         if self.kind == "rc":
             return f"r{self.r:g}c{self.c * 1e12:g}p"
+        if self.kind == "rx":
+            line = f"line{self.z0:g}x{self.td * 1e9:g}n-" if self.td > 0.0 \
+                else ""
+            term = f"r{self.r:g}" if self.r > 0.0 else ""
+            return f"{line}{self.receiver}{term}"
         cap = f"c{self.c * 1e12:g}p" if self.c > 0.0 else ""
         return f"line{self.z0:g}x{self.td * 1e9:g}n-r{self.r:g}{cap}"
 
     def physics_key(self) -> tuple:
         """Identity of the electrical load, excluding the cosmetic label."""
-        return (self.kind, self.r, self.c, self.z0, self.td)
+        key = (self.kind, self.r, self.c, self.z0, self.td)
+        return key + (self.receiver,) if self.kind == "rx" else key
+
+    def probes(self) -> dict:
+        """Extra named observation nodes (none for single-victim loads)."""
+        return {}
 
     def build(self, ckt: Circuit, port: str) -> str:
         """Attach the load; returns the far-end observation node."""
@@ -97,7 +140,96 @@ class LoadSpec:
             if self.c > 0.0:
                 ckt.add(Capacitor("cload", "far", "0", self.c))
             return "far"
+        if self.kind == "rx":
+            if self.r < 0.0:
+                raise ExperimentError("rx load needs r >= 0 (0 = no "
+                                      "termination at the receiver pad)")
+            pad = port
+            if self.td > 0.0:
+                ckt.add(IdealLine("tload", port, "pad", self.z0, self.td))
+                pad = "pad"
+            ckt.add(ParametricReceiverElement(
+                "rx", pad, cache.receiver_model(self.receiver)))
+            if self.r > 0.0:
+                ckt.add(Resistor("rterm", pad, "0", self.r))
+            else:
+                # the one-port macromodels never name ground explicitly; a
+                # 1 Gohm reference keeps the unterminated netlist valid
+                # (negligible vs the receiver's ~250 kohm internal leak)
+                ckt.add(Resistor("rterm", pad, "0", 1e9))
+            if self.c > 0.0:
+                ckt.add(Capacitor("cload", pad, "0", self.c))
+            return pad
         raise ExperimentError(f"unknown load kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class CoupledLoadSpec:
+    """Aggressor/victim pair over a symmetric two-conductor coupled line.
+
+    The driver port excites conductor 1 (the aggressor); conductor 2 (the
+    victim) idles behind ``r_victim_near``/``r_victim_far`` terminations.
+    ``l_self``/``l_mut`` and ``c_self``/``c_mut`` are the per-unit-length
+    inductance and Maxwell capacitance entries (``c_mut`` is the coupling
+    magnitude, stored with the Maxwell sign internally); ``length`` is in
+    meters.  Outcomes carry the victim's near/far-end waveforms under the
+    probe names ``"next"``/``"fext"`` and the corresponding crosstalk
+    metrics from :func:`repro.emc.metrics.crosstalk_metrics`.
+    """
+
+    l_self: float = 300e-9
+    l_mut: float = 60e-9
+    c_self: float = 100e-12
+    c_mut: float = 5e-12
+    length: float = 0.1
+    r_far: float = 50.0
+    c_far: float = 0.0
+    r_victim_near: float = 50.0
+    r_victim_far: float = 50.0
+    label: str = ""
+
+    kind = "coupled"
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        return (f"xtalk-l{self.length * 100:g}cm"
+                f"-lm{self.l_mut * 1e9:g}n-cm{self.c_mut * 1e12:g}p"
+                f"-r{self.r_far:g}")
+
+    def physics_key(self) -> tuple:
+        """Identity of the electrical load, excluding the cosmetic label."""
+        return (self.kind, self.l_self, self.l_mut, self.c_self, self.c_mut,
+                self.length, self.r_far, self.c_far, self.r_victim_near,
+                self.r_victim_far)
+
+    def probes(self) -> dict:
+        """Victim observation nodes: near-end (NEXT) and far-end (FEXT)."""
+        return {"next": "v_ne", "fext": "v_fe"}
+
+    def matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-unit-length (L, C) matrices of the symmetric pair."""
+        if self.l_mut >= self.l_self:
+            raise ExperimentError("need l_mut < l_self")
+        if not 0.0 <= self.c_mut < self.c_self:
+            raise ExperimentError("need 0 <= c_mut < c_self")
+        L = np.array([[self.l_self, self.l_mut],
+                      [self.l_mut, self.l_self]])
+        C = np.array([[self.c_self, -self.c_mut],
+                      [-self.c_mut, self.c_self]])
+        return L, C
+
+    def build(self, ckt: Circuit, port: str) -> str:
+        """Attach the coupled pair; returns the aggressor far-end node."""
+        L, C = self.matrices()
+        ckt.add(CoupledIdealLine("tcpl", [port, "v_ne"], ["a_fe", "v_fe"],
+                                 L, C, self.length))
+        ckt.add(Resistor("rfar", "a_fe", "0", self.r_far))
+        if self.c_far > 0.0:
+            ckt.add(Capacitor("cfar", "a_fe", "0", self.c_far))
+        ckt.add(Resistor("rvn", "v_ne", "0", self.r_victim_near))
+        ckt.add(Resistor("rvf", "v_fe", "0", self.r_victim_far))
+        return "a_fe"
 
 
 @dataclass(frozen=True)
@@ -140,7 +272,12 @@ def scenario_grid(patterns, loads, drivers=("MD2",), corners=("typ",),
 
 @dataclass
 class ScenarioOutcome:
-    """Waveform + EMC summary of one simulated scenario."""
+    """Waveform + EMC summary of one simulated scenario.
+
+    ``probes`` carries named extra waveforms sampled on the same time grid
+    as ``v_port`` (e.g. the victim's ``"next"``/``"fext"`` waveforms of a
+    :class:`CoupledLoadSpec` scenario).
+    """
 
     scenario: Scenario
     t: np.ndarray
@@ -150,10 +287,20 @@ class ScenarioOutcome:
     elapsed_s: float
     cache_hit: bool = False
     error: str | None = None
+    probes: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    def copy_data(self, **overrides) -> "ScenarioOutcome":
+        """Clone with private containers (no aliasing of mutable arrays)."""
+        fields = dict(
+            t=self.t.copy(), v_port=self.v_port.copy(),
+            metrics=dict(self.metrics or {}), warnings=list(self.warnings),
+            probes={k: v.copy() for k, v in self.probes.items()})
+        fields.update(overrides)
+        return replace(self, **fields)
 
 
 class SweepResult:
@@ -180,21 +327,31 @@ class SweepResult:
         return [o for o in self.outcomes if not o.ok]
 
     def metric(self, key: str) -> np.ndarray:
-        """One metric across every scenario (NaN where a scenario failed)."""
-        return np.array([o.metrics.get(key, np.nan) if o.ok else np.nan
-                         for o in self.outcomes])
+        """One metric across every scenario (NaN where a scenario failed
+        or does not carry the metric)."""
+        return np.array([(o.metrics or {}).get(key, np.nan) if o.ok
+                         else np.nan for o in self.outcomes])
 
     def worst(self, key: str) -> ScenarioOutcome:
-        """The scenario maximizing ``metrics[key]`` (failures excluded)."""
-        ok = [o for o in self.outcomes if o.ok and key in o.metrics]
+        """The scenario maximizing ``metrics[key]``.
+
+        Failed outcomes (``ok == False``) and successful outcomes that do
+        not carry the metric are skipped, never raised on.
+        """
+        ok = [o for o in self.outcomes
+              if o.ok and (o.metrics or {}).get(key) is not None]
         if not ok:
             raise ExperimentError(f"no successful scenario carries {key!r}")
         return max(ok, key=lambda o: o.metrics[key])
 
     def table(self) -> str:
         """Plain-text summary table of the sweep."""
+        xtalk = any(o.ok and "fext_peak" in (o.metrics or {})
+                    for o in self.outcomes)
         header = (f"{'scenario':<38} {'v_max':>7} {'v_min':>7} "
                   f"{'overshoot':>9} {'ringing':>8} {'edges':>5}")
+        if xtalk:
+            header += f" {'next':>7} {'fext':>7}"
         lines = [header, "-" * len(header)]
         for o in self.outcomes:
             name = o.scenario.resolved_name()[:38]
@@ -202,10 +359,16 @@ class SweepResult:
                 lines.append(f"{name:<38} FAILED: {o.error}")
                 continue
             m = o.metrics
-            lines.append(
-                f"{name:<38} {m['v_max']:>7.3f} {m['v_min']:>7.3f} "
-                f"{m['overshoot']:>9.3f} {m['ringing_rms']:>8.4f} "
-                f"{m['n_crossings']:>5d}")
+            row = (f"{name:<38} {m['v_max']:>7.3f} {m['v_min']:>7.3f} "
+                   f"{m['overshoot']:>9.3f} {m['ringing_rms']:>8.4f} "
+                   f"{m['n_crossings']:>5d}")
+            if xtalk:
+                if "fext_peak" in m:
+                    row += (f" {m['next_peak']:>7.3f}"
+                            f" {m['fext_peak']:>7.3f}")
+                else:
+                    row += f" {'-':>7} {'-':>7}"
+            lines.append(row)
         return "\n".join(lines)
 
 
@@ -214,8 +377,13 @@ class SweepResult:
 # ---------------------------------------------------------------------------
 
 def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
-                 sc: Scenario) -> dict:
-    """Single-waveform EMC summary (threshold edges + amplitude margins)."""
+                 sc: Scenario, probes: dict | None = None) -> dict:
+    """Per-scenario EMC summary (threshold edges + amplitude margins).
+
+    When ``probes`` carries the victim waveforms of a coupled scenario
+    (``"next"``/``"fext"``), the near/far-end crosstalk metrics are merged
+    into the summary.
+    """
     v_max = float(np.max(v))
     v_min = float(np.min(v))
     crossings = threshold_crossings(t, v, vdd / 2.0)
@@ -233,7 +401,7 @@ def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
     v_final = vdd if sc.pattern[k_bit] == "1" else 0.0
     ringing = float(np.std(v[tail]))
     settle_error = abs(float(np.mean(v[tail])) - v_final)
-    return {
+    out = {
         "v_max": v_max,
         "v_min": v_min,
         "overshoot": max(v_max - vdd, 0.0),
@@ -246,6 +414,9 @@ def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
         "ringing_rms": ringing,
         "settle_error": settle_error,
     }
+    if probes and "next" in probes and "fext" in probes:
+        out.update(crosstalk_metrics(probes["next"], probes["fext"], vdd))
+    return out
 
 
 def _simulate_scenario(sc: Scenario,
@@ -266,11 +437,13 @@ def _simulate_scenario(sc: Scenario,
         # copy: res.v() is a view into the full (n_steps, size) solution
         # matrix, which must not stay alive per retained outcome
         v = res.v(obs).copy()
+        probes = {name: res.v(node).copy()
+                  for name, node in sc.load.probes().items()}
         return ScenarioOutcome(
             scenario=sc, t=res.t, v_port=v,
-            metrics=_emc_metrics(res.t, v, model.vdd, sc),
+            metrics=_emc_metrics(res.t, v, model.vdd, sc, probes),
             warnings=list(res.warnings),
-            elapsed_s=time.perf_counter() - t0)
+            elapsed_s=time.perf_counter() - t0, probes=probes)
     except Exception as exc:  # noqa: BLE001 - one bad corner must not kill a sweep
         return ScenarioOutcome(
             scenario=sc, t=np.empty(0), v_port=np.empty(0), metrics={},
@@ -305,17 +478,28 @@ class ScenarioRunner:
     :class:`PWRBFDriverModel`; scenarios naming a driver not in the map are
     resolved (and estimated once per process) via
     :func:`repro.experiments.cache.driver_model`.  ``n_workers`` defaults to
-    the CPU count; ``0``/``1`` runs serially in-process.
+    the CPU count; ``0``/``1`` runs serially in-process.  ``disk_cache``
+    names a directory backing the per-scenario result cache with a
+    :class:`~repro.experiments.cache.SweepDiskCache`, so repeated sweeps in
+    *fresh processes* answer from disk instead of re-simulating.
     """
 
     def __init__(self, models: dict | None = None,
                  n_workers: int | None = None,
-                 use_result_cache: bool = True):
+                 use_result_cache: bool = True,
+                 disk_cache: str | os.PathLike | None = None):
+        if disk_cache is not None and not use_result_cache:
+            raise ExperimentError(
+                "disk_cache requires use_result_cache=True; pass one or "
+                "the other, not the conflicting combination")
         self._models: dict = dict(models or {})
         self.n_workers = (os.cpu_count() or 1) if n_workers is None \
             else int(n_workers)
         self.use_result_cache = use_result_cache
         self._result_cache: dict = {}
+        self._fingerprints: dict = {}
+        self._disk = cache.SweepDiskCache(disk_cache) \
+            if disk_cache is not None else None
 
     def _model_for(self, sc: Scenario) -> PWRBFDriverModel:
         key = (sc.driver, sc.corner)
@@ -325,6 +509,48 @@ class ScenarioRunner:
 
     def clear_cache(self) -> None:
         self._result_cache.clear()
+        if self._disk is not None:
+            self._disk.clear()
+
+    def _disk_key(self, sc: Scenario) -> tuple:
+        """Disk entries are scoped to the *content* of the models used.
+
+        ``Scenario.key()`` names the driver only by catalog id + corner; a
+        persistent cache shared across processes (and code versions) must
+        also distinguish the actual model, or a runner holding a custom or
+        re-estimated model would silently be served another model's
+        waveforms.
+        """
+        fp_key = (sc.driver, sc.corner)
+        fp = self._fingerprints.get(fp_key)
+        if fp is None:
+            fp = cache.model_fingerprint(self._model_for(sc))
+            self._fingerprints[fp_key] = fp
+        if sc.load.kind == "rx":
+            rx_key = ("rx", sc.load.receiver)
+            rx_fp = self._fingerprints.get(rx_key)
+            if rx_fp is None:
+                rx_fp = cache.model_fingerprint(
+                    cache.receiver_model(sc.load.receiver))
+                self._fingerprints[rx_key] = rx_fp
+            fp = f"{fp}:{rx_fp}"
+        return (sc.key(), fp)
+
+    def _lookup(self, sc: Scenario) -> ScenarioOutcome | None:
+        """Memory-first, then disk; promotes disk hits into memory."""
+        if not self.use_result_cache:
+            return None
+        hit = self._result_cache.get(sc.key())
+        if hit is None and self._disk is not None:
+            payload = self._disk.get(self._disk_key(sc))
+            if payload is not None:
+                hit = ScenarioOutcome(
+                    scenario=sc, t=payload["t"], v_port=payload["v_port"],
+                    metrics=payload["metrics"],
+                    warnings=payload["warnings"],
+                    elapsed_s=0.0, probes=payload["probes"])
+                self._result_cache[sc.key()] = hit
+        return hit
 
     def run(self, scenarios) -> SweepResult:
         """Simulate every scenario; order of outcomes matches the input."""
@@ -332,16 +558,13 @@ class ScenarioRunner:
         outcomes: list = [None] * len(scenarios)
         pending: list[tuple[int, Scenario]] = []
         for idx, sc in enumerate(scenarios):
-            hit = self._result_cache.get(sc.key()) \
-                if self.use_result_cache else None
+            hit = self._lookup(sc)
             if hit is not None:
                 # fresh containers per hit: the cache must not alias arrays
                 # a caller may mutate, and the requesting scenario carries
                 # the label (key() ignores `name`)
-                outcomes[idx] = replace(
-                    hit, scenario=sc, cache_hit=True, elapsed_s=0.0,
-                    t=hit.t.copy(), v_port=hit.v_port.copy(),
-                    metrics=dict(hit.metrics), warnings=list(hit.warnings))
+                outcomes[idx] = hit.copy_data(scenario=sc, cache_hit=True,
+                                              elapsed_s=0.0)
             else:
                 pending.append((idx, sc))
 
@@ -351,6 +574,10 @@ class ScenarioRunner:
         for _, sc in pending:
             self._model_for(sc)
             model_keys[(sc.driver, sc.corner)] = True
+            if sc.load.kind == "rx":
+                # estimate receiver models in the parent too: forked
+                # workers inherit the process-wide model cache for free
+                cache.receiver_model(sc.load.receiver)
 
         if len(pending) > 1 and self.n_workers > 1:
             payloads = {key: self._models[key].to_dict() for key in model_keys}
@@ -377,8 +604,12 @@ class ScenarioRunner:
                 if out.ok:
                     # store a private copy so in-place edits on the returned
                     # outcome cannot poison later cache hits
-                    self._result_cache[sc.key()] = replace(
-                        out, t=out.t.copy(), v_port=out.v_port.copy(),
-                        metrics=dict(out.metrics),
-                        warnings=list(out.warnings))
+                    self._result_cache[sc.key()] = out.copy_data()
+                    if self._disk is not None:
+                        self._disk.put(self._disk_key(sc), {
+                            "t": out.t, "v_port": out.v_port,
+                            "metrics": out.metrics,
+                            "warnings": out.warnings,
+                            "probes": out.probes,
+                        }, name=sc.resolved_name())
         return SweepResult(outcomes)

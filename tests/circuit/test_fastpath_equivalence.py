@@ -2,15 +2,17 @@
 
 The linear fast path (cached-factorization back-substitution, no Newton)
 must reproduce the damped-Newton path bit-for-bit on the EMC workhorse
-benches, and the Woodbury low-rank ``solve_step`` must match the full
-assemble-and-solve on a nonlinear driver circuit.
+benches, the vectorized companion groups must reproduce per-element
+stamping on coupled netlists, and the Woodbury low-rank ``solve_step``
+must match the full assemble-and-solve on a nonlinear driver circuit.
 """
 
 import numpy as np
 import pytest
 
-from repro.circuit import (Capacitor, Circuit, IdealLine, Inductor,
-                           MNASystem, Resistor, TransientOptions,
+from repro.circuit import (CapacitanceMatrix, Capacitor, Circuit,
+                           CoupledIdealLine, CoupledInductors, IdealLine,
+                           Inductor, MNASystem, Resistor, TransientOptions,
                            VoltageSource, run_transient, solve_dcop)
 from repro.circuit.waveforms import Pulse
 from repro.devices import MD2, build_driver
@@ -49,12 +51,62 @@ def rlc_tank():
     return ckt
 
 
+L2 = np.array([[300e-9, 60e-9], [60e-9, 300e-9]])
+C2 = np.array([[100e-12, -5e-12], [-5e-12, 100e-12]])
+
+
+def _excite_two_lands(ckt):
+    """Pulse into land 1 through 25 ohm; land 2 quiet behind 50 ohm."""
+    ckt.add(VoltageSource("vs", "src", "0",
+                          Pulse(v2=1.0, rise=0.1e-9, width=4e-9)))
+    ckt.add(Resistor("rs", "src", "ne1", 25.0))
+    ckt.add(Resistor("rq", "ne2", "0", 50.0))
+    ckt.add(Resistor("rl1", "fe1", "0", 50.0))
+    ckt.add(Resistor("rl2", "fe2", "0", 50.0))
+
+
+def coupled_line_pair():
+    """Two cascaded CoupledIdealLine sections (the modal Branin group)."""
+    ckt = Circuit("cline")
+    _excite_two_lands(ckt)
+    ckt.add(CoupledIdealLine("t1", ["ne1", "ne2"], ["m1", "m2"],
+                             L2, C2, 0.05))
+    ckt.add(CoupledIdealLine("t2", ["m1", "m2"], ["fe1", "fe2"],
+                             L2, C2, 0.05))
+    return ckt
+
+
+def coupled_rlgc_ladder(n_sections=8):
+    """Lumped coupled ladder: CoupledInductors + CapacitanceMatrix groups."""
+    seg = 0.1 / n_sections
+    ckt = Circuit("crlgc")
+    _excite_two_lands(ckt)
+    prev = ["ne1", "ne2"]
+    for s in range(n_sections):
+        nxt = ["fe1", "fe2"] if s == n_sections - 1 \
+            else [f"n{s}_1", f"n{s}_2"]
+        ckt.add(CoupledInductors(f"l{s}", [(prev[0], nxt[0]),
+                                           (prev[1], nxt[1])], L2 * seg))
+        ckt.add(CapacitanceMatrix(f"c{s}", nxt, C2 * seg))
+        prev = nxt
+    return ckt
+
+
+PARAMS = [
+    (rc_ladder, TransientOptions(dt=25e-12, t_stop=5e-9)),
+    (branin_line, TransientOptions(dt=10e-12, t_stop=10e-9)),
+    (rlc_tank, TransientOptions(dt=20e-12, t_stop=6e-9, method="damped")),
+    (coupled_line_pair, TransientOptions(dt=10e-12, t_stop=10e-9,
+                                         method="damped")),
+    (coupled_rlgc_ladder, TransientOptions(dt=10e-12, t_stop=10e-9,
+                                           method="damped")),
+]
+IDS = ["rc-ladder", "branin-line", "rlc-tank", "coupled-line",
+       "coupled-rlgc"]
+
+
 class TestLinearFastPath:
-    @pytest.mark.parametrize("build,opts", [
-        (rc_ladder, TransientOptions(dt=25e-12, t_stop=5e-9)),
-        (branin_line, TransientOptions(dt=10e-12, t_stop=10e-9)),
-        (rlc_tank, TransientOptions(dt=20e-12, t_stop=6e-9, method="damped")),
-    ], ids=["rc-ladder", "branin-line", "rlc-tank"])
+    @pytest.mark.parametrize("build,opts", PARAMS, ids=IDS)
     def test_matches_newton_path(self, build, opts):
         from dataclasses import replace
         res_fast = run_transient(build(), opts)
@@ -62,6 +114,46 @@ class TestLinearFastPath:
         assert res_fast.fast_path
         assert not res_newton.fast_path
         assert np.max(np.abs(res_fast.x - res_newton.x)) <= TOL
+
+    @pytest.mark.parametrize("build,opts", PARAMS, ids=IDS)
+    def test_vector_groups_match_per_element_stamping(self, build, opts):
+        """Struct-of-arrays companion groups == the per-element reference."""
+        from dataclasses import replace
+        res_grouped = run_transient(build(), opts)
+        res_scalar = run_transient(build(),
+                                   replace(opts, vector_groups=False))
+        assert np.max(np.abs(res_grouped.x - res_scalar.x)) <= TOL
+
+    def test_coupled_netlists_see_real_coupling(self):
+        """The quiet land carries crosstalk, so the new groups are not
+        silently simulating decoupled lines."""
+        res = run_transient(coupled_line_pair(),
+                            TransientOptions(dt=10e-12, t_stop=10e-9,
+                                             method="damped"))
+        assert res.fast_path
+        assert res.v("fe1").max() > 0.3
+        assert np.abs(res.v("fe2")).max() > 1e-3
+
+    def test_group_state_flushes_back_to_elements(self):
+        """Post-run element accessors reflect the group-advanced state."""
+        ckt = coupled_rlgc_ladder(4)
+        res = run_transient(ckt, TransientOptions(dt=10e-12, t_stop=5e-9,
+                                                  method="damped"))
+        # CoupledInductors.current reads the flushed branch current
+        el = ckt["l0"]
+        assert el.current(res.x[-1]) == res.x[-1, el.branches[0]]
+        # the flushed history of a line group matches the per-element run
+        ckt2 = coupled_line_pair()
+        run_transient(ckt2, TransientOptions(dt=10e-12, t_stop=5e-9,
+                                             method="damped"))
+        ckt3 = coupled_line_pair()
+        run_transient(ckt3, TransientOptions(dt=10e-12, t_stop=5e-9,
+                                             method="damped",
+                                             vector_groups=False))
+        h_grouped = np.array(ckt2["t1"]._hist._data)
+        h_scalar = np.array(ckt3["t1"]._hist._data)
+        assert h_grouped.shape == h_scalar.shape
+        assert np.max(np.abs(h_grouped - h_scalar)) <= TOL
 
     def test_fast_path_not_taken_for_nonlinear(self):
         ckt = Circuit("drv")

@@ -1,0 +1,78 @@
+"""Golden-waveform regression suite.
+
+Fresh runs of the paper's fig2/fig5 validation setups are compared sample
+by sample against small committed ``.npz`` references.  The engine is
+deterministic (fixed-step theta integration, seeded estimation), so the
+per-case tolerances in :data:`repro.experiments.golden.TOLERANCES` only
+absorb BLAS reduction-order noise; any visible waveform change must be an
+intentional, reviewed regeneration via ``benchmarks/regen_golden.py``.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import golden
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _load(case: str) -> dict:
+    path = GOLDEN_DIR / f"{case}.npz"
+    assert path.exists(), (
+        f"missing golden file {path}; run "
+        "PYTHONPATH=src python benchmarks/regen_golden.py")
+    with np.load(path) as data:
+        return {name: data[name].copy() for name in data.files}
+
+
+def _compare(case: str, fresh: dict) -> None:
+    stored = _load(case)
+    atol = golden.TOLERANCES[case]
+    assert set(fresh) == set(stored), (
+        f"{case}: waveform set changed; regenerate the golden file")
+    np.testing.assert_array_equal(
+        fresh["t"], stored["t"],
+        err_msg=f"{case}: the time grid itself moved")
+    for name in sorted(fresh):
+        if name == "t":
+            continue
+        assert fresh[name].shape == stored[name].shape
+        delta = float(np.max(np.abs(fresh[name] - stored[name])))
+        assert delta <= atol, (
+            f"{case}/{name}: max |delta| {delta:.3e} exceeds the golden "
+            f"tolerance {atol:.0e}; if this change is intended, regenerate "
+            "with benchmarks/regen_golden.py and review the diff")
+
+
+def test_golden_files_are_committed():
+    assert {p.stem for p in GOLDEN_DIR.glob("*.npz")} >= set(golden.CASES)
+
+
+def test_fig2_panel1_matches_golden(md2_model):
+    _compare("fig2_panel1", golden.fig2_panel1(driver_model=md2_model))
+
+
+def test_fig5_receiver_matches_golden(md4_model, md4_cv):
+    _compare("fig5_receiver",
+             golden.fig5_receiver(receiver_model=md4_model, cv_model=md4_cv))
+
+
+def test_golden_references_are_physical():
+    """The committed files themselves stay sane (no silent regeneration
+    with a broken engine)."""
+    fig2 = _load("fig2_panel1")
+    assert fig2["ref_fe"].max() > 1.0          # the pulse arrives
+    # the macromodel tracks the reference (paper: nrmse of a few %)
+    swing = fig2["ref_fe"].max() - fig2["ref_fe"].min()
+    rms = float(np.sqrt(np.mean((fig2["pwrbf_fe"] - fig2["ref_fe"]) ** 2)))
+    assert rms / swing < 0.10
+    fig5 = _load("fig5_receiver")
+    peak = np.abs(fig5["i_ref"]).max()
+    assert peak > 1e-4                          # a visible current edge
+    # parametric model beats the C-V strawman around the edge (the paper's
+    # 'gain of accuracy')
+    err_par = np.max(np.abs(fig5["i_par"] - fig5["i_ref"]))
+    err_cv = np.max(np.abs(fig5["i_cv"] - fig5["i_ref"]))
+    assert err_par < err_cv

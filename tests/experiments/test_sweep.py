@@ -1,11 +1,15 @@
 """ScenarioRunner: grid construction, parallel fan-out, metrics, caching."""
 
+import json
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
 from repro.errors import ExperimentError
-from repro.experiments import (LoadSpec, Scenario, ScenarioRunner,
-                               scenario_grid)
+from repro.experiments import (CORNERS, CoupledLoadSpec, LoadSpec, Scenario,
+                               ScenarioRunner, SweepDiskCache, scenario_grid)
 
 PATTERNS = ["01", "0110", "010", "0011"]
 LOADS = [LoadSpec(kind="r", r=50.0),
@@ -18,11 +22,31 @@ def runner(md2_model):
     return ScenarioRunner(models={("MD2", "typ"): md2_model}, n_workers=2)
 
 
+@pytest.fixture()
+def corner_runner(md2_model):
+    """Runner with one (shared) model registered under every corner.
+
+    Corner estimation costs seconds per corner; the corner fan-out
+    mechanics are identical whichever model object each corner resolves
+    to, so the tests reuse the session-scoped typ model.
+    """
+    return ScenarioRunner(models={("MD2", c): md2_model for c in CORNERS},
+                          n_workers=2)
+
+
 def test_grid_is_cartesian_product():
     grid = scenario_grid(PATTERNS, LOADS, bit_time=1e-9)
     assert len(grid) == len(PATTERNS) * len(LOADS)
     assert len({sc.key() for sc in grid}) == len(grid)
     assert all(sc.bit_time == 1e-9 for sc in grid)
+
+
+def test_grid_fans_corners_through_product():
+    grid = scenario_grid(PATTERNS[:2], LOADS[:2], corners=CORNERS)
+    assert len(grid) == 2 * 2 * len(CORNERS)
+    assert {sc.corner for sc in grid} == set(CORNERS)
+    # distinct corners are distinct cache keys
+    assert len({sc.key() for sc in grid}) == len(grid)
 
 
 def test_parallel_sweep_runs_grid_and_reports_metrics(runner, md2_model):
@@ -141,3 +165,228 @@ def test_truncated_pattern_uses_active_bit_as_settle_reference(runner,
     out = runner.run([sc])[0]
     assert out.ok
     assert out.metrics["settle_error"] < 0.25 * md2_model.vdd
+
+
+# ---------------------------------------------------------------------------
+# crosstalk / receiver scenario kinds and the corner fan-out
+# ---------------------------------------------------------------------------
+
+class TestCoupledScenarios:
+    def test_crosstalk_sweep_over_corners(self, corner_runner, md2_model):
+        """Acceptance scenario: crosstalk grid over >= 3 corners reports
+        NEXT/FEXT metrics through the standard runner."""
+        grid = scenario_grid(["01", "0110"], [CoupledLoadSpec()],
+                            corners=CORNERS)
+        assert len(grid) == 2 * len(CORNERS)
+        result = corner_runner.run(grid)
+        assert not result.failures
+        for out in result:
+            for key in ("next_peak", "fext_peak", "next_ratio",
+                        "fext_ratio"):
+                assert key in out.metrics
+                assert out.metrics[key] >= 0.0
+            # the victim waveforms ride along for plotting/regression
+            assert set(out.probes) == {"next", "fext"}
+            assert out.probes["next"].shape == out.t.shape
+            # a strongly coupled 10 cm pair must show real crosstalk
+            assert out.metrics["fext_peak"] > 0.05
+            # aggressor still swings
+            assert out.metrics["swing"] > 0.5 * md2_model.vdd
+        worst = result.worst("fext_peak")
+        assert worst.metrics["fext_peak"] == \
+            np.nanmax(result.metric("fext_peak"))
+
+    def test_weaker_coupling_gives_less_crosstalk(self, runner):
+        strong = CoupledLoadSpec()
+        weak = CoupledLoadSpec(l_mut=15e-9, c_mut=1.25e-12)
+        result = runner.run(scenario_grid(["01"], [strong, weak]))
+        assert not result.failures
+        fext = result.metric("fext_peak")
+        assert fext[1] < fext[0]
+
+    def test_coupled_cache_hit_preserves_probes(self, runner):
+        grid = scenario_grid(["01"], [CoupledLoadSpec()])
+        first = runner.run(grid)[0]
+        hit = runner.run(grid)[0]
+        assert hit.cache_hit
+        np.testing.assert_array_equal(first.probes["fext"],
+                                      hit.probes["fext"])
+        # mutating a returned probe must not poison later hits
+        hit.probes["fext"] *= 100.0
+        again = runner.run(grid)[0]
+        np.testing.assert_array_equal(first.probes["fext"],
+                                      again.probes["fext"])
+
+    def test_coupled_spec_validation(self):
+        from repro.circuit import Circuit
+        with pytest.raises(ExperimentError):
+            CoupledLoadSpec(l_mut=400e-9).build(Circuit("x"), "out")
+        with pytest.raises(ExperimentError):
+            CoupledLoadSpec(c_mut=200e-12).build(Circuit("x"), "out")
+        assert "xtalk" in CoupledLoadSpec().describe()
+        assert CoupledLoadSpec(label="bus").describe() == "bus"
+        # label is cosmetic: identical physics shares one key
+        assert CoupledLoadSpec(label="a").physics_key() == \
+            CoupledLoadSpec(label="b").physics_key()
+
+
+class TestReceiverScenarios:
+    def test_receiver_termination_scenarios(self, runner, md2_model):
+        loads = [LoadSpec(kind="rx", z0=50.0, td=1e-9, r=0.0),
+                 LoadSpec(kind="rx", z0=50.0, td=1e-9, r=50.0)]
+        result = runner.run(scenario_grid(["01"], loads))
+        assert not result.failures
+        unterm, term = result
+        # the unterminated receiver pad reflects: more overshoot than the
+        # resistively terminated pad
+        assert unterm.metrics["v_max"] > term.metrics["v_max"] + 0.2
+        assert term.metrics["swing"] > 0.5 * md2_model.vdd
+
+    def test_receiver_load_descriptions_and_keys(self):
+        a = LoadSpec(kind="rx", z0=50.0, td=1e-9, r=0.0)
+        b = LoadSpec(kind="rx", z0=50.0, td=1e-9, r=50.0)
+        assert a.physics_key() != b.physics_key()
+        assert "MD4" in a.describe()
+        # non-rx kinds ignore the receiver field in their key
+        assert LoadSpec(kind="r", r=50.0).physics_key() == \
+            LoadSpec(kind="r", r=50.0, receiver="XX").physics_key()
+
+
+class TestResultHardening:
+    def test_worst_and_metric_skip_failures_and_none_metrics(self, runner):
+        bad = Scenario(pattern="01", load=LOADS[0], dt=1e-12)
+        good = Scenario(pattern="01", load=LOADS[0])
+        result = runner.run([bad, good])
+        assert not result[0].ok
+        # a failed outcome with empty/None metrics must be skipped silently
+        result[0].metrics = None
+        vals = result.metric("overshoot")
+        assert np.isnan(vals[0]) and np.isfinite(vals[1])
+        assert result.worst("overshoot") is result[1]
+        # metrics the good outcome does not carry still raise cleanly
+        with pytest.raises(ExperimentError):
+            result.worst("fext_peak")
+        assert isinstance(result.table(), str)
+
+
+# ---------------------------------------------------------------------------
+# disk-persistent result cache
+# ---------------------------------------------------------------------------
+
+DISK_GRID_KW = dict(
+    patterns=["01", "0110"],
+    loads=[LoadSpec(kind="r", r=50.0), CoupledLoadSpec()])
+
+_FRESH_PROCESS_SWEEP = """
+import json, sys
+import numpy as np
+from repro.experiments import (CoupledLoadSpec, LoadSpec, ScenarioRunner,
+                               scenario_grid)
+from repro.models import PWRBFDriverModel
+
+model = PWRBFDriverModel.from_dict(json.load(open(sys.argv[1])))
+runner = ScenarioRunner(models={("MD2", "typ"): model}, n_workers=1,
+                        disk_cache=sys.argv[2])
+grid = scenario_grid(
+    patterns=["01", "0110"],
+    loads=[LoadSpec(kind="r", r=50.0), CoupledLoadSpec()])
+result = runner.run(grid)
+print(json.dumps({"hits": result.n_cache_hits, "n": len(result),
+                  "failures": len(result.failures),
+                  "fext": result.metric("fext_peak").tolist()}))
+"""
+
+
+class TestDiskCache:
+    def test_fresh_process_answers_from_disk(self, runner, md2_model,
+                                             tmp_path):
+        """Acceptance: a second sweep in a *fresh process* hits the disk
+        cache for >= 90% of the scenarios."""
+        cache_dir = tmp_path / "sweep_cache"
+        disk_runner = ScenarioRunner(models={("MD2", "typ"): md2_model},
+                                     n_workers=2, disk_cache=cache_dir)
+        grid = scenario_grid(**DISK_GRID_KW)
+        first = disk_runner.run(grid)
+        assert not first.failures and first.n_cache_hits == 0
+        assert len(SweepDiskCache(cache_dir)) == len(grid)
+
+        model_file = tmp_path / "md2.json"
+        model_file.write_text(json.dumps(md2_model.to_dict()))
+        proc = subprocess.run(
+            [sys.executable, "-c", _FRESH_PROCESS_SWEEP,
+             str(model_file), str(cache_dir)],
+            capture_output=True, text=True, check=True)
+        report = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert report["n"] == len(grid)
+        assert report["failures"] == 0
+        assert report["hits"] >= 0.9 * len(grid)
+        # disk-cached crosstalk metrics survive the round trip
+        fresh = np.array(report["fext"], dtype=float)
+        np.testing.assert_allclose(fresh, first.metric("fext_peak"),
+                                   rtol=0.0, atol=0.0, equal_nan=True)
+
+    def test_disk_cache_round_trip_and_corruption(self, tmp_path):
+        cache = SweepDiskCache(tmp_path / "c")
+        key = ("01", ("r", 50.0, 0.0, 50.0, 1e-9), "MD2", "typ",
+               2e-9, None, None)
+        payload = {"t": np.arange(4.0), "v_port": np.ones(4),
+                   "probes": {"fext": np.full(4, 0.25)},
+                   "metrics": {"v_max": 1.0}, "warnings": ["w"]}
+        digest = cache.put(key, payload, name="sc")
+        assert key in cache and len(cache) == 1
+        back = cache.get(key)
+        np.testing.assert_array_equal(back["t"], payload["t"])
+        np.testing.assert_array_equal(back["probes"]["fext"],
+                                      payload["probes"]["fext"])
+        assert back["metrics"] == {"v_max": 1.0}
+        assert back["warnings"] == ["w"]
+        # index.json catalogs the entry
+        index = json.loads((tmp_path / "c" / "index.json").read_text())
+        assert digest in index and index[digest]["name"] == "sc"
+        # a torn/corrupt entry is a miss (and is dropped), never an error --
+        # including a truncated zip that still carries the 'PK' magic
+        # (np.load raises zipfile.BadZipFile for those, not ValueError)
+        for garbage in (b"garbage", b"PK\x03\x04truncated-zip"):
+            cache.put(key, payload)
+            (tmp_path / "c" / f"{digest}.npz").write_bytes(garbage)
+            assert cache.get(key) is None
+            assert key not in cache
+        cache.put(key, payload)
+        assert cache.get(key) is not None
+        cache.clear()
+        assert len(cache) == 0 and cache.get(key) is None
+
+    def test_failed_scenarios_never_persist(self, md2_model, tmp_path):
+        disk_runner = ScenarioRunner(models={("MD2", "typ"): md2_model},
+                                     n_workers=1,
+                                     disk_cache=tmp_path / "c")
+        bad = Scenario(pattern="01", load=LOADS[0], dt=1e-12)
+        result = disk_runner.run([bad])
+        assert not result[0].ok
+        assert len(SweepDiskCache(tmp_path / "c")) == 0
+
+    def test_disk_entries_are_scoped_to_the_model(self, md2_model,
+                                                  tmp_path):
+        """A runner holding a *different* MD2 model must never be served
+        waveforms another model computed."""
+        from repro.models import PWRBFDriverModel
+        grid = [Scenario(pattern="01", load=LOADS[0])]
+        a = ScenarioRunner(models={("MD2", "typ"): md2_model}, n_workers=1,
+                           disk_cache=tmp_path / "c")
+        assert not a.run(grid).n_cache_hits
+        # same scenarios, same catalog name/corner -- different model
+        tweaked = PWRBFDriverModel.from_dict(
+            {**md2_model.to_dict(), "vdd": md2_model.vdd + 0.1})
+        b = ScenarioRunner(models={("MD2", "typ"): tweaked}, n_workers=1,
+                           disk_cache=tmp_path / "c")
+        res = b.run(grid)
+        assert res.n_cache_hits == 0
+        # while an identical model in a fresh runner still hits
+        c = ScenarioRunner(models={("MD2", "typ"): md2_model}, n_workers=1,
+                           disk_cache=tmp_path / "c")
+        assert c.run(grid).n_cache_hits == len(grid)
+
+    def test_disk_cache_without_result_cache_is_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            ScenarioRunner(use_result_cache=False,
+                           disk_cache=tmp_path / "c")
