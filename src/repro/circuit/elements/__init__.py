@@ -5,13 +5,13 @@ from .diode import Diode, DiodeParams
 from .mosfet import MOSFET, MOSParams, scale_corner
 from .rlc import (CapacitanceMatrix, Capacitor, CoupledInductors, Inductor,
                   Resistor)
-from .sources import CurrentSource, VoltageSource
+from .sources import CurrentProbe, CurrentSource, VoltageSource
 from .tline import CoupledIdealLine, IdealLine, modal_decomposition
 
 __all__ = [
     "Resistor", "Capacitor", "Inductor", "CoupledInductors",
     "CapacitanceMatrix",
-    "VoltageSource", "CurrentSource",
+    "VoltageSource", "CurrentSource", "CurrentProbe",
     "VCCS", "VCVS", "CCCS", "CCVS", "NonlinearCurrentSource",
     "Diode", "DiodeParams",
     "MOSFET", "MOSParams", "scale_corner",

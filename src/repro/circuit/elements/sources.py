@@ -7,7 +7,7 @@ import numpy as np
 from ..netlist import Element
 from ..waveforms import Constant, Waveform
 
-__all__ = ["VoltageSource", "CurrentSource"]
+__all__ = ["VoltageSource", "CurrentSource", "CurrentProbe"]
 
 
 def _as_waveform(value) -> Waveform:
@@ -50,6 +50,21 @@ class VoltageSource(Element):
 
     def value(self, t: float) -> float:
         return float(self.waveform(t))
+
+
+class CurrentProbe(VoltageSource):
+    """Ideal ammeter: a 0 V source whose MNA branch reads the current.
+
+    Insert in series with the branch of interest (``a`` -> ``b``); positive
+    branch current flows from ``a`` through the probe into ``b``.  It adds
+    one MNA unknown and no impedance, so the circuit solution is unchanged;
+    :meth:`~repro.circuit.transient.TransientResult.probe` (``"i(name)"``)
+    or :meth:`TransientResult.i` return the recorded waveform, ready for
+    conducted-emission spectra.
+    """
+
+    def __init__(self, name: str, a: str, b: str):
+        super().__init__(name, a, b, 0.0)
 
 
 class CurrentSource(Element):

@@ -105,6 +105,31 @@ class TransientResult:
     def vdiff(self, a: str, b: str) -> np.ndarray:
         return self.v(a) - self.v(b)
 
+    def probe(self, spec: str) -> np.ndarray:
+        """Waveform named by a probe spec string.
+
+        ``"v(node)"`` (or a bare node name) returns the node voltage;
+        ``"i(element)"`` / ``"i(element,k)"`` returns an element's branch
+        current (branch ``k`` of a multi-branch element).  This is the
+        uniform extraction hook the sweep/emissions layer uses so a
+        scenario can request voltage and current spectra symmetrically.
+        """
+        spec = spec.strip()
+        low = spec.lower()
+        if low.startswith("i(") and spec.endswith(")"):
+            inner = spec[2:-1]
+            name, _, branch = inner.partition(",")
+            try:
+                k = int(branch) if branch.strip() else 0
+            except ValueError:
+                raise CircuitError(
+                    f"bad probe spec {spec!r}: branch index must be an "
+                    "integer, e.g. 'i(name,1)'") from None
+            return self.i(name.strip(), k)
+        if low.startswith("v(") and spec.endswith(")"):
+            return self.v(spec[2:-1].strip())
+        return self.v(spec)
+
     def at(self, node: str, time: float) -> float:
         """Linearly interpolated node voltage at an arbitrary time."""
         return float(np.interp(time, self.t, self.v(node)))

@@ -1,9 +1,18 @@
-"""EMC/SI accuracy metrics."""
+"""EMC/SI metrics, emission spectra and limit-mask compliance."""
 
-from .metrics import (TimingReport, crosstalk_metrics, match_crossings,
-                      max_error, nrmse, rms_error, threshold_crossings,
-                      timing_error)
+from .limits import (MASKS, ComplianceVerdict, LimitMask, LimitSegment,
+                     get_mask, register_mask)
+from .metrics import (TimingReport, crosstalk_metrics, logic_eye_metrics,
+                      match_crossings, max_error, nrmse, rms_error,
+                      threshold_crossings, timing_error)
+from .spectrum import (Spectrum, amplitude_spectrum, peak_hold,
+                       resample_uniform, to_db_micro, to_dbua, to_dbuv,
+                       welch_psd)
 
 __all__ = ["rms_error", "max_error", "nrmse", "threshold_crossings",
            "match_crossings", "timing_error", "TimingReport",
-           "crosstalk_metrics"]
+           "crosstalk_metrics", "logic_eye_metrics",
+           "Spectrum", "amplitude_spectrum", "welch_psd", "peak_hold",
+           "resample_uniform", "to_db_micro", "to_dbuv", "to_dbua",
+           "LimitMask", "LimitSegment", "ComplianceVerdict", "MASKS",
+           "get_mask", "register_mask"]

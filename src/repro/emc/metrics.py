@@ -17,7 +17,7 @@ from ..errors import ExperimentError
 
 __all__ = ["rms_error", "max_error", "nrmse", "threshold_crossings",
            "match_crossings", "timing_error", "TimingReport",
-           "crosstalk_metrics"]
+           "crosstalk_metrics", "logic_eye_metrics"]
 
 
 def _check(a, b):
@@ -99,6 +99,60 @@ def crosstalk_metrics(v_near, v_far, vdd: float) -> dict:
         "fext_peak": fext_peak,
         "next_ratio": next_peak / vdd,
         "fext_ratio": fext_peak / vdd,
+    }
+
+
+def logic_eye_metrics(t, v, pattern: str, bit_time: float, vdd: float,
+                      delay: float = 0.0, vih: float | None = None,
+                      vil: float | None = None,
+                      sample_point: float = 0.75) -> dict:
+    """Receiver-side logic-threshold eye check of a driven bit pattern.
+
+    Each bit of ``pattern`` is sampled at ``(k + sample_point) * bit_time +
+    delay`` (``delay`` absorbs the interconnect flight time); a ``"1"`` bit
+    must sit above ``vih`` (default ``0.7 vdd``) and a ``"0"`` bit below
+    ``vil`` (default ``0.3 vdd``).  ``rx_margin`` is the smallest signed
+    distance to the violated-threshold side over all sampled bits --
+    positive means every bit is read correctly with that much noise
+    headroom, negative means at least one bit would be misread.  Bits whose
+    sampling instant falls past the simulated record are skipped
+    (``rx_n_checked`` reports how many were scored).
+    """
+    t = np.asarray(t, dtype=float)
+    v = np.asarray(v, dtype=float)
+    if t.shape != v.shape or t.ndim != 1:
+        raise ExperimentError("t/v must be equal-length 1-D arrays")
+    if not pattern or any(b not in "01" for b in pattern):
+        raise ExperimentError("pattern must be a non-empty string of 0/1")
+    if vdd <= 0.0 or bit_time <= 0.0:
+        raise ExperimentError("need vdd > 0 and bit_time > 0")
+    if not 0.0 < sample_point <= 1.0:
+        raise ExperimentError("sample_point must lie in (0, 1]")
+    vih = 0.7 * vdd if vih is None else float(vih)
+    vil = 0.3 * vdd if vil is None else float(vil)
+    if not vil < vih:
+        raise ExperimentError("need vil < vih")
+    t_samp = delay + (np.arange(len(pattern)) + sample_point) * bit_time
+    inside = t_samp <= t[-1]
+    margin = float("inf")
+    n_bad = 0
+    for bit, ts in zip(np.asarray(list(pattern))[inside], t_samp[inside]):
+        v_s = float(np.interp(ts, t, v))
+        m = (v_s - vih) if bit == "1" else (vil - v_s)
+        if m < margin:
+            margin = m
+        if m < 0.0:
+            n_bad += 1
+    n_checked = int(np.sum(inside))
+    if n_checked == 0:
+        margin = float("nan")
+    return {
+        "rx_margin": margin,
+        "rx_pass": bool(n_checked > 0 and margin >= 0.0),
+        "rx_n_bad_bits": n_bad,
+        "rx_n_checked": n_checked,
+        "rx_vih": vih,
+        "rx_vil": vil,
     }
 
 

@@ -1,0 +1,250 @@
+"""Emission spectra of simulated port waveforms.
+
+The paper's end goal is *system EMC assessment*: the macromodels exist so
+that conducted/radiated emission levels of a digital port can be predicted
+cheaply over many operating scenarios.  This module turns transient records
+into the frequency-domain quantities an EMC receiver reports:
+
+* :func:`resample_uniform` -- put a (possibly non-uniform) transient grid
+  onto the uniform grid the FFT needs;
+* :func:`amplitude_spectrum` -- single-sided windowed-FFT amplitude
+  spectrum, scaled so a pure tone of amplitude ``A`` reads ``A`` in its bin
+  (any window, coherent-gain corrected);
+* :func:`welch_psd` -- Welch-averaged power spectral density (one-sided,
+  power-gain corrected), for broadband/noise-like content;
+* :func:`to_db_micro` -- conversion to the EMC dB conventions
+  (dBuV = 20 log10(V / 1 uV), dBuA likewise);
+* :func:`peak_hold` -- the vectorized max-hold envelope across a whole
+  sweep's worth of spectra in one pass, i.e. the "worst bin anywhere on the
+  grid" curve a compliance report quotes.
+
+Spectra are single-shot: they describe the simulated record (pattern burst
+plus ringing), windowed like a spectrum-analyzer sweep would see it, not an
+infinite periodic extension.  Levels therefore depend on the record length
+-- compare spectra of equal-duration records, which is exactly what a
+:class:`~repro.experiments.sweep.ScenarioRunner` grid produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = ["Spectrum", "resample_uniform", "amplitude_spectrum",
+           "welch_psd", "to_db_micro", "to_dbuv", "to_dbua", "peak_hold",
+           "WINDOWS"]
+
+#: supported window generators (name -> callable(n) -> array)
+WINDOWS = {
+    "rect": np.ones,
+    "hann": np.hanning,
+    "hamming": np.hamming,
+    "blackman": np.blackman,
+}
+
+#: linear floor (in the spectrum's own unit) applied before taking logs
+_DB_FLOOR = 1e-15
+
+
+def _window(name: str, n: int) -> np.ndarray:
+    try:
+        return WINDOWS[name](n)
+    except KeyError:
+        raise ExperimentError(
+            f"unknown window {name!r}; pick from {sorted(WINDOWS)}") from None
+
+
+def to_db_micro(x) -> np.ndarray:
+    """Linear magnitude -> dB relative to 1e-6 (dBuV for volts, dBuA for
+    amperes).  Zeros are floored, never -inf."""
+    x = np.abs(np.asarray(x, dtype=float))
+    return 20.0 * np.log10(np.maximum(x, _DB_FLOOR) / 1e-6)
+
+
+#: EMC-conventional aliases; both are :func:`to_db_micro`
+to_dbuv = to_db_micro
+to_dbua = to_db_micro
+
+
+@dataclass
+class Spectrum:
+    """One-sided spectrum of a real waveform.
+
+    ``mag`` is linear: peak amplitude per bin (``kind="amplitude"``, unit
+    ``"V"`` or ``"A"``) or power density (``kind="psd"``, unit implicitly
+    squared-per-Hz).  ``db()`` applies the EMC convention: dBuV/dBuA for
+    amplitude spectra, 10 log10 relative to (1 u)^2/Hz for PSDs.
+    """
+
+    f: np.ndarray
+    mag: np.ndarray
+    unit: str = "V"
+    kind: str = "amplitude"
+    label: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.f = np.asarray(self.f, dtype=float)
+        self.mag = np.asarray(self.mag, dtype=float)
+        if self.f.shape != self.mag.shape or self.f.ndim != 1:
+            raise ExperimentError("f and mag must be equal-length 1-D arrays")
+
+    def __len__(self) -> int:
+        return self.f.size
+
+    @property
+    def df(self) -> float:
+        """Bin spacing (Hz)."""
+        return float(self.f[1] - self.f[0]) if self.f.size > 1 else 0.0
+
+    def db(self) -> np.ndarray:
+        if self.kind == "psd":
+            m = np.maximum(np.abs(self.mag), _DB_FLOOR)
+            return 10.0 * np.log10(m / 1e-12)
+        return to_db_micro(self.mag)
+
+    def copy(self, **overrides) -> "Spectrum":
+        """Deep copy (fresh arrays, fresh meta dict)."""
+        fields = dict(f=self.f.copy(), mag=self.mag.copy(),
+                      meta=dict(self.meta))
+        fields.update(overrides)
+        return replace(self, **fields)
+
+
+def resample_uniform(t, v, n: int | None = None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Resample ``(t, v)`` onto a uniform grid spanning the same interval.
+
+    Already-uniform grids (the fixed-step engine's output) pass through
+    untouched when ``n`` is not forcing a different length; non-uniform
+    grids (imported scope data, adaptive solvers) are linearly interpolated
+    onto ``n`` points (default: the input length).
+    """
+    t = np.asarray(t, dtype=float)
+    v = np.asarray(v, dtype=float)
+    if t.shape != v.shape or t.ndim != 1 or t.size < 2:
+        raise ExperimentError("need equal-length 1-D t/v with >= 2 samples")
+    steps = np.diff(t)
+    if np.any(steps <= 0.0):
+        raise ExperimentError("time grid must be strictly increasing")
+    if n is None:
+        n = t.size
+    dt0 = steps[0]
+    if n == t.size and np.allclose(steps, dt0, rtol=1e-6, atol=0.0):
+        return t, v
+    t_u = np.linspace(t[0], t[-1], int(n))
+    return t_u, np.interp(t_u, t, v)
+
+
+def amplitude_spectrum(t, v, window: str = "hann", n_fft: int | None = None,
+                       unit: str = "V", label: str = "") -> Spectrum:
+    """Single-sided amplitude spectrum of one transient record.
+
+    The record is uniformly resampled if needed, windowed, and scaled by
+    the window's coherent gain so a bin-centered tone of amplitude ``A``
+    reads ``A`` (DC and Nyquist carry no single-sided doubling).
+    ``n_fft`` zero-pads (finer bin spacing) or truncates the record.
+    """
+    t, v = resample_uniform(t, v)
+    dt = (t[-1] - t[0]) / (t.size - 1)
+    if n_fft is None:
+        n_fft = t.size
+    n_fft = int(n_fft)
+    if n_fft < 2:
+        raise ExperimentError("n_fft must be >= 2")
+    n = min(t.size, n_fft)
+    w = _window(window, n)
+    spec = np.fft.rfft(v[:n] * w, n=n_fft)
+    mag = np.abs(spec) * (2.0 / np.sum(w))
+    mag[0] *= 0.5
+    if n_fft % 2 == 0:
+        mag[-1] *= 0.5
+    return Spectrum(np.fft.rfftfreq(n_fft, d=dt), mag, unit=unit,
+                    label=label,
+                    meta={"window": window, "n_fft": n_fft, "dt": dt})
+
+
+def welch_psd(t, v, window: str = "hann", nperseg: int | None = None,
+              overlap: float = 0.5, unit: str = "V",
+              label: str = "") -> Spectrum:
+    """One-sided Welch power-spectral-density estimate (unit^2 / Hz).
+
+    The record is split into ``nperseg``-sample segments advanced by
+    ``nperseg * (1 - overlap)``, each windowed periodogram is power-gain
+    corrected (``sum(w^2)``), and the segments are averaged.  With a rect
+    window and one full-length segment this reduces to the plain
+    periodogram, so ``sum(psd) * df == mean(v^2)`` (Parseval).
+    """
+    t, v = resample_uniform(t, v)
+    dt = (t[-1] - t[0]) / (t.size - 1)
+    fs = 1.0 / dt
+    n = t.size
+    if nperseg is None:
+        nperseg = min(n, 256)
+    nperseg = int(nperseg)
+    if not 2 <= nperseg <= n:
+        raise ExperimentError("need 2 <= nperseg <= len(v)")
+    if not 0.0 <= overlap < 1.0:
+        raise ExperimentError("overlap must lie in [0, 1)")
+    step = max(1, int(round(nperseg * (1.0 - overlap))))
+    w = _window(window, nperseg)
+    u = fs * float(np.sum(w * w))
+    starts = range(0, n - nperseg + 1, step)
+    # vectorized: gather every segment into one (n_seg, nperseg) matrix
+    idx = np.asarray(starts)[:, None] + np.arange(nperseg)[None, :]
+    segs = v[idx] * w
+    pxx = np.mean(np.abs(np.fft.rfft(segs, axis=1)) ** 2, axis=0) / u
+    pxx[1:] *= 2.0
+    if nperseg % 2 == 0:
+        pxx[-1] *= 0.5
+    return Spectrum(np.fft.rfftfreq(nperseg, d=dt), pxx, unit=unit,
+                    kind="psd", label=label,
+                    meta={"window": window, "nperseg": nperseg,
+                          "n_segments": len(starts), "dt": dt})
+
+
+def peak_hold(spectra, interpolate: bool = True) -> Spectrum:
+    """Max-hold envelope across many spectra.
+
+    This is the sweep-level aggregation an EMC report quotes: the worst
+    level any scenario produced in each bin.  Spectra sharing one
+    frequency grid (same ``n_fft`` and record duration) reduce in a single
+    vectorized ``max`` over the stacked magnitude matrix.  Mixed grids
+    (e.g. different pattern lengths across the sweep) are linearly
+    interpolated onto the finest grid present, clipped to the common
+    covered band, before the same one-pass reduction --
+    ``interpolate=False`` raises instead, for callers that require exact
+    bin alignment.
+    """
+    spectra = list(spectra)
+    if not spectra:
+        raise ExperimentError("peak_hold needs at least one spectrum")
+    first = spectra[0]
+    for s in spectra[1:]:
+        if s.unit != first.unit or s.kind != first.kind:
+            raise ExperimentError("peak_hold needs matching unit/kind")
+    same_grid = all(s.f.shape == first.f.shape
+                    and np.allclose(s.f, first.f, rtol=1e-9, atol=0.0)
+                    for s in spectra[1:])
+    if same_grid:
+        f = first.f.copy()
+        mags = np.stack([s.mag for s in spectra])
+    elif not interpolate:
+        raise ExperimentError(
+            "peak_hold(interpolate=False) needs a common frequency grid; "
+            "use matching n_fft/t_stop across the sweep")
+    else:
+        finest = min(spectra, key=lambda s: s.df if s.df > 0 else np.inf)
+        f_hi = min(float(s.f[-1]) for s in spectra)
+        f = finest.f[finest.f <= f_hi * (1.0 + 1e-12)].copy()
+        if f.size < 2:
+            raise ExperimentError("spectra share no frequency band")
+        mags = np.stack([np.interp(f, s.f, s.mag) for s in spectra])
+    env = np.max(mags, axis=0)
+    return Spectrum(f, env, unit=first.unit, kind=first.kind,
+                    label=f"peak-hold({len(spectra)})",
+                    meta={"n_spectra": len(spectra),
+                          "interpolated": not same_grid})

@@ -4,10 +4,10 @@ from . import cache, setups
 from .cache import SweepDiskCache
 from .result import ExperimentResult
 from .sweep import (CORNERS, CoupledLoadSpec, LoadSpec, Scenario,
-                    ScenarioOutcome, ScenarioRunner, SweepResult,
-                    scenario_grid)
+                    ScenarioOutcome, ScenarioRunner, SpectralSpec,
+                    SweepResult, scenario_grid)
 
 __all__ = ["cache", "setups", "ExperimentResult",
-           "LoadSpec", "CoupledLoadSpec", "Scenario", "ScenarioOutcome",
-           "ScenarioRunner", "SweepResult", "SweepDiskCache",
-           "scenario_grid", "CORNERS"]
+           "LoadSpec", "CoupledLoadSpec", "SpectralSpec", "Scenario",
+           "ScenarioOutcome", "ScenarioRunner", "SweepResult",
+           "SweepDiskCache", "scenario_grid", "CORNERS"]

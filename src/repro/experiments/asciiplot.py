@@ -4,9 +4,91 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ascii_plot"]
+__all__ = ["ascii_plot", "ascii_spectrum"]
 
 _MARKERS = "*o+x#@%&"
+
+
+def _si_freq(f: float) -> str:
+    if f >= 1e9:
+        return f"{f / 1e9:g}GHz"
+    if f >= 1e6:
+        return f"{f / 1e6:g}MHz"
+    return f"{f / 1e3:g}kHz"
+
+
+def ascii_spectrum(spectrum, mask=None, width: int = 78, height: int = 18,
+                   f_min: float | None = None) -> str:
+    """Render a spectrum in dB over log frequency, with an optional
+    :class:`~repro.emc.limits.LimitMask` limit line (``=``) overlaid.
+
+    ``f_min`` clips the plotted band from below (default: the first
+    positive bin, or the mask's lower edge when a mask is given -- the
+    compliance band is what matters).  Decade boundaries are marked on
+    the frequency axis.
+    """
+    f_all = np.asarray(spectrum.f, dtype=float)
+    db_all = spectrum.db()
+    if f_min is None:
+        f_min = mask.f_min if mask is not None else None
+    pos = f_all > 0.0
+    if f_min is not None:
+        pos &= f_all >= f_min
+    if not np.any(pos):
+        return "(no bins above f_min)"
+    f, db = f_all[pos], db_all[pos]
+    x_lo, x_hi = np.log10(f[0]), np.log10(f[-1])
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    x_grid = np.linspace(x_lo, x_hi, width)
+    limit = None
+    if mask is not None:
+        limit = mask.level(10.0 ** x_grid)
+    v_lo = float(db.min())
+    v_hi = float(db.max())
+    if limit is not None and np.any(np.isfinite(limit)):
+        v_lo = min(v_lo, float(np.nanmin(limit)))
+        v_hi = max(v_hi, float(np.nanmax(limit)))
+    pad = 0.05 * (v_hi - v_lo) or 1.0
+    v_lo -= pad
+    v_hi += pad
+
+    canvas = [[" "] * width for _ in range(height)]
+    if limit is not None:
+        for c, lv in enumerate(limit):
+            if np.isfinite(lv):
+                r = int((v_hi - lv) / (v_hi - v_lo) * (height - 1))
+                if 0 <= r < height:
+                    canvas[r][c] = "="
+    # max-decimate the bins per column so narrow peaks survive
+    cols = ((np.log10(f) - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int)
+    for c in range(width):
+        sel = cols == c
+        if not np.any(sel):
+            continue
+        r = int((v_hi - float(db[sel].max()))
+                / (v_hi - v_lo) * (height - 1))
+        if 0 <= r < height:
+            canvas[r][c] = "*"
+
+    lines = []
+    for r, row in enumerate(canvas):
+        v_axis = v_hi - (v_hi - v_lo) * r / (height - 1)
+        lines.append(f"{v_axis:8.1f} |" + "".join(row))
+    axis = ["-"] * width
+    for dec in range(int(np.ceil(x_lo)), int(np.floor(x_hi)) + 1):
+        c = int((dec - x_lo) / (x_hi - x_lo) * (width - 1))
+        axis[c] = "+"
+    unit = "dBuA" if getattr(spectrum, "unit", "V") == "A" else "dBuV"
+    lines.append(" " * 9 + "+" + "".join(axis))
+    lines.append(f"{'':9s} {_si_freq(f[0]):<12}"
+                 f"{f'[{unit}] vs f (log, + = decades)':^{max(width - 24, 6)}}"
+                 f"{_si_freq(f[-1]):>12}")
+    legend = "  *=" + (spectrum.label or "spectrum")
+    if mask is not None:
+        legend += f"  ==limit {mask.name} ({mask.unit})"
+    lines.append(legend)
+    return "\n".join(lines)
 
 
 def ascii_plot(series: dict, width: int = 78, height: int = 18) -> str:

@@ -11,11 +11,15 @@ so repeated sweeps across *processes* answer from disk.  Layout::
     <root>/<digest>.npz        # t, v_port, probe_* arrays + meta json
 
 Entries are keyed on the sha256 digest of a canonical JSON rendering of
-``Scenario.key()``, which is stable across processes and platforms.  The
-``.npz`` files are written to a temp file and atomically renamed, so
-concurrent sweeps sharing one cache directory can never observe a torn
-entry; the JSON index is a redundant human-readable catalog (lookups never
-depend on it), so a lost index update under concurrency is harmless.
+``(CACHE_VERSION, Scenario.key())``, which is stable across processes and
+platforms.  The version field guards the *payload schema*: whenever the
+stored payload gains fields (v2 added per-scenario emission spectra and
+mask verdicts), the version is bumped so entries written by an older code
+version are misses, never half-understood hits.  The ``.npz`` files are
+written to a temp file and atomically renamed, so concurrent sweeps
+sharing one cache directory can never observe a torn entry; the JSON index
+is a redundant human-readable catalog (lookups never depend on it), so a
+lost index update under concurrency is harmless.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from ..devices import get_driver, get_receiver
+from ..emc.spectrum import Spectrum
 from ..ibis import IbisModel, extract_ibis
 from ..models import (estimate_cv_receiver, estimate_driver_model,
                       estimate_receiver_model)
@@ -38,7 +43,11 @@ from .setups import MODEL_SETTINGS, TS
 
 __all__ = ["driver_model", "receiver_model", "cv_receiver_model",
            "ibis_model", "clear", "SweepDiskCache", "scenario_key_digest",
-           "model_fingerprint"]
+           "model_fingerprint", "CACHE_VERSION"]
+
+#: payload-schema version of :class:`SweepDiskCache` entries (folded into
+#: every entry digest; bump whenever the stored payload shape changes)
+CACHE_VERSION = 2
 
 _cache: dict = {}
 
@@ -94,6 +103,18 @@ def _jsonable(obj):
     return obj
 
 
+def _jsonable_meta(meta: dict) -> dict:
+    """Spectrum meta dicts hold plain scalars; coerce numpy ones to JSON."""
+    out = {}
+    for k, v in (meta or {}).items():
+        if isinstance(v, (np.integer,)):
+            v = int(v)
+        elif isinstance(v, (np.floating,)):
+            v = float(v)
+        out[str(k)] = v
+    return out
+
+
 def scenario_key_digest(key) -> str:
     """Stable hex digest of a ``Scenario.key()`` tuple.
 
@@ -127,15 +148,24 @@ class SweepDiskCache:
     """Directory-backed store of per-scenario sweep payloads.
 
     ``payload`` dicts hold ``t``/``v_port`` (1-D float arrays), ``probes``
-    (name -> 1-D float array), ``metrics`` (JSON-able dict) and
-    ``warnings`` (list of strings).  Safe for concurrent writers: entries
-    are written atomically (temp file + ``os.replace``) and lookups only
-    touch the per-entry files, never the shared index.
+    (name -> 1-D float array), ``metrics`` (JSON-able dict), ``warnings``
+    (list of strings) and optionally ``spectra`` (name ->
+    :class:`~repro.emc.spectrum.Spectrum`) plus ``verdict`` (a
+    JSON-able :class:`~repro.emc.limits.ComplianceVerdict` dict).  The
+    entry digest folds in ``version`` (default :data:`CACHE_VERSION`), so
+    a payload-schema change never reinterprets old entries.  Safe for
+    concurrent writers: entries are written atomically (temp file +
+    ``os.replace``) and lookups only touch the per-entry files, never the
+    shared index.
     """
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike, version: int = CACHE_VERSION):
         self.root = Path(root)
+        self.version = int(version)
         self.root.mkdir(parents=True, exist_ok=True)
+
+    def _digest(self, key) -> str:
+        return scenario_key_digest((self.version, key))
 
     def _path(self, digest: str) -> Path:
         return self.root / f"{digest}.npz"
@@ -144,14 +174,23 @@ class SweepDiskCache:
         return sum(1 for _ in self.root.glob("*.npz"))
 
     def __contains__(self, key) -> bool:
-        return self._path(scenario_key_digest(key)).exists()
+        return self._path(self._digest(key)).exists()
 
     def get(self, key) -> dict | None:
         """Stored payload for a scenario key, or ``None`` on a miss."""
-        path = self._path(scenario_key_digest(key))
+        path = self._path(self._digest(key))
         try:
             with np.load(path, allow_pickle=False) as data:
                 meta = json.loads(str(data["meta"]))
+                spectra = {}
+                for name, info in (meta.get("spectra") or {}).items():
+                    spectra[name] = Spectrum(
+                        np.asarray(data[f"spec_{name}_f"], dtype=float),
+                        np.asarray(data[f"spec_{name}_mag"], dtype=float),
+                        unit=info.get("unit", "V"),
+                        kind=info.get("kind", "amplitude"),
+                        label=info.get("label", ""),
+                        meta=info.get("meta") or {})
                 return {
                     "t": np.asarray(data["t"], dtype=float),
                     "v_port": np.asarray(data["v_port"], dtype=float),
@@ -160,6 +199,8 @@ class SweepDiskCache:
                                for name in meta["probe_names"]},
                     "metrics": meta["metrics"],
                     "warnings": list(meta["warnings"]),
+                    "spectra": spectra,
+                    "verdict": meta.get("verdict"),
                 }
         except FileNotFoundError:
             return None
@@ -174,7 +215,7 @@ class SweepDiskCache:
 
     def put(self, key, payload: dict, name: str = "") -> str:
         """Persist one payload atomically; returns the entry digest."""
-        digest = scenario_key_digest(key)
+        digest = self._digest(key)
         arrays = {
             "t": np.asarray(payload["t"], dtype=float),
             "v_port": np.asarray(payload["v_port"], dtype=float),
@@ -182,10 +223,21 @@ class SweepDiskCache:
         probes = payload.get("probes") or {}
         for pname, wave in probes.items():
             arrays[f"probe_{pname}"] = np.asarray(wave, dtype=float)
+        spectra = payload.get("spectra") or {}
+        spectra_meta = {}
+        for sname, spec in spectra.items():
+            arrays[f"spec_{sname}_f"] = np.asarray(spec.f, dtype=float)
+            arrays[f"spec_{sname}_mag"] = np.asarray(spec.mag, dtype=float)
+            spectra_meta[sname] = {"unit": spec.unit, "kind": spec.kind,
+                                   "label": spec.label,
+                                   "meta": _jsonable_meta(spec.meta)}
         meta = {
             "metrics": payload.get("metrics") or {},
             "warnings": list(payload.get("warnings") or []),
             "probe_names": sorted(probes),
+            "spectra": spectra_meta,
+            "verdict": payload.get("verdict"),
+            "version": self.version,
             "name": name,
         }
         buf = io.BytesIO()

@@ -13,7 +13,10 @@ The cases pin the paper's two validation workhorses:
   line (z0 = 50 ohm, td = 0.5 ns, 1 pF far-end load): transistor-level
   reference and PW-RBF macromodel far-end voltages;
 * ``fig5_receiver`` -- MD4 driven through 50 ohm by a trapezoid:
-  transistor-level, parametric (ARX + RBF) and C-V model input currents.
+  transistor-level, parametric (ARX + RBF) and C-V model input currents;
+* ``fig2_spectrum`` -- the emission view of ``fig2_panel1``: windowed-FFT
+  amplitude spectra (reference and PW-RBF) of the same far-end waveforms,
+  pinning the :mod:`repro.emc.spectrum` estimator end to end.
 
 Tolerances are absolute, in the waveform's own unit, and deliberately much
 tighter than any physical effect of interest: the engine is deterministic
@@ -26,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..devices import MD4, build_receiver
+from ..emc.spectrum import amplitude_spectrum
 from ..models import CVReceiverElement, ParametricReceiverElement
 from . import cache
 from .fig2 import _panel as _fig2_panel
@@ -34,10 +38,13 @@ from .setups import FIG2, FIG5
 
 __all__ = ["CASES", "TOLERANCES", "generate"]
 
-#: per-case absolute comparison tolerance (volts for fig2, amperes for fig5)
+#: per-case absolute comparison tolerance (volts for fig2, amperes for
+#: fig5; fig2_spectrum is linear volts per bin -- the FFT is a bounded
+#: linear map of the waveform, so the waveform tolerance carries over)
 TOLERANCES = {
     "fig2_panel1": 2e-3,
     "fig5_receiver": 2e-5,
+    "fig2_spectrum": 2e-3,
 }
 
 
@@ -65,9 +72,18 @@ def fig5_receiver(receiver_model=None, cv_model=None) -> dict[str, np.ndarray]:
     return {"t": t, "i_ref": i_ref, "i_par": i_par, "i_cv": i_cv}
 
 
+def fig2_spectrum(driver_model=None) -> dict[str, np.ndarray]:
+    """Windowed-FFT amplitude spectra of the ``fig2_panel1`` waveforms."""
+    waves = fig2_panel1(driver_model)
+    s_ref = amplitude_spectrum(waves["t"], waves["ref_fe"], window="hann")
+    s_mm = amplitude_spectrum(waves["t"], waves["pwrbf_fe"], window="hann")
+    return {"f": s_ref.f, "ref_mag": s_ref.mag, "pwrbf_mag": s_mm.mag}
+
+
 CASES = {
     "fig2_panel1": fig2_panel1,
     "fig5_receiver": fig5_receiver,
+    "fig2_spectrum": fig2_spectrum,
 }
 
 

@@ -3,8 +3,8 @@
 The paper's pitch is that PW-RBF macromodels make system-level transient
 assessment cheap; what an EMC engineer actually runs is not one transient but
 a *grid* of them -- bit patterns x loads x drivers x process corners --
-looking for the worst-case overshoot, ringing, crosstalk, or timing corner.
-This module turns that grid into a one-call batch:
+looking for the worst-case overshoot, ringing, crosstalk, timing corner, or
+emission level.  This module turns that grid into a one-call batch:
 
     runner = ScenarioRunner(disk_cache=".sweep_cache")
     result = runner.run(scenario_grid(
@@ -13,34 +13,57 @@ This module turns that grid into a one-call batch:
                LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e5),
                LoadSpec(kind="rx", z0=50.0, td=1e-9, receiver="MD4"),
                CoupledLoadSpec(length=0.1)],
-        corners=CORNERS))
+        corners=CORNERS,
+        spectral=SpectralSpec(mask="board-b")))
     worst = result.worst("overshoot")
+    print(result.compliance_table())
+    envelope = result.peak_hold()          # grid-wide max-hold spectrum
 
 Scenario kinds:
 
 * :class:`LoadSpec` -- single-victim terminations: shunt R (``"r"``),
   R parallel C (``"rc"``), an ideal line into a far-end R/C (``"line"``),
   or a line into a macromodeled *receiver* input port (``"rx"``, the
-  receiver-side termination of the paper's Example 4);
+  receiver-side termination of the paper's Example 4; ``"rx"`` scenarios
+  additionally carry a logic-threshold eye check --
+  :func:`repro.emc.metrics.logic_eye_metrics` -- in their metrics);
 * :class:`CoupledLoadSpec` -- an aggressor/victim pair over a
   :class:`~repro.circuit.CoupledIdealLine`: the driver switches land 1
   while land 2 idles behind terminations, and the outcome carries the
   victim's near/far-end waveforms plus NEXT/FEXT metrics
   (``next_peak``/``fext_peak``/``next_ratio``/``fext_ratio``).
 
+A :class:`SpectralSpec` (on the scenario or its load) additionally turns
+each scenario into an emission measurement: the pad voltage (``"v_port"``)
+or the conducted port current (``"i_port"``, via a series
+:class:`~repro.circuit.CurrentProbe`) is transformed with a windowed FFT
+(:func:`repro.emc.spectrum.amplitude_spectrum`), optionally scored against
+a :class:`~repro.emc.limits.LimitMask` into a
+:class:`~repro.emc.limits.ComplianceVerdict`, and both ride along on the
+outcome (``outcome.spectra`` / ``outcome.verdict``).
+``SweepResult.peak_hold()`` aggregates the whole grid's spectra into the
+max-hold envelope, ``compliance_table()``/``worst_margin()`` summarize the
+verdicts.
+
 ``scenario_grid(..., corners=CORNERS)`` fans the slow/typ/fast process
 corners through the full cartesian product; each ``(driver, corner)`` pair
 resolves to its own estimated macromodel.
 
 Scenarios fan out across ``multiprocessing`` workers (each worker
-deserializes every distinct driver model once), results carry the
-:mod:`repro.emc.metrics`-style summary per scenario, and a repeated ``run``
-on the same runner answers from the per-scenario result cache.  Passing
-``disk_cache=<dir>`` additionally persists every successful outcome to a
-:class:`~repro.experiments.cache.SweepDiskCache` (JSON index + one ``.npz``
-per scenario, keyed on ``Scenario.key()``), so repeated sweeps *across
-processes* answer from disk.  Driver models named by catalog id are
-resolved -- and estimated at most once per process -- through
+deserializes every distinct driver model once).  Waveforms and spectra
+come back through a ``multiprocessing.shared_memory`` arena sized from the
+known per-scenario grid lengths -- workers write arrays in place and only
+pickle the small scalar summary -- with a transparent fallback to plain
+pickling when shared memory is unavailable (or the runner is serial).
+Results carry the :mod:`repro.emc.metrics`-style summary per scenario, and
+a repeated ``run`` on the same runner answers from the per-scenario result
+cache.  Passing ``disk_cache=<dir>`` additionally persists every
+successful outcome to a :class:`~repro.experiments.cache.SweepDiskCache`
+(JSON index + one ``.npz`` per scenario, keyed on ``Scenario.key()`` --
+which folds in the spectral request, so changed spectral settings are
+fresh entries, never stale hits), so repeated sweeps *across processes*
+answer from disk.  Driver models named by catalog id are resolved -- and
+estimated at most once per process -- through
 :mod:`repro.experiments.cache`.
 """
 
@@ -55,16 +78,20 @@ from itertools import product
 
 import numpy as np
 
-from ..circuit import (Capacitor, Circuit, CoupledIdealLine, IdealLine,
-                       Resistor, TransientOptions, run_transient)
-from ..emc.metrics import crosstalk_metrics, threshold_crossings
+from ..circuit import (Capacitor, Circuit, CoupledIdealLine, CurrentProbe,
+                       IdealLine, Resistor, TransientOptions, run_transient)
+from ..emc.limits import ComplianceVerdict, LimitMask, get_mask
+from ..emc.metrics import (crosstalk_metrics, logic_eye_metrics,
+                           threshold_crossings)
+from ..emc.spectrum import WINDOWS, Spectrum, amplitude_spectrum, peak_hold
 from ..errors import ExperimentError
 from ..models import (ParametricReceiverElement, PWRBFDriverElement,
                       PWRBFDriverModel)
 from . import cache
 
-__all__ = ["LoadSpec", "CoupledLoadSpec", "Scenario", "ScenarioOutcome",
-           "SweepResult", "ScenarioRunner", "scenario_grid", "CORNERS"]
+__all__ = ["LoadSpec", "CoupledLoadSpec", "SpectralSpec", "Scenario",
+           "ScenarioOutcome", "SweepResult", "ScenarioRunner",
+           "scenario_grid", "CORNERS"]
 
 #: the paper's process corners, for ``scenario_grid(..., corners=CORNERS)``
 CORNERS = ("slow", "typ", "fast")
@@ -73,6 +100,50 @@ CORNERS = ("slow", "typ", "fast")
 # ---------------------------------------------------------------------------
 # scenario description
 # ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SpectralSpec:
+    """Per-scenario emission-spectrum request.
+
+    ``quantity``: ``"v_port"`` (pad/observation-node voltage) or
+    ``"i_port"`` (conducted port current, measured by a series
+    :class:`~repro.circuit.CurrentProbe` between the driver pad and the
+    load -- the current waveform also rides along as probe ``"i_port"``).
+    ``window``/``n_fft`` configure
+    :func:`~repro.emc.spectrum.amplitude_spectrum`; ``mask`` names a
+    :class:`~repro.emc.limits.LimitMask` preset (or passes one directly)
+    to score the spectrum into a verdict, ``None`` computes the spectrum
+    without a verdict.
+    """
+
+    quantity: str = "v_port"
+    window: str = "hann"
+    n_fft: int | None = None
+    mask: object = None
+
+    def __post_init__(self):
+        if self.quantity not in ("v_port", "i_port"):
+            raise ExperimentError(
+                "SpectralSpec.quantity must be 'v_port' or 'i_port'")
+        # fail fast at construction: a bad window/n_fft would otherwise
+        # only surface as one error outcome per scenario after a full
+        # sweep's worth of simulation
+        if self.window not in WINDOWS:
+            raise ExperimentError(
+                f"unknown window {self.window!r}; pick from "
+                f"{sorted(WINDOWS)}")
+        if self.n_fft is not None and int(self.n_fft) < 2:
+            raise ExperimentError("n_fft must be >= 2")
+
+    def resolved_mask(self):
+        return get_mask(self.mask) if self.mask is not None else None
+
+    def key(self) -> tuple:
+        """Content identity (folded into scenario/disk cache keys)."""
+        mask_key = get_mask(self.mask).key() if self.mask is not None \
+            else None
+        return (self.quantity, self.window, self.n_fft, mask_key)
+
 
 @dataclass(frozen=True)
 class LoadSpec:
@@ -85,7 +156,8 @@ class LoadSpec:
     the paper's receiver-side termination; ``r > 0`` adds a parallel
     termination resistor at the receiver pad, ``r = 0`` leaves the pad
     unterminated, and ``td = 0`` attaches the receiver directly to the
-    driver port).
+    driver port).  ``spectral`` requests emission spectra for every
+    scenario built on this load (a scenario-level spec wins over it).
     """
 
     kind: str = "r"
@@ -95,6 +167,7 @@ class LoadSpec:
     td: float = 1e-9
     receiver: str = "MD4"
     label: str = ""
+    spectral: SpectralSpec | None = None
 
     def describe(self) -> str:
         if self.label:
@@ -112,7 +185,8 @@ class LoadSpec:
         return f"line{self.z0:g}x{self.td * 1e9:g}n-r{self.r:g}{cap}"
 
     def physics_key(self) -> tuple:
-        """Identity of the electrical load, excluding the cosmetic label."""
+        """Identity of the electrical load, excluding the cosmetic label
+        (and the spectral request, which is an observation, not physics)."""
         key = (self.kind, self.r, self.c, self.z0, self.td)
         return key + (self.receiver,) if self.kind == "rx" else key
 
@@ -175,6 +249,8 @@ class CoupledLoadSpec:
     meters.  Outcomes carry the victim's near/far-end waveforms under the
     probe names ``"next"``/``"fext"`` and the corresponding crosstalk
     metrics from :func:`repro.emc.metrics.crosstalk_metrics`.
+    ``spectral`` requests emission spectra, exactly as on
+    :class:`LoadSpec`.
     """
 
     l_self: float = 300e-9
@@ -187,6 +263,7 @@ class CoupledLoadSpec:
     r_victim_near: float = 50.0
     r_victim_far: float = 50.0
     label: str = ""
+    spectral: SpectralSpec | None = None
 
     kind = "coupled"
 
@@ -244,19 +321,47 @@ class Scenario:
     dt: float | None = None       # None -> the driver model's sampling time
     t_stop: float | None = None   # None -> pattern duration + 2 bit times
     name: str = ""
+    spectral: SpectralSpec | None = None  # None -> the load's request
 
     def resolved_name(self) -> str:
         return self.name or (f"{self.driver}-{self.corner}-{self.pattern}-"
                              f"{self.load.describe()}")
 
+    def spectral_spec(self) -> SpectralSpec | None:
+        """Effective spectral request (scenario-level wins over the load)."""
+        if self.spectral is not None:
+            return self.spectral
+        return getattr(self.load, "spectral", None)
+
     def key(self) -> tuple:
         """Hashable identity used by the runner's result cache.
 
         Cosmetic fields (``name``, ``load.label``) are excluded: scenarios
-        that simulate the same physics share one cache entry.
+        that simulate the same physics share one cache entry.  The
+        effective spectral request IS part of the key -- outcomes carry
+        the spectra/verdicts it produced, so different spectral settings
+        (window, n_fft, mask) must never share an entry.
         """
+        spec = self.spectral_spec()
         return (self.pattern, self.load.physics_key(), self.driver,
-                self.corner, self.bit_time, self.dt, self.t_stop)
+                self.corner, self.bit_time, self.dt, self.t_stop,
+                spec.key() if spec is not None else None)
+
+
+def _dispatchable(sc: Scenario) -> Scenario:
+    """A copy of ``sc`` whose mask is resolved to a :class:`LimitMask`.
+
+    Workers on spawn-start platforms (macOS/Windows) re-import the mask
+    registry and never see masks the parent registered by name; resolving
+    in the parent ships the mask *content* with the pickled scenario.
+    The cache identity is unchanged (``SpectralSpec.key()`` already
+    resolves names to content).
+    """
+    spec = sc.spectral_spec()
+    if spec is None or spec.mask is None \
+            or isinstance(spec.mask, LimitMask):
+        return sc
+    return replace(sc, spectral=replace(spec, mask=get_mask(spec.mask)))
 
 
 def scenario_grid(patterns, loads, drivers=("MD2",), corners=("typ",),
@@ -276,7 +381,11 @@ class ScenarioOutcome:
 
     ``probes`` carries named extra waveforms sampled on the same time grid
     as ``v_port`` (e.g. the victim's ``"next"``/``"fext"`` waveforms of a
-    :class:`CoupledLoadSpec` scenario).
+    :class:`CoupledLoadSpec` scenario, or the conducted port current
+    ``"i_port"`` when the spectral request probes current).  ``spectra``
+    maps the requested quantity to its
+    :class:`~repro.emc.spectrum.Spectrum`; ``verdict`` is the mask
+    compliance verdict, when a mask was requested.
     """
 
     scenario: Scenario
@@ -288,17 +397,40 @@ class ScenarioOutcome:
     cache_hit: bool = False
     error: str | None = None
     probes: dict = field(default_factory=dict)
+    spectra: dict = field(default_factory=dict)
+    verdict: ComplianceVerdict | None = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def passed(self) -> bool | None:
+        """Combined pass/fail of every check the scenario carries.
+
+        ANDs the spectral mask verdict with the receiver eye check
+        (``rx_pass``, present on ``kind="rx"`` scenarios).  ``None`` when
+        the scenario carries no check at all; ``False`` for failed
+        (``ok == False``) scenarios -- a crashed corner is never a pass.
+        """
+        if not self.ok:
+            return False
+        checks = []
+        if self.verdict is not None:
+            checks.append(bool(self.verdict.passed))
+        if "rx_pass" in (self.metrics or {}):
+            checks.append(bool(self.metrics["rx_pass"]))
+        if not checks:
+            return None
+        return all(checks)
 
     def copy_data(self, **overrides) -> "ScenarioOutcome":
         """Clone with private containers (no aliasing of mutable arrays)."""
         fields = dict(
             t=self.t.copy(), v_port=self.v_port.copy(),
             metrics=dict(self.metrics or {}), warnings=list(self.warnings),
-            probes={k: v.copy() for k, v in self.probes.items()})
+            probes={k: v.copy() for k, v in self.probes.items()},
+            spectra={k: s.copy() for k, s in self.spectra.items()})
         fields.update(overrides)
         return replace(self, **fields)
 
@@ -344,6 +476,67 @@ class SweepResult:
             raise ExperimentError(f"no successful scenario carries {key!r}")
         return max(ok, key=lambda o: o.metrics[key])
 
+    # -- emissions/compliance helpers ---------------------------------------
+    def spectra(self, quantity: str = "v_port") -> list[Spectrum]:
+        """Every successful scenario's spectrum of ``quantity`` (in grid
+        order, scenarios without one skipped)."""
+        return [o.spectra[quantity] for o in self.outcomes
+                if o.ok and quantity in o.spectra]
+
+    def peak_hold(self, quantity: str = "v_port") -> Spectrum:
+        """Grid-wide max-hold envelope: the worst level any scenario
+        produced in each frequency bin (one vectorized pass)."""
+        specs = self.spectra(quantity)
+        if not specs:
+            raise ExperimentError(
+                f"no successful scenario carries a {quantity!r} spectrum; "
+                "request one with SpectralSpec")
+        return peak_hold(specs)
+
+    def verdicts(self) -> list[ScenarioOutcome]:
+        """Successful outcomes that carry a mask verdict (grid order)."""
+        return [o for o in self.outcomes if o.ok and o.verdict is not None]
+
+    def worst_margin(self) -> ScenarioOutcome:
+        """The scenario with the smallest mask margin (the compliance
+        bottleneck of the grid; negative margin = failing)."""
+        scored = self.verdicts()
+        if not scored:
+            raise ExperimentError(
+                "no successful scenario carries a verdict; request one "
+                "with SpectralSpec(mask=...)")
+        return min(scored, key=lambda o: o.verdict.margin_db)
+
+    def compliance_table(self) -> str:
+        """Plain-text compliance report: one row per scenario with the
+        emission peak, mask margin, worst frequency, and the combined
+        spectral + receiver-eye pass/fail."""
+        header = (f"{'scenario':<38} {'peak':>7} {'margin':>7} "
+                  f"{'f_worst':>10} {'mask':>9} {'rx':>5} {'verdict':>8}")
+        lines = [header, "-" * len(header)]
+        for o in self.outcomes:
+            name = o.scenario.resolved_name()[:38]
+            if not o.ok:
+                lines.append(f"{name:<38} FAILED: {o.error}")
+                continue
+            m = o.metrics or {}
+            peak = f"{m['emis_peak_db']:>7.1f}" if "emis_peak_db" in m \
+                else f"{'-':>7}"
+            if o.verdict is not None:
+                margin = f"{o.verdict.margin_db:>+7.1f}"
+                f_worst = f"{o.verdict.f_worst / 1e6:>7.0f}MHz"
+                mask = f"{o.verdict.mask[-9:]:>9}"
+            else:
+                margin, f_worst, mask = f"{'-':>7}", f"{'-':>10}", f"{'-':>9}"
+            rx = "-" if "rx_pass" not in m else \
+                ("ok" if m["rx_pass"] else "BAD")
+            combined = o.passed
+            verdict = "-" if combined is None else \
+                ("PASS" if combined else "FAIL")
+            lines.append(f"{name:<38} {peak} {margin} {f_worst} {mask} "
+                         f"{rx:>5} {verdict:>8}")
+        return "\n".join(lines)
+
     def table(self) -> str:
         """Plain-text summary table of the sweep."""
         xtalk = any(o.ok and "fext_peak" in (o.metrics or {})
@@ -377,12 +570,16 @@ class SweepResult:
 # ---------------------------------------------------------------------------
 
 def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
-                 sc: Scenario, probes: dict | None = None) -> dict:
+                 sc: Scenario, probes: dict | None = None,
+                 spectra: dict | None = None,
+                 verdict: ComplianceVerdict | None = None) -> dict:
     """Per-scenario EMC summary (threshold edges + amplitude margins).
 
     When ``probes`` carries the victim waveforms of a coupled scenario
     (``"next"``/``"fext"``), the near/far-end crosstalk metrics are merged
-    into the summary.
+    into the summary; when ``spectra``/``verdict`` carry an emission
+    spectrum and its mask verdict, the spectral peak and margin are merged
+    too; ``kind="rx"`` scenarios gain the receiver logic-eye check.
     """
     v_max = float(np.max(v))
     v_min = float(np.min(v))
@@ -416,6 +613,20 @@ def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
     }
     if probes and "next" in probes and "fext" in probes:
         out.update(crosstalk_metrics(probes["next"], probes["fext"], vdd))
+    if sc.load.kind == "rx":
+        out.update(logic_eye_metrics(t, v, sc.pattern, sc.bit_time, vdd,
+                                     delay=sc.load.td))
+    if spectra:
+        for qty, spec in spectra.items():
+            nz = spec.f > 0.0  # the DC bin is a level, not an emission
+            sdb = spec.db()[nz]
+            j = int(np.argmax(sdb))
+            out["emis_peak_db"] = float(sdb[j])
+            out["emis_f_peak"] = float(spec.f[nz][j])
+    if verdict is not None:
+        out["emis_margin_db"] = float(verdict.margin_db)
+        out["emis_f_worst"] = float(verdict.f_worst)
+        out["spectral_pass"] = bool(verdict.passed)
     return out
 
 
@@ -428,10 +639,18 @@ def _simulate_scenario(sc: Scenario,
         t_stop = sc.t_stop
         if t_stop is None:
             t_stop = (len(sc.pattern) + 2) * sc.bit_time
+        spec = sc.spectral_spec()
         ckt = Circuit(sc.resolved_name())
         ckt.add(PWRBFDriverElement.for_pattern(
             "drv", "out", model, sc.pattern, sc.bit_time, t_stop))
-        obs = sc.load.build(ckt, "out")
+        load_port = "out"
+        if spec is not None and spec.quantity == "i_port":
+            # series ammeter between the driver pad and the load: its MNA
+            # branch records the conducted port current without changing
+            # the circuit solution
+            ckt.add(CurrentProbe("iprobe", "out", "load"))
+            load_port = "load"
+        obs = sc.load.build(ckt, load_port)
         res = run_transient(ckt, TransientOptions(
             dt=dt, t_stop=t_stop, method="damped", strict=False))
         # copy: res.v() is a view into the full (n_steps, size) solution
@@ -439,11 +658,29 @@ def _simulate_scenario(sc: Scenario,
         v = res.v(obs).copy()
         probes = {name: res.v(node).copy()
                   for name, node in sc.load.probes().items()}
+        spectra: dict = {}
+        verdict = None
+        if spec is not None:
+            if spec.quantity == "i_port":
+                wave = res.probe("i(iprobe)").copy()
+                probes["i_port"] = wave
+                unit = "A"
+            else:
+                wave, unit = v, "V"
+            spectrum = amplitude_spectrum(
+                res.t, wave, window=spec.window, n_fft=spec.n_fft,
+                unit=unit, label=f"{sc.resolved_name()}:{spec.quantity}")
+            spectra[spec.quantity] = spectrum
+            mask = spec.resolved_mask()
+            if mask is not None:
+                verdict = mask.check(spectrum)
         return ScenarioOutcome(
             scenario=sc, t=res.t, v_port=v,
-            metrics=_emc_metrics(res.t, v, model.vdd, sc, probes),
+            metrics=_emc_metrics(res.t, v, model.vdd, sc, probes,
+                                 spectra, verdict),
             warnings=list(res.warnings),
-            elapsed_s=time.perf_counter() - t0, probes=probes)
+            elapsed_s=time.perf_counter() - t0, probes=probes,
+            spectra=spectra, verdict=verdict)
     except Exception as exc:  # noqa: BLE001 - one bad corner must not kill a sweep
         return ScenarioOutcome(
             scenario=sc, t=np.empty(0), v_port=np.empty(0), metrics={},
@@ -451,20 +688,128 @@ def _simulate_scenario(sc: Scenario,
             error=f"{type(exc).__name__}: {exc}")
 
 
-# worker-process model store: each worker deserializes every distinct driver
-# model exactly once (in the initializer), not once per scenario
+# ---------------------------------------------------------------------------
+# shared-memory waveform return
+# ---------------------------------------------------------------------------
+#
+# A sweep's payload is dominated by the waveform/spectrum arrays; pickling
+# them through the pool's result queue serializes every float twice.  The
+# grid makes their sizes predictable *before* simulation (fixed-step engine:
+# n = round(t_stop / dt) + 1; rfft bins: n_fft // 2 + 1), so the parent
+# pre-allocates one shared-memory arena with a slot per pending scenario,
+# workers write arrays in place, and only the scalar summary rides the
+# queue.  Any surprise (unavailable shared memory, a layout mismatch, a
+# failed scenario) falls back to pickling that outcome -- correctness never
+# depends on the arena.
+
+try:
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - always present on CPython >= 3.8
+    _shm = None
+
+
+def _expected_layout(sc: Scenario, model) -> list[tuple[str, int]]:
+    """Predicted (array name, length) list of a successful outcome."""
+    dt = model.ts if sc.dt is None else sc.dt
+    t_stop = sc.t_stop
+    if t_stop is None:
+        t_stop = (len(sc.pattern) + 2) * sc.bit_time
+    n = int(round(t_stop / dt)) + 1
+    layout = [("t", n), ("v_port", n)]
+    layout += [(f"probe_{name}", n) for name in sc.load.probes()]
+    spec = sc.spectral_spec()
+    if spec is not None:
+        if spec.quantity == "i_port":
+            layout.append(("probe_i_port", n))
+        n_fft = spec.n_fft if spec.n_fft is not None else n
+        nb = int(n_fft) // 2 + 1
+        layout.append((f"spec_{spec.quantity}_f", nb))
+        layout.append((f"spec_{spec.quantity}_mag", nb))
+    return layout
+
+
+def _outcome_arrays(out: ScenarioOutcome) -> dict:
+    """Flat name -> array view of an outcome (the arena wire format)."""
+    arrays = {"t": out.t, "v_port": out.v_port}
+    for name, wave in out.probes.items():
+        arrays[f"probe_{name}"] = wave
+    for qty, spec in out.spectra.items():
+        arrays[f"spec_{qty}_f"] = spec.f
+        arrays[f"spec_{qty}_mag"] = spec.mag
+    return arrays
+
+
+def _pack_outcome(out: ScenarioOutcome, buf, offset: int,
+                  layout) -> ScenarioOutcome | None:
+    """Write an outcome's arrays into the arena; return the stripped
+    outcome (arrays replaced by ``None``), or ``None`` on any mismatch."""
+    arrays = _outcome_arrays(out)
+    if set(arrays) != {name for name, _ in layout}:
+        return None
+    pos = offset
+    for name, length in layout:
+        arr = np.ascontiguousarray(arrays[name], dtype=float)
+        if arr.shape != (length,):
+            return None
+        np.frombuffer(buf, dtype=float, count=length,
+                      offset=pos * 8)[:] = arr
+        pos += length
+    spectra_meta = {qty: {"unit": s.unit, "kind": s.kind, "label": s.label,
+                          "meta": dict(s.meta)}
+                    for qty, s in out.spectra.items()}
+    return replace(out, t=None, v_port=None,
+                   probes={name: None for name in out.probes},
+                   spectra=spectra_meta)
+
+
+def _unpack_outcome(out: ScenarioOutcome, buf, offset: int,
+                    layout) -> ScenarioOutcome:
+    """Rebuild a stripped outcome from its arena slot (copies out)."""
+    arrays = {}
+    pos = offset
+    for name, length in layout:
+        arrays[name] = np.frombuffer(buf, dtype=float, count=length,
+                                     offset=pos * 8).copy()
+        pos += length
+    probes = {name: arrays[f"probe_{name}"] for name in out.probes}
+    spectra = {}
+    for qty, meta in out.spectra.items():
+        spectra[qty] = Spectrum(arrays[f"spec_{qty}_f"],
+                                arrays[f"spec_{qty}_mag"],
+                                unit=meta["unit"], kind=meta["kind"],
+                                label=meta["label"], meta=meta["meta"])
+    return replace(out, t=arrays["t"], v_port=arrays["v_port"],
+                   probes=probes, spectra=spectra)
+
+
+# worker-process state: each worker deserializes every distinct driver
+# model exactly once and attaches the shared arena once (both in the
+# initializer), not once per scenario
 _WORKER_MODELS: dict = {}
+_WORKER_ARENA = None
 
 
-def _worker_init(model_payloads: dict) -> None:
-    global _WORKER_MODELS
+def _worker_init(model_payloads: dict, arena_name: str | None = None) -> None:
+    global _WORKER_MODELS, _WORKER_ARENA
     _WORKER_MODELS = {key: PWRBFDriverModel.from_dict(d)
                       for key, d in model_payloads.items()}
+    _WORKER_ARENA = None
+    if arena_name is not None and _shm is not None:
+        try:
+            _WORKER_ARENA = _shm.SharedMemory(name=arena_name)
+        except (OSError, ValueError):
+            _WORKER_ARENA = None  # fall back to pickling the arrays
 
 
 def _worker_run(args):
-    idx, sc, model_key = args
-    return idx, _simulate_scenario(sc, _WORKER_MODELS[model_key])
+    idx, sc, model_key, slot = args
+    out = _simulate_scenario(sc, _WORKER_MODELS[model_key])
+    if slot is not None and _WORKER_ARENA is not None and out.ok:
+        offset, layout = slot
+        packed = _pack_outcome(out, _WORKER_ARENA.buf, offset, layout)
+        if packed is not None:
+            return idx, packed, True
+    return idx, out, False
 
 
 # ---------------------------------------------------------------------------
@@ -482,12 +827,18 @@ class ScenarioRunner:
     names a directory backing the per-scenario result cache with a
     :class:`~repro.experiments.cache.SweepDiskCache`, so repeated sweeps in
     *fresh processes* answer from disk instead of re-simulating.
+    ``shared_waveforms`` controls the shared-memory waveform return of
+    parallel runs: ``None`` (default) uses it whenever
+    ``multiprocessing.shared_memory`` is available, ``False`` forces the
+    pickling path (e.g. for debugging), ``True`` insists but still falls
+    back per-outcome if the arena cannot be created.
     """
 
     def __init__(self, models: dict | None = None,
                  n_workers: int | None = None,
                  use_result_cache: bool = True,
-                 disk_cache: str | os.PathLike | None = None):
+                 disk_cache: str | os.PathLike | None = None,
+                 shared_waveforms: bool | None = None):
         if disk_cache is not None and not use_result_cache:
             raise ExperimentError(
                 "disk_cache requires use_result_cache=True; pass one or "
@@ -500,6 +851,9 @@ class ScenarioRunner:
         self._fingerprints: dict = {}
         self._disk = cache.SweepDiskCache(disk_cache) \
             if disk_cache is not None else None
+        if shared_waveforms is None:
+            shared_waveforms = _shm is not None
+        self.shared_waveforms = bool(shared_waveforms) and _shm is not None
 
     def _model_for(self, sc: Scenario) -> PWRBFDriverModel:
         key = (sc.driver, sc.corner)
@@ -519,7 +873,8 @@ class ScenarioRunner:
         persistent cache shared across processes (and code versions) must
         also distinguish the actual model, or a runner holding a custom or
         re-estimated model would silently be served another model's
-        waveforms.
+        waveforms.  (The spectral request -- window, n_fft, mask content
+        -- is already folded in by ``Scenario.key()`` itself.)
         """
         fp_key = (sc.driver, sc.corner)
         fp = self._fingerprints.get(fp_key)
@@ -544,11 +899,15 @@ class ScenarioRunner:
         if hit is None and self._disk is not None:
             payload = self._disk.get(self._disk_key(sc))
             if payload is not None:
+                verdict = payload.get("verdict")
                 hit = ScenarioOutcome(
                     scenario=sc, t=payload["t"], v_port=payload["v_port"],
                     metrics=payload["metrics"],
                     warnings=payload["warnings"],
-                    elapsed_s=0.0, probes=payload["probes"])
+                    elapsed_s=0.0, probes=payload["probes"],
+                    spectra=payload.get("spectra") or {},
+                    verdict=ComplianceVerdict.from_dict(verdict)
+                    if verdict else None)
                 self._result_cache[sc.key()] = hit
         return hit
 
@@ -581,7 +940,10 @@ class ScenarioRunner:
 
         if len(pending) > 1 and self.n_workers > 1:
             payloads = {key: self._models[key].to_dict() for key in model_keys}
-            jobs = [(idx, sc, (sc.driver, sc.corner)) for idx, sc in pending]
+            arena, slots = self._build_arena(pending)
+            jobs = [(idx, _dispatchable(sc), (sc.driver, sc.corner),
+                     slots.get(idx))
+                    for idx, sc in pending]
             # fork only where it is the safe default (Linux): on macOS the
             # interpreter lists 'fork' as available but forking after
             # threaded BLAS/Objective-C work can crash the children, which
@@ -590,10 +952,28 @@ class ScenarioRunner:
                         and "fork" in mp.get_all_start_methods())
             ctx = mp.get_context("fork") if use_fork else mp.get_context()
             workers = min(self.n_workers, len(pending))
-            with ctx.Pool(workers, initializer=_worker_init,
-                          initargs=(payloads,)) as pool:
-                for idx, outcome in pool.imap_unordered(_worker_run, jobs):
-                    outcomes[idx] = outcome
+            try:
+                with ctx.Pool(workers, initializer=_worker_init,
+                              initargs=(payloads,
+                                        arena.name if arena else None)
+                              ) as pool:
+                    for idx, outcome, packed in \
+                            pool.imap_unordered(_worker_run, jobs):
+                        if packed:
+                            offset, layout = slots[idx]
+                            outcome = _unpack_outcome(
+                                outcome, arena.buf, offset, layout)
+                        # hand back the caller's scenario object, not the
+                        # mask-resolved dispatch copy
+                        outcome.scenario = scenarios[idx]
+                        outcomes[idx] = outcome
+            finally:
+                if arena is not None:
+                    arena.close()
+                    try:
+                        arena.unlink()
+                    except (OSError, FileNotFoundError):  # pragma: no cover
+                        pass
         else:
             for idx, sc in pending:
                 outcomes[idx] = _simulate_scenario(sc, self._model_for(sc))
@@ -611,5 +991,31 @@ class ScenarioRunner:
                             "metrics": out.metrics,
                             "warnings": out.warnings,
                             "probes": out.probes,
+                            "spectra": out.spectra,
+                            "verdict": out.verdict.to_dict()
+                            if out.verdict is not None else None,
                         }, name=sc.resolved_name())
         return SweepResult(outcomes)
+
+    def _build_arena(self, pending):
+        """Allocate the shared waveform arena for a parallel run.
+
+        Returns ``(SharedMemory | None, {idx: (offset_floats, layout)})``;
+        an empty mapping (and no arena) when shared memory is off or the
+        allocation fails -- the pool then pickles arrays as before.
+        """
+        if not self.shared_waveforms or _shm is None:
+            return None, {}
+        slots: dict = {}
+        total = 0
+        for idx, sc in pending:
+            layout = _expected_layout(sc, self._model_for(sc))
+            slots[idx] = (total, layout)
+            total += sum(length for _, length in layout)
+        if total == 0:
+            return None, {}
+        try:
+            arena = _shm.SharedMemory(create=True, size=total * 8)
+        except (OSError, ValueError):  # pragma: no cover - env-specific
+            return None, {}
+        return arena, slots

@@ -1,0 +1,194 @@
+"""Limit masks: interpolation, presets, verdicts, and margin invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emc import (MASKS, ComplianceVerdict, LimitMask, Spectrum,
+                       amplitude_spectrum, get_mask, register_mask)
+from repro.errors import ExperimentError
+
+
+def flat_spectrum(level_v, f_lo=30e6, f_hi=5e9, n=200, unit="V"):
+    f = np.logspace(np.log10(f_lo), np.log10(f_hi), n)
+    return Spectrum(f, np.full(n, float(level_v)), unit=unit)
+
+
+class TestLimitMask:
+    def test_log_frequency_interpolation(self):
+        m = LimitMask("m", ((1e6, 100e6, 40.0, 80.0),))
+        # log-linear: halfway in log f (10 MHz) is halfway in dB
+        assert m.level(np.array([10e6]))[0] == pytest.approx(60.0)
+        assert m.level(np.array([1e6]))[0] == pytest.approx(40.0)
+        assert m.level(np.array([100e6]))[0] == pytest.approx(80.0)
+        # outside coverage -> NaN
+        assert np.isnan(m.level(np.array([0.5e6, 200e6]))).all()
+
+    def test_step_discontinuity_between_segments(self):
+        m = get_mask("cispr22-a")
+        below = m.level(np.array([499e3]))[0]
+        above = m.level(np.array([501e3]))[0]
+        assert below == pytest.approx(79.0, abs=0.1)
+        assert above == pytest.approx(73.0, abs=0.1)
+
+    def test_from_points_builds_contiguous_segments(self):
+        m = LimitMask.from_points("p", [(1e6, 40.0), (10e6, 60.0),
+                                        (100e6, 60.0)])
+        assert len(m.segments) == 2
+        assert m.f_min == 1e6 and m.f_max == 100e6
+        assert m.level(np.array([10e6]))[0] == pytest.approx(60.0)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            LimitMask("bad", ())
+        with pytest.raises(ExperimentError):
+            LimitMask("bad", ((10e6, 1e6, 40.0, 40.0),))  # f_hi < f_lo
+        with pytest.raises(ExperimentError):
+            LimitMask("bad", ((1e6, 10e6, 40.0, 40.0),
+                              (5e6, 20e6, 40.0, 40.0)))  # overlap
+        with pytest.raises(ExperimentError):
+            LimitMask("bad", ((1e6, 10e6, 40.0, 40.0),), unit="dBm")
+        with pytest.raises(ExperimentError):
+            LimitMask.from_points("bad", [(1e6, 40.0)])
+
+    def test_shifted_moves_every_level(self):
+        m = get_mask("board-b").shifted(-10.0)
+        base = get_mask("board-b")
+        f = np.array([50e6, 500e6, 5e9])
+        np.testing.assert_allclose(m.level(f), base.level(f) - 10.0)
+        assert m.key() != base.key()
+
+    def test_key_is_content_identity(self):
+        a = LimitMask("m", ((1e6, 10e6, 40.0, 40.0),))
+        b = LimitMask("m", ((1e6, 10e6, 40.0, 40.0),))
+        c = LimitMask("m", ((1e6, 10e6, 41.0, 41.0),))
+        assert a.key() == b.key() != c.key()
+
+
+class TestPresetsAndRegistry:
+    def test_presets_exist(self):
+        for name in ("cispr22-a", "cispr22-b", "board-a", "board-b",
+                     "board-i"):
+            assert name in MASKS
+            assert get_mask(name) is MASKS[name]
+        assert MASKS["board-i"].unit == "dBuA"
+
+    def test_cispr22_b_published_levels(self):
+        m = get_mask("cispr22-b")
+        f = np.array([150e3, 500e3, 2e6, 10e6])
+        np.testing.assert_allclose(m.level(f), [66.0, 56.0, 56.0, 60.0],
+                                   atol=0.1)
+
+    def test_class_b_is_stricter_than_class_a(self):
+        f = np.logspace(np.log10(30e6), np.log10(20e9), 50)
+        assert np.all(get_mask("board-b").level(f) <=
+                      get_mask("board-a").level(f))
+
+    def test_get_mask_passthrough_and_unknown(self):
+        m = LimitMask("custom", ((1e6, 10e6, 40.0, 40.0),))
+        assert get_mask(m) is m
+        with pytest.raises(ExperimentError):
+            get_mask("no-such-mask")
+
+    def test_register_mask(self):
+        m = LimitMask("tmp-registered", ((1e6, 10e6, 40.0, 40.0),))
+        try:
+            register_mask(m)
+            assert get_mask("tmp-registered") is m
+            with pytest.raises(ExperimentError):
+                register_mask(m)
+            register_mask(m.shifted(1.0).__class__(
+                name="tmp-registered", segments=m.segments), overwrite=True)
+        finally:
+            MASKS.pop("tmp-registered", None)
+
+
+class TestVerdicts:
+    def test_pass_fail_and_worst_bin(self):
+        m = LimitMask("m", ((30e6, 5e9, 100.0, 100.0),))
+        # 100 dBuV == 0.1 V; flat 0.05 V passes, flat 0.2 V fails
+        v_pass = m.check(flat_spectrum(0.05))
+        assert v_pass.passed and v_pass.margin_db == pytest.approx(
+            20.0 * np.log10(0.1 / 0.05))
+        assert v_pass.n_over == 0
+        v_fail = m.check(flat_spectrum(0.2))
+        assert not v_fail.passed
+        assert v_fail.margin_db == pytest.approx(
+            -20.0 * np.log10(0.2 / 0.1))
+        assert v_fail.n_over == v_fail.n_checked
+
+    def test_worst_frequency_is_reported(self):
+        m = LimitMask("m", ((30e6, 5e9, 100.0, 100.0),))
+        s = flat_spectrum(0.01)
+        k = 120
+        s.mag[k] = 1.0  # a single screaming bin
+        v = m.check(s)
+        assert not v.passed
+        assert v.f_worst == pytest.approx(s.f[k])
+        assert v.level_db == pytest.approx(120.0)
+        assert v.limit_db == pytest.approx(100.0)
+        assert v.n_over == 1
+
+    def test_unit_mismatch_and_no_overlap_raise(self):
+        m = get_mask("board-i")  # dBuA
+        with pytest.raises(ExperimentError):
+            m.check(flat_spectrum(0.1, unit="V"))
+        volt_mask = get_mask("cispr22-b")  # 150 kHz - 30 MHz
+        with pytest.raises(ExperimentError):
+            volt_mask.check(flat_spectrum(0.1, f_lo=100e6, f_hi=1e9))
+        with pytest.raises(ExperimentError):
+            t = np.arange(128) / 1e9
+            m2 = get_mask("board-b")
+            psd_like = Spectrum(np.linspace(30e6, 1e9, 10), np.ones(10),
+                                kind="psd")
+            m2.check(psd_like)
+
+    def test_verdict_roundtrips_through_dict(self):
+        m = LimitMask("m", ((30e6, 5e9, 100.0, 100.0),))
+        v = m.check(flat_spectrum(0.2))
+        back = ComplianceVerdict.from_dict(v.to_dict())
+        assert back == v
+
+    def test_real_spectrum_against_board_mask(self):
+        """A 2.5 V digital-ish trapezoid against board-b: verdict fields
+        are coherent (margin matches level/limit at f_worst)."""
+        fs = 4e10
+        t = np.arange(4000) / fs
+        v = 1.25 * (1.0 + np.sign(np.sin(2.0 * np.pi * 250e6 * t)))
+        s = amplitude_spectrum(t, v, window="hann")
+        verdict = get_mask("board-b").check(s)
+        assert verdict.margin_db == pytest.approx(
+            verdict.limit_db - verdict.level_db)
+        assert verdict.n_checked > 100
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(level=st.floats(1e-4, 1.0), scale=st.floats(1.001, 100.0))
+def test_margin_is_monotone_under_amplitude_scaling(level, scale):
+    """Scaling a spectrum up always shrinks the margin -- by exactly
+    20 log10(scale) for a flat mask."""
+    m = LimitMask("m", ((30e6, 5e9, 100.0, 100.0),))
+    v1 = m.check(flat_spectrum(level))
+    v2 = m.check(flat_spectrum(level * scale))
+    assert v2.margin_db < v1.margin_db
+    assert v1.margin_db - v2.margin_db == pytest.approx(
+        20.0 * np.log10(scale), rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2 ** 31 - 1), delta=st.floats(0.5, 40.0))
+def test_shifting_the_mask_shifts_the_margin(seed, delta):
+    """mask.shifted(+d) adds exactly d dB of margin, pass iff margin>=0."""
+    rng = np.random.default_rng(seed)
+    f = np.logspace(np.log10(30e6), np.log10(5e9), 64)
+    s = Spectrum(f, rng.uniform(1e-3, 1.0, 64))
+    m = LimitMask("m", ((30e6, 5e9, 90.0, 110.0),))
+    v = m.check(s)
+    v_up = m.shifted(delta).check(s)
+    assert v_up.margin_db == pytest.approx(v.margin_db + delta, abs=1e-9)
+    assert v_up.passed == (v_up.margin_db >= 0.0)

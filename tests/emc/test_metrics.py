@@ -109,3 +109,65 @@ class TestTimingError:
         test = edge(t, 3e-9 + shift, rise=0.3e-9)
         rep = timing_error(t, test, ref, threshold=0.5)
         assert rep.max_delay == pytest.approx(shift, abs=2e-12)
+
+
+class TestLogicEyeMetrics:
+    """Receiver-side logic-threshold eye check (rx scenario pass/fail)."""
+
+    def _pattern_wave(self, pattern, bit_time=2e-9, vdd=2.5, n_per_bit=100,
+                      tail_bits=2):
+        from repro.emc import logic_eye_metrics  # noqa: F401 - import check
+        n = (len(pattern) + tail_bits) * n_per_bit + 1
+        t = np.linspace(0.0, (len(pattern) + tail_bits) * bit_time, n)
+        bits = np.minimum((t / bit_time).astype(int), len(pattern) - 1)
+        v = np.array([vdd if pattern[b] == "1" else 0.0 for b in bits])
+        return t, v
+
+    def test_clean_pattern_passes_with_full_margin(self):
+        from repro.emc import logic_eye_metrics
+        t, v = self._pattern_wave("0110")
+        m = logic_eye_metrics(t, v, "0110", 2e-9, 2.5)
+        assert m["rx_pass"] and m["rx_n_bad_bits"] == 0
+        assert m["rx_n_checked"] == 4
+        # ideal rails: margin is the distance from rail to threshold
+        assert m["rx_margin"] == pytest.approx(0.75)
+
+    def test_attenuated_one_fails(self):
+        from repro.emc import logic_eye_metrics
+        t, v = self._pattern_wave("0110")
+        m = logic_eye_metrics(t, 0.55 * v, "0110", 2e-9, 2.5)
+        # "1" bits sit at 1.375 V < vih = 1.75 V
+        assert not m["rx_pass"]
+        assert m["rx_n_bad_bits"] == 2
+        assert m["rx_margin"] == pytest.approx(1.375 - 1.75)
+
+    def test_delay_shifts_the_sampling_instants(self):
+        from repro.emc import logic_eye_metrics
+        t, v = self._pattern_wave("01")
+        delayed = np.interp(t - 1e-9, t, v)  # flight time of 1 ns
+        assert not logic_eye_metrics(t, delayed, "01", 2e-9, 2.5,
+                                     sample_point=0.25)["rx_pass"]
+        assert logic_eye_metrics(t, delayed, "01", 2e-9, 2.5,
+                                 delay=1e-9)["rx_pass"]
+
+    def test_truncated_record_skips_unsampled_bits(self):
+        from repro.emc import logic_eye_metrics
+        t, v = self._pattern_wave("01", tail_bits=0)
+        cut = t <= 2.5e-9  # ends inside bit 1, before its 0.75 sample point
+        m = logic_eye_metrics(t[cut], v[cut], "01", 2e-9, 2.5)
+        assert m["rx_n_checked"] == 1
+        empty = logic_eye_metrics(t[:2], v[:2], "01", 2e-9, 2.5)
+        assert empty["rx_n_checked"] == 0 and not empty["rx_pass"]
+        assert np.isnan(empty["rx_margin"])
+
+    def test_custom_thresholds_and_validation(self):
+        from repro.emc import logic_eye_metrics
+        t, v = self._pattern_wave("01")
+        m = logic_eye_metrics(t, v, "01", 2e-9, 2.5, vih=2.4, vil=0.1)
+        assert m["rx_vih"] == 2.4 and m["rx_vil"] == 0.1
+        assert m["rx_margin"] == pytest.approx(0.1)
+        for bad in (dict(vih=0.1, vil=2.4), dict(sample_point=0.0)):
+            with pytest.raises(ExperimentError):
+                logic_eye_metrics(t, v, "01", 2e-9, 2.5, **bad)
+        with pytest.raises(ExperimentError):
+            logic_eye_metrics(t, v, "01x", 2e-9, 2.5)

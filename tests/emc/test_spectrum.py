@@ -1,0 +1,256 @@
+"""Emission-spectrum estimators: analytic cases and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emc import (Spectrum, amplitude_spectrum, peak_hold,
+                       resample_uniform, to_db_micro, to_dbua, to_dbuv,
+                       welch_psd)
+from repro.errors import ExperimentError
+
+FS = 1e9
+N = 1000
+
+
+def tone(f0, a=1.0, n=N, fs=FS, phase=0.3):
+    t = np.arange(n) / fs
+    return t, a * np.sin(2.0 * np.pi * f0 * t + phase)
+
+
+# ---------------------------------------------------------------------------
+# analytic amplitude spectra
+# ---------------------------------------------------------------------------
+
+class TestAmplitudeSpectrum:
+    def test_pure_tone_is_a_single_bin_peak(self):
+        """A bin-centered tone of amplitude A reads A in exactly its bin."""
+        f0, a = 50e6, 0.7  # bin 50 of a 1000-sample 1 GHz record
+        t, v = tone(f0, a)
+        s = amplitude_spectrum(t, v, window="rect")
+        k = int(np.argmax(s.mag[1:])) + 1
+        assert s.f[k] == pytest.approx(f0)
+        assert s.mag[k] == pytest.approx(a, rel=1e-9)
+        # every other bin is numerically empty (rect window, exact bin)
+        others = np.delete(s.mag, k)
+        assert np.max(others) < 1e-9 * a
+
+    @pytest.mark.parametrize("window", ["hann", "hamming", "blackman"])
+    def test_window_coherent_gain_is_corrected(self, window):
+        t, v = tone(50e6, 0.5)
+        s = amplitude_spectrum(t, v, window=window)
+        k = int(np.argmax(s.mag[1:])) + 1
+        assert s.f[k] == pytest.approx(50e6)
+        assert s.mag[k] == pytest.approx(0.5, rel=1e-6)
+
+    def test_dc_is_not_doubled(self):
+        t = np.arange(N) / FS
+        s = amplitude_spectrum(t, np.full(N, 2.5), window="rect")
+        assert s.mag[0] == pytest.approx(2.5)
+        assert np.max(s.mag[1:]) < 1e-9
+
+    def test_square_wave_has_1_over_n_odd_harmonics(self):
+        """Ideal square wave: odd harmonics at 4A/(pi n), even absent."""
+        a = 1.0
+        f0 = 10e6  # 100 samples/period, 100 periods in a 10k record
+        n = 10_000
+        t = np.arange(n) / FS
+        v = a * np.sign(np.sin(2.0 * np.pi * f0 * t + 1e-12))
+        s = amplitude_spectrum(t, v, window="rect")
+        for harm in (1, 3, 5, 7):
+            k = int(round(harm * f0 / s.df))
+            expect = 4.0 * a / (np.pi * harm)
+            # the *sampled* square wave deviates from the continuous-time
+            # series by O((pi k / samples-per-period)^2) ~ 1% at k = 7
+            assert s.mag[k] == pytest.approx(expect, rel=2e-2), harm
+        for harm in (2, 4, 6):
+            k = int(round(harm * f0 / s.df))
+            assert s.mag[k] < 1e-6
+
+    def test_zero_padding_refines_bins_not_levels(self):
+        t, v = tone(50e6, 1.0)
+        s = amplitude_spectrum(t, v, window="hann", n_fft=4 * N)
+        assert len(s) == 4 * N // 2 + 1
+        k = int(np.argmax(s.mag))
+        assert s.f[k] == pytest.approx(50e6, abs=s.df)
+        assert s.mag[k] == pytest.approx(1.0, rel=1e-3)
+
+    def test_validation(self):
+        t, v = tone(50e6)
+        with pytest.raises(ExperimentError):
+            amplitude_spectrum(t, v, window="bogus")
+        with pytest.raises(ExperimentError):
+            amplitude_spectrum(t, v, n_fft=1)
+        with pytest.raises(ExperimentError):
+            amplitude_spectrum(t[:3], v[:4])
+
+
+# ---------------------------------------------------------------------------
+# resampling
+# ---------------------------------------------------------------------------
+
+class TestResample:
+    def test_uniform_grid_passes_through_untouched(self):
+        t, v = tone(50e6)
+        t2, v2 = resample_uniform(t, v)
+        assert t2 is t and v2 is v
+
+    def test_non_uniform_grid_is_interpolated(self):
+        rng = np.random.default_rng(7)
+        t = np.sort(rng.uniform(0.0, 1e-6, 500))
+        t[0], t[-1] = 0.0, 1e-6
+        v = np.sin(2.0 * np.pi * 5e6 * t)
+        t2, v2 = resample_uniform(t, v)
+        assert t2.size == t.size
+        steps = np.diff(t2)
+        np.testing.assert_allclose(steps, steps[0], rtol=1e-9)
+        # the resampled waveform still matches the underlying tone
+        # (linear-interp error is bounded by the largest random gap)
+        np.testing.assert_allclose(v2, np.sin(2.0 * np.pi * 5e6 * t2),
+                                   atol=5e-2)
+
+    def test_non_monotonic_grid_is_rejected(self):
+        with pytest.raises(ExperimentError):
+            resample_uniform(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_spectrum_of_non_uniform_grid(self):
+        """The estimator accepts a jittered grid and still finds the tone."""
+        rng = np.random.default_rng(3)
+        n = 2000
+        t = np.arange(n) / FS + rng.uniform(0, 0.2 / FS, n)
+        t = np.sort(t)
+        v = np.sin(2.0 * np.pi * 50e6 * t)
+        s = amplitude_spectrum(t, v, window="hann")
+        k = int(np.argmax(s.mag[1:])) + 1
+        assert s.f[k] == pytest.approx(50e6, rel=2e-2)
+        assert s.mag[k] == pytest.approx(1.0, rel=0.1)
+
+
+# ---------------------------------------------------------------------------
+# Welch PSD
+# ---------------------------------------------------------------------------
+
+class TestWelchPSD:
+    def test_full_length_rect_satisfies_parseval(self):
+        t, v = tone(50e6, 0.8)
+        p = welch_psd(t, v, window="rect", nperseg=N)
+        assert p.kind == "psd"
+        assert np.sum(p.mag) * p.df == pytest.approx(np.mean(v ** 2),
+                                                     rel=1e-9)
+
+    def test_tone_power_concentrates_in_its_bin(self):
+        t, v = tone(50e6, 1.0, n=4096)
+        p = welch_psd(t, v, window="hann", nperseg=512)
+        k = int(np.argmax(p.mag))
+        assert p.f[k] == pytest.approx(50e6, abs=2 * p.df)
+        # integrated PSD approximates the tone power A^2/2
+        assert np.sum(p.mag) * p.df == pytest.approx(0.5, rel=5e-2)
+
+    def test_segment_averaging_reduces_variance(self):
+        rng = np.random.default_rng(11)
+        t = np.arange(8192) / FS
+        v = rng.normal(size=t.size)
+        p1 = welch_psd(t, v, window="rect", nperseg=8192)
+        p8 = welch_psd(t, v, window="rect", nperseg=1024)
+        # white noise: many-segment estimate is far smoother
+        assert np.std(p8.mag[1:-1]) < 0.5 * np.std(p1.mag[1:-1])
+
+    def test_validation(self):
+        t, v = tone(50e6)
+        with pytest.raises(ExperimentError):
+            welch_psd(t, v, nperseg=1)
+        with pytest.raises(ExperimentError):
+            welch_psd(t, v, nperseg=2 * N)
+        with pytest.raises(ExperimentError):
+            welch_psd(t, v, overlap=1.0)
+
+
+# ---------------------------------------------------------------------------
+# dB conversions and the peak-hold envelope
+# ---------------------------------------------------------------------------
+
+class TestDbAndPeakHold:
+    def test_db_micro_conventions(self):
+        assert to_dbuv(1.0) == pytest.approx(120.0)
+        assert to_dbuv(1e-6) == pytest.approx(0.0)
+        assert to_dbua(1e-3) == pytest.approx(60.0)
+        assert np.isfinite(to_db_micro(0.0))
+        np.testing.assert_allclose(to_dbuv([1.0, 1e-3]), [120.0, 60.0])
+
+    def test_spectrum_db_matches_conversion(self):
+        t, v = tone(50e6, 1.0)
+        s = amplitude_spectrum(t, v)
+        np.testing.assert_allclose(s.db(), to_db_micro(s.mag))
+
+    def test_peak_hold_is_elementwise_max(self):
+        f = np.linspace(0.0, 1e9, 101)
+        a = Spectrum(f, np.full(101, 1.0))
+        b = Spectrum(f, np.linspace(0.0, 2.0, 101))
+        env = peak_hold([a, b])
+        np.testing.assert_allclose(env.mag, np.maximum(a.mag, b.mag))
+        assert env.meta["n_spectra"] == 2
+        assert not env.meta["interpolated"]
+
+    def test_peak_hold_mixed_grids_interpolates_to_finest(self):
+        fa = np.linspace(0.0, 1e9, 101)
+        fb = np.linspace(0.0, 2e9, 51)   # coarser, wider
+        a = Spectrum(fa, np.full(101, 2.0))
+        b = Spectrum(fb, np.full(51, 1.0))
+        env = peak_hold([a, b])
+        assert env.meta["interpolated"]
+        assert env.f[-1] <= 1e9 + 1.0     # clipped to the common band
+        assert env.df == pytest.approx(fa[1] - fa[0])
+        np.testing.assert_allclose(env.mag, 2.0)
+        with pytest.raises(ExperimentError):
+            peak_hold([a, b], interpolate=False)
+
+    def test_peak_hold_rejects_mixed_units_and_empty(self):
+        f = np.linspace(0.0, 1e9, 11)
+        with pytest.raises(ExperimentError):
+            peak_hold([])
+        with pytest.raises(ExperimentError):
+            peak_hold([Spectrum(f, np.ones(11), unit="V"),
+                       Spectrum(f, np.ones(11), unit="A")])
+
+    def test_spectrum_copy_is_deep(self):
+        s = Spectrum(np.arange(4.0), np.ones(4), meta={"a": 1})
+        c = s.copy()
+        c.mag[0] = 99.0
+        c.meta["a"] = 2
+        assert s.mag[0] == 1.0 and s.meta["a"] == 1
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2 ** 31 - 1),
+       n=st.integers(64, 512))
+def test_parseval_consistency_rect_window(seed, n):
+    """Energy is conserved: sum of single-sided power == mean square."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / FS
+    v = rng.normal(size=n)
+    s = amplitude_spectrum(t, v, window="rect")
+    power = s.mag.astype(float) ** 2 / 2.0
+    power[0] = s.mag[0] ** 2
+    if n % 2 == 0:
+        power[-1] = s.mag[-1] ** 2
+    assert np.sum(power) == pytest.approx(np.mean(v ** 2), rel=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2 ** 31 - 1),
+       scale=st.floats(0.1, 10.0),
+       window=st.sampled_from(["rect", "hann", "blackman"]))
+def test_amplitude_scaling_is_linear(seed, scale, window):
+    """Scaling the waveform scales every bin by the same factor."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(256) / FS
+    v = rng.normal(size=256)
+    s1 = amplitude_spectrum(t, v, window=window)
+    s2 = amplitude_spectrum(t, scale * v, window=window)
+    np.testing.assert_allclose(s2.mag, scale * s1.mag, rtol=1e-9,
+                               atol=1e-12)

@@ -32,11 +32,12 @@ def _compare(case: str, fresh: dict) -> None:
     atol = golden.TOLERANCES[case]
     assert set(fresh) == set(stored), (
         f"{case}: waveform set changed; regenerate the golden file")
+    grid = "t" if "t" in fresh else "f"  # time- or frequency-domain case
     np.testing.assert_array_equal(
-        fresh["t"], stored["t"],
-        err_msg=f"{case}: the time grid itself moved")
+        fresh[grid], stored[grid],
+        err_msg=f"{case}: the {grid} grid itself moved")
     for name in sorted(fresh):
-        if name == "t":
+        if name == grid:
             continue
         assert fresh[name].shape == stored[name].shape
         delta = float(np.max(np.abs(fresh[name] - stored[name])))
@@ -57,6 +58,26 @@ def test_fig2_panel1_matches_golden(md2_model):
 def test_fig5_receiver_matches_golden(md4_model, md4_cv):
     _compare("fig5_receiver",
              golden.fig5_receiver(receiver_model=md4_model, cv_model=md4_cv))
+
+
+def test_fig2_spectrum_matches_golden(md2_model):
+    _compare("fig2_spectrum", golden.fig2_spectrum(driver_model=md2_model))
+
+
+def test_golden_spectrum_is_physical():
+    """The committed spectrum reference stays sane on its own."""
+    spec = _load("fig2_spectrum")
+    assert spec["f"][0] == 0.0 and spec["f"][-1] > 1e9
+    # the 1 ns pulse concentrates its energy below ~1 GHz
+    low = spec["f"] < 1e9
+    assert np.sum(spec["ref_mag"][low] ** 2) > \
+        10.0 * np.sum(spec["ref_mag"][~low] ** 2)
+    # the macromodel's emission spectrum tracks the reference in the
+    # dominant band (within 3 dB wherever the reference exceeds 10 mV)
+    strong = (spec["ref_mag"] > 1e-2) & low
+    assert strong.sum() >= 5
+    ratio = spec["pwrbf_mag"][strong] / spec["ref_mag"][strong]
+    assert np.all((ratio > 10 ** (-3 / 20)) & (ratio < 10 ** (3 / 20)))
 
 
 def test_golden_references_are_physical():

@@ -1,0 +1,294 @@
+"""Spectral emissions through the sweep stack: spectra, verdicts, shared
+memory, receiver-aware pass/fail, and the spectral cache keys."""
+
+import numpy as np
+import pytest
+
+from repro.emc import get_mask
+from repro.errors import ExperimentError
+from repro.experiments import (LoadSpec, Scenario, ScenarioRunner,
+                               SpectralSpec, SweepDiskCache, scenario_grid)
+from repro.experiments.cache import CACHE_VERSION
+
+SPEC_V = SpectralSpec(mask="board-b")
+SPEC_I = SpectralSpec(quantity="i_port", mask="board-i")
+
+#: loads straddling the calibrated board-b mask: matched passes, the
+#: unterminated 75 ohm line rings hard enough to fail
+LOADS = [LoadSpec(kind="r", r=50.0),
+         LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e4)]
+
+
+@pytest.fixture()
+def runner(md2_model):
+    return ScenarioRunner(models={("MD2", "typ"): md2_model}, n_workers=2)
+
+
+@pytest.fixture()
+def serial_runner(md2_model):
+    return ScenarioRunner(models={("MD2", "typ"): md2_model}, n_workers=1)
+
+
+class TestSpectralScenarios:
+    def test_voltage_spectrum_verdict_and_metrics(self, serial_runner):
+        result = serial_runner.run(
+            scenario_grid(["0110"], LOADS, spectral=SPEC_V))
+        assert not result.failures
+        matched, ringing = result
+        for o in result:
+            s = o.spectra["v_port"]
+            assert s.unit == "V" and s.kind == "amplitude"
+            assert s.f.size == o.t.size // 2 + 1
+            assert o.verdict is not None and o.verdict.mask == "board-b"
+            for key in ("emis_peak_db", "emis_f_peak", "emis_margin_db",
+                        "emis_f_worst", "spectral_pass"):
+                assert key in o.metrics
+            assert o.metrics["emis_margin_db"] == \
+                pytest.approx(o.verdict.margin_db)
+        # acceptance anchor: the grid straddles the preset mask
+        assert matched.passed is True
+        assert ringing.passed is False
+        assert ringing.verdict.margin_db < 0.0 < matched.verdict.margin_db
+
+    def test_current_probe_spectrum(self, serial_runner, md2_model):
+        out = serial_runner.run(
+            scenario_grid(["0110"], [LoadSpec(kind="r", r=50.0)],
+                          spectral=SPEC_I))[0]
+        assert out.ok
+        i = out.probes["i_port"]
+        assert i.shape == out.t.shape
+        # ohm's law sanity: the probed current is v_port / 50 to the sample
+        np.testing.assert_allclose(i, out.v_port / 50.0, atol=1e-9)
+        s = out.spectra["i_port"]
+        assert s.unit == "A"
+        assert out.verdict.mask == "board-i"
+
+    def test_load_level_spec_and_scenario_override(self, serial_runner):
+        load = LoadSpec(kind="r", r=50.0, spectral=SPEC_V)
+        sc = Scenario(pattern="0110", load=load)
+        assert sc.spectral_spec() is SPEC_V
+        override = Scenario(pattern="0110", load=load,
+                            spectral=SpectralSpec(window="blackman"))
+        assert override.spectral_spec().window == "blackman"
+        # and the effective request is part of the cache identity
+        assert sc.key() != override.key()
+        assert sc.key() != Scenario(pattern="0110",
+                                    load=LoadSpec(kind="r", r=50.0)).key()
+        out = serial_runner.run([sc])[0]
+        assert out.verdict is not None
+
+    def test_no_spectral_request_carries_nothing(self, serial_runner):
+        out = serial_runner.run(scenario_grid(["0110"], LOADS[:1]))[0]
+        assert out.spectra == {} and out.verdict is None
+        assert out.passed is None
+        assert "emis_peak_db" not in out.metrics
+
+    def test_spec_validation_fails_fast(self):
+        with pytest.raises(ExperimentError):
+            SpectralSpec(quantity="bogus")
+        with pytest.raises(ExperimentError):
+            SpectralSpec(window="han")  # typo must not cost a full sweep
+        with pytest.raises(ExperimentError):
+            SpectralSpec(n_fft=1)
+
+    def test_named_custom_mask_survives_worker_dispatch(self, md2_model):
+        """Masks registered by name are resolved in the parent, so workers
+        never need the registry (spawn-start platforms)."""
+        from repro.emc import MASKS, LimitMask, register_mask
+        mask = LimitMask("tmp-sweep-mask", ((30e6, 20e9, 200.0, 200.0),))
+        try:
+            register_mask(mask)
+            grid = scenario_grid(["0110", "01"], LOADS[:1],
+                                 spectral=SpectralSpec(
+                                     mask="tmp-sweep-mask"))
+            result = ScenarioRunner(models={("MD2", "typ"): md2_model},
+                                    n_workers=2).run(grid)
+            assert not result.failures
+            assert all(o.verdict.mask == "tmp-sweep-mask" and o.passed
+                       for o in result)
+            # the caller's scenario objects ride the outcomes, not the
+            # mask-resolved dispatch copies
+            assert result[0].scenario is grid[0]
+        finally:
+            MASKS.pop("tmp-sweep-mask", None)
+
+    def test_mask_shift_flips_a_verdict(self, serial_runner):
+        """User-defined mask: shifting board-b far up makes ringing pass."""
+        loose = SpectralSpec(mask=get_mask("board-b").shifted(40.0))
+        result = serial_runner.run(
+            scenario_grid(["0110"], [LOADS[1]], spectral=loose))
+        assert result[0].passed is True
+
+
+class TestSweepResultHelpers:
+    def test_peak_hold_and_worst_margin(self, runner):
+        result = runner.run(scenario_grid(["0110", "010101"], LOADS,
+                                          spectral=SPEC_V))
+        env = result.peak_hold()
+        assert env.unit == "V"
+        # the envelope dominates every constituent spectrum (on its grid)
+        for s in result.spectra():
+            lvl = np.interp(env.f, s.f, s.mag)
+            assert np.all(env.mag >= lvl - 1e-12)
+        worst = result.worst_margin()
+        margins = [o.verdict.margin_db for o in result.verdicts()]
+        assert worst.verdict.margin_db == min(margins)
+        table = result.compliance_table()
+        assert "PASS" in table and "FAIL" in table
+        assert "board-b" in table
+
+    def test_helpers_raise_without_spectra(self, runner):
+        result = runner.run(scenario_grid(["0110"], LOADS[:1]))
+        with pytest.raises(ExperimentError):
+            result.peak_hold()
+        with pytest.raises(ExperimentError):
+            result.worst_margin()
+        assert isinstance(result.compliance_table(), str)
+
+
+class TestSharedMemoryReturn:
+    def test_parallel_matches_serial_bit_exact(self, md2_model):
+        grid = scenario_grid(["0110", "010101"], LOADS, spectral=SPEC_V)
+        models = {("MD2", "typ"): md2_model}
+        ser = ScenarioRunner(models=models, n_workers=1).run(grid)
+        shm = ScenarioRunner(models=models, n_workers=2,
+                             shared_waveforms=True).run(grid)
+        pik = ScenarioRunner(models=models, n_workers=2,
+                             shared_waveforms=False).run(grid)
+        assert not ser.failures and not shm.failures and not pik.failures
+        for a, b, c in zip(ser, shm, pik):
+            np.testing.assert_array_equal(a.t, b.t)
+            np.testing.assert_array_equal(a.v_port, b.v_port)
+            np.testing.assert_array_equal(b.v_port, c.v_port)
+            np.testing.assert_array_equal(a.spectra["v_port"].mag,
+                                          b.spectra["v_port"].mag)
+            np.testing.assert_array_equal(a.spectra["v_port"].f,
+                                          b.spectra["v_port"].f)
+            assert a.verdict == b.verdict == c.verdict
+            assert a.metrics == b.metrics == c.metrics
+
+    def test_arena_survives_failed_scenarios(self, md2_model):
+        bad = Scenario(pattern="01", load=LOADS[0], dt=1e-12,
+                       spectral=SPEC_V)
+        good = scenario_grid(["0110", "01"], LOADS, spectral=SPEC_V)
+        result = ScenarioRunner(models={("MD2", "typ"): md2_model},
+                                n_workers=2).run([bad] + good)
+        assert not result[0].ok
+        assert all(o.ok for o in result[1:])
+        assert all(o.spectra for o in result[1:])
+
+    def test_probes_ride_the_arena(self, md2_model):
+        """Coupled scenarios (multi-probe) round-trip through the arena."""
+        from repro.experiments import CoupledLoadSpec
+        grid = scenario_grid(["0110", "01"], [CoupledLoadSpec()],
+                             spectral=SPEC_V)
+        models = {("MD2", "typ"): md2_model}
+        ser = ScenarioRunner(models=models, n_workers=1).run(grid)
+        par = ScenarioRunner(models=models, n_workers=2).run(grid)
+        for a, b in zip(ser, par):
+            assert set(b.probes) == {"next", "fext"}
+            np.testing.assert_array_equal(a.probes["next"],
+                                          b.probes["next"])
+            np.testing.assert_array_equal(a.probes["fext"],
+                                          b.probes["fext"])
+
+
+class TestReceiverAwarePassFail:
+    def test_rx_scenarios_carry_the_eye_check(self, runner, md2_model):
+        loads = [LoadSpec(kind="rx", z0=50.0, td=1e-9, r=50.0),
+                 LoadSpec(kind="rx", z0=50.0, td=1e-9, r=0.0)]
+        result = runner.run(scenario_grid(["0110"], loads))
+        assert not result.failures
+        for o in result:
+            for key in ("rx_pass", "rx_margin", "rx_n_bad_bits",
+                        "rx_n_checked", "rx_vih", "rx_vil"):
+                assert key in o.metrics
+            assert o.metrics["rx_n_checked"] == 4
+            assert o.metrics["rx_vih"] == pytest.approx(0.7 * md2_model.vdd)
+            # a clean point-to-point link reads every bit correctly
+            assert o.metrics["rx_pass"] is True
+            assert o.passed is True
+
+    def test_combined_verdict_ands_spectral_and_eye(self, serial_runner):
+        load = LoadSpec(kind="rx", z0=50.0, td=1e-9, r=50.0)
+        ok = serial_runner.run(scenario_grid(
+            ["0110"], [load], spectral=SpectralSpec(mask="board-a")))[0]
+        assert ok.metrics["rx_pass"] and ok.verdict.passed
+        assert ok.passed is True
+        # an impossible mask fails the combined verdict even though the
+        # receiver eye is clean
+        strict = serial_runner.run(scenario_grid(
+            ["0110"], [load],
+            spectral=SpectralSpec(
+                mask=get_mask("board-b").shifted(-60.0))))[0]
+        assert strict.metrics["rx_pass"] is True
+        assert strict.verdict.passed is False
+        assert strict.passed is False
+
+    def test_non_rx_scenarios_have_no_eye_metrics(self, serial_runner):
+        out = serial_runner.run(scenario_grid(["0110"], LOADS[:1]))[0]
+        assert "rx_pass" not in out.metrics
+
+
+class TestSpectralCacheKeys:
+    def test_memory_cache_distinguishes_spectral_settings(self, runner):
+        base = scenario_grid(["0110"], LOADS[:1], spectral=SPEC_V)
+        first = runner.run(base)
+        assert first.n_cache_hits == 0
+        assert runner.run(base).n_cache_hits == 1
+        for spec in (SpectralSpec(mask="board-a"),
+                     SpectralSpec(window="blackman", mask="board-b"),
+                     SpectralSpec(n_fft=4096, mask="board-b"),
+                     None):
+            grid = scenario_grid(["0110"], LOADS[:1], spectral=spec)
+            assert runner.run(grid).n_cache_hits == 0
+
+    def test_disk_cache_round_trips_spectra(self, md2_model, tmp_path):
+        grid = scenario_grid(["0110"], LOADS, spectral=SPEC_V)
+        models = {("MD2", "typ"): md2_model}
+        first = ScenarioRunner(models=models, n_workers=1,
+                               disk_cache=tmp_path / "c").run(grid)
+        second = ScenarioRunner(models=models, n_workers=1,
+                                disk_cache=tmp_path / "c").run(grid)
+        assert second.n_cache_hits == len(grid)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.spectra["v_port"].f,
+                                          b.spectra["v_port"].f)
+            np.testing.assert_array_equal(a.spectra["v_port"].mag,
+                                          b.spectra["v_port"].mag)
+            assert b.spectra["v_port"].unit == "V"
+            assert a.verdict == b.verdict
+            assert b.passed == a.passed
+        # changed spectral settings in a fresh runner: all misses
+        regrid = scenario_grid(["0110"], LOADS,
+                               spectral=SpectralSpec(window="hamming",
+                                                     mask="board-b"))
+        third = ScenarioRunner(models=models, n_workers=1,
+                               disk_cache=tmp_path / "c").run(regrid)
+        assert third.n_cache_hits == 0
+
+    def test_cache_version_scopes_entries(self, tmp_path):
+        key = ("01", ("r", 50.0), "MD2", "typ")
+        payload = {"t": np.arange(4.0), "v_port": np.ones(4),
+                   "metrics": {}, "warnings": []}
+        old = SweepDiskCache(tmp_path / "c", version=1)
+        old.put(key, payload)
+        # same key under the current version is a miss, not a stale hit
+        cur = SweepDiskCache(tmp_path / "c")
+        assert cur.version == CACHE_VERSION
+        assert key not in cur and cur.get(key) is None
+        cur.put(key, payload)
+        assert key in cur and key in old  # distinct entries coexist
+        assert len(cur) == 2
+
+    def test_disk_payload_carries_verdict_dict(self, md2_model, tmp_path):
+        grid = scenario_grid(["0110"], LOADS[1:], spectral=SPEC_V)
+        runner = ScenarioRunner(models={("MD2", "typ"): md2_model},
+                                n_workers=1, disk_cache=tmp_path / "c")
+        out = runner.run(grid)[0]
+        payload = SweepDiskCache(tmp_path / "c").get(
+            runner._disk_key(grid[0]))
+        assert payload is not None
+        assert payload["verdict"]["mask"] == "board-b"
+        assert payload["verdict"]["passed"] == out.verdict.passed
+        assert "v_port" in payload["spectra"]
