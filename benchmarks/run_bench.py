@@ -39,7 +39,8 @@ ROOT = Path(__file__).resolve().parent.parent
 #: medians gated by ``--check`` unless ``--gate`` overrides them
 DEFAULT_GATES = ("test_linear_ladder_transient",
                  "test_branin_line_transient",
-                 "test_spectrum_peak_hold_64")
+                 "test_spectrum_peak_hold_64",
+                 "test_qp_weighting_batch_64")
 
 
 def run_group(group: str, k_expr: str | None = None) -> list[dict]:

@@ -6,9 +6,12 @@ turn every simulated waveform into an emission spectrum, score each
 spectrum against a regulatory-style limit mask, and report which corners
 of the design space comply.
 
-* every scenario carries ``SpectralSpec(mask="board-b")``: the pad-voltage
-  spectrum (windowed FFT, dBuV) is checked against the CISPR-22-shaped
-  board-level Class B mask,
+* every scenario carries ``SpectralSpec(mask="board-b",
+  detectors=("peak", "quasi-peak", "average"), prf=1e3)``: the
+  pad-voltage spectrum (windowed FFT, dBuV) is checked against the
+  CISPR-22-shaped board-level Class B mask once per CISPR 16 detector
+  -- the burst is assumed to repeat at 1 kHz in service, so quasi-peak
+  and average read below peak (see docs/emc_workflow.md),
 * ``corners=CORNERS`` fans slow/typ/fast drivers through the product
   (each corner estimates its own PW-RBF model, cached per process),
 * receiver (``kind="rx"``) scenarios additionally run the logic-threshold
@@ -43,10 +46,12 @@ def main():
                      label="line into terminated MD4"),
         ],
         corners=CORNERS,
-        spectral=SpectralSpec(mask=MASK))
+        spectral=SpectralSpec(mask=MASK,
+                              detectors=("peak", "quasi-peak", "average"),
+                              prf=1e3))
     print(f"{len(grid)} scenarios "
           f"(2 patterns x 4 loads x {len(CORNERS)} corners), "
-          f"scored against mask {MASK!r}")
+          f"scored against mask {MASK!r} with peak/QP/average detectors")
     print("sweeping (slow/typ/fast MD2 models estimate on first use; "
           f"disk cache: {CACHE_DIR}/)...")
 
@@ -62,7 +67,14 @@ def main():
     n_pass = sum(1 for o in scored if o.passed)
     n_fail = sum(1 for o in scored if o.passed is False)
     print(f"\n{n_pass}/{len(scored)} scenarios comply, {n_fail} violate "
-          f"the {MASK!r} mask")
+          f"the {MASK!r} mask (combined: every detector AND the rx eye)")
+
+    # detector-by-detector: quasi-peak relief rescues marginal corners
+    for det in ("peak", "quasi-peak", "average"):
+        n = sum(1 for o in scored if o.verdicts_by[det].passed)
+        worst_det = min(o.verdicts_by[det].margin_db for o in scored)
+        print(f"  {det:>10}: {n:2d}/{len(scored)} pass, "
+              f"worst margin {worst_det:+.1f} dB")
 
     worst = result.worst_margin()
     v = worst.verdict

@@ -1,10 +1,14 @@
-"""EMC/SI metrics, emission spectra and limit-mask compliance."""
+"""EMC/SI metrics, emission spectra, detectors, limits and radiated fields."""
 
+from .detectors import (CISPR_BANDS, DETECTORS, DetectorBand,
+                        apply_detector, apply_detector_batch, band_for,
+                        detector_response, detector_weights, pulse_weight)
 from .limits import (MASKS, ComplianceVerdict, LimitMask, LimitSegment,
                      get_mask, register_mask)
 from .metrics import (TimingReport, crosstalk_metrics, logic_eye_metrics,
                       match_crossings, max_error, nrmse, rms_error,
                       threshold_crossings, timing_error)
+from .radiated import MU0, AntennaModel, radiated_spectrum
 from .spectrum import (Spectrum, amplitude_spectrum, peak_hold,
                        resample_uniform, to_db_micro, to_dbua, to_dbuv,
                        welch_psd)
@@ -15,4 +19,8 @@ __all__ = ["rms_error", "max_error", "nrmse", "threshold_crossings",
            "Spectrum", "amplitude_spectrum", "welch_psd", "peak_hold",
            "resample_uniform", "to_db_micro", "to_dbuv", "to_dbua",
            "LimitMask", "LimitSegment", "ComplianceVerdict", "MASKS",
-           "get_mask", "register_mask"]
+           "get_mask", "register_mask",
+           "DetectorBand", "CISPR_BANDS", "DETECTORS", "band_for",
+           "detector_response", "detector_weights", "pulse_weight",
+           "apply_detector", "apply_detector_batch",
+           "AntennaModel", "radiated_spectrum", "MU0"]

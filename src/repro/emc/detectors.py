@@ -1,0 +1,548 @@
+"""CISPR 16-1-1 measuring-receiver detector emulation.
+
+An EMC receiver does not report the raw spectral amplitude of a signal:
+the IF envelope passes through a *detector* whose charge/discharge
+dynamics weight repetitive disturbances by how often they occur.  CISPR
+16-1-1 specifies three detectors:
+
+* **peak** -- ideal max-hold of the IF envelope; what
+  :func:`~repro.emc.spectrum.amplitude_spectrum` already reports,
+* **quasi-peak** -- an RC network charging quickly (``tau_charge``) while
+  the envelope exceeds the capacitor voltage and discharging slowly
+  (``tau_discharge``) otherwise, read through a critically-damped meter
+  (``tau_meter``).  Infrequent pulses read far below their peak,
+* **average** -- the meter-filtered mean of the envelope.
+
+The time constants (and the IF resolution bandwidth that shapes each
+pulse's envelope) depend on the CISPR frequency band -- see
+:data:`CISPR_BANDS` (Band A / B / C-D per CISPR 16-1-1 Tables 1-3).
+
+Emulation model
+---------------
+A simulated port record of duration ``T`` is a burst that, in service,
+repeats at some pulse-repetition frequency ``prf`` (frame rate, packet
+rate, ...).  At receiver tuning frequency ``f`` the IF output envelope is
+a pulse train at ``prf``, each pulse shaped by the band's resolution
+bandwidth ``rbw``.  The detector's steady-state reading relative to an
+equal-amplitude CW tone is the *pulse weighting factor* ``w(prf, band,
+detector) <= 1``; a detector-weighted spectrum is the raw amplitude
+spectrum scaled bin-by-bin by that factor:
+
+    ``mag_detected(f) = mag_peak(f) * w(prf, band(f), detector)``
+
+When ``prf`` approaches the resolution bandwidth the spectral lines are
+individually resolved, the envelope stops pulsing, and every detector
+converges to the peak reading (``w -> 1``); :func:`pulse_weight` takes
+that shortcut analytically.  Below it, the factor is computed by running
+the actual charge/discharge IIR recursion over one repetition period of
+the synthesized envelope, solving for the periodic steady state by
+secant iteration on the period map, and reading the meter maximum --
+see :func:`detector_response` for the recursion itself.
+
+Batching: :func:`apply_detector_batch` weights a whole sweep's worth of
+spectra in one call -- the steady-state IIR runs once per distinct
+``(band, prf)`` pair with every pending envelope stacked as rows of one
+2-D state array (the per-sample update is vectorized across rows), and
+the resulting scalar factors are broadcast over all spectra.
+
+Units: envelopes and spectra are linear (V or A); weighting factors are
+dimensionless; all time constants are seconds and frequencies Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .spectrum import Spectrum
+
+__all__ = ["DetectorBand", "CISPR_BANDS", "DETECTORS", "band_for",
+           "detector_response", "pulse_weight", "detector_weights",
+           "apply_detector", "apply_detector_batch"]
+
+#: detector names accepted everywhere a detector is requested
+DETECTORS = ("peak", "quasi-peak", "average")
+
+#: samples per IF-pulse width in the synthesized envelopes (trade-off
+#: between charge-integral fidelity and steady-state solve cost)
+_SAMPLES_PER_PULSE = 16
+
+#: (band, prf_mHz, detector) -> weighting factor, memoized process-wide
+_WEIGHT_CACHE: dict = {}
+
+
+@dataclass(frozen=True)
+class DetectorBand:
+    """One CISPR 16-1-1 frequency band's receiver parameters.
+
+    Parameters
+    ----------
+    name : str
+        Band label (``"A"``, ``"B"``, ``"C/D"``).
+    f_lo, f_hi : float
+        Band edges in Hz.
+    rbw : float
+        Resolution (-6 dB impulse) bandwidth in Hz; sets the IF pulse
+        width ``1 / rbw`` seen by the detector.
+    tau_charge : float
+        Quasi-peak charge time constant in seconds.
+    tau_discharge : float
+        Quasi-peak discharge time constant in seconds.
+    tau_meter : float
+        Meter (critically damped movement) time constant in seconds,
+        approximated as a first-order lag.
+    """
+
+    name: str
+    f_lo: float
+    f_hi: float
+    rbw: float
+    tau_charge: float
+    tau_discharge: float
+    tau_meter: float
+
+    def key(self) -> tuple:
+        """Hashable content identity (folded into spectral cache keys)."""
+        return (self.name, self.f_lo, self.f_hi, self.rbw, self.tau_charge,
+                self.tau_discharge, self.tau_meter)
+
+
+#: CISPR 16-1-1 bands: (A) 9-150 kHz, (B) 0.15-30 MHz, (C/D) 30-1000 MHz.
+#: Time constants are the standard's quasi-peak values; the C/D entry is
+#: also applied above 1 GHz, where CISPR 16 mandates peak/average -- the
+#: extrapolated QP value is then a conservative engineering number.
+CISPR_BANDS = (
+    DetectorBand("A", 9e3, 150e3, 200.0, 45e-3, 500e-3, 160e-3),
+    DetectorBand("B", 150e3, 30e6, 9e3, 1e-3, 160e-3, 160e-3),
+    DetectorBand("C/D", 30e6, 1e9, 120e3, 1e-3, 550e-3, 100e-3),
+)
+
+
+def band_for(f: float) -> DetectorBand:
+    """CISPR band owning frequency ``f`` (Hz).
+
+    Frequencies below Band A use Band A's constants; frequencies above
+    1 GHz use Band C/D's (see :data:`CISPR_BANDS`).
+
+    Parameters
+    ----------
+    f : float
+        Tuning frequency in Hz (must be > 0).
+
+    Returns
+    -------
+    DetectorBand
+    """
+    if f <= 0.0:
+        raise ExperimentError("band_for needs a positive frequency")
+    for band in CISPR_BANDS:
+        if f <= band.f_hi:
+            return band
+    return CISPR_BANDS[-1]
+
+
+def _check_detector(detector: str) -> str:
+    if detector not in DETECTORS:
+        raise ExperimentError(
+            f"unknown detector {detector!r}; pick from {DETECTORS}")
+    return detector
+
+
+# ---------------------------------------------------------------------------
+# the IIR recursion
+# ---------------------------------------------------------------------------
+
+def _qp_pass(env: np.ndarray, s0: np.ndarray, bc: float, bd: float
+             ) -> tuple[np.ndarray, np.ndarray]:
+    """One pass of the quasi-peak charge/discharge recursion.
+
+    ``env`` is ``(rows, n)`` (non-negative envelopes), ``s0`` the
+    per-row initial capacitor state.  Exact exponential updates:
+    charging toward the envelope with ``exp(-dt/tau_charge)`` while
+    ``env >= s``, decaying by ``exp(-dt/tau_discharge)`` otherwise.
+    Returns ``(trajectory (rows, n), final state (rows,))``.
+    """
+    rows, n = env.shape
+    s = np.array(s0, dtype=float, copy=True)
+    out = np.empty((rows, n))
+    for k in range(n):
+        e = env[:, k]
+        charging = e >= s
+        s = np.where(charging, e + (s - e) * bc, s * bd)
+        out[:, k] = s
+    return out, s
+
+
+def _meter_pass(x: np.ndarray, m0: np.ndarray, bm: float
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """First-order meter lag over ``x`` (rows, n); linear, vectorized.
+
+    The recursion ``m[k] = x[k] + (m[k-1] - x[k]) * bm`` is an
+    exponentially-weighted scan; it is evaluated in closed form as a
+    cumulative sum against powers of ``bm`` (no Python-level time loop),
+    with re-normalization in blocks so the powers never underflow.
+    """
+    rows, n = x.shape
+    out = np.empty((rows, n))
+    # block size keeping bm**j well inside double range
+    block = max(1, min(n, int(600.0 / max(1e-12, -np.log(bm)))
+                       if bm < 1.0 else n))
+    m = np.array(m0, dtype=float, copy=True)
+    for start in range(0, n, block):
+        xb = x[:, start:start + block]
+        nb = xb.shape[1]
+        j = np.arange(nb, dtype=float)
+        decay = bm ** (j + 1.0)                 # m0 contribution
+        grow = bm ** (-j)                        # normalized input weights
+        # m[k] = m0*bm^(k+1) + (1-bm) * sum_{i<=k} x[i] * bm^(k-i)
+        acc = np.cumsum(xb * grow[None, :], axis=1)
+        out[:, start:start + nb] = (m[:, None] * decay[None, :]
+                                    + (1.0 - bm) * acc * (bm ** (j + 1.0)
+                                                          / bm)[None, :])
+        m = out[:, start + nb - 1].copy()
+    return out, m
+
+
+def detector_response(envelope, dt: float, band: DetectorBand,
+                      detector: str = "quasi-peak",
+                      periodic: bool = False) -> np.ndarray:
+    """Detector meter reading for explicit envelope records.
+
+    Runs the band's charge/discharge (quasi-peak) or meter-average
+    recursion over the given envelope(s) and returns the maximum meter
+    deflection -- the reading an operator would note.
+
+    Parameters
+    ----------
+    envelope : array_like
+        Non-negative IF envelope, shape ``(n,)`` or ``(rows, n)`` --
+        rows are independent records weighted in one vectorized pass.
+        Linear units (V or A).
+    dt : float
+        Envelope sample spacing in seconds.
+    band : DetectorBand
+        Time-constant set to apply.
+    detector : str
+        ``"peak"``, ``"quasi-peak"`` or ``"average"``.
+    periodic : bool
+        ``False`` (default) reads a single shot from zero initial
+        state -- the transient deflection of one isolated burst.
+        ``True`` treats the record as one period of a repeating signal
+        and reads the *periodic steady state* (what a dwelling receiver
+        reports).  Only the steady-state readings obey the CISPR
+        ordering ``average <= quasi-peak <= peak``; a single shot
+        shorter than the meter time constant can legitimately rank
+        them otherwise.
+
+    Returns
+    -------
+    numpy.ndarray
+        Meter reading per row (scalar array for 1-D input), same linear
+        unit as the envelope.
+    """
+    _check_detector(detector)
+    env = np.asarray(envelope, dtype=float)
+    squeeze = env.ndim == 1
+    env = np.atleast_2d(env)
+    if env.ndim != 2 or env.shape[1] < 1:
+        raise ExperimentError("envelope must be 1-D or 2-D and non-empty")
+    if np.any(env < 0.0):
+        raise ExperimentError("envelopes are magnitudes; got negatives")
+    if dt <= 0.0:
+        raise ExperimentError("dt must be positive")
+    rows = env.shape[0]
+    zero = np.zeros(rows)
+    if detector == "peak":
+        reading = np.max(env, axis=1)
+    elif periodic:
+        if detector == "average":
+            reading = _steady_meter_max(env, dt, band.tau_meter)
+        else:
+            s = _steady_qp(env, dt, band)
+            reading = _steady_meter_max(s, dt, band.tau_meter)
+    else:
+        bm = float(np.exp(-dt / band.tau_meter))
+        if detector == "average":
+            m, _ = _meter_pass(env, zero, bm)
+        else:
+            bc = float(np.exp(-dt / band.tau_charge))
+            bd = float(np.exp(-dt / band.tau_discharge))
+            s, _ = _qp_pass(env, zero, bc, bd)
+            m, _ = _meter_pass(s, zero, bm)
+        reading = np.max(m, axis=1)
+    return reading[0] if squeeze else reading
+
+
+# ---------------------------------------------------------------------------
+# repetitive-pulse steady state
+# ---------------------------------------------------------------------------
+
+def _pulse_envelope(band: DetectorBand, prf: float) -> tuple[np.ndarray, float]:
+    """One repetition period of the unit-peak IF pulse envelope.
+
+    The IF filter is modeled Gaussian with -6 dB width ``1 / rbw`` in
+    time; the pulse is centered so its peak lands exactly on a sample.
+    Returns ``(envelope (n,), dt)``.
+    """
+    period = 1.0 / prf
+    pulse_w = 1.0 / band.rbw
+    dt = pulse_w / _SAMPLES_PER_PULSE
+    n = max(2 * _SAMPLES_PER_PULSE, int(round(period / dt)))
+    dt = period / n
+    t = np.arange(n) * dt
+    sigma = pulse_w / (2.0 * np.sqrt(2.0 * np.log(2.0)))
+    return np.exp(-0.5 * ((t - 0.5 * period) / sigma) ** 2), dt
+
+
+def _steady_qp(env: np.ndarray, dt: float, band: DetectorBand
+               ) -> np.ndarray:
+    """Periodic steady-state QP capacitor trajectory over one period.
+
+    The period map ``s_end = F(s_start)`` is monotone and contractive;
+    its fixed point is found by secant iteration on ``F(s) - s``
+    (vectorized across rows), then the converged trajectory is returned.
+    """
+    bc = float(np.exp(-dt / band.tau_charge))
+    bd = float(np.exp(-dt / band.tau_discharge))
+    rows = env.shape[0]
+
+    def period_map(s0):
+        _, s_end = _qp_pass(env, s0, bc, bd)
+        return s_end
+
+    a = np.zeros(rows)
+    fa = period_map(a)
+    b = np.maximum(fa, 1e-6)
+    fb = period_map(b)
+    s = b.copy()
+    for _ in range(60):
+        denom = (fb - b) - (fa - a)
+        step_ok = np.abs(denom) > 1e-15
+        s = np.where(step_ok, a - (fa - a) * (b - a) / np.where(
+            step_ok, denom, 1.0), fb)
+        s = np.clip(s, 0.0, np.max(env, axis=1))
+        fs = period_map(s)
+        if np.all(np.abs(fs - s) < 1e-12):
+            break
+        a, fa = b, fb
+        b, fb = s, fs
+    traj, _ = _qp_pass(env, s, bc, bd)
+    return traj
+
+
+def _steady_meter_max(x: np.ndarray, dt: float, tau_m: float) -> np.ndarray:
+    """Max of the periodic steady-state meter output for periodic input.
+
+    The meter is linear, so its periodic steady state follows from one
+    zero-state pass: ``m_end = m0 * beta^n + c`` with ``beta^n`` known
+    analytically, giving ``m0* = c / (1 - beta^n)`` directly.
+    """
+    rows, n = x.shape
+    bm = float(np.exp(-dt / tau_m))
+    zero_state, c = _meter_pass(x, np.zeros(rows), bm)
+    beta_n = bm ** n
+    m0 = c / max(1.0 - beta_n, 1e-300)
+    out, _ = _meter_pass(x, m0, bm)
+    return np.max(out, axis=1)
+
+
+def _pulse_weight_rows(bands_prfs: list[tuple[DetectorBand, float]],
+                       detector: str) -> list[float]:
+    """Weighting factors for several ``(band, prf)`` pairs at once.
+
+    Pairs sharing an envelope length run through the steady-state IIR as
+    rows of one batch; results are returned in input order.
+    """
+    groups: dict[tuple[int, float], list[int]] = {}
+    envs: list[np.ndarray] = []
+    dts: list[float] = []
+    out = [1.0] * len(bands_prfs)
+    for i, (band, prf) in enumerate(bands_prfs):
+        env, dt = _pulse_envelope(band, prf)
+        envs.append(env)
+        dts.append(dt)
+        groups.setdefault((env.size, round(dt, 15)), []).append(i)
+    for (_, _), idxs in groups.items():
+        env = np.stack([envs[i] for i in idxs])
+        dt = dts[idxs[0]]
+        # all rows of a group share dt; bands may differ only if their
+        # rbw coincides, so the per-row taus are applied row-wise below
+        readings = np.empty(len(idxs))
+        # split the group further by band (taus are scalars in the IIR)
+        by_band: dict[str, list[int]] = {}
+        for j, i in enumerate(idxs):
+            by_band.setdefault(bands_prfs[i][0].name, []).append(j)
+        for rows in by_band.values():
+            band = bands_prfs[idxs[rows[0]]][0]
+            sub = env[rows]
+            if detector == "average":
+                readings[rows] = _steady_meter_max(sub, dt, band.tau_meter)
+            else:
+                s = _steady_qp(sub, dt, band)
+                readings[rows] = _steady_meter_max(s, dt, band.tau_meter)
+        for j, i in enumerate(idxs):
+            out[i] = float(min(1.0, readings[j]))
+    return out
+
+
+def pulse_weight(band: DetectorBand, prf: float,
+                 detector: str = "quasi-peak") -> float:
+    """Steady-state pulse weighting factor of one detector.
+
+    The reading of the detector for a unit-peak IF pulse train at
+    repetition frequency ``prf``, relative to an equal-amplitude CW tone
+    (whose reading is 1 for every detector).  Memoized per
+    ``(band, prf, detector)``.
+
+    Parameters
+    ----------
+    band : DetectorBand
+        Receiver band (sets rbw and time constants).
+    prf : float
+        Pulse repetition frequency in Hz (> 0).
+    detector : str
+        ``"peak"``, ``"quasi-peak"`` or ``"average"``.
+
+    Returns
+    -------
+    float
+        Weighting factor in (0, 1]; 1.0 exactly for the peak detector
+        and whenever ``prf >= rbw / 2`` (lines individually resolved --
+        the envelope no longer pulses).
+    """
+    _check_detector(detector)
+    if prf <= 0.0:
+        raise ExperimentError("prf must be positive")
+    if detector == "peak" or prf >= band.rbw / 2.0:
+        return 1.0
+    key = (band.key(), round(prf * 1e3), detector)
+    if key not in _WEIGHT_CACHE:
+        _WEIGHT_CACHE[key] = _pulse_weight_rows([(band, prf)], detector)[0]
+    return _WEIGHT_CACHE[key]
+
+
+def detector_weights(f, prf: float, detector: str = "quasi-peak"
+                     ) -> np.ndarray:
+    """Per-bin weighting factors for a whole frequency grid.
+
+    Parameters
+    ----------
+    f : array_like
+        Frequency bins in Hz (non-positive bins get weight 1).
+    prf : float
+        Pulse repetition frequency in Hz.
+    detector : str
+        ``"peak"``, ``"quasi-peak"`` or ``"average"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Weights in (0, 1], one per bin; constant within each CISPR band.
+    """
+    _check_detector(detector)
+    f = np.asarray(f, dtype=float)
+    out = np.ones(f.shape)
+    if detector == "peak":
+        return out
+    for band in CISPR_BANDS:
+        if band is CISPR_BANDS[0]:
+            sel = (f > 0.0) & (f <= band.f_hi)
+        elif band is CISPR_BANDS[-1]:
+            sel = f > band.f_lo
+        else:
+            sel = (f > band.f_lo) & (f <= band.f_hi)
+        if np.any(sel):
+            out[sel] = pulse_weight(band, prf, detector)
+    return out
+
+
+def _weighted(spectrum: Spectrum, prf: float, detector: str) -> Spectrum:
+    w = detector_weights(spectrum.f, prf, detector)
+    out = spectrum.copy(mag=spectrum.mag * w, detector=detector)
+    out.meta["prf"] = float(prf)
+    label = spectrum.label or "spectrum"
+    out.label = f"{label}@{detector}"
+    return out
+
+
+def apply_detector(spectrum: Spectrum, detector: str = "quasi-peak",
+                   prf: float | None = None) -> Spectrum:
+    """Detector-weighted copy of an amplitude spectrum.
+
+    Parameters
+    ----------
+    spectrum : Spectrum
+        Peak (raw) amplitude spectrum; must have ``kind="amplitude"``
+        and ``detector="peak"`` (weighting is not composable).
+    detector : str
+        ``"peak"`` (returns an unweighted copy), ``"quasi-peak"`` or
+        ``"average"``.
+    prf : float, optional
+        Pulse repetition frequency in Hz of the simulated record in
+        service.  Default: the record's own line spacing ``spectrum.df``
+        (back-to-back repetition), under which every line is resolved
+        and the weighting is unity -- pass the true burst rate (frame
+        rate, packet rate) to see quasi-peak/average relief.
+
+    Returns
+    -------
+    Spectrum
+        New spectrum with ``detector`` set and ``meta["prf"]`` recorded;
+        linear magnitudes are scaled by the band's weighting factor.
+    """
+    return apply_detector_batch([spectrum], detector, prf)[0]
+
+
+def apply_detector_batch(spectra, detector: str = "quasi-peak",
+                         prf: float | None = None) -> list[Spectrum]:
+    """Weight many spectra in one batched call.
+
+    The steady-state detector IIR runs once per distinct ``(band,
+    effective prf)`` pair across *all* spectra, with the pending
+    envelopes stacked as rows of one vectorized recursion; results are
+    then broadcast bin-wise.  This is the sweep-scale entry point.
+
+    Parameters
+    ----------
+    spectra : iterable of Spectrum
+        Peak amplitude spectra (see :func:`apply_detector`).
+    detector, prf
+        As for :func:`apply_detector`; ``prf=None`` resolves per
+        spectrum to its own line spacing.
+
+    Returns
+    -------
+    list of Spectrum
+        Weighted copies, in input order.
+    """
+    _check_detector(detector)
+    spectra = list(spectra)
+    for s in spectra:
+        if s.kind != "amplitude":
+            raise ExperimentError("detectors weight amplitude spectra; "
+                                  f"got kind={s.kind!r}")
+        if s.detector != "peak":
+            raise ExperimentError(
+                f"spectrum already carries detector {s.detector!r}; "
+                "weight the raw peak spectrum instead")
+    prfs = [float(prf) if prf is not None else (s.df or 1.0)
+            for s in spectra]
+    if detector != "peak":
+        # warm the weight cache for every distinct (band, prf) pair in
+        # one batched steady-state solve
+        pending: list[tuple[DetectorBand, float]] = []
+        keys = []
+        for s, p in zip(spectra, prfs):
+            for band in CISPR_BANDS:
+                if p >= band.rbw / 2.0:
+                    continue
+                key = (band.key(), round(p * 1e3), detector)
+                if key not in _WEIGHT_CACHE and key not in keys:
+                    keys.append(key)
+                    pending.append((band, p))
+        if pending:
+            for key, w in zip(keys, _pulse_weight_rows(pending, detector)):
+                _WEIGHT_CACHE[key] = w
+    return [_weighted(s, p, detector) for s, p in zip(spectra, prfs)]

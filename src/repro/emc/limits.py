@@ -23,6 +23,10 @@ Presets (see :data:`MASKS`):
   (dBuA), for scenarios probing the port current instead of the pad
   voltage.
 
+Radiated (field-strength, dBuV/m) presets -- ``cispr22-a/b-radiated``,
+``fcc-15b`` and ``cispr25`` -- are registered by
+:mod:`repro.emc.radiated`.
+
 User-defined masks: build a :class:`LimitMask` from explicit segments or
 :meth:`LimitMask.from_points`, and optionally :func:`register_mask` it so
 scenarios can name it.
@@ -40,6 +44,9 @@ from .spectrum import Spectrum
 
 __all__ = ["LimitSegment", "LimitMask", "ComplianceVerdict", "MASKS",
            "get_mask", "register_mask"]
+
+#: mask unit -> the Spectrum.unit it is allowed to score
+_UNIT_TO_QUANTITY = {"dBuV": "V", "dBuA": "A", "dBuV/m": "V/m"}
 
 
 @dataclass(frozen=True)
@@ -68,7 +75,11 @@ class ComplianceVerdict:
 
     ``margin_db`` is ``min(limit - level)`` over the covered bins: positive
     means headroom everywhere, negative means at least one bin exceeds the
-    limit (by that many dB at ``f_worst``).
+    limit (by that many dB at ``f_worst``).  ``detector`` records which
+    CISPR 16 detector weighting the scored spectrum carried (``"peak"``,
+    ``"quasi-peak"`` or ``"average"``) -- quasi-peak relief can turn a
+    peak-detector FAIL into a PASS, so verdicts for different detectors
+    are distinct results, never interchangeable.
     """
 
     mask: str
@@ -79,31 +90,37 @@ class ComplianceVerdict:
     limit_db: float
     n_over: int
     n_checked: int
+    detector: str = "peak"
 
     def __str__(self):  # pragma: no cover - cosmetic
         word = "PASS" if self.passed else "FAIL"
-        return (f"{word} vs {self.mask}: margin {self.margin_db:+.1f} dB "
+        return (f"{word} vs {self.mask} [{self.detector}]: "
+                f"margin {self.margin_db:+.1f} dB "
                 f"at {self.f_worst / 1e6:.0f} MHz "
                 f"({self.level_db:.1f} vs limit {self.limit_db:.1f}, "
                 f"{self.n_over}/{self.n_checked} bins over)")
 
     def to_dict(self) -> dict:
+        """JSON-able rendering (see :meth:`from_dict`)."""
         return {"mask": self.mask, "passed": bool(self.passed),
                 "margin_db": float(self.margin_db),
                 "f_worst": float(self.f_worst),
                 "level_db": float(self.level_db),
                 "limit_db": float(self.limit_db),
                 "n_over": int(self.n_over),
-                "n_checked": int(self.n_checked)}
+                "n_checked": int(self.n_checked),
+                "detector": self.detector}
 
     @classmethod
     def from_dict(cls, d: dict) -> "ComplianceVerdict":
+        """Rebuild a verdict from :meth:`to_dict` output."""
         return cls(mask=str(d["mask"]), passed=bool(d["passed"]),
                    margin_db=float(d["margin_db"]),
                    f_worst=float(d["f_worst"]),
                    level_db=float(d["level_db"]),
                    limit_db=float(d["limit_db"]),
-                   n_over=int(d["n_over"]), n_checked=int(d["n_checked"]))
+                   n_over=int(d["n_over"]), n_checked=int(d["n_checked"]),
+                   detector=str(d.get("detector", "peak")))
 
 
 @dataclass(frozen=True)
@@ -113,8 +130,11 @@ class LimitMask:
     ``segments`` must be sorted by frequency and non-overlapping (touching
     endpoints may carry different levels -- the standards' step
     discontinuities; the later segment wins at a shared frequency).
-    ``unit`` is ``"dBuV"`` (checked against volt spectra) or ``"dBuA"``
-    (ampere spectra).
+    Gaps between segments are allowed: bins falling in a gap are simply
+    not checked (the CISPR 25 broadcast-band limits use this).
+    ``unit`` is ``"dBuV"`` (checked against volt spectra), ``"dBuA"``
+    (ampere spectra) or ``"dBuV/m"`` (radiated field-strength spectra,
+    unit ``"V/m"``).
     """
 
     name: str
@@ -131,8 +151,9 @@ class LimitMask:
                 raise ExperimentError(
                     f"mask {self.name!r}: overlapping segments at "
                     f"{b.f_lo:g} Hz")
-        if self.unit not in ("dBuV", "dBuA"):
-            raise ExperimentError("mask unit must be 'dBuV' or 'dBuA'")
+        if self.unit not in _UNIT_TO_QUANTITY:
+            raise ExperimentError(
+                f"mask unit must be one of {sorted(_UNIT_TO_QUANTITY)}")
         object.__setattr__(self, "segments", segs)
 
     @classmethod
@@ -149,10 +170,12 @@ class LimitMask:
 
     @property
     def f_min(self) -> float:
+        """Lowest limited frequency (Hz)."""
         return self.segments[0].f_lo
 
     @property
     def f_max(self) -> float:
+        """Highest limited frequency (Hz)."""
         return self.segments[-1].f_hi
 
     def key(self) -> tuple:
@@ -183,12 +206,25 @@ class LimitMask:
         return out
 
     def check(self, spectrum: Spectrum) -> ComplianceVerdict:
-        """Score an amplitude spectrum against this mask."""
+        """Score an amplitude spectrum against this mask.
+
+        Parameters
+        ----------
+        spectrum : Spectrum
+            Amplitude spectrum in the quantity matching the mask's unit
+            (``dBuV`` scores V, ``dBuA`` scores A, ``dBuV/m`` scores
+            V/m).  Its ``detector`` field is recorded on the verdict.
+
+        Returns
+        -------
+        ComplianceVerdict
+            Pass/fail with the worst margin in dB and its frequency.
+        """
         if spectrum.kind != "amplitude":
             raise ExperimentError(
                 "limit masks check amplitude spectra; got a "
                 f"{spectrum.kind!r} spectrum")
-        expected = "V" if self.unit == "dBuV" else "A"
+        expected = _UNIT_TO_QUANTITY[self.unit]
         if spectrum.unit != expected:
             raise ExperimentError(
                 f"mask {self.name!r} ({self.unit}) cannot score a "
@@ -210,7 +246,8 @@ class LimitMask:
             mask=self.name, passed=margin >= 0.0, margin_db=margin,
             f_worst=float(f_cov[j]), level_db=float(level[j]),
             limit_db=float(lim[j]), n_over=int(np.sum(margins < 0.0)),
-            n_checked=int(margins.size))
+            n_checked=int(margins.size),
+            detector=getattr(spectrum, "detector", "peak"))
 
 
 # ---------------------------------------------------------------------------

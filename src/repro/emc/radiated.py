@@ -1,0 +1,268 @@
+"""Radiated-emission estimation from common-mode current.
+
+The dominant radiator of a digital board is rarely the trace itself: it
+is the *attached cable* driven as an antenna by the common-mode current
+that port switching pushes onto it.  This module closes the paper's
+measurement chain: the conducted port current a sweep scenario records
+through its :class:`~repro.circuit.CurrentProbe` (``i_port``) is treated
+as the cable's common-mode drive, and a closed-form cable-antenna model
+maps each spectral line to the electric field strength a compliance
+range antenna would measure at 3 m / 10 m.
+
+Antenna models (:class:`AntennaModel`):
+
+* ``kind="cable"`` -- the classic two-regime bound (C. R. Paul,
+  *Introduction to Electromagnetic Compatibility*, common-mode radiation
+  model).  An electrically short cable of length ``L`` carrying
+  common-mode current ``I_cm`` over a ground plane radiates, at distance
+  ``d`` and worst-case orientation::
+
+      |E| = mu0 * f * I_cm * L / d  =  1.257e-6 * f * I_cm * L / d [V/m]
+
+  (the free-space Hertzian-dipole field doubled for the ground-plane
+  reflection).  The linear-in-f growth saturates once the cable
+  approaches resonance; the estimate is capped at the resonant-dipole
+  bound ``|E| <= 120 * I_cm / d`` (the half-wave-dipole maximum
+  ``60 * I / d``, again doubled for the reflection).  This is an upper
+  bound for EMC triage, not a field solver.
+* ``kind="table"`` -- a user-supplied transfer curve: log-frequency
+  interpolated points of ``E[dBuV/m] - I[dBuA]`` (a measured or
+  full-wave "antenna factor" for the actual cable/fixture geometry).
+
+Mask presets registered here (resolvable via
+:func:`~repro.emc.limits.get_mask`, all field-strength masks in dBuV/m):
+
+* ``"cispr22-a-radiated"`` / ``"cispr22-b-radiated"`` -- CISPR 22 /
+  EN 55022 radiated limits at 10 m (Class A: 40/47 dBuV/m,
+  Class B: 30/37 dBuV/m, stepping at 230 MHz), quasi-peak detector.
+* ``"fcc-15b"`` -- FCC Part 15 Subpart B Class B radiated limits at 3 m
+  (40 / 43.5 / 46 / 54 dBuV/m stepping at 88 / 216 / 960 MHz).
+* ``"cispr25"`` -- representative CISPR 25 Class-5-shaped ALSE limits
+  protecting the vehicle broadcast/mobile bands (segments with gaps --
+  bins between protected bands are not checked).  Engineering levels
+  for ranking, not a certification table.
+
+Units: currents in A (spectra unit ``"A"``), fields in V/m (spectra
+unit ``"V/m"``, dB form dBuV/m), lengths/distances in meters,
+frequencies in Hz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .limits import LimitMask, register_mask
+from .spectrum import Spectrum
+
+__all__ = ["AntennaModel", "radiated_spectrum", "MU0"]
+
+#: vacuum permeability (H/m); the short-cable field constant mu0*f*I*L/d
+MU0 = 4.0e-7 * math.pi
+
+
+@dataclass(frozen=True)
+class AntennaModel:
+    """Cable-antenna transfer from common-mode current to E-field.
+
+    Parameters
+    ----------
+    kind : str
+        ``"cable"`` (closed-form short-cable / resonant-bound model) or
+        ``"table"`` (user transfer curve via ``points``).
+    length : float
+        Radiating cable length in meters (``kind="cable"``).
+    distance : float
+        Measurement distance in meters (3.0 and 10.0 are the standard
+        ranges).
+    points : tuple
+        For ``kind="table"``: ``((f_Hz, k_dB), ...)`` vertices of the
+        transfer curve ``E[dBuV/m] = I[dBuA] + k_dB(f)``, interpolated
+        linearly over log frequency and clamped at the end values
+        outside the covered band.
+    cm_fraction : float
+        Fraction of the probed conducted current that appears as
+        common-mode current on the cable (dimensionless, in (0, 1]).
+        The default 1.0 is the worst case (every probed milliamp
+        radiates); measured boards typically convert 0.1-1 %
+        (``1e-3``-``1e-2``), set by layout imbalance.  Applied to both
+        antenna kinds before the transfer curve.
+    label : str
+        Cosmetic name used in spectrum labels.
+    """
+
+    kind: str = "cable"
+    length: float = 1.0
+    distance: float = 10.0
+    points: tuple = ()
+    cm_fraction: float = 1.0
+    label: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("cable", "table"):
+            raise ExperimentError(
+                f"unknown antenna kind {self.kind!r}; "
+                "pick 'cable' or 'table'")
+        if not 0.0 < self.cm_fraction <= 1.0:
+            raise ExperimentError("cm_fraction must lie in (0, 1]")
+        if self.kind == "cable":
+            if not (self.length > 0.0 and self.distance > 0.0):
+                raise ExperimentError(
+                    "cable antenna needs length > 0 and distance > 0")
+        else:
+            pts = tuple((float(f), float(k)) for f, k in self.points)
+            if len(pts) < 2:
+                raise ExperimentError(
+                    "table antenna needs at least two (f, dB) points")
+            fs = [f for f, _ in pts]
+            if any(f <= 0.0 for f in fs) or sorted(fs) != fs:
+                raise ExperimentError(
+                    "table antenna points need increasing positive f")
+            object.__setattr__(self, "points", pts)
+
+    def describe(self) -> str:
+        """Short human-readable identity for labels and tables."""
+        if self.label:
+            return self.label
+        if self.kind == "cable":
+            return f"cable{self.length:g}m@{self.distance:g}m"
+        return f"table[{len(self.points)}]"
+
+    def key(self) -> tuple:
+        """Hashable content identity (folded into scenario cache keys)."""
+        return (self.kind, self.length, self.distance, self.points,
+                self.cm_fraction)
+
+    def transfer_db(self, f) -> np.ndarray:
+        """Transfer curve ``E[dBuV/m] - I[dBuA]`` at frequencies ``f``.
+
+        Parameters
+        ----------
+        f : array_like
+            Frequencies in Hz; non-positive entries return -inf (DC does
+            not radiate).
+
+        Returns
+        -------
+        numpy.ndarray
+            dB offsets such that ``E_dbuvpm = I_dbua + transfer_db(f)``.
+        """
+        f = np.asarray(f, dtype=float)
+        out = np.full(f.shape, -np.inf)
+        pos = f > 0.0
+        if self.kind == "table":
+            lf = np.log10(f[pos])
+            xs = np.log10([p[0] for p in self.points])
+            ys = [p[1] for p in self.points]
+            out[pos] = np.interp(lf, xs, ys)
+            return out
+        # cable: min(short-cable linear-in-f law, resonant bound);
+        # both are E/I ratios, so the dB offset is 20 log10 of them
+        ratio = np.minimum(MU0 * f[pos] * self.length, 120.0) \
+            / self.distance
+        out[pos] = 20.0 * np.log10(np.maximum(ratio, 1e-30))
+        return out
+
+    def e_field(self, f, i_mag) -> np.ndarray:
+        """Field strength per spectral line.
+
+        Parameters
+        ----------
+        f : array_like
+            Frequencies in Hz.
+        i_mag : array_like
+            Common-mode current line amplitudes in A (linear).
+
+        Returns
+        -------
+        numpy.ndarray
+            E-field amplitudes in V/m (linear; 0 at non-positive f).
+        """
+        f = np.asarray(f, dtype=float)
+        i_mag = np.asarray(i_mag, dtype=float)
+        if f.shape != i_mag.shape:
+            raise ExperimentError("f and i_mag must have matching shapes")
+        gain = np.zeros(f.shape)
+        pos = f > 0.0
+        gain[pos] = 10.0 ** (self.transfer_db(f[pos]) / 20.0)
+        return np.abs(i_mag) * self.cm_fraction * gain
+
+
+def radiated_spectrum(current: Spectrum,
+                      antenna: AntennaModel) -> Spectrum:
+    """E-field spectrum predicted from a common-mode current spectrum.
+
+    Parameters
+    ----------
+    current : Spectrum
+        Amplitude spectrum of the common-mode current, unit ``"A"``
+        (e.g. a sweep scenario's ``i_port`` spectrum).  Detector
+        weighting, if already applied, rides through: the antenna
+        transfer is linear per bin.
+    antenna : AntennaModel
+        Cable-antenna transfer to apply.
+
+    Returns
+    -------
+    Spectrum
+        Field-strength spectrum, unit ``"V/m"`` (``db()`` yields
+        dBuV/m), same frequency grid, bins at/below DC zeroed; the
+        input's ``detector`` tag and a description of the antenna ride
+        along in ``meta``.
+    """
+    if current.kind != "amplitude" or current.unit != "A":
+        raise ExperimentError(
+            "radiated_spectrum needs an amplitude current spectrum "
+            f"(unit 'A'); got kind={current.kind!r} unit={current.unit!r}")
+    e = antenna.e_field(current.f, current.mag)
+    out = current.copy(mag=e, unit="V/m",
+                       label=f"{current.label or 'i_cm'}"
+                             f"->{antenna.describe()}")
+    out.meta["antenna"] = antenna.describe()
+    out.meta["distance_m"] = float(antenna.distance)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# radiated mask presets
+# ---------------------------------------------------------------------------
+
+#: CISPR 22 / EN 55022 radiated limits at 10 m, quasi-peak (dBuV/m)
+_CISPR22_A_RAD = LimitMask("cispr22-a-radiated", (
+    (30e6, 230e6, 40.0, 40.0),
+    (230e6, 1e9, 47.0, 47.0),
+), unit="dBuV/m")
+_CISPR22_B_RAD = LimitMask("cispr22-b-radiated", (
+    (30e6, 230e6, 30.0, 30.0),
+    (230e6, 1e9, 37.0, 37.0),
+), unit="dBuV/m")
+
+#: FCC Part 15 Subpart B Class B radiated limits at 3 m (dBuV/m)
+_FCC_15B = LimitMask("fcc-15b", (
+    (30e6, 88e6, 40.0, 40.0),
+    (88e6, 216e6, 43.5, 43.5),
+    (216e6, 960e6, 46.0, 46.0),
+    (960e6, 40e9, 54.0, 54.0),
+), unit="dBuV/m")
+
+#: representative CISPR 25 Class-5-shaped ALSE levels (dBuV/m): only the
+#: protected broadcast/mobile bands are limited -- the gaps between the
+#: segments are deliberately unchecked, exercising LimitMask's gap
+#: support.  Engineering levels for scenario ranking, not certification.
+_CISPR25 = LimitMask("cispr25", (
+    (150e3, 300e3, 32.0, 32.0),      # LW broadcast
+    (530e3, 1.8e6, 24.0, 24.0),      # MW broadcast
+    (5.9e6, 6.2e6, 25.0, 25.0),      # SW broadcast
+    (30e6, 54e6, 24.0, 24.0),        # CB / VHF low
+    (76e6, 108e6, 24.0, 24.0),       # FM broadcast
+    (142e6, 175e6, 24.0, 24.0),      # VHF mobile
+    (380e6, 512e6, 31.0, 31.0),      # UHF mobile
+    (820e6, 960e6, 37.0, 37.0),      # cellular
+    (1.57e9, 1.63e9, 27.0, 27.0),    # GNSS
+), unit="dBuV/m")
+
+for _mask in (_CISPR22_A_RAD, _CISPR22_B_RAD, _FCC_15B, _CISPR25):
+    register_mask(_mask, overwrite=True)

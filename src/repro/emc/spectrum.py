@@ -74,9 +74,13 @@ class Spectrum:
     """One-sided spectrum of a real waveform.
 
     ``mag`` is linear: peak amplitude per bin (``kind="amplitude"``, unit
-    ``"V"`` or ``"A"``) or power density (``kind="psd"``, unit implicitly
-    squared-per-Hz).  ``db()`` applies the EMC convention: dBuV/dBuA for
-    amplitude spectra, 10 log10 relative to (1 u)^2/Hz for PSDs.
+    ``"V"``, ``"A"`` or ``"V/m"``) or power density (``kind="psd"``, unit
+    implicitly squared-per-Hz).  ``db()`` applies the EMC convention:
+    dBuV / dBuA / dBuV/m for amplitude spectra, 10 log10 relative to
+    (1 u)^2/Hz for PSDs.  ``detector`` names the CISPR 16 detector whose
+    weighting the magnitudes carry: ``"peak"`` (the raw FFT amplitude)
+    or ``"quasi-peak"`` / ``"average"`` after
+    :func:`repro.emc.detectors.apply_detector`.
     """
 
     f: np.ndarray
@@ -84,6 +88,7 @@ class Spectrum:
     unit: str = "V"
     kind: str = "amplitude"
     label: str = ""
+    detector: str = "peak"
     meta: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -101,6 +106,13 @@ class Spectrum:
         return float(self.f[1] - self.f[0]) if self.f.size > 1 else 0.0
 
     def db(self) -> np.ndarray:
+        """Levels in the EMC dB convention, per bin.
+
+        Amplitude spectra convert as ``20 log10(mag / 1e-6)`` -- dBuV
+        for V, dBuA for A, dBuV/m for V/m; PSDs as ``10 log10(mag /
+        1e-12)`` (dB relative to one micro-unit squared per Hz).  Zero
+        magnitudes are floored, never ``-inf``.
+        """
         if self.kind == "psd":
             m = np.maximum(np.abs(self.mag), _DB_FLOOR)
             return 10.0 * np.log10(m / 1e-12)
@@ -146,7 +158,29 @@ def amplitude_spectrum(t, v, window: str = "hann", n_fft: int | None = None,
     The record is uniformly resampled if needed, windowed, and scaled by
     the window's coherent gain so a bin-centered tone of amplitude ``A``
     reads ``A`` (DC and Nyquist carry no single-sided doubling).
-    ``n_fft`` zero-pads (finer bin spacing) or truncates the record.
+
+    Parameters
+    ----------
+    t : array_like
+        Sample instants in seconds (strictly increasing).
+    v : array_like
+        Waveform samples, same length as ``t`` (V or A -- state it in
+        ``unit``).
+    window : str
+        One of :data:`WINDOWS` (default ``"hann"``).
+    n_fft : int, optional
+        FFT length: zero-pads (finer bin spacing) or truncates the
+        record; ``None`` uses the record length.
+    unit : str
+        Physical unit of ``v``: ``"V"`` or ``"A"``.
+    label : str
+        Cosmetic label carried on the result.
+
+    Returns
+    -------
+    Spectrum
+        Amplitude spectrum (``kind="amplitude"``, ``detector="peak"``)
+        with frequencies in Hz and linear magnitudes in ``unit``.
     """
     t, v = resample_uniform(t, v)
     dt = (t[-1] - t[0]) / (t.size - 1)
@@ -177,6 +211,27 @@ def welch_psd(t, v, window: str = "hann", nperseg: int | None = None,
     corrected (``sum(w^2)``), and the segments are averaged.  With a rect
     window and one full-length segment this reduces to the plain
     periodogram, so ``sum(psd) * df == mean(v^2)`` (Parseval).
+
+    Parameters
+    ----------
+    t, v : array_like
+        Sample instants (s) and waveform samples (``unit``).
+    window : str
+        One of :data:`WINDOWS`.
+    nperseg : int, optional
+        Segment length in samples (default ``min(n, 256)``).
+    overlap : float
+        Fractional segment overlap in ``[0, 1)``.
+    unit : str
+        Physical unit of ``v`` (``"V"`` or ``"A"``); the PSD is
+        implicitly ``unit^2 / Hz``.
+    label : str
+        Cosmetic label carried on the result.
+
+    Returns
+    -------
+    Spectrum
+        PSD spectrum (``kind="psd"``), frequencies in Hz.
     """
     t, v = resample_uniform(t, v)
     dt = (t[-1] - t[0]) / (t.size - 1)
@@ -226,6 +281,11 @@ def peak_hold(spectra, interpolate: bool = True) -> Spectrum:
     for s in spectra[1:]:
         if s.unit != first.unit or s.kind != first.kind:
             raise ExperimentError("peak_hold needs matching unit/kind")
+        if s.detector != first.detector:
+            raise ExperimentError(
+                "peak_hold needs matching detectors; got "
+                f"{first.detector!r} and {s.detector!r} -- an envelope "
+                "mixing detector weightings is not a measurement")
     same_grid = all(s.f.shape == first.f.shape
                     and np.allclose(s.f, first.f, rtol=1e-9, atol=0.0)
                     for s in spectra[1:])
@@ -246,5 +306,6 @@ def peak_hold(spectra, interpolate: bool = True) -> Spectrum:
     env = np.max(mags, axis=0)
     return Spectrum(f, env, unit=first.unit, kind=first.kind,
                     label=f"peak-hold({len(spectra)})",
+                    detector=first.detector,
                     meta={"n_spectra": len(spectra),
                           "interpolated": not same_grid})

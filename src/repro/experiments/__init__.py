@@ -1,6 +1,7 @@
 """Experiment drivers: one module per paper figure/table (see DESIGN.md)."""
 
 from . import cache, setups
+from ..emc.radiated import AntennaModel
 from .cache import SweepDiskCache
 from .result import ExperimentResult
 from .sweep import (CORNERS, CoupledLoadSpec, LoadSpec, Scenario,
@@ -10,4 +11,4 @@ from .sweep import (CORNERS, CoupledLoadSpec, LoadSpec, Scenario,
 __all__ = ["cache", "setups", "ExperimentResult",
            "LoadSpec", "CoupledLoadSpec", "SpectralSpec", "Scenario",
            "ScenarioOutcome", "ScenarioRunner", "SweepResult",
-           "SweepDiskCache", "scenario_grid", "CORNERS"]
+           "SweepDiskCache", "scenario_grid", "CORNERS", "AntennaModel"]

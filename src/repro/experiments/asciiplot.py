@@ -79,7 +79,8 @@ def ascii_spectrum(spectrum, mask=None, width: int = 78, height: int = 18,
     for dec in range(int(np.ceil(x_lo)), int(np.floor(x_hi)) + 1):
         c = int((dec - x_lo) / (x_hi - x_lo) * (width - 1))
         axis[c] = "+"
-    unit = "dBuA" if getattr(spectrum, "unit", "V") == "A" else "dBuV"
+    unit = {"A": "dBuA", "V/m": "dBuV/m"}.get(
+        getattr(spectrum, "unit", "V"), "dBuV")
     lines.append(" " * 9 + "+" + "".join(axis))
     lines.append(f"{'':9s} {_si_freq(f[0]):<12}"
                  f"{f'[{unit}] vs f (log, + = decades)':^{max(width - 24, 6)}}"

@@ -46,8 +46,10 @@ __all__ = ["driver_model", "receiver_model", "cv_receiver_model",
            "model_fingerprint", "CACHE_VERSION"]
 
 #: payload-schema version of :class:`SweepDiskCache` entries (folded into
-#: every entry digest; bump whenever the stored payload shape changes)
-CACHE_VERSION = 2
+#: every entry digest; bump whenever the stored payload shape changes --
+#: v2 added spectra + verdicts, v3 added detector-weighted spectra
+#: (``detector`` tag per spectrum) and the per-check ``verdicts_by`` map)
+CACHE_VERSION = 3
 
 _cache: dict = {}
 
@@ -150,8 +152,10 @@ class SweepDiskCache:
     ``payload`` dicts hold ``t``/``v_port`` (1-D float arrays), ``probes``
     (name -> 1-D float array), ``metrics`` (JSON-able dict), ``warnings``
     (list of strings) and optionally ``spectra`` (name ->
-    :class:`~repro.emc.spectrum.Spectrum`) plus ``verdict`` (a
-    JSON-able :class:`~repro.emc.limits.ComplianceVerdict` dict).  The
+    :class:`~repro.emc.spectrum.Spectrum`, detector tag included) plus
+    ``verdict`` / ``verdicts_by`` (JSON-able
+    :class:`~repro.emc.limits.ComplianceVerdict` dicts, the latter keyed
+    per detector / radiated check).  The
     entry digest folds in ``version`` (default :data:`CACHE_VERSION`), so
     a payload-schema change never reinterprets old entries.  Safe for
     concurrent writers: entries are written atomically (temp file +
@@ -190,6 +194,7 @@ class SweepDiskCache:
                         unit=info.get("unit", "V"),
                         kind=info.get("kind", "amplitude"),
                         label=info.get("label", ""),
+                        detector=info.get("detector", "peak"),
                         meta=info.get("meta") or {})
                 return {
                     "t": np.asarray(data["t"], dtype=float),
@@ -201,6 +206,7 @@ class SweepDiskCache:
                     "warnings": list(meta["warnings"]),
                     "spectra": spectra,
                     "verdict": meta.get("verdict"),
+                    "verdicts_by": meta.get("verdicts_by") or {},
                 }
         except FileNotFoundError:
             return None
@@ -230,6 +236,7 @@ class SweepDiskCache:
             arrays[f"spec_{sname}_mag"] = np.asarray(spec.mag, dtype=float)
             spectra_meta[sname] = {"unit": spec.unit, "kind": spec.kind,
                                    "label": spec.label,
+                                   "detector": spec.detector,
                                    "meta": _jsonable_meta(spec.meta)}
         meta = {
             "metrics": payload.get("metrics") or {},
@@ -237,6 +244,7 @@ class SweepDiskCache:
             "probe_names": sorted(probes),
             "spectra": spectra_meta,
             "verdict": payload.get("verdict"),
+            "verdicts_by": payload.get("verdicts_by") or {},
             "version": self.version,
             "name": name,
         }

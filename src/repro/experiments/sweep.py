@@ -37,13 +37,18 @@ A :class:`SpectralSpec` (on the scenario or its load) additionally turns
 each scenario into an emission measurement: the pad voltage (``"v_port"``)
 or the conducted port current (``"i_port"``, via a series
 :class:`~repro.circuit.CurrentProbe`) is transformed with a windowed FFT
-(:func:`repro.emc.spectrum.amplitude_spectrum`), optionally scored against
-a :class:`~repro.emc.limits.LimitMask` into a
-:class:`~repro.emc.limits.ComplianceVerdict`, and both ride along on the
-outcome (``outcome.spectra`` / ``outcome.verdict``).
-``SweepResult.peak_hold()`` aggregates the whole grid's spectra into the
-max-hold envelope, ``compliance_table()``/``worst_margin()`` summarize the
-verdicts.
+(:func:`repro.emc.spectrum.amplitude_spectrum`), weighted by the
+requested CISPR 16 detectors (:mod:`repro.emc.detectors` quasi-peak /
+average emulation at the spec's ``prf``), optionally mapped to a
+radiated E-field estimate through an
+:class:`~repro.emc.radiated.AntennaModel`, and scored against conducted
+and radiated :class:`~repro.emc.limits.LimitMask` presets into
+per-detector :class:`~repro.emc.limits.ComplianceVerdict` entries -- all
+riding on the outcome (``outcome.spectra`` / ``outcome.verdicts_by`` /
+``outcome.verdict``).  ``SweepResult.peak_hold(quantity, detector)``
+aggregates the grid's spectra into the max-hold envelope,
+``compliance_table()``/``worst_margin()`` summarize the verdicts with
+one margin column per detector.
 
 ``scenario_grid(..., corners=CORNERS)`` fans the slow/typ/fast process
 corners through the full cartesian product; each ``(driver, corner)`` pair
@@ -80,9 +85,12 @@ import numpy as np
 
 from ..circuit import (Capacitor, Circuit, CoupledIdealLine, CurrentProbe,
                        IdealLine, Resistor, TransientOptions, run_transient)
+from ..emc.detectors import (CISPR_BANDS, DETECTORS, apply_detector,
+                             pulse_weight)
 from ..emc.limits import ComplianceVerdict, LimitMask, get_mask
 from ..emc.metrics import (crosstalk_metrics, logic_eye_metrics,
                            threshold_crossings)
+from ..emc.radiated import AntennaModel, radiated_spectrum
 from ..emc.spectrum import WINDOWS, Spectrum, amplitude_spectrum, peak_hold
 from ..errors import ExperimentError
 from ..models import (ParametricReceiverElement, PWRBFDriverElement,
@@ -103,23 +111,52 @@ CORNERS = ("slow", "typ", "fast")
 
 @dataclass(frozen=True)
 class SpectralSpec:
-    """Per-scenario emission-spectrum request.
+    """Per-scenario emission-measurement request.
 
-    ``quantity``: ``"v_port"`` (pad/observation-node voltage) or
-    ``"i_port"`` (conducted port current, measured by a series
-    :class:`~repro.circuit.CurrentProbe` between the driver pad and the
-    load -- the current waveform also rides along as probe ``"i_port"``).
-    ``window``/``n_fft`` configure
-    :func:`~repro.emc.spectrum.amplitude_spectrum`; ``mask`` names a
-    :class:`~repro.emc.limits.LimitMask` preset (or passes one directly)
-    to score the spectrum into a verdict, ``None`` computes the spectrum
-    without a verdict.
+    Parameters
+    ----------
+    quantity : str
+        ``"v_port"`` (pad/observation-node voltage, V) or ``"i_port"``
+        (conducted port current in A, measured by a series
+        :class:`~repro.circuit.CurrentProbe` between the driver pad and
+        the load -- the current waveform also rides along as probe
+        ``"i_port"``).
+    window : str
+        FFT window for :func:`~repro.emc.spectrum.amplitude_spectrum`.
+    n_fft : int, optional
+        FFT length (zero-pad/truncate); ``None`` uses the record length.
+    mask : str or LimitMask, optional
+        Conducted limit mask scored against every requested detector's
+        spectrum; ``None`` computes spectra without conducted verdicts.
+    detectors : str or sequence of str
+        CISPR 16 detectors to emulate (``"peak"``, ``"quasi-peak"``,
+        ``"average"``; see :mod:`repro.emc.detectors`).  The raw FFT
+        spectrum is the peak detector; other detectors add weighted
+        spectra under ``"<quantity>@<detector>"`` outcome keys and their
+        own verdicts.
+    prf : float, optional
+        In-service repetition frequency of the simulated burst in Hz
+        (frame/packet rate), used by the detector weighting.  ``None``
+        assumes back-to-back repetition (line spacing), under which
+        every detector reads the peak value.
+    antenna : AntennaModel, optional
+        Cable-antenna model turning the ``i_port`` common-mode current
+        spectrum into a radiated E-field estimate (``"e_field"`` outcome
+        spectra, V/m); requires ``quantity="i_port"``.
+    radiated_mask : str or LimitMask, optional
+        Field-strength mask (unit ``dBuV/m``) scored against the
+        radiated estimate of every requested detector; requires
+        ``antenna``.
     """
 
     quantity: str = "v_port"
     window: str = "hann"
     n_fft: int | None = None
     mask: object = None
+    detectors: object = ("peak",)
+    prf: float | None = None
+    antenna: AntennaModel | None = None
+    radiated_mask: object = None
 
     def __post_init__(self):
         if self.quantity not in ("v_port", "i_port"):
@@ -134,15 +171,66 @@ class SpectralSpec:
                 f"{sorted(WINDOWS)}")
         if self.n_fft is not None and int(self.n_fft) < 2:
             raise ExperimentError("n_fft must be >= 2")
+        dets = (self.detectors,) if isinstance(self.detectors, str) \
+            else tuple(self.detectors)
+        if not dets:
+            raise ExperimentError("detectors must name at least one of "
+                                  f"{DETECTORS}")
+        seen = []
+        for d in dets:
+            if d not in DETECTORS:
+                raise ExperimentError(
+                    f"unknown detector {d!r}; pick from {DETECTORS}")
+            if d not in seen:
+                seen.append(d)
+        object.__setattr__(self, "detectors", tuple(seen))
+        if self.prf is not None and not float(self.prf) > 0.0:
+            raise ExperimentError("prf must be positive (Hz)")
+        if self.antenna is not None:
+            if not isinstance(self.antenna, AntennaModel):
+                raise ExperimentError("antenna must be an AntennaModel")
+            if self.quantity != "i_port":
+                raise ExperimentError(
+                    "radiated estimation needs the common-mode current: "
+                    "antenna requires quantity='i_port'")
+        if self.radiated_mask is not None and self.antenna is None:
+            raise ExperimentError(
+                "radiated_mask requires an antenna model")
 
     def resolved_mask(self):
+        """Conducted mask resolved to a LimitMask (or ``None``)."""
         return get_mask(self.mask) if self.mask is not None else None
+
+    def resolved_radiated_mask(self):
+        """Radiated mask resolved to a LimitMask (or ``None``)."""
+        return get_mask(self.radiated_mask) \
+            if self.radiated_mask is not None else None
+
+    def spectrum_keys(self) -> list[str]:
+        """Outcome ``spectra`` keys this request produces, in order.
+
+        The raw (peak) spectrum is always stored under ``quantity``;
+        non-peak detectors add ``"<quantity>@<detector>"``; an antenna
+        adds ``"e_field"`` (peak) and/or ``"e_field@<detector>"``, one
+        per requested detector.
+        """
+        keys = [self.quantity]
+        keys += [f"{self.quantity}@{d}" for d in self.detectors
+                 if d != "peak"]
+        if self.antenna is not None:
+            keys += ["e_field" if d == "peak" else f"e_field@{d}"
+                     for d in self.detectors]
+        return keys
 
     def key(self) -> tuple:
         """Content identity (folded into scenario/disk cache keys)."""
         mask_key = get_mask(self.mask).key() if self.mask is not None \
             else None
-        return (self.quantity, self.window, self.n_fft, mask_key)
+        rad_key = get_mask(self.radiated_mask).key() \
+            if self.radiated_mask is not None else None
+        ant_key = self.antenna.key() if self.antenna is not None else None
+        return (self.quantity, self.window, self.n_fft, mask_key,
+                self.detectors, self.prf, ant_key, rad_key)
 
 
 @dataclass(frozen=True)
@@ -170,6 +258,8 @@ class LoadSpec:
     spectral: SpectralSpec | None = None
 
     def describe(self) -> str:
+        """Short human-readable load name (the label, or a synthesized
+        ``r50`` / ``line75x1n-r1e5`` style tag)."""
         if self.label:
             return self.label
         if self.kind == "r":
@@ -268,6 +358,7 @@ class CoupledLoadSpec:
     kind = "coupled"
 
     def describe(self) -> str:
+        """Short human-readable load name (label or geometry tag)."""
         if self.label:
             return self.label
         return (f"xtalk-l{self.length * 100:g}cm"
@@ -324,6 +415,7 @@ class Scenario:
     spectral: SpectralSpec | None = None  # None -> the load's request
 
     def resolved_name(self) -> str:
+        """Display name: ``name`` or ``driver-corner-pattern-load``."""
         return self.name or (f"{self.driver}-{self.corner}-{self.pattern}-"
                              f"{self.load.describe()}")
 
@@ -349,19 +441,26 @@ class Scenario:
 
 
 def _dispatchable(sc: Scenario) -> Scenario:
-    """A copy of ``sc`` whose mask is resolved to a :class:`LimitMask`.
+    """A copy of ``sc`` whose masks are resolved to :class:`LimitMask`.
 
     Workers on spawn-start platforms (macOS/Windows) re-import the mask
     registry and never see masks the parent registered by name; resolving
-    in the parent ships the mask *content* with the pickled scenario.
-    The cache identity is unchanged (``SpectralSpec.key()`` already
-    resolves names to content).
+    in the parent ships the mask *content* (conducted and radiated) with
+    the pickled scenario.  The cache identity is unchanged
+    (``SpectralSpec.key()`` already resolves names to content).
     """
     spec = sc.spectral_spec()
-    if spec is None or spec.mask is None \
-            or isinstance(spec.mask, LimitMask):
+    if spec is None:
         return sc
-    return replace(sc, spectral=replace(spec, mask=get_mask(spec.mask)))
+    updates = {}
+    if spec.mask is not None and not isinstance(spec.mask, LimitMask):
+        updates["mask"] = get_mask(spec.mask)
+    if spec.radiated_mask is not None \
+            and not isinstance(spec.radiated_mask, LimitMask):
+        updates["radiated_mask"] = get_mask(spec.radiated_mask)
+    if not updates:
+        return sc
+    return replace(sc, spectral=replace(spec, **updates))
 
 
 def scenario_grid(patterns, loads, drivers=("MD2",), corners=("typ",),
@@ -383,9 +482,15 @@ class ScenarioOutcome:
     as ``v_port`` (e.g. the victim's ``"next"``/``"fext"`` waveforms of a
     :class:`CoupledLoadSpec` scenario, or the conducted port current
     ``"i_port"`` when the spectral request probes current).  ``spectra``
-    maps the requested quantity to its
-    :class:`~repro.emc.spectrum.Spectrum`; ``verdict`` is the mask
-    compliance verdict, when a mask was requested.
+    maps :meth:`SpectralSpec.spectrum_keys` names to
+    :class:`~repro.emc.spectrum.Spectrum` objects -- the raw (peak)
+    spectrum under the quantity name, detector-weighted copies under
+    ``"<quantity>@<detector>"``, radiated estimates under ``"e_field"``
+    keys.  ``verdicts_by`` maps check names (``"peak"``,
+    ``"quasi-peak"``, ``"average"`` for the conducted mask;
+    ``"rad:<detector>"`` for the radiated mask) to their
+    :class:`~repro.emc.limits.ComplianceVerdict`; ``verdict`` is the
+    worst-margin entry (the binding check), kept for one-check callers.
     """
 
     scenario: Scenario
@@ -399,24 +504,27 @@ class ScenarioOutcome:
     probes: dict = field(default_factory=dict)
     spectra: dict = field(default_factory=dict)
     verdict: ComplianceVerdict | None = None
+    verdicts_by: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
+        """``True`` when the scenario simulated without raising."""
         return self.error is None
 
     @property
     def passed(self) -> bool | None:
         """Combined pass/fail of every check the scenario carries.
 
-        ANDs the spectral mask verdict with the receiver eye check
-        (``rx_pass``, present on ``kind="rx"`` scenarios).  ``None`` when
-        the scenario carries no check at all; ``False`` for failed
-        (``ok == False``) scenarios -- a crashed corner is never a pass.
+        ANDs every mask verdict (all detectors, conducted and radiated)
+        with the receiver eye check (``rx_pass``, present on
+        ``kind="rx"`` scenarios).  ``None`` when the scenario carries no
+        check at all; ``False`` for failed (``ok == False``) scenarios
+        -- a crashed corner is never a pass.
         """
         if not self.ok:
             return False
-        checks = []
-        if self.verdict is not None:
+        checks = [bool(v.passed) for v in self.verdicts_by.values()]
+        if not checks and self.verdict is not None:
             checks.append(bool(self.verdict.passed))
         if "rx_pass" in (self.metrics or {}):
             checks.append(bool(self.metrics["rx_pass"]))
@@ -430,7 +538,8 @@ class ScenarioOutcome:
             t=self.t.copy(), v_port=self.v_port.copy(),
             metrics=dict(self.metrics or {}), warnings=list(self.warnings),
             probes={k: v.copy() for k, v in self.probes.items()},
-            spectra={k: s.copy() for k, s in self.spectra.items()})
+            spectra={k: s.copy() for k, s in self.spectra.items()},
+            verdicts_by=dict(self.verdicts_by))
         fields.update(overrides)
         return replace(self, **fields)
 
@@ -452,10 +561,12 @@ class SweepResult:
 
     @property
     def n_cache_hits(self) -> int:
+        """How many outcomes were answered from a result cache."""
         return sum(1 for o in self.outcomes if o.cache_hit)
 
     @property
     def failures(self) -> list[ScenarioOutcome]:
+        """Outcomes whose simulation raised (``ok == False``)."""
         return [o for o in self.outcomes if not o.ok]
 
     def metric(self, key: str) -> np.ndarray:
@@ -477,20 +588,38 @@ class SweepResult:
         return max(ok, key=lambda o: o.metrics[key])
 
     # -- emissions/compliance helpers ---------------------------------------
-    def spectra(self, quantity: str = "v_port") -> list[Spectrum]:
-        """Every successful scenario's spectrum of ``quantity`` (in grid
-        order, scenarios without one skipped)."""
-        return [o.spectra[quantity] for o in self.outcomes
-                if o.ok and quantity in o.spectra]
+    def spectra(self, quantity: str = "v_port",
+                detector: str = "peak") -> list[Spectrum]:
+        """Every successful scenario's spectrum of one quantity.
 
-    def peak_hold(self, quantity: str = "v_port") -> Spectrum:
+        Parameters
+        ----------
+        quantity : str
+            ``"v_port"``, ``"i_port"`` or ``"e_field"``.
+        detector : str
+            Detector weighting to select: ``"peak"`` returns the raw
+            spectra, other detectors the ``"<quantity>@<detector>"``
+            entries (scenarios without one are skipped).
+
+        Returns
+        -------
+        list of Spectrum
+            In grid order.
+        """
+        key = quantity if detector == "peak" else f"{quantity}@{detector}"
+        return [o.spectra[key] for o in self.outcomes
+                if o.ok and key in o.spectra]
+
+    def peak_hold(self, quantity: str = "v_port",
+                  detector: str = "peak") -> Spectrum:
         """Grid-wide max-hold envelope: the worst level any scenario
-        produced in each frequency bin (one vectorized pass)."""
-        specs = self.spectra(quantity)
+        produced in each frequency bin (one vectorized pass over the
+        selected quantity/detector spectra)."""
+        specs = self.spectra(quantity, detector)
         if not specs:
             raise ExperimentError(
-                f"no successful scenario carries a {quantity!r} spectrum; "
-                "request one with SpectralSpec")
+                f"no successful scenario carries a {quantity!r} "
+                f"({detector}) spectrum; request one with SpectralSpec")
         return peak_hold(specs)
 
     def verdicts(self) -> list[ScenarioOutcome]:
@@ -507,11 +636,34 @@ class SweepResult:
                 "with SpectralSpec(mask=...)")
         return min(scored, key=lambda o: o.verdict.margin_db)
 
+    #: compliance_table column headers per verdict key
+    _CHECK_LABELS = {"peak": "m(pk)", "quasi-peak": "m(qp)",
+                     "average": "m(av)", "rad:peak": "m(r-pk)",
+                     "rad:quasi-peak": "m(r-qp)",
+                     "rad:average": "m(r-av)"}
+
     def compliance_table(self) -> str:
-        """Plain-text compliance report: one row per scenario with the
-        emission peak, mask margin, worst frequency, and the combined
-        spectral + receiver-eye pass/fail."""
-        header = (f"{'scenario':<38} {'peak':>7} {'margin':>7} "
+        """Plain-text compliance report, one row per scenario.
+
+        Columns: the raw emission peak (dB), one margin column per
+        detector/radiated check present anywhere on the grid (dB,
+        positive = headroom), the worst-margin frequency, the binding
+        mask, the receiver eye check and the combined pass/fail.
+        Scenarios carrying only a single unnamed verdict (legacy cache
+        entries) report it in a plain ``margin`` column.
+        """
+        checks: list[str] = []
+        for o in self.outcomes:
+            for k in o.verdicts_by:
+                if k not in checks:
+                    checks.append(k)
+        legacy = not checks and any(o.verdict is not None
+                                    for o in self.outcomes)
+        if legacy:
+            checks = ["margin"]
+        cols = "".join(
+            f" {self._CHECK_LABELS.get(c, c)[:8]:>8}" for c in checks)
+        header = (f"{'scenario':<38} {'peak':>7}{cols} "
                   f"{'f_worst':>10} {'mask':>9} {'rx':>5} {'verdict':>8}")
         lines = [header, "-" * len(header)]
         for o in self.outcomes:
@@ -522,18 +674,22 @@ class SweepResult:
             m = o.metrics or {}
             peak = f"{m['emis_peak_db']:>7.1f}" if "emis_peak_db" in m \
                 else f"{'-':>7}"
+            margins = ""
+            for c in checks:
+                v = o.verdict if legacy else o.verdicts_by.get(c)
+                margins += f" {v.margin_db:>+8.1f}" if v is not None \
+                    else f" {'-':>8}"
             if o.verdict is not None:
-                margin = f"{o.verdict.margin_db:>+7.1f}"
                 f_worst = f"{o.verdict.f_worst / 1e6:>7.0f}MHz"
                 mask = f"{o.verdict.mask[-9:]:>9}"
             else:
-                margin, f_worst, mask = f"{'-':>7}", f"{'-':>10}", f"{'-':>9}"
+                f_worst, mask = f"{'-':>10}", f"{'-':>9}"
             rx = "-" if "rx_pass" not in m else \
                 ("ok" if m["rx_pass"] else "BAD")
             combined = o.passed
             verdict = "-" if combined is None else \
                 ("PASS" if combined else "FAIL")
-            lines.append(f"{name:<38} {peak} {margin} {f_worst} {mask} "
+            lines.append(f"{name:<38} {peak}{margins} {f_worst} {mask} "
                          f"{rx:>5} {verdict:>8}")
         return "\n".join(lines)
 
@@ -572,14 +728,17 @@ class SweepResult:
 def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
                  sc: Scenario, probes: dict | None = None,
                  spectra: dict | None = None,
-                 verdict: ComplianceVerdict | None = None) -> dict:
+                 verdict: ComplianceVerdict | None = None,
+                 verdicts_by: dict | None = None) -> dict:
     """Per-scenario EMC summary (threshold edges + amplitude margins).
 
     When ``probes`` carries the victim waveforms of a coupled scenario
     (``"next"``/``"fext"``), the near/far-end crosstalk metrics are merged
     into the summary; when ``spectra``/``verdict`` carry an emission
-    spectrum and its mask verdict, the spectral peak and margin are merged
-    too; ``kind="rx"`` scenarios gain the receiver logic-eye check.
+    spectrum and its mask verdicts, the spectral peak and the worst
+    margin are merged too (plus one ``margin[<check>]_db`` entry per
+    detector/radiated check); ``kind="rx"`` scenarios gain the receiver
+    logic-eye check.
     """
     v_max = float(np.max(v))
     v_min = float(np.min(v))
@@ -617,16 +776,24 @@ def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
         out.update(logic_eye_metrics(t, v, sc.pattern, sc.bit_time, vdd,
                                      delay=sc.load.td))
     if spectra:
-        for qty, spec in spectra.items():
-            nz = spec.f > 0.0  # the DC bin is a level, not an emission
-            sdb = spec.db()[nz]
-            j = int(np.argmax(sdb))
-            out["emis_peak_db"] = float(sdb[j])
-            out["emis_f_peak"] = float(spec.f[nz][j])
+        # the raw (peak-detector) spectrum of the requested quantity sets
+        # the headline emission level; derived detector/radiated spectra
+        # get their levels through the per-check margins below
+        sspec = sc.spectral_spec()
+        base = spectra.get(sspec.quantity) if sspec is not None else None
+        if base is None:
+            base = next(iter(spectra.values()))
+        nz = base.f > 0.0  # the DC bin is a level, not an emission
+        sdb = base.db()[nz]
+        j = int(np.argmax(sdb))
+        out["emis_peak_db"] = float(sdb[j])
+        out["emis_f_peak"] = float(base.f[nz][j])
     if verdict is not None:
         out["emis_margin_db"] = float(verdict.margin_db)
         out["emis_f_worst"] = float(verdict.f_worst)
         out["spectral_pass"] = bool(verdict.passed)
+    for check, vd in (verdicts_by or {}).items():
+        out[f"margin[{check}]_db"] = float(vd.margin_db)
     return out
 
 
@@ -659,6 +826,7 @@ def _simulate_scenario(sc: Scenario,
         probes = {name: res.v(node).copy()
                   for name, node in sc.load.probes().items()}
         spectra: dict = {}
+        verdicts_by: dict = {}
         verdict = None
         if spec is not None:
             if spec.quantity == "i_port":
@@ -672,15 +840,32 @@ def _simulate_scenario(sc: Scenario,
                 unit=unit, label=f"{sc.resolved_name()}:{spec.quantity}")
             spectra[spec.quantity] = spectrum
             mask = spec.resolved_mask()
-            if mask is not None:
-                verdict = mask.check(spectrum)
+            rmask = spec.resolved_radiated_mask()
+            for det in spec.detectors:
+                if det == "peak":
+                    weighted = spectrum
+                else:
+                    weighted = apply_detector(spectrum, det, spec.prf)
+                    spectra[f"{spec.quantity}@{det}"] = weighted
+                if mask is not None:
+                    verdicts_by[det] = mask.check(weighted)
+                if spec.antenna is not None:
+                    e_spec = radiated_spectrum(weighted, spec.antenna)
+                    e_key = "e_field" if det == "peak" \
+                        else f"e_field@{det}"
+                    spectra[e_key] = e_spec
+                    if rmask is not None:
+                        verdicts_by[f"rad:{det}"] = rmask.check(e_spec)
+            if verdicts_by:
+                verdict = min(verdicts_by.values(),
+                              key=lambda vd: vd.margin_db)
         return ScenarioOutcome(
             scenario=sc, t=res.t, v_port=v,
             metrics=_emc_metrics(res.t, v, model.vdd, sc, probes,
-                                 spectra, verdict),
+                                 spectra, verdict, verdicts_by),
             warnings=list(res.warnings),
             elapsed_s=time.perf_counter() - t0, probes=probes,
-            spectra=spectra, verdict=verdict)
+            spectra=spectra, verdict=verdict, verdicts_by=verdicts_by)
     except Exception as exc:  # noqa: BLE001 - one bad corner must not kill a sweep
         return ScenarioOutcome(
             scenario=sc, t=np.empty(0), v_port=np.empty(0), metrics={},
@@ -723,8 +908,9 @@ def _expected_layout(sc: Scenario, model) -> list[tuple[str, int]]:
             layout.append(("probe_i_port", n))
         n_fft = spec.n_fft if spec.n_fft is not None else n
         nb = int(n_fft) // 2 + 1
-        layout.append((f"spec_{spec.quantity}_f", nb))
-        layout.append((f"spec_{spec.quantity}_mag", nb))
+        for key in spec.spectrum_keys():
+            layout.append((f"spec_{key}_f", nb))
+            layout.append((f"spec_{key}_mag", nb))
     return layout
 
 
@@ -755,7 +941,7 @@ def _pack_outcome(out: ScenarioOutcome, buf, offset: int,
                       offset=pos * 8)[:] = arr
         pos += length
     spectra_meta = {qty: {"unit": s.unit, "kind": s.kind, "label": s.label,
-                          "meta": dict(s.meta)}
+                          "detector": s.detector, "meta": dict(s.meta)}
                     for qty, s in out.spectra.items()}
     return replace(out, t=None, v_port=None,
                    probes={name: None for name in out.probes},
@@ -777,7 +963,9 @@ def _unpack_outcome(out: ScenarioOutcome, buf, offset: int,
         spectra[qty] = Spectrum(arrays[f"spec_{qty}_f"],
                                 arrays[f"spec_{qty}_mag"],
                                 unit=meta["unit"], kind=meta["kind"],
-                                label=meta["label"], meta=meta["meta"])
+                                label=meta["label"],
+                                detector=meta.get("detector", "peak"),
+                                meta=meta["meta"])
     return replace(out, t=arrays["t"], v_port=arrays["v_port"],
                    probes=probes, spectra=spectra)
 
@@ -862,6 +1050,7 @@ class ScenarioRunner:
         return self._models[key]
 
     def clear_cache(self) -> None:
+        """Drop every cached result (memory, and disk when configured)."""
         self._result_cache.clear()
         if self._disk is not None:
             self._disk.clear()
@@ -907,7 +1096,11 @@ class ScenarioRunner:
                     elapsed_s=0.0, probes=payload["probes"],
                     spectra=payload.get("spectra") or {},
                     verdict=ComplianceVerdict.from_dict(verdict)
-                    if verdict else None)
+                    if verdict else None,
+                    verdicts_by={
+                        k: ComplianceVerdict.from_dict(d)
+                        for k, d in
+                        (payload.get("verdicts_by") or {}).items()})
                 self._result_cache[sc.key()] = hit
         return hit
 
@@ -937,6 +1130,20 @@ class ScenarioRunner:
                 # estimate receiver models in the parent too: forked
                 # workers inherit the process-wide model cache for free
                 cache.receiver_model(sc.load.receiver)
+
+        # pre-solve the detector weighting factors the grid will need, so
+        # fork-started workers inherit a warm cache instead of each
+        # re-running the steady-state IIR for the same (band, prf)
+        warm = set()
+        for _, sc in pending:
+            spec = sc.spectral_spec()
+            if spec is None or spec.prf is None:
+                continue
+            warm.update((float(spec.prf), det) for det in spec.detectors
+                        if det != "peak")
+        for prf, det in sorted(warm):
+            for band in CISPR_BANDS:
+                pulse_weight(band, prf, det)
 
         if len(pending) > 1 and self.n_workers > 1:
             payloads = {key: self._models[key].to_dict() for key in model_keys}
@@ -994,6 +1201,9 @@ class ScenarioRunner:
                             "spectra": out.spectra,
                             "verdict": out.verdict.to_dict()
                             if out.verdict is not None else None,
+                            "verdicts_by": {
+                                k: v.to_dict()
+                                for k, v in out.verdicts_by.items()},
                         }, name=sc.resolved_name())
         return SweepResult(outcomes)
 

@@ -1,0 +1,54 @@
+"""The documentation site's links resolve.
+
+Walks every markdown file in ``docs/`` plus ``README.md``, extracts
+``[text](target)`` markdown links, and asserts that relative targets
+exist in the repository.  External (``http``) and pure-anchor links are
+not fetched -- only their syntax is accepted.  (Paths mentioned only in
+inline code are NOT checked -- link anything that must stay valid.)
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+#: markdown files whose links are checked
+PAGES = sorted(ROOT.glob("docs/*.md")) + [ROOT / "README.md"]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _targets(page: Path):
+    for target in _LINK.findall(page.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue  # same-page anchor
+        yield target
+
+
+def test_docs_pages_exist():
+    """The documentation site has its three core pages."""
+    for name in ("index.md", "emc_workflow.md", "api.md"):
+        assert (ROOT / "docs" / name).is_file(), f"docs/{name} missing"
+    assert PAGES, "no markdown pages found to check"
+
+
+@pytest.mark.parametrize("page", PAGES, ids=lambda p: p.name)
+def test_relative_links_resolve(page):
+    missing = []
+    for target in _targets(page):
+        resolved = (page.parent / target).resolve()
+        if not resolved.exists():
+            missing.append(target)
+    assert not missing, (f"{page.relative_to(ROOT)} links to missing "
+                         f"targets: {missing}")
+
+
+def test_readme_links_the_docs_site():
+    readme = (ROOT / "README.md").read_text()
+    for name in ("docs/index.md", "docs/emc_workflow.md", "docs/api.md"):
+        assert name in readme, f"README.md does not link {name}"

@@ -1,0 +1,74 @@
+"""Docstring coverage gate for the public EMC + sweep API.
+
+``docs/api.md`` is hand-written from these docstrings; this test keeps
+the source of truth complete: every public class, function, method and
+property in the :mod:`repro.emc` modules and
+:mod:`repro.experiments.sweep` must carry a docstring.  New public API
+without documentation fails CI here, not in review.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+MODULES = [
+    "repro.emc.spectrum",
+    "repro.emc.limits",
+    "repro.emc.detectors",
+    "repro.emc.radiated",
+    "repro.emc.metrics",
+    "repro.experiments.sweep",
+]
+
+def _public_members(module):
+    """Yield (qualified name, object) for every documentable member.
+
+    Underscore-prefixed members (including dataclass-generated dunders)
+    are exempt; everything else public must carry a docstring.
+    """
+    for name, obj in sorted(vars(module).items()):
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home
+        if inspect.isfunction(obj):
+            yield f"{module.__name__}.{name}", obj
+        elif inspect.isclass(obj):
+            yield f"{module.__name__}.{name}", obj
+            for mname, member in sorted(vars(obj).items()):
+                if mname.startswith("_"):
+                    continue
+                if isinstance(member, property):
+                    yield f"{module.__name__}.{name}.{mname}", member.fget
+                elif inspect.isfunction(member):
+                    yield f"{module.__name__}.{name}.{mname}", member
+                elif isinstance(member, classmethod):
+                    yield (f"{module.__name__}.{name}.{mname}",
+                           member.__func__)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert (module.__doc__ or "").strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_every_public_member_is_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = [qual for qual, obj in _public_members(module)
+               if not (getattr(obj, "__doc__", None) or "").strip()]
+    assert not missing, (
+        "public API without docstrings (documented in docs/api.md):\n  "
+        + "\n  ".join(missing))
+
+
+def test_walker_sees_the_api():
+    """The walker is not vacuously passing: it finds a healthy number of
+    members in each module."""
+    counts = {m: sum(1 for _ in _public_members(
+        importlib.import_module(m))) for m in MODULES}
+    assert counts["repro.emc.detectors"] >= 8
+    assert counts["repro.emc.radiated"] >= 5
+    assert counts["repro.experiments.sweep"] >= 25

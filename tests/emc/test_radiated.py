@@ -1,0 +1,184 @@
+"""Radiated-emission estimation: closed-form antenna models against
+hand-computed dipole values, table antennas, and the mask presets."""
+
+import numpy as np
+import pytest
+
+from repro.emc import (MU0, AntennaModel, Spectrum, apply_detector,
+                       get_mask, radiated_spectrum, to_db_micro)
+from repro.errors import ExperimentError
+
+
+class TestCableModel:
+    def test_short_cable_hand_value(self):
+        """Below resonance: |E| = mu0 * f * I * L / d exactly.
+
+        1 mA of common-mode current on a 1 m cable at 10 MHz, 10 m:
+        E = 4 pi e-7 * 1e7 * 1e-3 * 1 / 10 = 1.2566e-3 V/m (~62 dBuV/m).
+        """
+        ant = AntennaModel(length=1.0, distance=10.0)
+        e = ant.e_field(np.array([10e6]), np.array([1e-3]))
+        expect = MU0 * 10e6 * 1e-3 * 1.0 / 10.0
+        assert e[0] == pytest.approx(expect, rel=1e-12)
+        assert e[0] == pytest.approx(1.2566e-3, rel=1e-3)
+        assert to_db_micro(e[0]) == pytest.approx(61.98, abs=0.01)
+
+    def test_resonant_bound_caps_high_frequencies(self):
+        """Above the crossover the field saturates at 120 * I / d."""
+        ant = AntennaModel(length=1.0, distance=3.0)
+        i = np.array([1e-3, 1e-3])
+        e = ant.e_field(np.array([1e9, 10e9]), i)
+        expect = 120.0 * 1e-3 / 3.0
+        np.testing.assert_allclose(e, expect, rtol=1e-12)
+
+    def test_crossover_frequency(self):
+        """Linear law meets the bound at f = 120 / (mu0 * L)."""
+        ant = AntennaModel(length=2.0, distance=10.0)
+        f_cross = 120.0 / (MU0 * 2.0)
+        lo = ant.e_field(np.array([0.99 * f_cross]), np.array([1.0]))
+        hi = ant.e_field(np.array([1.01 * f_cross]), np.array([1.0]))
+        assert lo[0] < hi[0] == pytest.approx(120.0 / 10.0, rel=1e-9)
+
+    def test_field_scales_with_length_distance_current(self):
+        ant = AntennaModel(length=1.0, distance=10.0)
+        f = np.array([10e6])
+        base = ant.e_field(f, np.array([1e-3]))[0]
+        assert AntennaModel(length=2.0, distance=10.0).e_field(
+            f, np.array([1e-3]))[0] == pytest.approx(2 * base)
+        assert AntennaModel(length=1.0, distance=3.0).e_field(
+            f, np.array([1e-3]))[0] == pytest.approx(base * 10 / 3)
+        assert ant.e_field(f, np.array([2e-3]))[0] == \
+            pytest.approx(2 * base)
+
+    def test_cm_fraction_attenuates_linearly(self):
+        f = np.array([10e6])
+        i = np.array([1e-3])
+        full = AntennaModel(length=1.0, distance=10.0).e_field(f, i)[0]
+        frac = AntennaModel(length=1.0, distance=10.0,
+                            cm_fraction=0.01).e_field(f, i)[0]
+        assert frac == pytest.approx(0.01 * full, rel=1e-12)
+
+    def test_dc_does_not_radiate(self):
+        ant = AntennaModel()
+        e = ant.e_field(np.array([0.0, 1e6]), np.array([1.0, 1.0]))
+        assert e[0] == 0.0 and e[1] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            AntennaModel(kind="bogus")
+        with pytest.raises(ExperimentError):
+            AntennaModel(length=0.0)
+        with pytest.raises(ExperimentError):
+            AntennaModel(distance=-1.0)
+        with pytest.raises(ExperimentError):
+            AntennaModel(cm_fraction=0.0)
+        with pytest.raises(ExperimentError):
+            AntennaModel(cm_fraction=1.5)
+
+
+class TestTableAntenna:
+    def test_log_frequency_interpolation(self):
+        """E[dBuV/m] = I[dBuA] + k(f), k log-f interpolated."""
+        ant = AntennaModel(kind="table",
+                           points=((1e6, 20.0), (1e9, 50.0)))
+        k = ant.transfer_db(np.array([1e6, 31.622776e6, 1e9]))
+        np.testing.assert_allclose(k, [20.0, 35.0, 50.0], atol=1e-6)
+        # 1 mA = 60 dBuA -> 60 + 20 = 80 dBuV/m at 1 MHz
+        e = ant.e_field(np.array([1e6]), np.array([1e-3]))
+        assert to_db_micro(e[0]) == pytest.approx(80.0, abs=1e-6)
+
+    def test_clamped_outside_band(self):
+        ant = AntennaModel(kind="table",
+                           points=((1e6, 20.0), (1e9, 50.0)))
+        k = ant.transfer_db(np.array([1e3, 1e10]))
+        np.testing.assert_allclose(k, [20.0, 50.0])
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            AntennaModel(kind="table", points=((1e6, 20.0),))
+        with pytest.raises(ExperimentError):
+            AntennaModel(kind="table",
+                         points=((1e9, 20.0), (1e6, 50.0)))
+        with pytest.raises(ExperimentError):
+            AntennaModel(kind="table",
+                         points=((-1.0, 20.0), (1e6, 50.0)))
+
+    def test_key_distinguishes_models(self):
+        a = AntennaModel(length=1.0, distance=10.0)
+        b = AntennaModel(length=1.0, distance=3.0)
+        c = AntennaModel(length=1.0, distance=10.0, cm_fraction=0.5)
+        assert a.key() != b.key() != c.key()
+        assert a.key() == AntennaModel(length=1.0, distance=10.0).key()
+
+
+class TestRadiatedSpectrum:
+    def current_spectrum(self):
+        f = np.linspace(0.0, 1e9, 201)
+        return Spectrum(f, np.full(f.size, 1e-3), unit="A",
+                        label="i_cm")
+
+    def test_unit_and_db_convention(self):
+        e = radiated_spectrum(self.current_spectrum(),
+                              AntennaModel(length=1.0, distance=10.0))
+        assert e.unit == "V/m" and e.kind == "amplitude"
+        assert e.meta["distance_m"] == 10.0
+        # db() is dBuV/m via the same 20 log10(x / 1u) convention
+        np.testing.assert_allclose(e.db(), to_db_micro(e.mag))
+
+    def test_detector_tag_rides_through(self):
+        s = self.current_spectrum()
+        s.meta["dt"] = 1e-9
+        w = apply_detector(s, "quasi-peak", prf=1e3)
+        e = radiated_spectrum(w, AntennaModel())
+        assert e.detector == "quasi-peak"
+
+    def test_rejects_non_current_spectra(self):
+        f = np.linspace(0.0, 1e9, 11)
+        with pytest.raises(ExperimentError):
+            radiated_spectrum(Spectrum(f, np.ones(11), unit="V"),
+                              AntennaModel())
+        with pytest.raises(ExperimentError):
+            radiated_spectrum(Spectrum(f, np.ones(11), unit="A",
+                                       kind="psd"), AntennaModel())
+
+    def test_mask_check_end_to_end(self):
+        """A quiet current passes FCC 15B at 3 m; a loud one fails."""
+        mask = get_mask("fcc-15b")
+        f = np.linspace(30e6, 960e6, 200)
+        ant = AntennaModel(length=1.0, distance=3.0)
+        quiet = radiated_spectrum(
+            Spectrum(f, np.full(f.size, 1e-6), unit="A"), ant)
+        loud = radiated_spectrum(
+            Spectrum(f, np.full(f.size, 10e-3), unit="A"), ant)
+        assert mask.check(quiet).passed
+        v = mask.check(loud)
+        assert not v.passed and v.detector == "peak"
+
+
+class TestRadiatedPresets:
+    @pytest.mark.parametrize("name", ["cispr22-a-radiated",
+                                      "cispr22-b-radiated",
+                                      "fcc-15b", "cispr25"])
+    def test_resolvable_and_field_strength_unit(self, name):
+        mask = get_mask(name)
+        assert mask.unit == "dBuV/m"
+
+    def test_fcc_15b_published_levels(self):
+        mask = get_mask("fcc-15b")
+        lv = mask.level(np.array([50e6, 100e6, 500e6, 2e9]))
+        np.testing.assert_allclose(lv, [40.0, 43.5, 46.0, 54.0])
+
+    def test_cispr22_radiated_class_step(self):
+        a = get_mask("cispr22-a-radiated")
+        b = get_mask("cispr22-b-radiated")
+        np.testing.assert_allclose(a.level(np.array([100e6, 500e6])),
+                                   [40.0, 47.0])
+        np.testing.assert_allclose(b.level(np.array([100e6, 500e6])),
+                                   [30.0, 37.0])
+
+    def test_cispr25_gaps_are_unchecked(self):
+        """Bins between the protected bands carry no limit (NaN)."""
+        mask = get_mask("cispr25")
+        lv = mask.level(np.array([100e6, 60e6]))
+        assert np.isfinite(lv[0])       # FM band is protected
+        assert np.isnan(lv[1])          # 60 MHz falls in a gap

@@ -292,3 +292,196 @@ class TestSpectralCacheKeys:
         assert payload["verdict"]["mask"] == "board-b"
         assert payload["verdict"]["passed"] == out.verdict.passed
         assert "v_port" in payload["spectra"]
+
+
+# ---------------------------------------------------------------------------
+# CISPR 16 detectors and radiated estimation through the sweep stack
+# ---------------------------------------------------------------------------
+
+from repro.experiments import AntennaModel  # noqa: E402
+
+#: burst repeating at 1 kHz: quasi-peak relief is several dB in band C/D
+SPEC_DET = SpectralSpec(mask="board-b",
+                        detectors=("peak", "quasi-peak", "average"),
+                        prf=1e3)
+SPEC_RAD = SpectralSpec(quantity="i_port", mask="board-i",
+                        detectors=("peak", "quasi-peak"), prf=1e3,
+                        antenna=AntennaModel(length=1.0, distance=3.0,
+                                             cm_fraction=5e-3),
+                        radiated_mask="fcc-15b")
+
+
+class TestDetectorScenarios:
+    def test_detector_spectra_and_verdicts(self, serial_runner):
+        out = serial_runner.run(
+            scenario_grid(["0110"], LOADS[:1], spectral=SPEC_DET))[0]
+        assert out.ok
+        assert set(out.spectra) == {"v_port", "v_port@quasi-peak",
+                                    "v_port@average"}
+        assert out.spectra["v_port"].detector == "peak"
+        assert out.spectra["v_port@quasi-peak"].detector == "quasi-peak"
+        assert set(out.verdicts_by) == {"peak", "quasi-peak", "average"}
+        for det, v in out.verdicts_by.items():
+            assert v.detector == det and v.mask == "board-b"
+        # detector relief is monotone: av margin >= qp margin >= pk margin
+        m = out.verdicts_by
+        assert m["average"].margin_db >= m["quasi-peak"].margin_db
+        assert m["quasi-peak"].margin_db >= m["peak"].margin_db
+        # the headline verdict is the binding (worst-margin) check
+        assert out.verdict.margin_db == m["peak"].margin_db
+        # per-check margins land in the metrics
+        assert out.metrics["margin[quasi-peak]_db"] == pytest.approx(
+            m["quasi-peak"].margin_db)
+
+    def test_detector_changes_the_passfail(self, serial_runner):
+        """QP relief flips a marginal failure into a pass: the reason
+        detector choice is part of the verdict's identity."""
+        from repro.emc import LimitMask, register_mask
+
+        out = serial_runner.run(
+            scenario_grid(["0110"], LOADS[:1], spectral=SPEC_DET))[0]
+        pk = out.verdicts_by["peak"]
+        # a mask sitting just above the peak level: peak fails, QP passes
+        delta = pk.margin_db + 1.0
+        tight = get_mask("board-b").shifted(-delta)
+        spec = SpectralSpec(mask=tight,
+                            detectors=("peak", "quasi-peak"), prf=1e3)
+        out2 = serial_runner.run(
+            scenario_grid(["0110"], LOADS[:1], spectral=spec))[0]
+        assert out2.verdicts_by["peak"].passed is False
+        assert out2.verdicts_by["quasi-peak"].passed is True
+        assert out2.passed is False  # combined ANDs every detector
+
+    def test_compliance_table_has_detector_columns(self, serial_runner):
+        result = serial_runner.run(
+            scenario_grid(["0110"], LOADS, spectral=SPEC_DET))
+        table = result.compliance_table()
+        for col in ("m(pk)", "m(qp)", "m(av)"):
+            assert col in table
+
+    def test_radiated_scenarios(self, serial_runner):
+        out = serial_runner.run(
+            scenario_grid(["0110"], LOADS[:1], spectral=SPEC_RAD))[0]
+        assert out.ok
+        assert set(out.spectra) == {"i_port", "i_port@quasi-peak",
+                                    "e_field", "e_field@quasi-peak"}
+        e = out.spectra["e_field"]
+        assert e.unit == "V/m" and e.meta["distance_m"] == 3.0
+        assert set(out.verdicts_by) == {"peak", "quasi-peak",
+                                        "rad:peak", "rad:quasi-peak"}
+        rad = out.verdicts_by["rad:peak"]
+        assert rad.mask == "fcc-15b" and rad.detector == "peak"
+        # e_field = i_port * cm_fraction * transfer, bin for bin
+        i_spec = out.spectra["i_port"]
+        ant = SPEC_RAD.antenna
+        np.testing.assert_allclose(e.mag,
+                                   ant.e_field(i_spec.f, i_spec.mag),
+                                   rtol=1e-12)
+
+    def test_radiated_peak_hold(self, serial_runner):
+        result = serial_runner.run(
+            scenario_grid(["0110", "010101"], LOADS[:1],
+                          spectral=SPEC_RAD))
+        env = result.peak_hold("e_field", "quasi-peak")
+        assert env.unit == "V/m" and env.detector == "quasi-peak"
+
+    def test_parallel_matches_serial_with_detectors(self, md2_model):
+        """Detector/radiated spectra survive the shared-memory arena."""
+        grid = scenario_grid(["0110"], LOADS, spectral=SPEC_RAD)
+        models = {("MD2", "typ"): md2_model}
+        serial = ScenarioRunner(models=models, n_workers=1,
+                                use_result_cache=False).run(grid)
+        par = ScenarioRunner(models=models, n_workers=2,
+                             use_result_cache=False).run(grid)
+        for a, b in zip(serial, par):
+            assert set(a.spectra) == set(b.spectra)
+            for key in a.spectra:
+                np.testing.assert_array_equal(a.spectra[key].mag,
+                                              b.spectra[key].mag)
+                assert a.spectra[key].detector == b.spectra[key].detector
+            assert a.verdicts_by == b.verdicts_by
+
+    def test_spec_validation(self):
+        with pytest.raises(ExperimentError):
+            SpectralSpec(detectors=())
+        with pytest.raises(ExperimentError):
+            SpectralSpec(detectors=("peak", "bogus"))
+        with pytest.raises(ExperimentError):
+            SpectralSpec(prf=-1.0)
+        with pytest.raises(ExperimentError):
+            SpectralSpec(quantity="v_port", antenna=AntennaModel())
+        with pytest.raises(ExperimentError):
+            SpectralSpec(quantity="i_port", radiated_mask="fcc-15b")
+        # a string detector is normalized to a tuple
+        assert SpectralSpec(detectors="quasi-peak").detectors == \
+            ("quasi-peak",)
+
+
+class TestDetectorCacheInvalidation:
+    def test_memory_cache_distinguishes_detector_settings(self, runner):
+        base = scenario_grid(["0110"], LOADS[:1], spectral=SPEC_DET)
+        runner.run(base)
+        assert runner.run(base).n_cache_hits == 1
+        for spec in (SpectralSpec(mask="board-b",
+                                  detectors=("peak", "quasi-peak"),
+                                  prf=1e3),
+                     SpectralSpec(mask="board-b",
+                                  detectors=("peak", "quasi-peak",
+                                             "average"), prf=2e3),
+                     SpectralSpec(mask="board-b")):
+            grid = scenario_grid(["0110"], LOADS[:1], spectral=spec)
+            assert runner.run(grid).n_cache_hits == 0
+
+    def test_detector_change_never_serves_stale_verdicts(self, md2_model,
+                                                         tmp_path):
+        """Same physics, different detector request: the disk entry must
+        be a miss and the fresh verdicts must carry the new detector."""
+        models = {("MD2", "typ"): md2_model}
+        grid_pk = scenario_grid(["0110"], LOADS[:1],
+                                spectral=SpectralSpec(mask="board-b"))
+        grid_qp = scenario_grid(
+            ["0110"], LOADS[:1],
+            spectral=SpectralSpec(mask="board-b",
+                                  detectors=("quasi-peak",), prf=1e3))
+        first = ScenarioRunner(models=models, n_workers=1,
+                               disk_cache=tmp_path / "c").run(grid_pk)
+        assert first[0].verdicts_by["peak"].detector == "peak"
+        second = ScenarioRunner(models=models, n_workers=1,
+                                disk_cache=tmp_path / "c").run(grid_qp)
+        assert second.n_cache_hits == 0
+        assert set(second[0].verdicts_by) == {"quasi-peak"}
+        assert second[0].verdict.detector == "quasi-peak"
+        # and the original request still hits its own entry
+        third = ScenarioRunner(models=models, n_workers=1,
+                               disk_cache=tmp_path / "c").run(grid_pk)
+        assert third.n_cache_hits == 1
+        assert third[0].verdict.detector == "peak"
+
+    def test_disk_round_trips_detector_payload(self, md2_model, tmp_path):
+        grid = scenario_grid(["0110"], LOADS[:1], spectral=SPEC_RAD)
+        models = {("MD2", "typ"): md2_model}
+        first = ScenarioRunner(models=models, n_workers=1,
+                               disk_cache=tmp_path / "c").run(grid)
+        second = ScenarioRunner(models=models, n_workers=1,
+                                disk_cache=tmp_path / "c").run(grid)
+        assert second.n_cache_hits == 1
+        a, b = first[0], second[0]
+        assert set(a.spectra) == set(b.spectra)
+        for key in a.spectra:
+            np.testing.assert_array_equal(a.spectra[key].mag,
+                                          b.spectra[key].mag)
+            assert b.spectra[key].detector == a.spectra[key].detector
+        assert b.verdicts_by == a.verdicts_by
+        assert b.passed == a.passed
+
+    def test_antenna_change_is_a_fresh_entry(self, runner):
+        grid = scenario_grid(["0110"], LOADS[:1], spectral=SPEC_RAD)
+        runner.run(grid)
+        moved = SpectralSpec(
+            quantity="i_port", mask="board-i",
+            detectors=("peak", "quasi-peak"), prf=1e3,
+            antenna=AntennaModel(length=1.0, distance=10.0,
+                                 cm_fraction=5e-3),
+            radiated_mask="fcc-15b")
+        grid2 = scenario_grid(["0110"], LOADS[:1], spectral=moved)
+        assert runner.run(grid2).n_cache_hits == 0
