@@ -1,27 +1,47 @@
-"""EMC corner sweep: one ScenarioRunner call instead of a hand-written loop.
+"""EMC corner sweep, declaratively: one Study object instead of a loop.
 
-Estimates the MD2 PW-RBF driver macromodel once, then fans a grid of
-bit patterns x terminations across worker processes, collects per-scenario
-EMC metrics (overshoot, undershoot, ringing, edge counts), and prints the
-worst corners.  A second `run` on the same grid answers from the result
-cache without re-simulating, and the cache is *disk-persistent*: re-running
-this script answers most of the grid from `.sweep_cache/` without touching
-the engine -- the workflow for iterating on a single scenario inside a
-large swept set.
+Describes the whole assessment -- bit patterns x terminations, timing,
+runner options -- as a single declarative `Study`, runs it, and prints
+the worst corners.  The study saves itself to `scenario_sweep.toml`, and
+the identical sweep can then be reproduced without this script:
+
+    python -m repro.studies run scenario_sweep.toml
+
+A second `run` answers from the per-scenario result cache without
+re-simulating, and the cache is *disk-persistent*: re-running this script
+(or the CLI) answers most of the grid from `.sweep_cache/` without
+touching the engine -- the workflow for iterating on a single scenario
+inside a large swept set.  Cache keys are the scenarios' canonical
+serialized form, so the TOML file, the CLI and this script all share one
+cache.
 
 Run:  python examples/scenario_sweep.py
 (see examples/crosstalk_corner_sweep.py for the coupled-line / receiver /
-process-corner scenario kinds)
+process-corner scenario kinds, and examples/power_rail_study.py for
+registering a custom scenario kind)
 """
 
 import time
 
 from repro.devices import MD2
-from repro.experiments import LoadSpec, ScenarioRunner, scenario_grid
 from repro.experiments.asciiplot import ascii_plot
 from repro.models import estimate_driver_model
+from repro.studies import LoadSpec, RunnerOptions, Study
 
 CACHE_DIR = ".sweep_cache"
+
+STUDY = Study(
+    name="scenario-sweep-demo",
+    patterns=("01", "010", "0110", "01010011"),
+    loads=(
+        LoadSpec(kind="r", r=50.0, label="matched 50R"),
+        LoadSpec(kind="rc", r=150.0, c=5e-12, label="150R || 5pF"),
+        LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e4,
+                 label="75R line, open end"),
+    ),
+    bit_time=2e-9,
+    options=RunnerOptions(disk_cache=CACHE_DIR),
+)
 
 
 def main():
@@ -30,27 +50,15 @@ def main():
     model = estimate_driver_model(MD2, order=2, n_bases_high=9,
                                   n_bases_low=9)
 
-    print("2) building the scenario grid (patterns x loads)...")
-    grid = scenario_grid(
-        patterns=["01", "010", "0110", "01010011"],
-        loads=[
-            LoadSpec(kind="r", r=50.0, label="matched 50R"),
-            LoadSpec(kind="rc", r=150.0, c=5e-12, label="150R || 5pF"),
-            LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e4,
-                     label="75R line, open end"),
-        ],
-        bit_time=2e-9)
-    print(f"   {len(grid)} scenarios")
+    print(f"2) the declarative study: {len(STUDY)} scenarios "
+          f"[digest {STUDY.digest()}]")
+    path = STUDY.save("scenario_sweep.toml")
+    print(f"   saved to {path} -- rerun it any time with "
+          f"`python -m repro.studies run {path}`")
 
     print(f"3) sweeping in parallel (disk cache: {CACHE_DIR}/)...")
-    runner = ScenarioRunner(models={("MD2", "typ"): model},
-                            disk_cache=CACHE_DIR)
-    t0 = time.perf_counter()
-    result = runner.run(grid)
-    print(f"   swept {len(result)} scenarios in "
-          f"{time.perf_counter() - t0:.2f} s "
-          f"({runner.n_workers} workers, "
-          f"{result.n_cache_hits} answered from a previous process)\n")
+    result = STUDY.run(models={("MD2", "typ"): model})
+    print(f"   {result.summary()}\n")
 
     print(result.table())
 
@@ -63,7 +71,7 @@ def main():
 
     print("4) repeated run hits the per-scenario result cache...")
     t0 = time.perf_counter()
-    again = runner.run(grid)
+    again = STUDY.run(models={("MD2", "typ"): model})
     print(f"   {again.n_cache_hits}/{len(again)} cache hits in "
           f"{time.perf_counter() - t0:.3f} s")
     print(f"   (re-run this script: a fresh process answers from "

@@ -13,6 +13,8 @@ Public API layers
 ``repro.ibis``         IBIS baseline: extraction, simulation, file I/O
 ``repro.emc``          accuracy metrics (timing error, RMS error)
 ``repro.experiments``  one driver per paper figure/table
+``repro.studies``      declarative EMC studies: scenario kinds, grids,
+                       parallel sweeps, compliance reporting
 """
 
 from . import circuit, devices, emc, errors, ibis, ident, models
@@ -20,4 +22,15 @@ from . import circuit, devices, emc, errors, ibis, ident, models
 __version__ = "0.1.0"
 
 __all__ = ["circuit", "devices", "emc", "errors", "ibis", "ident", "models",
-           "__version__"]
+           "studies", "__version__"]
+
+
+def __getattr__(name: str):
+    """Load :mod:`repro.studies` lazily: plain ``import repro`` should
+    not pay for the sweep stack (multiprocessing, csv, experiments
+    caches) it pulls in."""
+    if name == "studies":
+        import importlib
+        return importlib.import_module(".studies", __name__)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

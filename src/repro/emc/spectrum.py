@@ -22,7 +22,7 @@ Spectra are single-shot: they describe the simulated record (pattern burst
 plus ringing), windowed like a spectrum-analyzer sweep would see it, not an
 infinite periodic extension.  Levels therefore depend on the record length
 -- compare spectra of equal-duration records, which is exactly what a
-:class:`~repro.experiments.sweep.ScenarioRunner` grid produces.
+:class:`~repro.studies.runner.ScenarioRunner` grid produces.
 """
 
 from __future__ import annotations

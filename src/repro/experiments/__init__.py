@@ -1,14 +1,40 @@
-"""Experiment drivers: one module per paper figure/table (see DESIGN.md)."""
+"""Experiment drivers: one module per paper figure/table (see DESIGN.md).
+
+The scenario-sweep API historically re-exported here
+(:class:`LoadSpec`, :class:`ScenarioRunner`, :func:`scenario_grid`, ...)
+now lives in :mod:`repro.studies`; the names keep resolving through this
+package (lazily, so importing ``repro.experiments`` does not pay for the
+sweep stack) but new code should import from ``repro.studies`` directly.
+"""
 
 from . import cache, setups
 from ..emc.radiated import AntennaModel
 from .cache import SweepDiskCache
 from .result import ExperimentResult
-from .sweep import (CORNERS, CoupledLoadSpec, LoadSpec, Scenario,
-                    ScenarioOutcome, ScenarioRunner, SpectralSpec,
-                    SweepResult, scenario_grid)
 
 __all__ = ["cache", "setups", "ExperimentResult",
            "LoadSpec", "CoupledLoadSpec", "SpectralSpec", "Scenario",
            "ScenarioOutcome", "ScenarioRunner", "SweepResult",
            "SweepDiskCache", "scenario_grid", "CORNERS", "AntennaModel"]
+
+#: sweep names that forward to :mod:`repro.studies` (PEP 562)
+_STUDY_NAMES = ("LoadSpec", "CoupledLoadSpec", "SpectralSpec", "Scenario",
+                "ScenarioOutcome", "ScenarioRunner", "SweepResult",
+                "scenario_grid", "CORNERS")
+
+
+def __getattr__(name: str):
+    """Forward the legacy sweep names to :mod:`repro.studies`."""
+    if name in _STUDY_NAMES:
+        from .. import studies
+        return getattr(studies, name)
+    if name == "sweep":
+        # `import repro.experiments` followed by attribute access on
+        # `.sweep` worked when the submodule was imported eagerly; keep
+        # it working (with the shim's DeprecationWarning).  importlib,
+        # not `from . import sweep`: the latter re-enters this
+        # __getattr__ through the fromlist machinery and recurses.
+        import importlib
+        return importlib.import_module(".sweep", __name__)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -4,7 +4,7 @@ Model estimation costs seconds; every figure and benchmark that needs the
 MD1 PW-RBF model (say) should estimate it exactly once per process.
 
 :class:`SweepDiskCache` persists per-scenario sweep results
-(:class:`~repro.experiments.sweep.ScenarioRunner` outcomes) to a directory
+(:class:`~repro.studies.runner.ScenarioRunner` outcomes) to a directory
 so repeated sweeps across *processes* answer from disk.  Layout::
 
     <root>/index.json          # digest -> {name, key} catalog (best effort)
@@ -42,14 +42,17 @@ from ..models import (estimate_cv_receiver, estimate_driver_model,
 from .setups import MODEL_SETTINGS, TS
 
 __all__ = ["driver_model", "receiver_model", "cv_receiver_model",
-           "ibis_model", "clear", "SweepDiskCache", "scenario_key_digest",
-           "model_fingerprint", "CACHE_VERSION"]
+           "ibis_model", "clear", "SweepDiskCache", "canonical_json",
+           "scenario_key_digest", "model_fingerprint", "CACHE_VERSION"]
 
 #: payload-schema version of :class:`SweepDiskCache` entries (folded into
-#: every entry digest; bump whenever the stored payload shape changes --
-#: v2 added spectra + verdicts, v3 added detector-weighted spectra
-#: (``detector`` tag per spectrum) and the per-check ``verdicts_by`` map)
-CACHE_VERSION = 3
+#: every entry digest; bump whenever the stored payload shape OR the key
+#: rendering changes -- v2 added spectra + verdicts, v3 added
+#: detector-weighted spectra (``detector`` tag per spectrum) and the
+#: per-check ``verdicts_by`` map, v4 switched ``Scenario.key()`` to the
+#: canonical JSON rendering of the declarative study form
+#: (:mod:`repro.studies`), so tuple-keyed v3 entries are never revisited)
+CACHE_VERSION = 4
 
 _cache: dict = {}
 
@@ -102,7 +105,23 @@ def _jsonable(obj):
     """Tuples become lists so the rendering is canonical JSON."""
     if isinstance(obj, (tuple, list)):
         return [_jsonable(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _jsonable(v) for k, v in obj.items()}
     return obj
+
+
+def canonical_json(obj) -> str:
+    """THE canonical JSON rendering every cache digest hashes.
+
+    Tuples render as lists, dict keys sort, no whitespace, floats via
+    ``repr`` (the shortest round-trip form) -- deterministic across
+    processes and platforms.  :func:`scenario_key_digest`,
+    :meth:`~repro.studies.spec.Scenario.key` and
+    :meth:`~repro.studies.spec.Study.canonical` all render through this
+    one function, so the key form cannot silently fork between modules.
+    """
+    return json.dumps(_jsonable(obj), sort_keys=True,
+                      separators=(",", ":"))
 
 
 def _jsonable_meta(meta: dict) -> dict:
@@ -118,13 +137,12 @@ def _jsonable_meta(meta: dict) -> dict:
 
 
 def scenario_key_digest(key) -> str:
-    """Stable hex digest of a ``Scenario.key()`` tuple.
+    """Stable hex digest of a scenario key (any JSON-able value).
 
-    The key is rendered as canonical JSON (tuples as lists, floats via
-    ``repr`` -- the shortest round-trip form, identical across processes
-    and platforms) and hashed with sha256.
+    The key is rendered with :func:`canonical_json` and hashed with
+    sha256.
     """
-    canon = json.dumps(_jsonable(key), separators=(",", ":"))
+    canon = canonical_json(key)
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:32]
 
 

@@ -25,10 +25,11 @@ from .setups import FIG3_LINE, FIG3_N_SECTIONS, FIG4, TS
 __all__ = ["run", "build_testbed", "simulate_testbed"]
 
 
-def build_testbed(kind: str, setup=FIG4, model=None) -> Circuit:
-    """Fig. 3 structure with ``kind`` in {'reference', 'macromodel'} drivers."""
-    ckt = Circuit(f"fig3_{kind}")
-    if kind == "reference":
+def build_testbed(variant: str, setup=FIG4, model=None) -> Circuit:
+    """Fig. 3 structure with ``variant`` in {'reference', 'macromodel'}
+    drivers."""
+    ckt = Circuit(f"fig3_{variant}")
+    if variant == "reference":
         d1 = build_driver(ckt, MD3, "d1", "ne1",
                           initial_state=setup.pattern_active[0])
         d1.drive_pattern(setup.pattern_active, setup.bit_time)
@@ -49,9 +50,9 @@ def build_testbed(kind: str, setup=FIG4, model=None) -> Circuit:
     return ckt
 
 
-def simulate_testbed(kind: str, setup=FIG4, model=None):
+def simulate_testbed(variant: str, setup=FIG4, model=None):
     """Run the testbed; returns (result, wall_seconds)."""
-    ckt = build_testbed(kind, setup, model)
+    ckt = build_testbed(variant, setup, model)
     t0 = time.perf_counter()
     res = run_transient(ckt, TransientOptions(dt=TS, t_stop=setup.t_stop,
                                               method="damped", ic="dcop"))

@@ -7,7 +7,7 @@ shared by the test suite (``tests/experiments/test_golden_waveforms.py``)
 and the regeneration script (``benchmarks/regen_golden.py``) so the two can
 never drift apart.
 
-The cases pin the paper's two validation workhorses:
+The cases pin the paper's validation workhorses:
 
 * ``fig2_panel1`` -- MD2 sends a 1 ns pulse into the first Fig. 2 ideal
   line (z0 = 50 ohm, td = 0.5 ns, 1 pF far-end load): transistor-level
@@ -16,7 +16,12 @@ The cases pin the paper's two validation workhorses:
   transistor-level, parametric (ARX + RBF) and C-V model input currents;
 * ``fig2_spectrum`` -- the emission view of ``fig2_panel1``: windowed-FFT
   amplitude spectra (reference and PW-RBF) of the same far-end waveforms,
-  pinning the :mod:`repro.emc.spectrum` estimator end to end.
+  pinning the :mod:`repro.emc.spectrum` estimator end to end;
+* ``fig4`` -- MD3 drives the Fig. 3 coupled lossy MCM
+  interconnect (shortened "0110" pattern of the ``fig4.run(fast=True)``
+  variant): far-end active-land (v21) and quiet-land crosstalk (v22)
+  voltages, transistor-level reference and PW-RBF macromodel -- the
+  crosstalk-sensitive multi-conductor path.
 
 Tolerances are absolute, in the waveform's own unit, and deliberately much
 tighter than any physical effect of interest: the engine is deterministic
@@ -45,6 +50,7 @@ TOLERANCES = {
     "fig2_panel1": 2e-3,
     "fig5_receiver": 2e-5,
     "fig2_spectrum": 2e-3,
+    "fig4": 2e-3,
 }
 
 
@@ -80,10 +86,35 @@ def fig2_spectrum(driver_model=None) -> dict[str, np.ndarray]:
     return {"f": s_ref.f, "ref_mag": s_ref.mag, "pwrbf_mag": s_mm.mag}
 
 
+def fig4_case(driver_model=None) -> dict[str, np.ndarray]:
+    """Far-end active/quiet-land voltages of the Fig. 3 MCM structure.
+
+    Uses the shortened ``fast`` setup of :func:`repro.experiments.fig4.run`
+    (pattern "0110", 8 ns) so the reference simulation stays cheap enough
+    for the tier-1 suite while still exercising the lossy coupled line
+    and the far-end crosstalk path.
+    """
+    from dataclasses import replace as _replace
+
+    from .fig4 import simulate_testbed
+    from .setups import FIG4
+    model = driver_model if driver_model is not None \
+        else cache.driver_model("MD3")
+    setup = _replace(FIG4, pattern_active="0110", pattern_quiet="0000",
+                     t_stop=8e-9)
+    ref, _ = simulate_testbed("reference", setup)
+    mm, _ = simulate_testbed("macromodel", setup, model)
+    return {"t": ref.t, "ref_v21": ref.v("fe1").copy(),
+            "ref_v22": ref.v("fe2").copy(),
+            "pwrbf_v21": mm.v("fe1").copy(),
+            "pwrbf_v22": mm.v("fe2").copy()}
+
+
 CASES = {
     "fig2_panel1": fig2_panel1,
     "fig5_receiver": fig5_receiver,
     "fig2_spectrum": fig2_spectrum,
+    "fig4": fig4_case,
 }
 
 

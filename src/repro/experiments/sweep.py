@@ -1,1231 +1,34 @@
-"""Parallel EMC scenario sweeps over the macromodel engine.
+"""Deprecated: the sweep monolith moved to :mod:`repro.studies`.
 
-The paper's pitch is that PW-RBF macromodels make system-level transient
-assessment cheap; what an EMC engineer actually runs is not one transient but
-a *grid* of them -- bit patterns x loads x drivers x process corners --
-looking for the worst-case overshoot, ringing, crosstalk, timing corner, or
-emission level.  This module turns that grid into a one-call batch:
+This module is a compatibility shim.  Every public name (and the private
+helpers external code historically reached for) re-exports from the new
+package; importing it emits a :class:`DeprecationWarning`.  Migrate::
 
-    runner = ScenarioRunner(disk_cache=".sweep_cache")
-    result = runner.run(scenario_grid(
-        patterns=["01", "0110", "010101"],
-        loads=[LoadSpec(kind="r", r=50.0),
-               LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e5),
-               LoadSpec(kind="rx", z0=50.0, td=1e-9, receiver="MD4"),
-               CoupledLoadSpec(length=0.1)],
-        corners=CORNERS,
-        spectral=SpectralSpec(mask="board-b")))
-    worst = result.worst("overshoot")
-    print(result.compliance_table())
-    envelope = result.peak_hold()          # grid-wide max-hold spectrum
+    from repro.experiments.sweep import ScenarioRunner   # old
+    from repro.studies import ScenarioRunner             # new
 
-Scenario kinds:
-
-* :class:`LoadSpec` -- single-victim terminations: shunt R (``"r"``),
-  R parallel C (``"rc"``), an ideal line into a far-end R/C (``"line"``),
-  or a line into a macromodeled *receiver* input port (``"rx"``, the
-  receiver-side termination of the paper's Example 4; ``"rx"`` scenarios
-  additionally carry a logic-threshold eye check --
-  :func:`repro.emc.metrics.logic_eye_metrics` -- in their metrics);
-* :class:`CoupledLoadSpec` -- an aggressor/victim pair over a
-  :class:`~repro.circuit.CoupledIdealLine`: the driver switches land 1
-  while land 2 idles behind terminations, and the outcome carries the
-  victim's near/far-end waveforms plus NEXT/FEXT metrics
-  (``next_peak``/``fext_peak``/``next_ratio``/``fext_ratio``).
-
-A :class:`SpectralSpec` (on the scenario or its load) additionally turns
-each scenario into an emission measurement: the pad voltage (``"v_port"``)
-or the conducted port current (``"i_port"``, via a series
-:class:`~repro.circuit.CurrentProbe`) is transformed with a windowed FFT
-(:func:`repro.emc.spectrum.amplitude_spectrum`), weighted by the
-requested CISPR 16 detectors (:mod:`repro.emc.detectors` quasi-peak /
-average emulation at the spec's ``prf``), optionally mapped to a
-radiated E-field estimate through an
-:class:`~repro.emc.radiated.AntennaModel`, and scored against conducted
-and radiated :class:`~repro.emc.limits.LimitMask` presets into
-per-detector :class:`~repro.emc.limits.ComplianceVerdict` entries -- all
-riding on the outcome (``outcome.spectra`` / ``outcome.verdicts_by`` /
-``outcome.verdict``).  ``SweepResult.peak_hold(quantity, detector)``
-aggregates the grid's spectra into the max-hold envelope,
-``compliance_table()``/``worst_margin()`` summarize the verdicts with
-one margin column per detector.
-
-``scenario_grid(..., corners=CORNERS)`` fans the slow/typ/fast process
-corners through the full cartesian product; each ``(driver, corner)`` pair
-resolves to its own estimated macromodel.
-
-Scenarios fan out across ``multiprocessing`` workers (each worker
-deserializes every distinct driver model once).  Waveforms and spectra
-come back through a ``multiprocessing.shared_memory`` arena sized from the
-known per-scenario grid lengths -- workers write arrays in place and only
-pickle the small scalar summary -- with a transparent fallback to plain
-pickling when shared memory is unavailable (or the runner is serial).
-Results carry the :mod:`repro.emc.metrics`-style summary per scenario, and
-a repeated ``run`` on the same runner answers from the per-scenario result
-cache.  Passing ``disk_cache=<dir>`` additionally persists every
-successful outcome to a :class:`~repro.experiments.cache.SweepDiskCache`
-(JSON index + one ``.npz`` per scenario, keyed on ``Scenario.key()`` --
-which folds in the spectral request, so changed spectral settings are
-fresh entries, never stale hits), so repeated sweeps *across processes*
-answer from disk.  Driver models named by catalog id are resolved -- and
-estimated at most once per process -- through
-:mod:`repro.experiments.cache`.
+The new package additionally offers the declarative :class:`Study`
+object, the :class:`~repro.studies.kinds.ScenarioKind` registry and the
+``python -m repro.studies`` CLI -- see :mod:`repro.studies`.
 """
 
-from __future__ import annotations
+import warnings
 
-import multiprocessing as mp
-import os
-import sys
-import time
-from dataclasses import dataclass, field, replace
-from itertools import product
-
-import numpy as np
-
-from ..circuit import (Capacitor, Circuit, CoupledIdealLine, CurrentProbe,
-                       IdealLine, Resistor, TransientOptions, run_transient)
-from ..emc.detectors import (CISPR_BANDS, DETECTORS, apply_detector,
-                             pulse_weight)
-from ..emc.limits import ComplianceVerdict, LimitMask, get_mask
-from ..emc.metrics import (crosstalk_metrics, logic_eye_metrics,
-                           threshold_crossings)
-from ..emc.radiated import AntennaModel, radiated_spectrum
-from ..emc.spectrum import WINDOWS, Spectrum, amplitude_spectrum, peak_hold
-from ..errors import ExperimentError
-from ..models import (ParametricReceiverElement, PWRBFDriverElement,
-                      PWRBFDriverModel)
-from . import cache
+from ..studies import (CORNERS, CoupledLoadSpec, LoadSpec, Scenario,
+                       ScenarioOutcome, ScenarioRunner, SpectralSpec,
+                       SweepResult, scenario_grid)
+from ..studies.runner import _dispatchable
+from ..studies.simulate import (_emc_metrics, _expected_layout,
+                                _outcome_arrays, _pack_outcome,
+                                _simulate_scenario, _unpack_outcome,
+                                _worker_init, _worker_run)
 
 __all__ = ["LoadSpec", "CoupledLoadSpec", "SpectralSpec", "Scenario",
            "ScenarioOutcome", "SweepResult", "ScenarioRunner",
            "scenario_grid", "CORNERS"]
 
-#: the paper's process corners, for ``scenario_grid(..., corners=CORNERS)``
-CORNERS = ("slow", "typ", "fast")
-
-
-# ---------------------------------------------------------------------------
-# scenario description
-# ---------------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class SpectralSpec:
-    """Per-scenario emission-measurement request.
-
-    Parameters
-    ----------
-    quantity : str
-        ``"v_port"`` (pad/observation-node voltage, V) or ``"i_port"``
-        (conducted port current in A, measured by a series
-        :class:`~repro.circuit.CurrentProbe` between the driver pad and
-        the load -- the current waveform also rides along as probe
-        ``"i_port"``).
-    window : str
-        FFT window for :func:`~repro.emc.spectrum.amplitude_spectrum`.
-    n_fft : int, optional
-        FFT length (zero-pad/truncate); ``None`` uses the record length.
-    mask : str or LimitMask, optional
-        Conducted limit mask scored against every requested detector's
-        spectrum; ``None`` computes spectra without conducted verdicts.
-    detectors : str or sequence of str
-        CISPR 16 detectors to emulate (``"peak"``, ``"quasi-peak"``,
-        ``"average"``; see :mod:`repro.emc.detectors`).  The raw FFT
-        spectrum is the peak detector; other detectors add weighted
-        spectra under ``"<quantity>@<detector>"`` outcome keys and their
-        own verdicts.
-    prf : float, optional
-        In-service repetition frequency of the simulated burst in Hz
-        (frame/packet rate), used by the detector weighting.  ``None``
-        assumes back-to-back repetition (line spacing), under which
-        every detector reads the peak value.
-    antenna : AntennaModel, optional
-        Cable-antenna model turning the ``i_port`` common-mode current
-        spectrum into a radiated E-field estimate (``"e_field"`` outcome
-        spectra, V/m); requires ``quantity="i_port"``.
-    radiated_mask : str or LimitMask, optional
-        Field-strength mask (unit ``dBuV/m``) scored against the
-        radiated estimate of every requested detector; requires
-        ``antenna``.
-    """
-
-    quantity: str = "v_port"
-    window: str = "hann"
-    n_fft: int | None = None
-    mask: object = None
-    detectors: object = ("peak",)
-    prf: float | None = None
-    antenna: AntennaModel | None = None
-    radiated_mask: object = None
-
-    def __post_init__(self):
-        if self.quantity not in ("v_port", "i_port"):
-            raise ExperimentError(
-                "SpectralSpec.quantity must be 'v_port' or 'i_port'")
-        # fail fast at construction: a bad window/n_fft would otherwise
-        # only surface as one error outcome per scenario after a full
-        # sweep's worth of simulation
-        if self.window not in WINDOWS:
-            raise ExperimentError(
-                f"unknown window {self.window!r}; pick from "
-                f"{sorted(WINDOWS)}")
-        if self.n_fft is not None and int(self.n_fft) < 2:
-            raise ExperimentError("n_fft must be >= 2")
-        dets = (self.detectors,) if isinstance(self.detectors, str) \
-            else tuple(self.detectors)
-        if not dets:
-            raise ExperimentError("detectors must name at least one of "
-                                  f"{DETECTORS}")
-        seen = []
-        for d in dets:
-            if d not in DETECTORS:
-                raise ExperimentError(
-                    f"unknown detector {d!r}; pick from {DETECTORS}")
-            if d not in seen:
-                seen.append(d)
-        object.__setattr__(self, "detectors", tuple(seen))
-        if self.prf is not None and not float(self.prf) > 0.0:
-            raise ExperimentError("prf must be positive (Hz)")
-        if self.antenna is not None:
-            if not isinstance(self.antenna, AntennaModel):
-                raise ExperimentError("antenna must be an AntennaModel")
-            if self.quantity != "i_port":
-                raise ExperimentError(
-                    "radiated estimation needs the common-mode current: "
-                    "antenna requires quantity='i_port'")
-        if self.radiated_mask is not None and self.antenna is None:
-            raise ExperimentError(
-                "radiated_mask requires an antenna model")
-
-    def resolved_mask(self):
-        """Conducted mask resolved to a LimitMask (or ``None``)."""
-        return get_mask(self.mask) if self.mask is not None else None
-
-    def resolved_radiated_mask(self):
-        """Radiated mask resolved to a LimitMask (or ``None``)."""
-        return get_mask(self.radiated_mask) \
-            if self.radiated_mask is not None else None
-
-    def spectrum_keys(self) -> list[str]:
-        """Outcome ``spectra`` keys this request produces, in order.
-
-        The raw (peak) spectrum is always stored under ``quantity``;
-        non-peak detectors add ``"<quantity>@<detector>"``; an antenna
-        adds ``"e_field"`` (peak) and/or ``"e_field@<detector>"``, one
-        per requested detector.
-        """
-        keys = [self.quantity]
-        keys += [f"{self.quantity}@{d}" for d in self.detectors
-                 if d != "peak"]
-        if self.antenna is not None:
-            keys += ["e_field" if d == "peak" else f"e_field@{d}"
-                     for d in self.detectors]
-        return keys
-
-    def key(self) -> tuple:
-        """Content identity (folded into scenario/disk cache keys)."""
-        mask_key = get_mask(self.mask).key() if self.mask is not None \
-            else None
-        rad_key = get_mask(self.radiated_mask).key() \
-            if self.radiated_mask is not None else None
-        ant_key = self.antenna.key() if self.antenna is not None else None
-        return (self.quantity, self.window, self.n_fft, mask_key,
-                self.detectors, self.prf, ant_key, rad_key)
-
-
-@dataclass(frozen=True)
-class LoadSpec:
-    """Termination attached to the driver port.
-
-    ``kind``: ``"r"`` (shunt resistor), ``"rc"`` (shunt R parallel C),
-    ``"line"`` (ideal line of impedance ``z0``/delay ``td`` into a far-end
-    resistor ``r`` with optional capacitor ``c``) or ``"rx"`` (ideal line
-    into the parametric macromodel of a catalog *receiver* input port --
-    the paper's receiver-side termination; ``r > 0`` adds a parallel
-    termination resistor at the receiver pad, ``r = 0`` leaves the pad
-    unterminated, and ``td = 0`` attaches the receiver directly to the
-    driver port).  ``spectral`` requests emission spectra for every
-    scenario built on this load (a scenario-level spec wins over it).
-    """
-
-    kind: str = "r"
-    r: float = 50.0
-    c: float = 0.0
-    z0: float = 50.0
-    td: float = 1e-9
-    receiver: str = "MD4"
-    label: str = ""
-    spectral: SpectralSpec | None = None
-
-    def describe(self) -> str:
-        """Short human-readable load name (the label, or a synthesized
-        ``r50`` / ``line75x1n-r1e5`` style tag)."""
-        if self.label:
-            return self.label
-        if self.kind == "r":
-            return f"r{self.r:g}"
-        if self.kind == "rc":
-            return f"r{self.r:g}c{self.c * 1e12:g}p"
-        if self.kind == "rx":
-            line = f"line{self.z0:g}x{self.td * 1e9:g}n-" if self.td > 0.0 \
-                else ""
-            term = f"r{self.r:g}" if self.r > 0.0 else ""
-            return f"{line}{self.receiver}{term}"
-        cap = f"c{self.c * 1e12:g}p" if self.c > 0.0 else ""
-        return f"line{self.z0:g}x{self.td * 1e9:g}n-r{self.r:g}{cap}"
-
-    def physics_key(self) -> tuple:
-        """Identity of the electrical load, excluding the cosmetic label
-        (and the spectral request, which is an observation, not physics)."""
-        key = (self.kind, self.r, self.c, self.z0, self.td)
-        return key + (self.receiver,) if self.kind == "rx" else key
-
-    def probes(self) -> dict:
-        """Extra named observation nodes (none for single-victim loads)."""
-        return {}
-
-    def build(self, ckt: Circuit, port: str) -> str:
-        """Attach the load; returns the far-end observation node."""
-        if self.kind == "r":
-            if self.c != 0.0:
-                raise ExperimentError(
-                    "kind='r' is a pure resistor; use kind='rc' for R||C")
-            ckt.add(Resistor("rload", port, "0", self.r))
-            return port
-        if self.kind == "rc":
-            if self.c <= 0.0:
-                raise ExperimentError("rc load needs c > 0")
-            ckt.add(Resistor("rload", port, "0", self.r))
-            ckt.add(Capacitor("cload", port, "0", self.c))
-            return port
-        if self.kind == "line":
-            ckt.add(IdealLine("tload", port, "far", self.z0, self.td))
-            ckt.add(Resistor("rload", "far", "0", self.r))
-            if self.c > 0.0:
-                ckt.add(Capacitor("cload", "far", "0", self.c))
-            return "far"
-        if self.kind == "rx":
-            if self.r < 0.0:
-                raise ExperimentError("rx load needs r >= 0 (0 = no "
-                                      "termination at the receiver pad)")
-            pad = port
-            if self.td > 0.0:
-                ckt.add(IdealLine("tload", port, "pad", self.z0, self.td))
-                pad = "pad"
-            ckt.add(ParametricReceiverElement(
-                "rx", pad, cache.receiver_model(self.receiver)))
-            if self.r > 0.0:
-                ckt.add(Resistor("rterm", pad, "0", self.r))
-            else:
-                # the one-port macromodels never name ground explicitly; a
-                # 1 Gohm reference keeps the unterminated netlist valid
-                # (negligible vs the receiver's ~250 kohm internal leak)
-                ckt.add(Resistor("rterm", pad, "0", 1e9))
-            if self.c > 0.0:
-                ckt.add(Capacitor("cload", pad, "0", self.c))
-            return pad
-        raise ExperimentError(f"unknown load kind {self.kind!r}")
-
-
-@dataclass(frozen=True)
-class CoupledLoadSpec:
-    """Aggressor/victim pair over a symmetric two-conductor coupled line.
-
-    The driver port excites conductor 1 (the aggressor); conductor 2 (the
-    victim) idles behind ``r_victim_near``/``r_victim_far`` terminations.
-    ``l_self``/``l_mut`` and ``c_self``/``c_mut`` are the per-unit-length
-    inductance and Maxwell capacitance entries (``c_mut`` is the coupling
-    magnitude, stored with the Maxwell sign internally); ``length`` is in
-    meters.  Outcomes carry the victim's near/far-end waveforms under the
-    probe names ``"next"``/``"fext"`` and the corresponding crosstalk
-    metrics from :func:`repro.emc.metrics.crosstalk_metrics`.
-    ``spectral`` requests emission spectra, exactly as on
-    :class:`LoadSpec`.
-    """
-
-    l_self: float = 300e-9
-    l_mut: float = 60e-9
-    c_self: float = 100e-12
-    c_mut: float = 5e-12
-    length: float = 0.1
-    r_far: float = 50.0
-    c_far: float = 0.0
-    r_victim_near: float = 50.0
-    r_victim_far: float = 50.0
-    label: str = ""
-    spectral: SpectralSpec | None = None
-
-    kind = "coupled"
-
-    def describe(self) -> str:
-        """Short human-readable load name (label or geometry tag)."""
-        if self.label:
-            return self.label
-        return (f"xtalk-l{self.length * 100:g}cm"
-                f"-lm{self.l_mut * 1e9:g}n-cm{self.c_mut * 1e12:g}p"
-                f"-r{self.r_far:g}")
-
-    def physics_key(self) -> tuple:
-        """Identity of the electrical load, excluding the cosmetic label."""
-        return (self.kind, self.l_self, self.l_mut, self.c_self, self.c_mut,
-                self.length, self.r_far, self.c_far, self.r_victim_near,
-                self.r_victim_far)
-
-    def probes(self) -> dict:
-        """Victim observation nodes: near-end (NEXT) and far-end (FEXT)."""
-        return {"next": "v_ne", "fext": "v_fe"}
-
-    def matrices(self) -> tuple[np.ndarray, np.ndarray]:
-        """Per-unit-length (L, C) matrices of the symmetric pair."""
-        if self.l_mut >= self.l_self:
-            raise ExperimentError("need l_mut < l_self")
-        if not 0.0 <= self.c_mut < self.c_self:
-            raise ExperimentError("need 0 <= c_mut < c_self")
-        L = np.array([[self.l_self, self.l_mut],
-                      [self.l_mut, self.l_self]])
-        C = np.array([[self.c_self, -self.c_mut],
-                      [-self.c_mut, self.c_self]])
-        return L, C
-
-    def build(self, ckt: Circuit, port: str) -> str:
-        """Attach the coupled pair; returns the aggressor far-end node."""
-        L, C = self.matrices()
-        ckt.add(CoupledIdealLine("tcpl", [port, "v_ne"], ["a_fe", "v_fe"],
-                                 L, C, self.length))
-        ckt.add(Resistor("rfar", "a_fe", "0", self.r_far))
-        if self.c_far > 0.0:
-            ckt.add(Capacitor("cfar", "a_fe", "0", self.c_far))
-        ckt.add(Resistor("rvn", "v_ne", "0", self.r_victim_near))
-        ckt.add(Resistor("rvf", "v_fe", "0", self.r_victim_far))
-        return "a_fe"
-
-
-@dataclass(frozen=True)
-class Scenario:
-    """One point of an EMC sweep grid."""
-
-    pattern: str
-    load: LoadSpec = field(default_factory=LoadSpec)
-    driver: str = "MD2"
-    corner: str = "typ"
-    bit_time: float = 2e-9
-    dt: float | None = None       # None -> the driver model's sampling time
-    t_stop: float | None = None   # None -> pattern duration + 2 bit times
-    name: str = ""
-    spectral: SpectralSpec | None = None  # None -> the load's request
-
-    def resolved_name(self) -> str:
-        """Display name: ``name`` or ``driver-corner-pattern-load``."""
-        return self.name or (f"{self.driver}-{self.corner}-{self.pattern}-"
-                             f"{self.load.describe()}")
-
-    def spectral_spec(self) -> SpectralSpec | None:
-        """Effective spectral request (scenario-level wins over the load)."""
-        if self.spectral is not None:
-            return self.spectral
-        return getattr(self.load, "spectral", None)
-
-    def key(self) -> tuple:
-        """Hashable identity used by the runner's result cache.
-
-        Cosmetic fields (``name``, ``load.label``) are excluded: scenarios
-        that simulate the same physics share one cache entry.  The
-        effective spectral request IS part of the key -- outcomes carry
-        the spectra/verdicts it produced, so different spectral settings
-        (window, n_fft, mask) must never share an entry.
-        """
-        spec = self.spectral_spec()
-        return (self.pattern, self.load.physics_key(), self.driver,
-                self.corner, self.bit_time, self.dt, self.t_stop,
-                spec.key() if spec is not None else None)
-
-
-def _dispatchable(sc: Scenario) -> Scenario:
-    """A copy of ``sc`` whose masks are resolved to :class:`LimitMask`.
-
-    Workers on spawn-start platforms (macOS/Windows) re-import the mask
-    registry and never see masks the parent registered by name; resolving
-    in the parent ships the mask *content* (conducted and radiated) with
-    the pickled scenario.  The cache identity is unchanged
-    (``SpectralSpec.key()`` already resolves names to content).
-    """
-    spec = sc.spectral_spec()
-    if spec is None:
-        return sc
-    updates = {}
-    if spec.mask is not None and not isinstance(spec.mask, LimitMask):
-        updates["mask"] = get_mask(spec.mask)
-    if spec.radiated_mask is not None \
-            and not isinstance(spec.radiated_mask, LimitMask):
-        updates["radiated_mask"] = get_mask(spec.radiated_mask)
-    if not updates:
-        return sc
-    return replace(sc, spectral=replace(spec, **updates))
-
-
-def scenario_grid(patterns, loads, drivers=("MD2",), corners=("typ",),
-                  **common) -> list[Scenario]:
-    """Cartesian product of patterns x loads x drivers x corners."""
-    return [Scenario(pattern=p, load=ld, driver=drv, corner=c, **common)
-            for drv, c, p, ld in product(drivers, corners, patterns, loads)]
-
-
-# ---------------------------------------------------------------------------
-# results
-# ---------------------------------------------------------------------------
-
-@dataclass
-class ScenarioOutcome:
-    """Waveform + EMC summary of one simulated scenario.
-
-    ``probes`` carries named extra waveforms sampled on the same time grid
-    as ``v_port`` (e.g. the victim's ``"next"``/``"fext"`` waveforms of a
-    :class:`CoupledLoadSpec` scenario, or the conducted port current
-    ``"i_port"`` when the spectral request probes current).  ``spectra``
-    maps :meth:`SpectralSpec.spectrum_keys` names to
-    :class:`~repro.emc.spectrum.Spectrum` objects -- the raw (peak)
-    spectrum under the quantity name, detector-weighted copies under
-    ``"<quantity>@<detector>"``, radiated estimates under ``"e_field"``
-    keys.  ``verdicts_by`` maps check names (``"peak"``,
-    ``"quasi-peak"``, ``"average"`` for the conducted mask;
-    ``"rad:<detector>"`` for the radiated mask) to their
-    :class:`~repro.emc.limits.ComplianceVerdict`; ``verdict`` is the
-    worst-margin entry (the binding check), kept for one-check callers.
-    """
-
-    scenario: Scenario
-    t: np.ndarray
-    v_port: np.ndarray
-    metrics: dict
-    warnings: list
-    elapsed_s: float
-    cache_hit: bool = False
-    error: str | None = None
-    probes: dict = field(default_factory=dict)
-    spectra: dict = field(default_factory=dict)
-    verdict: ComplianceVerdict | None = None
-    verdicts_by: dict = field(default_factory=dict)
-
-    @property
-    def ok(self) -> bool:
-        """``True`` when the scenario simulated without raising."""
-        return self.error is None
-
-    @property
-    def passed(self) -> bool | None:
-        """Combined pass/fail of every check the scenario carries.
-
-        ANDs every mask verdict (all detectors, conducted and radiated)
-        with the receiver eye check (``rx_pass``, present on
-        ``kind="rx"`` scenarios).  ``None`` when the scenario carries no
-        check at all; ``False`` for failed (``ok == False``) scenarios
-        -- a crashed corner is never a pass.
-        """
-        if not self.ok:
-            return False
-        checks = [bool(v.passed) for v in self.verdicts_by.values()]
-        if not checks and self.verdict is not None:
-            checks.append(bool(self.verdict.passed))
-        if "rx_pass" in (self.metrics or {}):
-            checks.append(bool(self.metrics["rx_pass"]))
-        if not checks:
-            return None
-        return all(checks)
-
-    def copy_data(self, **overrides) -> "ScenarioOutcome":
-        """Clone with private containers (no aliasing of mutable arrays)."""
-        fields = dict(
-            t=self.t.copy(), v_port=self.v_port.copy(),
-            metrics=dict(self.metrics or {}), warnings=list(self.warnings),
-            probes={k: v.copy() for k, v in self.probes.items()},
-            spectra={k: s.copy() for k, s in self.spectra.items()},
-            verdicts_by=dict(self.verdicts_by))
-        fields.update(overrides)
-        return replace(self, **fields)
-
-
-class SweepResult:
-    """Ordered collection of :class:`ScenarioOutcome` with summary helpers."""
-
-    def __init__(self, outcomes: list[ScenarioOutcome]):
-        self.outcomes = outcomes
-
-    def __len__(self) -> int:
-        return len(self.outcomes)
-
-    def __iter__(self):
-        return iter(self.outcomes)
-
-    def __getitem__(self, idx):
-        return self.outcomes[idx]
-
-    @property
-    def n_cache_hits(self) -> int:
-        """How many outcomes were answered from a result cache."""
-        return sum(1 for o in self.outcomes if o.cache_hit)
-
-    @property
-    def failures(self) -> list[ScenarioOutcome]:
-        """Outcomes whose simulation raised (``ok == False``)."""
-        return [o for o in self.outcomes if not o.ok]
-
-    def metric(self, key: str) -> np.ndarray:
-        """One metric across every scenario (NaN where a scenario failed
-        or does not carry the metric)."""
-        return np.array([(o.metrics or {}).get(key, np.nan) if o.ok
-                         else np.nan for o in self.outcomes])
-
-    def worst(self, key: str) -> ScenarioOutcome:
-        """The scenario maximizing ``metrics[key]``.
-
-        Failed outcomes (``ok == False``) and successful outcomes that do
-        not carry the metric are skipped, never raised on.
-        """
-        ok = [o for o in self.outcomes
-              if o.ok and (o.metrics or {}).get(key) is not None]
-        if not ok:
-            raise ExperimentError(f"no successful scenario carries {key!r}")
-        return max(ok, key=lambda o: o.metrics[key])
-
-    # -- emissions/compliance helpers ---------------------------------------
-    def spectra(self, quantity: str = "v_port",
-                detector: str = "peak") -> list[Spectrum]:
-        """Every successful scenario's spectrum of one quantity.
-
-        Parameters
-        ----------
-        quantity : str
-            ``"v_port"``, ``"i_port"`` or ``"e_field"``.
-        detector : str
-            Detector weighting to select: ``"peak"`` returns the raw
-            spectra, other detectors the ``"<quantity>@<detector>"``
-            entries (scenarios without one are skipped).
-
-        Returns
-        -------
-        list of Spectrum
-            In grid order.
-        """
-        key = quantity if detector == "peak" else f"{quantity}@{detector}"
-        return [o.spectra[key] for o in self.outcomes
-                if o.ok and key in o.spectra]
-
-    def peak_hold(self, quantity: str = "v_port",
-                  detector: str = "peak") -> Spectrum:
-        """Grid-wide max-hold envelope: the worst level any scenario
-        produced in each frequency bin (one vectorized pass over the
-        selected quantity/detector spectra)."""
-        specs = self.spectra(quantity, detector)
-        if not specs:
-            raise ExperimentError(
-                f"no successful scenario carries a {quantity!r} "
-                f"({detector}) spectrum; request one with SpectralSpec")
-        return peak_hold(specs)
-
-    def verdicts(self) -> list[ScenarioOutcome]:
-        """Successful outcomes that carry a mask verdict (grid order)."""
-        return [o for o in self.outcomes if o.ok and o.verdict is not None]
-
-    def worst_margin(self) -> ScenarioOutcome:
-        """The scenario with the smallest mask margin (the compliance
-        bottleneck of the grid; negative margin = failing)."""
-        scored = self.verdicts()
-        if not scored:
-            raise ExperimentError(
-                "no successful scenario carries a verdict; request one "
-                "with SpectralSpec(mask=...)")
-        return min(scored, key=lambda o: o.verdict.margin_db)
-
-    #: compliance_table column headers per verdict key
-    _CHECK_LABELS = {"peak": "m(pk)", "quasi-peak": "m(qp)",
-                     "average": "m(av)", "rad:peak": "m(r-pk)",
-                     "rad:quasi-peak": "m(r-qp)",
-                     "rad:average": "m(r-av)"}
-
-    def compliance_table(self) -> str:
-        """Plain-text compliance report, one row per scenario.
-
-        Columns: the raw emission peak (dB), one margin column per
-        detector/radiated check present anywhere on the grid (dB,
-        positive = headroom), the worst-margin frequency, the binding
-        mask, the receiver eye check and the combined pass/fail.
-        Scenarios carrying only a single unnamed verdict (legacy cache
-        entries) report it in a plain ``margin`` column.
-        """
-        checks: list[str] = []
-        for o in self.outcomes:
-            for k in o.verdicts_by:
-                if k not in checks:
-                    checks.append(k)
-        legacy = not checks and any(o.verdict is not None
-                                    for o in self.outcomes)
-        if legacy:
-            checks = ["margin"]
-        cols = "".join(
-            f" {self._CHECK_LABELS.get(c, c)[:8]:>8}" for c in checks)
-        header = (f"{'scenario':<38} {'peak':>7}{cols} "
-                  f"{'f_worst':>10} {'mask':>9} {'rx':>5} {'verdict':>8}")
-        lines = [header, "-" * len(header)]
-        for o in self.outcomes:
-            name = o.scenario.resolved_name()[:38]
-            if not o.ok:
-                lines.append(f"{name:<38} FAILED: {o.error}")
-                continue
-            m = o.metrics or {}
-            peak = f"{m['emis_peak_db']:>7.1f}" if "emis_peak_db" in m \
-                else f"{'-':>7}"
-            margins = ""
-            for c in checks:
-                v = o.verdict if legacy else o.verdicts_by.get(c)
-                margins += f" {v.margin_db:>+8.1f}" if v is not None \
-                    else f" {'-':>8}"
-            if o.verdict is not None:
-                f_worst = f"{o.verdict.f_worst / 1e6:>7.0f}MHz"
-                mask = f"{o.verdict.mask[-9:]:>9}"
-            else:
-                f_worst, mask = f"{'-':>10}", f"{'-':>9}"
-            rx = "-" if "rx_pass" not in m else \
-                ("ok" if m["rx_pass"] else "BAD")
-            combined = o.passed
-            verdict = "-" if combined is None else \
-                ("PASS" if combined else "FAIL")
-            lines.append(f"{name:<38} {peak}{margins} {f_worst} {mask} "
-                         f"{rx:>5} {verdict:>8}")
-        return "\n".join(lines)
-
-    def table(self) -> str:
-        """Plain-text summary table of the sweep."""
-        xtalk = any(o.ok and "fext_peak" in (o.metrics or {})
-                    for o in self.outcomes)
-        header = (f"{'scenario':<38} {'v_max':>7} {'v_min':>7} "
-                  f"{'overshoot':>9} {'ringing':>8} {'edges':>5}")
-        if xtalk:
-            header += f" {'next':>7} {'fext':>7}"
-        lines = [header, "-" * len(header)]
-        for o in self.outcomes:
-            name = o.scenario.resolved_name()[:38]
-            if not o.ok:
-                lines.append(f"{name:<38} FAILED: {o.error}")
-                continue
-            m = o.metrics
-            row = (f"{name:<38} {m['v_max']:>7.3f} {m['v_min']:>7.3f} "
-                   f"{m['overshoot']:>9.3f} {m['ringing_rms']:>8.4f} "
-                   f"{m['n_crossings']:>5d}")
-            if xtalk:
-                if "fext_peak" in m:
-                    row += (f" {m['next_peak']:>7.3f}"
-                            f" {m['fext_peak']:>7.3f}")
-                else:
-                    row += f" {'-':>7} {'-':>7}"
-            lines.append(row)
-        return "\n".join(lines)
-
-
-# ---------------------------------------------------------------------------
-# per-scenario simulation (runs inside workers)
-# ---------------------------------------------------------------------------
-
-def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
-                 sc: Scenario, probes: dict | None = None,
-                 spectra: dict | None = None,
-                 verdict: ComplianceVerdict | None = None,
-                 verdicts_by: dict | None = None) -> dict:
-    """Per-scenario EMC summary (threshold edges + amplitude margins).
-
-    When ``probes`` carries the victim waveforms of a coupled scenario
-    (``"next"``/``"fext"``), the near/far-end crosstalk metrics are merged
-    into the summary; when ``spectra``/``verdict`` carry an emission
-    spectrum and its mask verdicts, the spectral peak and the worst
-    margin are merged too (plus one ``margin[<check>]_db`` entry per
-    detector/radiated check); ``kind="rx"`` scenarios gain the receiver
-    logic-eye check.
-    """
-    v_max = float(np.max(v))
-    v_min = float(np.min(v))
-    crossings = threshold_crossings(t, v, vdd / 2.0)
-    # nominal instant of the first logic edge, for edge-delay reporting
-    first_edge = next((k * sc.bit_time for k in range(1, len(sc.pattern))
-                       if sc.pattern[k] != sc.pattern[k - 1]), None)
-    first_crossing = float(crossings[0]) if crossings.size else float("nan")
-    # ringing: residual oscillation around the settled level over the last
-    # bit (std, so a resistive-divider level drop does not count as ringing);
-    # the settled-level error vs the ideal rail is reported separately.
-    # The reference level is the bit actually driven at the end of the run
-    # -- t_stop may truncate the pattern
-    tail = t >= (t[-1] - sc.bit_time)
-    k_bit = min(int(t[-1] / sc.bit_time), len(sc.pattern) - 1)
-    v_final = vdd if sc.pattern[k_bit] == "1" else 0.0
-    ringing = float(np.std(v[tail]))
-    settle_error = abs(float(np.mean(v[tail])) - v_final)
-    out = {
-        "v_max": v_max,
-        "v_min": v_min,
-        "overshoot": max(v_max - vdd, 0.0),
-        "undershoot": max(-v_min, 0.0),
-        "swing": v_max - v_min,
-        "n_crossings": int(crossings.size),
-        "first_crossing": first_crossing,
-        "first_edge_delay": (first_crossing - first_edge
-                             if first_edge is not None else float("nan")),
-        "ringing_rms": ringing,
-        "settle_error": settle_error,
-    }
-    if probes and "next" in probes and "fext" in probes:
-        out.update(crosstalk_metrics(probes["next"], probes["fext"], vdd))
-    if sc.load.kind == "rx":
-        out.update(logic_eye_metrics(t, v, sc.pattern, sc.bit_time, vdd,
-                                     delay=sc.load.td))
-    if spectra:
-        # the raw (peak-detector) spectrum of the requested quantity sets
-        # the headline emission level; derived detector/radiated spectra
-        # get their levels through the per-check margins below
-        sspec = sc.spectral_spec()
-        base = spectra.get(sspec.quantity) if sspec is not None else None
-        if base is None:
-            base = next(iter(spectra.values()))
-        nz = base.f > 0.0  # the DC bin is a level, not an emission
-        sdb = base.db()[nz]
-        j = int(np.argmax(sdb))
-        out["emis_peak_db"] = float(sdb[j])
-        out["emis_f_peak"] = float(base.f[nz][j])
-    if verdict is not None:
-        out["emis_margin_db"] = float(verdict.margin_db)
-        out["emis_f_worst"] = float(verdict.f_worst)
-        out["spectral_pass"] = bool(verdict.passed)
-    for check, vd in (verdicts_by or {}).items():
-        out[f"margin[{check}]_db"] = float(vd.margin_db)
-    return out
-
-
-def _simulate_scenario(sc: Scenario,
-                       model: PWRBFDriverModel) -> ScenarioOutcome:
-    """Build and run one driver-plus-load bench; never raises."""
-    t0 = time.perf_counter()
-    try:
-        dt = model.ts if sc.dt is None else sc.dt
-        t_stop = sc.t_stop
-        if t_stop is None:
-            t_stop = (len(sc.pattern) + 2) * sc.bit_time
-        spec = sc.spectral_spec()
-        ckt = Circuit(sc.resolved_name())
-        ckt.add(PWRBFDriverElement.for_pattern(
-            "drv", "out", model, sc.pattern, sc.bit_time, t_stop))
-        load_port = "out"
-        if spec is not None and spec.quantity == "i_port":
-            # series ammeter between the driver pad and the load: its MNA
-            # branch records the conducted port current without changing
-            # the circuit solution
-            ckt.add(CurrentProbe("iprobe", "out", "load"))
-            load_port = "load"
-        obs = sc.load.build(ckt, load_port)
-        res = run_transient(ckt, TransientOptions(
-            dt=dt, t_stop=t_stop, method="damped", strict=False))
-        # copy: res.v() is a view into the full (n_steps, size) solution
-        # matrix, which must not stay alive per retained outcome
-        v = res.v(obs).copy()
-        probes = {name: res.v(node).copy()
-                  for name, node in sc.load.probes().items()}
-        spectra: dict = {}
-        verdicts_by: dict = {}
-        verdict = None
-        if spec is not None:
-            if spec.quantity == "i_port":
-                wave = res.probe("i(iprobe)").copy()
-                probes["i_port"] = wave
-                unit = "A"
-            else:
-                wave, unit = v, "V"
-            spectrum = amplitude_spectrum(
-                res.t, wave, window=spec.window, n_fft=spec.n_fft,
-                unit=unit, label=f"{sc.resolved_name()}:{spec.quantity}")
-            spectra[spec.quantity] = spectrum
-            mask = spec.resolved_mask()
-            rmask = spec.resolved_radiated_mask()
-            for det in spec.detectors:
-                if det == "peak":
-                    weighted = spectrum
-                else:
-                    weighted = apply_detector(spectrum, det, spec.prf)
-                    spectra[f"{spec.quantity}@{det}"] = weighted
-                if mask is not None:
-                    verdicts_by[det] = mask.check(weighted)
-                if spec.antenna is not None:
-                    e_spec = radiated_spectrum(weighted, spec.antenna)
-                    e_key = "e_field" if det == "peak" \
-                        else f"e_field@{det}"
-                    spectra[e_key] = e_spec
-                    if rmask is not None:
-                        verdicts_by[f"rad:{det}"] = rmask.check(e_spec)
-            if verdicts_by:
-                verdict = min(verdicts_by.values(),
-                              key=lambda vd: vd.margin_db)
-        return ScenarioOutcome(
-            scenario=sc, t=res.t, v_port=v,
-            metrics=_emc_metrics(res.t, v, model.vdd, sc, probes,
-                                 spectra, verdict, verdicts_by),
-            warnings=list(res.warnings),
-            elapsed_s=time.perf_counter() - t0, probes=probes,
-            spectra=spectra, verdict=verdict, verdicts_by=verdicts_by)
-    except Exception as exc:  # noqa: BLE001 - one bad corner must not kill a sweep
-        return ScenarioOutcome(
-            scenario=sc, t=np.empty(0), v_port=np.empty(0), metrics={},
-            warnings=[], elapsed_s=time.perf_counter() - t0,
-            error=f"{type(exc).__name__}: {exc}")
-
-
-# ---------------------------------------------------------------------------
-# shared-memory waveform return
-# ---------------------------------------------------------------------------
-#
-# A sweep's payload is dominated by the waveform/spectrum arrays; pickling
-# them through the pool's result queue serializes every float twice.  The
-# grid makes their sizes predictable *before* simulation (fixed-step engine:
-# n = round(t_stop / dt) + 1; rfft bins: n_fft // 2 + 1), so the parent
-# pre-allocates one shared-memory arena with a slot per pending scenario,
-# workers write arrays in place, and only the scalar summary rides the
-# queue.  Any surprise (unavailable shared memory, a layout mismatch, a
-# failed scenario) falls back to pickling that outcome -- correctness never
-# depends on the arena.
-
-try:
-    from multiprocessing import shared_memory as _shm
-except ImportError:  # pragma: no cover - always present on CPython >= 3.8
-    _shm = None
-
-
-def _expected_layout(sc: Scenario, model) -> list[tuple[str, int]]:
-    """Predicted (array name, length) list of a successful outcome."""
-    dt = model.ts if sc.dt is None else sc.dt
-    t_stop = sc.t_stop
-    if t_stop is None:
-        t_stop = (len(sc.pattern) + 2) * sc.bit_time
-    n = int(round(t_stop / dt)) + 1
-    layout = [("t", n), ("v_port", n)]
-    layout += [(f"probe_{name}", n) for name in sc.load.probes()]
-    spec = sc.spectral_spec()
-    if spec is not None:
-        if spec.quantity == "i_port":
-            layout.append(("probe_i_port", n))
-        n_fft = spec.n_fft if spec.n_fft is not None else n
-        nb = int(n_fft) // 2 + 1
-        for key in spec.spectrum_keys():
-            layout.append((f"spec_{key}_f", nb))
-            layout.append((f"spec_{key}_mag", nb))
-    return layout
-
-
-def _outcome_arrays(out: ScenarioOutcome) -> dict:
-    """Flat name -> array view of an outcome (the arena wire format)."""
-    arrays = {"t": out.t, "v_port": out.v_port}
-    for name, wave in out.probes.items():
-        arrays[f"probe_{name}"] = wave
-    for qty, spec in out.spectra.items():
-        arrays[f"spec_{qty}_f"] = spec.f
-        arrays[f"spec_{qty}_mag"] = spec.mag
-    return arrays
-
-
-def _pack_outcome(out: ScenarioOutcome, buf, offset: int,
-                  layout) -> ScenarioOutcome | None:
-    """Write an outcome's arrays into the arena; return the stripped
-    outcome (arrays replaced by ``None``), or ``None`` on any mismatch."""
-    arrays = _outcome_arrays(out)
-    if set(arrays) != {name for name, _ in layout}:
-        return None
-    pos = offset
-    for name, length in layout:
-        arr = np.ascontiguousarray(arrays[name], dtype=float)
-        if arr.shape != (length,):
-            return None
-        np.frombuffer(buf, dtype=float, count=length,
-                      offset=pos * 8)[:] = arr
-        pos += length
-    spectra_meta = {qty: {"unit": s.unit, "kind": s.kind, "label": s.label,
-                          "detector": s.detector, "meta": dict(s.meta)}
-                    for qty, s in out.spectra.items()}
-    return replace(out, t=None, v_port=None,
-                   probes={name: None for name in out.probes},
-                   spectra=spectra_meta)
-
-
-def _unpack_outcome(out: ScenarioOutcome, buf, offset: int,
-                    layout) -> ScenarioOutcome:
-    """Rebuild a stripped outcome from its arena slot (copies out)."""
-    arrays = {}
-    pos = offset
-    for name, length in layout:
-        arrays[name] = np.frombuffer(buf, dtype=float, count=length,
-                                     offset=pos * 8).copy()
-        pos += length
-    probes = {name: arrays[f"probe_{name}"] for name in out.probes}
-    spectra = {}
-    for qty, meta in out.spectra.items():
-        spectra[qty] = Spectrum(arrays[f"spec_{qty}_f"],
-                                arrays[f"spec_{qty}_mag"],
-                                unit=meta["unit"], kind=meta["kind"],
-                                label=meta["label"],
-                                detector=meta.get("detector", "peak"),
-                                meta=meta["meta"])
-    return replace(out, t=arrays["t"], v_port=arrays["v_port"],
-                   probes=probes, spectra=spectra)
-
-
-# worker-process state: each worker deserializes every distinct driver
-# model exactly once and attaches the shared arena once (both in the
-# initializer), not once per scenario
-_WORKER_MODELS: dict = {}
-_WORKER_ARENA = None
-
-
-def _worker_init(model_payloads: dict, arena_name: str | None = None) -> None:
-    global _WORKER_MODELS, _WORKER_ARENA
-    _WORKER_MODELS = {key: PWRBFDriverModel.from_dict(d)
-                      for key, d in model_payloads.items()}
-    _WORKER_ARENA = None
-    if arena_name is not None and _shm is not None:
-        try:
-            _WORKER_ARENA = _shm.SharedMemory(name=arena_name)
-        except (OSError, ValueError):
-            _WORKER_ARENA = None  # fall back to pickling the arrays
-
-
-def _worker_run(args):
-    idx, sc, model_key, slot = args
-    out = _simulate_scenario(sc, _WORKER_MODELS[model_key])
-    if slot is not None and _WORKER_ARENA is not None and out.ok:
-        offset, layout = slot
-        packed = _pack_outcome(out, _WORKER_ARENA.buf, offset, layout)
-        if packed is not None:
-            return idx, packed, True
-    return idx, out, False
-
-
-# ---------------------------------------------------------------------------
-# the runner
-# ---------------------------------------------------------------------------
-
-class ScenarioRunner:
-    """Fan a grid of scenarios across processes and cache the results.
-
-    ``models`` maps ``(driver, corner)`` to an already-estimated
-    :class:`PWRBFDriverModel`; scenarios naming a driver not in the map are
-    resolved (and estimated once per process) via
-    :func:`repro.experiments.cache.driver_model`.  ``n_workers`` defaults to
-    the CPU count; ``0``/``1`` runs serially in-process.  ``disk_cache``
-    names a directory backing the per-scenario result cache with a
-    :class:`~repro.experiments.cache.SweepDiskCache`, so repeated sweeps in
-    *fresh processes* answer from disk instead of re-simulating.
-    ``shared_waveforms`` controls the shared-memory waveform return of
-    parallel runs: ``None`` (default) uses it whenever
-    ``multiprocessing.shared_memory`` is available, ``False`` forces the
-    pickling path (e.g. for debugging), ``True`` insists but still falls
-    back per-outcome if the arena cannot be created.
-    """
-
-    def __init__(self, models: dict | None = None,
-                 n_workers: int | None = None,
-                 use_result_cache: bool = True,
-                 disk_cache: str | os.PathLike | None = None,
-                 shared_waveforms: bool | None = None):
-        if disk_cache is not None and not use_result_cache:
-            raise ExperimentError(
-                "disk_cache requires use_result_cache=True; pass one or "
-                "the other, not the conflicting combination")
-        self._models: dict = dict(models or {})
-        self.n_workers = (os.cpu_count() or 1) if n_workers is None \
-            else int(n_workers)
-        self.use_result_cache = use_result_cache
-        self._result_cache: dict = {}
-        self._fingerprints: dict = {}
-        self._disk = cache.SweepDiskCache(disk_cache) \
-            if disk_cache is not None else None
-        if shared_waveforms is None:
-            shared_waveforms = _shm is not None
-        self.shared_waveforms = bool(shared_waveforms) and _shm is not None
-
-    def _model_for(self, sc: Scenario) -> PWRBFDriverModel:
-        key = (sc.driver, sc.corner)
-        if key not in self._models:
-            self._models[key] = cache.driver_model(sc.driver, sc.corner)
-        return self._models[key]
-
-    def clear_cache(self) -> None:
-        """Drop every cached result (memory, and disk when configured)."""
-        self._result_cache.clear()
-        if self._disk is not None:
-            self._disk.clear()
-
-    def _disk_key(self, sc: Scenario) -> tuple:
-        """Disk entries are scoped to the *content* of the models used.
-
-        ``Scenario.key()`` names the driver only by catalog id + corner; a
-        persistent cache shared across processes (and code versions) must
-        also distinguish the actual model, or a runner holding a custom or
-        re-estimated model would silently be served another model's
-        waveforms.  (The spectral request -- window, n_fft, mask content
-        -- is already folded in by ``Scenario.key()`` itself.)
-        """
-        fp_key = (sc.driver, sc.corner)
-        fp = self._fingerprints.get(fp_key)
-        if fp is None:
-            fp = cache.model_fingerprint(self._model_for(sc))
-            self._fingerprints[fp_key] = fp
-        if sc.load.kind == "rx":
-            rx_key = ("rx", sc.load.receiver)
-            rx_fp = self._fingerprints.get(rx_key)
-            if rx_fp is None:
-                rx_fp = cache.model_fingerprint(
-                    cache.receiver_model(sc.load.receiver))
-                self._fingerprints[rx_key] = rx_fp
-            fp = f"{fp}:{rx_fp}"
-        return (sc.key(), fp)
-
-    def _lookup(self, sc: Scenario) -> ScenarioOutcome | None:
-        """Memory-first, then disk; promotes disk hits into memory."""
-        if not self.use_result_cache:
-            return None
-        hit = self._result_cache.get(sc.key())
-        if hit is None and self._disk is not None:
-            payload = self._disk.get(self._disk_key(sc))
-            if payload is not None:
-                verdict = payload.get("verdict")
-                hit = ScenarioOutcome(
-                    scenario=sc, t=payload["t"], v_port=payload["v_port"],
-                    metrics=payload["metrics"],
-                    warnings=payload["warnings"],
-                    elapsed_s=0.0, probes=payload["probes"],
-                    spectra=payload.get("spectra") or {},
-                    verdict=ComplianceVerdict.from_dict(verdict)
-                    if verdict else None,
-                    verdicts_by={
-                        k: ComplianceVerdict.from_dict(d)
-                        for k, d in
-                        (payload.get("verdicts_by") or {}).items()})
-                self._result_cache[sc.key()] = hit
-        return hit
-
-    def run(self, scenarios) -> SweepResult:
-        """Simulate every scenario; order of outcomes matches the input."""
-        scenarios = list(scenarios)
-        outcomes: list = [None] * len(scenarios)
-        pending: list[tuple[int, Scenario]] = []
-        for idx, sc in enumerate(scenarios):
-            hit = self._lookup(sc)
-            if hit is not None:
-                # fresh containers per hit: the cache must not alias arrays
-                # a caller may mutate, and the requesting scenario carries
-                # the label (key() ignores `name`)
-                outcomes[idx] = hit.copy_data(scenario=sc, cache_hit=True,
-                                              elapsed_s=0.0)
-            else:
-                pending.append((idx, sc))
-
-        # resolve models up front so estimation cost is paid in the parent
-        # (workers only deserialize) and duplicate scenarios share one model
-        model_keys = {}
-        for _, sc in pending:
-            self._model_for(sc)
-            model_keys[(sc.driver, sc.corner)] = True
-            if sc.load.kind == "rx":
-                # estimate receiver models in the parent too: forked
-                # workers inherit the process-wide model cache for free
-                cache.receiver_model(sc.load.receiver)
-
-        # pre-solve the detector weighting factors the grid will need, so
-        # fork-started workers inherit a warm cache instead of each
-        # re-running the steady-state IIR for the same (band, prf)
-        warm = set()
-        for _, sc in pending:
-            spec = sc.spectral_spec()
-            if spec is None or spec.prf is None:
-                continue
-            warm.update((float(spec.prf), det) for det in spec.detectors
-                        if det != "peak")
-        for prf, det in sorted(warm):
-            for band in CISPR_BANDS:
-                pulse_weight(band, prf, det)
-
-        if len(pending) > 1 and self.n_workers > 1:
-            payloads = {key: self._models[key].to_dict() for key in model_keys}
-            arena, slots = self._build_arena(pending)
-            jobs = [(idx, _dispatchable(sc), (sc.driver, sc.corner),
-                     slots.get(idx))
-                    for idx, sc in pending]
-            # fork only where it is the safe default (Linux): on macOS the
-            # interpreter lists 'fork' as available but forking after
-            # threaded BLAS/Objective-C work can crash the children, which
-            # is exactly why CPython moved the macOS default to spawn
-            use_fork = (sys.platform.startswith("linux")
-                        and "fork" in mp.get_all_start_methods())
-            ctx = mp.get_context("fork") if use_fork else mp.get_context()
-            workers = min(self.n_workers, len(pending))
-            try:
-                with ctx.Pool(workers, initializer=_worker_init,
-                              initargs=(payloads,
-                                        arena.name if arena else None)
-                              ) as pool:
-                    for idx, outcome, packed in \
-                            pool.imap_unordered(_worker_run, jobs):
-                        if packed:
-                            offset, layout = slots[idx]
-                            outcome = _unpack_outcome(
-                                outcome, arena.buf, offset, layout)
-                        # hand back the caller's scenario object, not the
-                        # mask-resolved dispatch copy
-                        outcome.scenario = scenarios[idx]
-                        outcomes[idx] = outcome
-            finally:
-                if arena is not None:
-                    arena.close()
-                    try:
-                        arena.unlink()
-                    except (OSError, FileNotFoundError):  # pragma: no cover
-                        pass
-        else:
-            for idx, sc in pending:
-                outcomes[idx] = _simulate_scenario(sc, self._model_for(sc))
-
-        if self.use_result_cache:
-            for idx, sc in pending:
-                out = outcomes[idx]
-                if out.ok:
-                    # store a private copy so in-place edits on the returned
-                    # outcome cannot poison later cache hits
-                    self._result_cache[sc.key()] = out.copy_data()
-                    if self._disk is not None:
-                        self._disk.put(self._disk_key(sc), {
-                            "t": out.t, "v_port": out.v_port,
-                            "metrics": out.metrics,
-                            "warnings": out.warnings,
-                            "probes": out.probes,
-                            "spectra": out.spectra,
-                            "verdict": out.verdict.to_dict()
-                            if out.verdict is not None else None,
-                            "verdicts_by": {
-                                k: v.to_dict()
-                                for k, v in out.verdicts_by.items()},
-                        }, name=sc.resolved_name())
-        return SweepResult(outcomes)
-
-    def _build_arena(self, pending):
-        """Allocate the shared waveform arena for a parallel run.
-
-        Returns ``(SharedMemory | None, {idx: (offset_floats, layout)})``;
-        an empty mapping (and no arena) when shared memory is off or the
-        allocation fails -- the pool then pickles arrays as before.
-        """
-        if not self.shared_waveforms or _shm is None:
-            return None, {}
-        slots: dict = {}
-        total = 0
-        for idx, sc in pending:
-            layout = _expected_layout(sc, self._model_for(sc))
-            slots[idx] = (total, layout)
-            total += sum(length for _, length in layout)
-        if total == 0:
-            return None, {}
-        try:
-            arena = _shm.SharedMemory(create=True, size=total * 8)
-        except (OSError, ValueError):  # pragma: no cover - env-specific
-            return None, {}
-        return arena, slots
+warnings.warn(
+    "repro.experiments.sweep is deprecated; import from repro.studies "
+    "instead (the sweep API moved there unchanged, plus the declarative "
+    "Study object and the ScenarioKind registry)",
+    DeprecationWarning, stacklevel=2)

@@ -1,0 +1,109 @@
+"""Command-line entry point: ``python -m repro.studies``.
+
+Two subcommands::
+
+    python -m repro.studies run  study.toml   # simulate + report
+    python -m repro.studies show study.toml   # parse + describe only
+
+``run`` loads the study file (TOML or JSON), simulates the grid and
+prints the summary table -- plus the compliance table when the study
+requests spectra -- and optionally exports the machine-readable verdicts
+(``--csv`` / ``--json``).  Runner options on the command line override
+the study file's ``[runner]`` table.  Exit status: 0 on success, 2 when
+any scenario failed to simulate, 1 when ``--strict`` is given and any
+compliance check failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ExperimentError
+from .spec import Study
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.studies`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.studies",
+        description="Run declarative EMC studies (TOML/JSON files).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a study file and report")
+    run.add_argument("study", help="path to a study .toml/.json file")
+    run.add_argument("--workers", type=int, default=None,
+                     help="override runner.n_workers (1 = serial)")
+    run.add_argument("--cache", default=None, metavar="DIR",
+                     help="override runner.disk_cache directory")
+    run.add_argument("--csv", default=None, metavar="PATH",
+                     help="export the compliance rows as CSV")
+    run.add_argument("--json", default=None, metavar="PATH",
+                     help="export the compliance report as JSON")
+    run.add_argument("--strict", action="store_true",
+                     help="exit 1 when any compliance check fails")
+    run.add_argument("--quiet", action="store_true",
+                     help="only print the one-line summary")
+
+    show = sub.add_parser("show", help="parse a study file and describe it")
+    show.add_argument("study", help="path to a study .toml/.json file")
+    return parser
+
+
+def _cmd_show(study: Study) -> int:
+    """Print the parsed study: axes, grid size, identity digest."""
+    print(f"study {study.name or '(unnamed)'}  [digest {study.digest()}]")
+    print(f"  patterns : {list(study.patterns)}")
+    print(f"  loads    : {[ld.describe() for ld in study.loads]}")
+    print(f"  drivers  : {list(study.drivers)}  "
+          f"corners: {list(study.corners)}")
+    print(f"  bit_time : {study.bit_time:g} s   scenarios: {len(study)}")
+    if study.spectral is not None:
+        spec = study.spectral
+        print(f"  spectral : {spec.quantity}, window={spec.window}, "
+              f"detectors={list(spec.detectors)}, mask={spec.mask!r}")
+    opts = study.options.to_dict()
+    if opts:
+        print(f"  runner   : {opts}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    """Load, simulate, report, export; compute the exit status."""
+    study = Study.load(args.study)
+    overrides = {}
+    if args.workers is not None:
+        overrides["n_workers"] = args.workers
+    if args.cache is not None:
+        overrides["disk_cache"] = args.cache
+    result = study.run(**overrides)
+    if not args.quiet:
+        print(result.table())
+        if any(o.ok and o.spectra for o in result):
+            print()
+            print(result.compliance_table())
+    print(result.summary())
+    if args.csv:
+        print(f"wrote {result.to_csv(args.csv)}")
+    if args.json:
+        print(f"wrote {result.to_json(args.json)}")
+    if result.failures:
+        return 2
+    checked = [o.passed for o in result if o.passed is not None]
+    if args.strict and checked and not all(checked):
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "show":
+            return _cmd_show(Study.load(args.study))
+        return _cmd_run(args)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

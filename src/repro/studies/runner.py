@@ -1,0 +1,346 @@
+"""Parallel scenario fan-out, result caching and the shared-memory arena.
+
+:class:`ScenarioRunner` takes any iterable of
+:class:`~repro.studies.spec.Scenario` (typically
+:meth:`~repro.studies.spec.Study.scenarios` or
+:func:`~repro.studies.spec.scenario_grid`), answers what it can from the
+in-memory / disk result caches, and fans the rest across
+``multiprocessing`` workers.  Waveforms and spectra come back through a
+``multiprocessing.shared_memory`` arena sized from the known per-scenario
+grid lengths (workers write arrays in place and only pickle the small
+scalar summary), with a transparent per-outcome fallback to pickling when
+shared memory is unavailable or the runner is serial.
+
+Dispatch preparation -- resolving driver models, estimating the auxiliary
+models each load kind declares, pre-solving the CISPR detector weights the
+grid will need, and rendering the driver-model payloads workers
+deserialize -- is one shared, memoized step
+(:meth:`ScenarioRunner.prepare_dispatch`), so repeated ``run`` calls on
+one runner (or on the :class:`~repro.studies.spec.Study` facade above it)
+never re-serialize a model or re-solve a detector steady state they
+already paid for.
+
+Disk-cache entries are keyed on the scenario's canonical serialized form
+(:meth:`Scenario.key`) plus a content fingerprint of every model involved
+-- the driver and whatever auxiliary models the load kind reports through
+:meth:`~repro.studies.kinds.ScenarioKind.aux_models` -- so a re-estimated
+or hand-tweaked model is never served another model's waveforms.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+from dataclasses import replace
+
+import numpy as np
+
+from ..emc.detectors import CISPR_BANDS, pulse_weight
+from ..emc.limits import ComplianceVerdict, LimitMask, get_mask
+from ..errors import ExperimentError
+from ..experiments import cache
+from ..models import PWRBFDriverModel
+from .kinds import get_kind
+from .outcomes import ScenarioOutcome, SweepResult
+from .simulate import (_expected_layout, _shm, _unpack_outcome,
+                       _worker_init, _worker_run, simulate_scenario)
+from .spec import Scenario
+
+__all__ = ["ScenarioRunner"]
+
+
+def _dispatchable(sc: Scenario) -> Scenario:
+    """A copy of ``sc`` whose masks are resolved to :class:`LimitMask`.
+
+    Workers on spawn-start platforms (macOS/Windows) re-import the mask
+    registry and never see masks the parent registered by name; resolving
+    in the parent ships the mask *content* (conducted and radiated) with
+    the pickled scenario.  The cache identity is unchanged
+    (the spectral canonical form already resolves names to content).
+    """
+    spec = sc.spectral_spec()
+    if spec is None:
+        return sc
+    updates = {}
+    if spec.mask is not None and not isinstance(spec.mask, LimitMask):
+        updates["mask"] = get_mask(spec.mask)
+    if spec.radiated_mask is not None \
+            and not isinstance(spec.radiated_mask, LimitMask):
+        updates["radiated_mask"] = get_mask(spec.radiated_mask)
+    if not updates:
+        return sc
+    return replace(sc, spectral=replace(spec, **updates))
+
+
+class ScenarioRunner:
+    """Fan a grid of scenarios across processes and cache the results.
+
+    ``models`` maps ``(driver, corner)`` to an already-estimated
+    :class:`PWRBFDriverModel`; scenarios naming a driver not in the map are
+    resolved (and estimated once per process) via
+    :func:`repro.experiments.cache.driver_model`.  ``n_workers`` defaults to
+    the CPU count; ``0``/``1`` runs serially in-process.  ``disk_cache``
+    names a directory backing the per-scenario result cache with a
+    :class:`~repro.experiments.cache.SweepDiskCache`, so repeated sweeps in
+    *fresh processes* answer from disk instead of re-simulating.
+    ``shared_waveforms`` controls the shared-memory waveform return of
+    parallel runs: ``None`` (default) uses it whenever
+    ``multiprocessing.shared_memory`` is available, ``False`` forces the
+    pickling path (e.g. for debugging), ``True`` insists but still falls
+    back per-outcome if the arena cannot be created.
+    """
+
+    def __init__(self, models: dict | None = None,
+                 n_workers: int | None = None,
+                 use_result_cache: bool = True,
+                 disk_cache: str | os.PathLike | None = None,
+                 shared_waveforms: bool | None = None):
+        if disk_cache is not None and not use_result_cache:
+            raise ExperimentError(
+                "disk_cache requires use_result_cache=True; pass one or "
+                "the other, not the conflicting combination")
+        self._models: dict = dict(models or {})
+        self.n_workers = (os.cpu_count() or 1) if n_workers is None \
+            else int(n_workers)
+        self.use_result_cache = use_result_cache
+        self._result_cache: dict = {}
+        self._fingerprints: dict = {}
+        self._payloads: dict = {}
+        self._warmed: set = set()
+        self._disk = cache.SweepDiskCache(disk_cache) \
+            if disk_cache is not None else None
+        if shared_waveforms is None:
+            shared_waveforms = _shm is not None
+        self.shared_waveforms = bool(shared_waveforms) and _shm is not None
+
+    def _model_for(self, sc: Scenario) -> PWRBFDriverModel:
+        key = (sc.driver, sc.corner)
+        if key not in self._models:
+            self._models[key] = cache.driver_model(sc.driver, sc.corner)
+        return self._models[key]
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (memory, and disk when configured)."""
+        self._result_cache.clear()
+        if self._disk is not None:
+            self._disk.clear()
+
+    def _disk_key(self, sc: Scenario) -> tuple:
+        """Disk entries are scoped to the *content* of the models used.
+
+        ``Scenario.key()`` names the driver only by catalog id + corner;
+        a persistent cache shared across processes (and code versions)
+        must also distinguish the actual models, or a runner holding a
+        custom or re-estimated model would silently be served another
+        model's waveforms.  The load kind reports its auxiliary models
+        (e.g. the ``"rx"`` receiver macromodel) through
+        :meth:`~repro.studies.kinds.ScenarioKind.aux_models`; their
+        fingerprints fold in alongside the driver's.  (The spectral
+        request -- window, n_fft, mask content -- is already part of
+        ``Scenario.key()`` itself.)
+        """
+        fp_key = (sc.driver, sc.corner)
+        fp = self._fingerprints.get(fp_key)
+        if fp is None:
+            fp = cache.model_fingerprint(self._model_for(sc))
+            self._fingerprints[fp_key] = fp
+        aux = get_kind(sc.load.kind).aux_models(sc.load)
+        for label in sorted(aux):
+            aux_fp = self._fingerprints.get(label)
+            if aux_fp is None:
+                aux_fp = cache.model_fingerprint(aux[label])
+                self._fingerprints[label] = aux_fp
+            fp = f"{fp}:{aux_fp}"
+        return (sc.key(), fp)
+
+    def _lookup(self, sc: Scenario) -> ScenarioOutcome | None:
+        """Memory-first, then disk; promotes disk hits into memory."""
+        if not self.use_result_cache:
+            return None
+        hit = self._result_cache.get(sc.key())
+        if hit is None and self._disk is not None:
+            payload = self._disk.get(self._disk_key(sc))
+            if payload is not None:
+                verdict = payload.get("verdict")
+                hit = ScenarioOutcome(
+                    scenario=sc, t=payload["t"], v_port=payload["v_port"],
+                    metrics=payload["metrics"],
+                    warnings=payload["warnings"],
+                    elapsed_s=0.0, probes=payload["probes"],
+                    spectra=payload.get("spectra") or {},
+                    verdict=ComplianceVerdict.from_dict(verdict)
+                    if verdict else None,
+                    verdicts_by={
+                        k: ComplianceVerdict.from_dict(d)
+                        for k, d in
+                        (payload.get("verdicts_by") or {}).items()})
+                self._result_cache[sc.key()] = hit
+        return hit
+
+    def prepare_dispatch(self, pending,
+                         render_payloads: bool = True) -> dict:
+        """Parent-side preparation shared by every dispatch path.
+
+        One memoized pass over the pending ``(idx, Scenario)`` pairs:
+
+        * resolve (estimating at most once per process) the driver model
+          of every scenario, so workers only deserialize;
+        * let each load kind estimate its auxiliary models
+          (:meth:`~repro.studies.kinds.ScenarioKind.prepare` -- e.g. the
+          ``"rx"`` receiver macromodel), so forked workers inherit the
+          warm process-wide model cache;
+        * pre-solve the CISPR detector weighting factors the grid will
+          need (one steady-state IIR solve per distinct band x prf,
+          remembered across ``run`` calls on this runner);
+        * with ``render_payloads`` (parallel runs only -- serial runs
+          never ship a payload), render each distinct driver model to
+          its serialized payload exactly once per runner (re-rendering
+          per ``run`` call used to rebuild the full payload dict for
+          every pool).
+
+        Returns the ``(driver, corner) -> payload`` dict for the pending
+        scenarios (what a worker initializer receives); empty when
+        ``render_payloads`` is off.
+        """
+        model_keys: dict = {}
+        for _, sc in pending:
+            self._model_for(sc)
+            model_keys[(sc.driver, sc.corner)] = True
+            get_kind(sc.load.kind).prepare(sc.load)
+        warm = set()
+        for _, sc in pending:
+            spec = sc.spectral_spec()
+            if spec is None or spec.prf is None:
+                continue
+            warm.update((float(spec.prf), det) for det in spec.detectors
+                        if det != "peak")
+        for prf, det in sorted(warm - self._warmed):
+            for band in CISPR_BANDS:
+                pulse_weight(band, prf, det)
+        self._warmed |= warm
+        if not render_payloads:
+            return {}
+        payloads = {}
+        for key in model_keys:
+            model = self._models[key]
+            memo = self._payloads.get(key)
+            if memo is None or memo[0] is not model:
+                memo = (model, model.to_dict())
+                self._payloads[key] = memo
+            payloads[key] = memo[1]
+        return payloads
+
+    def run(self, scenarios) -> SweepResult:
+        """Simulate every scenario; order of outcomes matches the input."""
+        scenarios = list(scenarios)
+        outcomes: list = [None] * len(scenarios)
+        pending: list[tuple[int, Scenario]] = []
+        for idx, sc in enumerate(scenarios):
+            try:
+                hit = self._lookup(sc)
+            except ExperimentError as exc:
+                # an undescribable scenario (unregistered load kind,
+                # unknown mask name) fails alone -- one bad grid point
+                # must not abort the other scenarios' results
+                outcomes[idx] = ScenarioOutcome(
+                    scenario=sc, t=np.empty(0), v_port=np.empty(0),
+                    metrics={}, warnings=[], elapsed_s=0.0,
+                    error=f"{type(exc).__name__}: {exc}")
+                continue
+            if hit is not None:
+                # fresh containers per hit: the cache must not alias arrays
+                # a caller may mutate, and the requesting scenario carries
+                # the label (key() ignores `name`)
+                outcomes[idx] = hit.copy_data(scenario=sc, cache_hit=True,
+                                              elapsed_s=0.0)
+            else:
+                pending.append((idx, sc))
+
+        parallel = len(pending) > 1 and self.n_workers > 1
+        payloads = self.prepare_dispatch(pending,
+                                         render_payloads=parallel)
+
+        if parallel:
+            arena, slots = self._build_arena(pending)
+            jobs = [(idx, _dispatchable(sc), (sc.driver, sc.corner),
+                     slots.get(idx))
+                    for idx, sc in pending]
+            # fork only where it is the safe default (Linux): on macOS the
+            # interpreter lists 'fork' as available but forking after
+            # threaded BLAS/Objective-C work can crash the children, which
+            # is exactly why CPython moved the macOS default to spawn
+            use_fork = (sys.platform.startswith("linux")
+                        and "fork" in mp.get_all_start_methods())
+            ctx = mp.get_context("fork") if use_fork else mp.get_context()
+            workers = min(self.n_workers, len(pending))
+            try:
+                with ctx.Pool(workers, initializer=_worker_init,
+                              initargs=(payloads,
+                                        arena.name if arena else None)
+                              ) as pool:
+                    for idx, outcome, packed in \
+                            pool.imap_unordered(_worker_run, jobs):
+                        if packed:
+                            offset, layout = slots[idx]
+                            outcome = _unpack_outcome(
+                                outcome, arena.buf, offset, layout)
+                        # hand back the caller's scenario object, not the
+                        # mask-resolved dispatch copy
+                        outcome.scenario = scenarios[idx]
+                        outcomes[idx] = outcome
+            finally:
+                if arena is not None:
+                    arena.close()
+                    try:
+                        arena.unlink()
+                    except (OSError, FileNotFoundError):  # pragma: no cover
+                        pass
+        else:
+            for idx, sc in pending:
+                outcomes[idx] = simulate_scenario(sc, self._model_for(sc))
+
+        if self.use_result_cache:
+            for idx, sc in pending:
+                out = outcomes[idx]
+                if out.ok:
+                    # store a private copy so in-place edits on the returned
+                    # outcome cannot poison later cache hits
+                    self._result_cache[sc.key()] = out.copy_data()
+                    if self._disk is not None:
+                        self._disk.put(self._disk_key(sc), {
+                            "t": out.t, "v_port": out.v_port,
+                            "metrics": out.metrics,
+                            "warnings": out.warnings,
+                            "probes": out.probes,
+                            "spectra": out.spectra,
+                            "verdict": out.verdict.to_dict()
+                            if out.verdict is not None else None,
+                            "verdicts_by": {
+                                k: v.to_dict()
+                                for k, v in out.verdicts_by.items()},
+                        }, name=sc.resolved_name())
+        return SweepResult(outcomes)
+
+    def _build_arena(self, pending):
+        """Allocate the shared waveform arena for a parallel run.
+
+        Returns ``(SharedMemory | None, {idx: (offset_floats, layout)})``;
+        an empty mapping (and no arena) when shared memory is off or the
+        allocation fails -- the pool then pickles arrays as before.
+        """
+        if not self.shared_waveforms or _shm is None:
+            return None, {}
+        slots: dict = {}
+        total = 0
+        for idx, sc in pending:
+            layout = _expected_layout(sc, self._model_for(sc))
+            slots[idx] = (total, layout)
+            total += sum(length for _, length in layout)
+        if total == 0:
+            return None, {}
+        try:
+            arena = _shm.SharedMemory(create=True, size=total * 8)
+        except (OSError, ValueError):  # pragma: no cover - env-specific
+            return None, {}
+        return arena, slots

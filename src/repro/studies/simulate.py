@@ -1,0 +1,316 @@
+"""Per-scenario simulation: bench building, metrics, worker-side state.
+
+Everything in this module runs (or can run) inside a worker process: it
+builds one driver-plus-load bench from a :class:`~repro.studies.spec.
+Scenario`, simulates it, turns the waveforms into the EMC summary
+(:func:`_emc_metrics`), and -- on parallel runs -- writes the resulting
+arrays into the shared-memory arena slot the parent pre-allocated.  All
+kind-specific behavior (circuit wiring, probes, extra metrics) dispatches
+through the :mod:`repro.studies.kinds` registry; there is no load-kind
+branching here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from ..circuit import (Circuit, CurrentProbe, TransientOptions,
+                       run_transient)
+from ..emc.detectors import apply_detector
+from ..emc.metrics import threshold_crossings
+from ..emc.radiated import radiated_spectrum
+from ..emc.spectrum import Spectrum, amplitude_spectrum
+from ..models import PWRBFDriverElement, PWRBFDriverModel
+from .kinds import get_kind
+from .outcomes import ScenarioOutcome
+from .spec import Scenario
+
+__all__ = ["simulate_scenario"]
+
+try:
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - always present on CPython >= 3.8
+    _shm = None
+
+
+def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
+                 sc: Scenario, probes: dict | None = None,
+                 spectra: dict | None = None,
+                 verdict=None, verdicts_by: dict | None = None) -> dict:
+    """Per-scenario EMC summary (threshold edges + amplitude margins).
+
+    Kind-specific metrics (NEXT/FEXT crosstalk for coupled scenarios,
+    the receiver logic-eye check for ``"rx"``) are merged through the
+    load kind's :meth:`~repro.studies.kinds.ScenarioKind.extra_metrics`
+    hook; when ``spectra``/``verdict`` carry an emission spectrum and
+    its mask verdicts, the spectral peak and the worst margin are merged
+    too (plus one ``margin[<check>]_db`` entry per detector/radiated
+    check).
+    """
+    v_max = float(np.max(v))
+    v_min = float(np.min(v))
+    crossings = threshold_crossings(t, v, vdd / 2.0)
+    # nominal instant of the first logic edge, for edge-delay reporting
+    first_edge = next((k * sc.bit_time for k in range(1, len(sc.pattern))
+                       if sc.pattern[k] != sc.pattern[k - 1]), None)
+    first_crossing = float(crossings[0]) if crossings.size else float("nan")
+    # ringing: residual oscillation around the settled level over the last
+    # bit (std, so a resistive-divider level drop does not count as ringing);
+    # the settled-level error vs the ideal rail is reported separately.
+    # The reference level is the bit actually driven at the end of the run
+    # -- t_stop may truncate the pattern
+    tail = t >= (t[-1] - sc.bit_time)
+    k_bit = min(int(t[-1] / sc.bit_time), len(sc.pattern) - 1)
+    v_final = vdd if sc.pattern[k_bit] == "1" else 0.0
+    ringing = float(np.std(v[tail]))
+    settle_error = abs(float(np.mean(v[tail])) - v_final)
+    out = {
+        "v_max": v_max,
+        "v_min": v_min,
+        "overshoot": max(v_max - vdd, 0.0),
+        "undershoot": max(-v_min, 0.0),
+        "swing": v_max - v_min,
+        "n_crossings": int(crossings.size),
+        "first_crossing": first_crossing,
+        "first_edge_delay": (first_crossing - first_edge
+                             if first_edge is not None else float("nan")),
+        "ringing_rms": ringing,
+        "settle_error": settle_error,
+    }
+    out.update(get_kind(sc.load.kind).extra_metrics(
+        sc.load, sc, t, v, vdd, probes or {}))
+    if spectra:
+        # the raw (peak-detector) spectrum of the requested quantity sets
+        # the headline emission level; derived detector/radiated spectra
+        # get their levels through the per-check margins below
+        sspec = sc.spectral_spec()
+        base = spectra.get(sspec.quantity) if sspec is not None else None
+        if base is None:
+            base = next(iter(spectra.values()))
+        nz = base.f > 0.0  # the DC bin is a level, not an emission
+        sdb = base.db()[nz]
+        j = int(np.argmax(sdb))
+        out["emis_peak_db"] = float(sdb[j])
+        out["emis_f_peak"] = float(base.f[nz][j])
+    if verdict is not None:
+        out["emis_margin_db"] = float(verdict.margin_db)
+        out["emis_f_worst"] = float(verdict.f_worst)
+        out["spectral_pass"] = bool(verdict.passed)
+    for check, vd in (verdicts_by or {}).items():
+        out[f"margin[{check}]_db"] = float(vd.margin_db)
+    return out
+
+
+def simulate_scenario(sc: Scenario,
+                      model: PWRBFDriverModel) -> ScenarioOutcome:
+    """Build and run one driver-plus-load bench; never raises.
+
+    The circuit wiring comes from the scenario's load kind; the spectral
+    request (when present) adds the series :class:`CurrentProbe`,
+    windowed-FFT spectra, detector weighting, radiated estimation and
+    mask verdicts exactly as documented on
+    :class:`~repro.studies.spec.SpectralSpec`.
+    """
+    t0 = time.perf_counter()
+    try:
+        dt = model.ts if sc.dt is None else sc.dt
+        t_stop = sc.t_stop
+        if t_stop is None:
+            t_stop = (len(sc.pattern) + 2) * sc.bit_time
+        spec = sc.spectral_spec()
+        ckt = Circuit(sc.resolved_name())
+        ckt.add(PWRBFDriverElement.for_pattern(
+            "drv", "out", model, sc.pattern, sc.bit_time, t_stop))
+        load_port = "out"
+        if spec is not None and spec.quantity == "i_port":
+            # series ammeter between the driver pad and the load: its MNA
+            # branch records the conducted port current without changing
+            # the circuit solution
+            ckt.add(CurrentProbe("iprobe", "out", "load"))
+            load_port = "load"
+        obs = sc.load.build(ckt, load_port)
+        res = run_transient(ckt, TransientOptions(
+            dt=dt, t_stop=t_stop, method="damped", strict=False))
+        # copy: res.v() is a view into the full (n_steps, size) solution
+        # matrix, which must not stay alive per retained outcome
+        v = res.v(obs).copy()
+        probes = {name: res.v(node).copy()
+                  for name, node in sc.load.probes().items()}
+        spectra: dict = {}
+        verdicts_by: dict = {}
+        verdict = None
+        if spec is not None:
+            if spec.quantity == "i_port":
+                wave = res.probe("i(iprobe)").copy()
+                probes["i_port"] = wave
+                unit = "A"
+            else:
+                wave, unit = v, "V"
+            spectrum = amplitude_spectrum(
+                res.t, wave, window=spec.window, n_fft=spec.n_fft,
+                unit=unit, label=f"{sc.resolved_name()}:{spec.quantity}")
+            spectra[spec.quantity] = spectrum
+            mask = spec.resolved_mask()
+            rmask = spec.resolved_radiated_mask()
+            for det in spec.detectors:
+                if det == "peak":
+                    weighted = spectrum
+                else:
+                    weighted = apply_detector(spectrum, det, spec.prf)
+                    spectra[f"{spec.quantity}@{det}"] = weighted
+                if mask is not None:
+                    verdicts_by[det] = mask.check(weighted)
+                if spec.antenna is not None:
+                    e_spec = radiated_spectrum(weighted, spec.antenna)
+                    e_key = "e_field" if det == "peak" \
+                        else f"e_field@{det}"
+                    spectra[e_key] = e_spec
+                    if rmask is not None:
+                        verdicts_by[f"rad:{det}"] = rmask.check(e_spec)
+            if verdicts_by:
+                verdict = min(verdicts_by.values(),
+                              key=lambda vd: vd.margin_db)
+        return ScenarioOutcome(
+            scenario=sc, t=res.t, v_port=v,
+            metrics=_emc_metrics(res.t, v, model.vdd, sc, probes,
+                                 spectra, verdict, verdicts_by),
+            warnings=list(res.warnings),
+            elapsed_s=time.perf_counter() - t0, probes=probes,
+            spectra=spectra, verdict=verdict, verdicts_by=verdicts_by)
+    except Exception as exc:  # noqa: BLE001 - one bad corner must not kill a sweep
+        return ScenarioOutcome(
+            scenario=sc, t=np.empty(0), v_port=np.empty(0), metrics={},
+            warnings=[], elapsed_s=time.perf_counter() - t0,
+            error=f"{type(exc).__name__}: {exc}")
+
+
+# kept under the old private name for the deprecation shim
+_simulate_scenario = simulate_scenario
+
+
+# ---------------------------------------------------------------------------
+# shared-memory arena wire format
+# ---------------------------------------------------------------------------
+#
+# A sweep's payload is dominated by the waveform/spectrum arrays; pickling
+# them through the pool's result queue serializes every float twice.  The
+# grid makes their sizes predictable *before* simulation (fixed-step engine:
+# n = round(t_stop / dt) + 1; rfft bins: n_fft // 2 + 1), so the parent
+# pre-allocates one shared-memory arena with a slot per pending scenario,
+# workers write arrays in place, and only the scalar summary rides the
+# queue.  Any surprise (unavailable shared memory, a layout mismatch, a
+# failed scenario) falls back to pickling that outcome -- correctness never
+# depends on the arena.
+
+def _expected_layout(sc: Scenario, model) -> list[tuple[str, int]]:
+    """Predicted (array name, length) list of a successful outcome."""
+    dt = model.ts if sc.dt is None else sc.dt
+    t_stop = sc.t_stop
+    if t_stop is None:
+        t_stop = (len(sc.pattern) + 2) * sc.bit_time
+    n = int(round(t_stop / dt)) + 1
+    layout = [("t", n), ("v_port", n)]
+    layout += [(f"probe_{name}", n) for name in sc.load.probes()]
+    spec = sc.spectral_spec()
+    if spec is not None:
+        if spec.quantity == "i_port":
+            layout.append(("probe_i_port", n))
+        n_fft = spec.n_fft if spec.n_fft is not None else n
+        nb = int(n_fft) // 2 + 1
+        for key in spec.spectrum_keys():
+            layout.append((f"spec_{key}_f", nb))
+            layout.append((f"spec_{key}_mag", nb))
+    return layout
+
+
+def _outcome_arrays(out: ScenarioOutcome) -> dict:
+    """Flat name -> array view of an outcome (the arena wire format)."""
+    arrays = {"t": out.t, "v_port": out.v_port}
+    for name, wave in out.probes.items():
+        arrays[f"probe_{name}"] = wave
+    for qty, spec in out.spectra.items():
+        arrays[f"spec_{qty}_f"] = spec.f
+        arrays[f"spec_{qty}_mag"] = spec.mag
+    return arrays
+
+
+def _pack_outcome(out: ScenarioOutcome, buf, offset: int,
+                  layout) -> ScenarioOutcome | None:
+    """Write an outcome's arrays into the arena; return the stripped
+    outcome (arrays replaced by ``None``), or ``None`` on any mismatch."""
+    arrays = _outcome_arrays(out)
+    if set(arrays) != {name for name, _ in layout}:
+        return None
+    pos = offset
+    for name, length in layout:
+        arr = np.ascontiguousarray(arrays[name], dtype=float)
+        if arr.shape != (length,):
+            return None
+        np.frombuffer(buf, dtype=float, count=length,
+                      offset=pos * 8)[:] = arr
+        pos += length
+    spectra_meta = {qty: {"unit": s.unit, "kind": s.kind, "label": s.label,
+                          "detector": s.detector, "meta": dict(s.meta)}
+                    for qty, s in out.spectra.items()}
+    return replace(out, t=None, v_port=None,
+                   probes={name: None for name in out.probes},
+                   spectra=spectra_meta)
+
+
+def _unpack_outcome(out: ScenarioOutcome, buf, offset: int,
+                    layout) -> ScenarioOutcome:
+    """Rebuild a stripped outcome from its arena slot (copies out)."""
+    arrays = {}
+    pos = offset
+    for name, length in layout:
+        arrays[name] = np.frombuffer(buf, dtype=float, count=length,
+                                     offset=pos * 8).copy()
+        pos += length
+    probes = {name: arrays[f"probe_{name}"] for name in out.probes}
+    spectra = {}
+    for qty, meta in out.spectra.items():
+        spectra[qty] = Spectrum(arrays[f"spec_{qty}_f"],
+                                arrays[f"spec_{qty}_mag"],
+                                unit=meta["unit"], kind=meta["kind"],
+                                label=meta["label"],
+                                detector=meta.get("detector", "peak"),
+                                meta=meta["meta"])
+    return replace(out, t=arrays["t"], v_port=arrays["v_port"],
+                   probes=probes, spectra=spectra)
+
+
+# ---------------------------------------------------------------------------
+# worker-process state
+# ---------------------------------------------------------------------------
+
+# each worker deserializes every distinct driver model exactly once and
+# attaches the shared arena once (both in the initializer), not once per
+# scenario
+_WORKER_MODELS: dict = {}
+_WORKER_ARENA = None
+
+
+def _worker_init(model_payloads: dict, arena_name: str | None = None) -> None:
+    global _WORKER_MODELS, _WORKER_ARENA
+    _WORKER_MODELS = {key: PWRBFDriverModel.from_dict(d)
+                      for key, d in model_payloads.items()}
+    _WORKER_ARENA = None
+    if arena_name is not None and _shm is not None:
+        try:
+            _WORKER_ARENA = _shm.SharedMemory(name=arena_name)
+        except (OSError, ValueError):
+            _WORKER_ARENA = None  # fall back to pickling the arrays
+
+
+def _worker_run(args):
+    idx, sc, model_key, slot = args
+    out = simulate_scenario(sc, _WORKER_MODELS[model_key])
+    if slot is not None and _WORKER_ARENA is not None and out.ok:
+        offset, layout = slot
+        packed = _pack_outcome(out, _WORKER_ARENA.buf, offset, layout)
+        if packed is not None:
+            return idx, packed, True
+    return idx, out, False

@@ -1,10 +1,10 @@
-"""Docstring coverage gate for the public EMC + sweep API.
+"""Docstring coverage gate for the public EMC + studies API.
 
 ``docs/api.md`` is hand-written from these docstrings; this test keeps
 the source of truth complete: every public class, function, method and
-property in the :mod:`repro.emc` modules and
-:mod:`repro.experiments.sweep` must carry a docstring.  New public API
-without documentation fails CI here, not in review.
+property in the :mod:`repro.emc` modules and the :mod:`repro.studies`
+package must carry a docstring.  New public API without documentation
+fails CI here, not in review.
 """
 
 import importlib
@@ -18,7 +18,12 @@ MODULES = [
     "repro.emc.detectors",
     "repro.emc.radiated",
     "repro.emc.metrics",
-    "repro.experiments.sweep",
+    "repro.studies.kinds",
+    "repro.studies.spec",
+    "repro.studies.simulate",
+    "repro.studies.outcomes",
+    "repro.studies.runner",
+    "repro.studies.cli",
 ]
 
 def _public_members(module):
@@ -71,4 +76,6 @@ def test_walker_sees_the_api():
         importlib.import_module(m))) for m in MODULES}
     assert counts["repro.emc.detectors"] >= 8
     assert counts["repro.emc.radiated"] >= 5
-    assert counts["repro.experiments.sweep"] >= 25
+    assert counts["repro.studies.spec"] >= 25
+    assert counts["repro.studies.kinds"] >= 5
+    assert counts["repro.studies.outcomes"] >= 15

@@ -64,6 +64,26 @@ def test_fig2_spectrum_matches_golden(md2_model):
     _compare("fig2_spectrum", golden.fig2_spectrum(driver_model=md2_model))
 
 
+def test_fig4_matches_golden():
+    # MD3 estimation rides the process-wide model cache (seconds, once)
+    _compare("fig4", golden.fig4_case())
+
+
+def test_fig4_reference_is_physical():
+    """The committed fig4 file itself stays sane: the active land swings,
+    the quiet land shows real (but much smaller) far-end crosstalk, and
+    the macromodel tracks both."""
+    fig4 = _load("fig4")
+    swing = fig4["ref_v21"].max() - fig4["ref_v21"].min()
+    assert swing > 1.0                               # the pattern arrives
+    xtalk = float(np.abs(fig4["ref_v22"]).max())
+    assert 0.01 < xtalk < 0.5 * swing                # visible, not dominant
+    for land in ("v21", "v22"):
+        err = float(np.max(np.abs(fig4[f"pwrbf_{land}"]
+                                  - fig4[f"ref_{land}"])))
+        assert err < 0.25 * swing
+
+
 def test_golden_spectrum_is_physical():
     """The committed spectrum reference stays sane on its own."""
     spec = _load("fig2_spectrum")

@@ -1,0 +1,287 @@
+"""Study serialization: lossless round trips and cache-key stability.
+
+The hypothesis property is the satellite acceptance:
+``Study.from_dict(s.to_dict()) == s`` for randomized studies (and the
+stronger TOML-text round trip on top).  The pinned-literal tests freeze
+the canonical serialized form that *is* the cache-key input -- any
+accidental change to the rendering would silently orphan every disk
+cache, so it must fail a test first.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emc import LimitMask
+from repro.errors import ExperimentError
+from repro.experiments import AntennaModel
+from repro.experiments.cache import scenario_key_digest
+from repro.studies import (CORNERS, CoupledLoadSpec, LoadSpec,
+                           RunnerOptions, Scenario, SpectralSpec, Study)
+
+FINITE = dict(allow_nan=False, allow_infinity=False)
+
+patterns = st.lists(st.text(alphabet="01", min_size=1, max_size=8),
+                    min_size=1, max_size=4).map(tuple)
+
+load_specs = st.one_of(
+    st.builds(LoadSpec, kind=st.just("r"),
+              r=st.floats(1.0, 1e4, **FINITE),
+              label=st.text(max_size=8)),
+    st.builds(LoadSpec, kind=st.just("rc"),
+              r=st.floats(1.0, 1e4, **FINITE),
+              c=st.floats(1e-13, 1e-10, **FINITE)),
+    st.builds(LoadSpec, kind=st.just("line"),
+              z0=st.floats(10.0, 150.0, **FINITE),
+              td=st.floats(0.1e-9, 3e-9, **FINITE),
+              r=st.floats(1.0, 1e5, **FINITE)),
+    st.builds(LoadSpec, kind=st.just("rx"),
+              td=st.floats(0.0, 2e-9, **FINITE),
+              r=st.floats(0.0, 100.0, **FINITE)),
+    st.builds(CoupledLoadSpec,
+              l_mut=st.floats(1e-9, 200e-9, **FINITE),
+              c_mut=st.floats(0.0, 50e-12, **FINITE),
+              label=st.text(max_size=8)),
+)
+
+antennas = st.one_of(
+    st.none(),
+    st.builds(AntennaModel,
+              length=st.floats(0.1, 3.0, **FINITE),
+              distance=st.sampled_from([3.0, 10.0]),
+              cm_fraction=st.floats(1e-3, 1.0,
+                                    exclude_min=False, **FINITE)))
+
+
+@st.composite
+def spectral_specs(draw):
+    """Valid SpectralSpec instances (constraints honored)."""
+    antenna = draw(antennas)
+    quantity = "i_port" if antenna is not None \
+        else draw(st.sampled_from(["v_port", "i_port"]))
+    detectors = draw(st.lists(
+        st.sampled_from(["peak", "quasi-peak", "average"]),
+        min_size=1, max_size=3, unique=True))
+    mask = draw(st.one_of(
+        st.none(),
+        st.just("board-b" if quantity == "v_port" else "board-i"),
+        st.builds(LimitMask.from_points, st.just("custom"),
+                  st.just(((1e6, 80.0), (1e9, 60.0))),
+                  unit=st.just("dBuV" if quantity == "v_port"
+                               else "dBuA"))))
+    return SpectralSpec(
+        quantity=quantity,
+        window=draw(st.sampled_from(["hann", "blackman", "rect"])),
+        n_fft=draw(st.one_of(st.none(), st.integers(64, 4096))),
+        mask=mask,
+        detectors=tuple(detectors),
+        prf=draw(st.one_of(st.none(), st.floats(10.0, 1e6, **FINITE))),
+        antenna=antenna,
+        radiated_mask="fcc-15b" if antenna is not None
+        and draw(st.booleans()) else None)
+
+
+studies = st.builds(
+    Study,
+    patterns=patterns,
+    loads=st.lists(load_specs, min_size=1, max_size=3).map(tuple),
+    drivers=st.lists(st.sampled_from(["MD1", "MD2", "MD3"]),
+                     min_size=1, max_size=2, unique=True).map(tuple),
+    corners=st.lists(st.sampled_from(CORNERS), min_size=1, max_size=3,
+                     unique=True).map(tuple),
+    name=st.text(max_size=12),
+    bit_time=st.floats(0.5e-9, 4e-9, **FINITE),
+    dt=st.one_of(st.none(), st.floats(10e-12, 100e-12, **FINITE)),
+    t_stop=st.one_of(st.none(), st.floats(1e-9, 50e-9, **FINITE)),
+    spectral=st.one_of(st.none(), spectral_specs()),
+    options=st.builds(RunnerOptions,
+                      n_workers=st.one_of(st.none(),
+                                          st.integers(1, 8)),
+                      disk_cache=st.one_of(st.none(),
+                                           st.just(".cache-x"))))
+
+
+class TestRoundTrips:
+    @settings(max_examples=60, deadline=None)
+    @given(s=studies)
+    def test_dict_round_trip_is_lossless(self, s):
+        """Satellite acceptance: Study.from_dict(s.to_dict()) == s."""
+        assert Study.from_dict(s.to_dict()) == s
+
+    @settings(max_examples=60, deadline=None)
+    @given(s=studies)
+    def test_toml_text_round_trip_is_lossless(self, s):
+        """Stronger: through the TOML writer + tomllib parser."""
+        back = Study.from_toml(s.to_toml())
+        assert back == s
+        assert back.digest() == s.digest()
+
+    @settings(max_examples=40, deadline=None)
+    @given(s=studies)
+    def test_json_dict_survives_json_text(self, s):
+        """to_dict is honestly JSON-able (what Study.save('.json') does)."""
+        back = Study.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert back == s
+
+    @settings(max_examples=40, deadline=None)
+    @given(s=studies)
+    def test_round_trip_preserves_every_scenario_key(self, s):
+        """The serialized study produces identical cache keys."""
+        back = Study.from_toml(s.to_toml())
+        assert [sc.key() for sc in back.scenarios()] == \
+            [sc.key() for sc in s.scenarios()]
+
+    def test_file_round_trip_toml_and_json(self, tmp_path):
+        s = Study(patterns=("01",), name="files",
+                  loads=(LoadSpec(kind="r", r=50.0),
+                         CoupledLoadSpec(label="pair")),
+                  spectral=SpectralSpec(mask="board-b"),
+                  options=RunnerOptions(n_workers=1))
+        for fname in ("s.toml", "s.json"):
+            path = s.save(tmp_path / fname)
+            assert Study.load(path) == s
+
+    def test_load_errors_are_clean(self, tmp_path):
+        with pytest.raises(ExperimentError, match="cannot read"):
+            Study.load(tmp_path / "missing.toml")
+        bad = tmp_path / "bad.toml"
+        bad.write_text("patterns = [unclosed")
+        with pytest.raises(ExperimentError, match="invalid study TOML"):
+            Study.load(bad)
+        bad_json = tmp_path / "bad.json"
+        bad_json.write_text("{not json")
+        with pytest.raises(ExperimentError, match="invalid study JSON"):
+            Study.load(bad_json)
+        with pytest.raises(ExperimentError, match="unknown Study fields"):
+            Study.from_dict({"patterns": ["01"], "bogus": 1})
+
+    def test_options_spelling_coerces_too(self):
+        """'runner' is the schema table, but the dataclass-field
+        spelling 'options' must coerce as well -- never ride along as a
+        raw dict that explodes later inside Study.run."""
+        via_runner = Study.from_dict(
+            {"patterns": ["01"], "runner": {"n_workers": 3}})
+        via_options = Study.from_dict(
+            {"patterns": ["01"], "options": {"n_workers": 3}})
+        assert via_runner == via_options
+        assert isinstance(via_options.options, RunnerOptions)
+        assert via_options.options.n_workers == 3
+        with pytest.raises(ExperimentError, match="not both"):
+            Study.from_dict({"patterns": ["01"],
+                             "runner": {"n_workers": 1},
+                             "options": {"n_workers": 2}})
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="at least one pattern"):
+            Study(patterns=())
+        with pytest.raises(ExperimentError, match="0/1 bits"):
+            Study(patterns=("01x",))
+        with pytest.raises(ExperimentError, match="at least one load"):
+            Study(patterns=("01",), loads=())
+        with pytest.raises(ExperimentError, match="driver"):
+            Study(patterns=("01",), drivers=())
+
+    def test_bare_scalars_normalize_to_one_element_axes(self):
+        """A bare string is one value, never a sequence of characters;
+        a bare load spec is a one-load axis."""
+        s = Study(patterns="0110", drivers="MD2", corners="typ",
+                  loads=LoadSpec(kind="r", r=50.0))
+        assert s.patterns == ("0110",)
+        assert s.drivers == ("MD2",) and s.corners == ("typ",)
+        assert len(s) == 1
+        assert s == Study(patterns=("0110",),
+                          loads=(LoadSpec(kind="r", r=50.0),))
+
+    def test_runner_options_accept_pathlike_disk_cache(self, tmp_path):
+        """ScenarioRunner takes any PathLike, so RunnerOptions must too
+        -- and still serialize."""
+        from pathlib import Path
+        opts = RunnerOptions(disk_cache=Path(".cache-y"))
+        assert opts.disk_cache == ".cache-y"
+        s = Study(patterns=("01",), loads=(LoadSpec(),), options=opts)
+        assert Study.from_toml(s.to_toml()) == s
+        assert Study.load(s.save(tmp_path / "p.json")) == s
+
+
+class TestCanonicalFormIsPinned:
+    """Freeze the cache-key rendering: changing it orphans disk caches."""
+
+    #: the canonical JSON of a plain 50-ohm scenario, verbatim
+    PINNED_KEY = ('{"bit_time":2e-09,"corner":"typ","driver":"MD2",'
+                  '"dt":null,"load":{"c":0.0,"kind":"r","r":50.0},'
+                  '"pattern":"0110","spectral":null,"t_stop":null}')
+    PINNED_DIGEST = "3e0cc75a1734c2c14115e797c14aeb76"
+    #: digest with the board-b spectral request folded in
+    PINNED_SPECTRAL_DIGEST = "7e28721d61076b38d0c7e24f65553460"
+    #: study-level identity of the one-scenario board-b study
+    PINNED_STUDY_DIGEST = "60067d3f44aa77f884fb223ce0b248a9"
+
+    def test_scenario_key_is_pinned(self):
+        sc = Scenario(pattern="0110", load=LoadSpec(kind="r", r=50.0))
+        assert sc.key() == self.PINNED_KEY
+        assert scenario_key_digest(sc.key()) == self.PINNED_DIGEST
+
+    def test_spectral_and_study_digests_are_pinned(self):
+        s = Study(patterns=("0110",), loads=(LoadSpec(kind="r", r=50.0),),
+                  spectral=SpectralSpec(mask="board-b"))
+        assert scenario_key_digest(s.scenarios()[0].key()) == \
+            self.PINNED_SPECTRAL_DIGEST
+        assert s.digest() == self.PINNED_STUDY_DIGEST
+
+    def test_key_ignores_cosmetics_and_load_route(self):
+        """Same physics, different labels / spec route -> one key."""
+        base = Scenario(pattern="0110",
+                        load=LoadSpec(kind="r", r=50.0),
+                        spectral=SpectralSpec(mask="board-b"))
+        relabeled = Scenario(pattern="0110", name="named",
+                             load=LoadSpec(kind="r", r=50.0,
+                                           label="matched"),
+                             spectral=SpectralSpec(mask="board-b"))
+        via_load = Scenario(pattern="0110",
+                            load=LoadSpec(kind="r", r=50.0,
+                                          spectral=SpectralSpec(
+                                              mask="board-b")))
+        assert base.key() == relabeled.key() == via_load.key()
+
+    def test_load_level_spectral_wins_over_the_study_default(self):
+        """The study-wide spectral is a default: a load carrying its own
+        request keeps it (the docstring's promise)."""
+        own = LoadSpec(kind="r", spectral=SpectralSpec(
+            quantity="i_port", mask="board-i"))
+        plain = LoadSpec(kind="line", z0=75.0, td=1e-9, r=1e4)
+        study = Study(patterns=("01",), loads=(own, plain),
+                      spectral=SpectralSpec(mask="board-b"))
+        with_own, with_default = study.scenarios()
+        assert with_own.spectral_spec().quantity == "i_port"
+        assert with_own.spectral_spec().mask == "board-i"
+        assert with_default.spectral_spec().mask == "board-b"
+        # ... and the load-level request is part of the study identity
+        stripped = Study(patterns=("01",),
+                         loads=(LoadSpec(kind="r"), plain),
+                         spectral=SpectralSpec(mask="board-b"))
+        assert study.digest() != stripped.digest()
+
+    def test_study_digest_ignores_cosmetics_and_runner_options(self):
+        """Names, load labels and execution knobs never move the digest."""
+        base = Study(patterns=("0110",),
+                     loads=(LoadSpec(kind="r", r=50.0),),
+                     spectral=SpectralSpec(mask="board-b"))
+        cosmetic = Study(patterns=("0110",), name="signoff",
+                         loads=(LoadSpec(kind="r", r=50.0,
+                                         label="matched"),),
+                         spectral=SpectralSpec(mask="board-b"),
+                         options=RunnerOptions(n_workers=7))
+        assert cosmetic.digest() == base.digest()
+        different = Study(patterns=("0110",),
+                          loads=(LoadSpec(kind="r", r=75.0),),
+                          spectral=SpectralSpec(mask="board-b"))
+        assert different.digest() != base.digest()
+
+    def test_inline_mask_matches_registered_name(self):
+        """Mask names resolve to content in the canonical form."""
+        from repro.emc import get_mask
+        named = SpectralSpec(mask="board-b")
+        inline = SpectralSpec(mask=get_mask("board-b"))
+        assert named.canonical() == inline.canonical()
