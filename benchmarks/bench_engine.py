@@ -157,6 +157,51 @@ def test_scenario_sweep_small(benchmark, md2_model):
 
 
 @pytest.mark.benchmark(group="engine")
+def test_batched_grid_64(benchmark, md2_model):
+    """Grid-batched transient solving: 64 line-load scenarios advanced as
+    one batch on one core must amortize to <= 20x a single scenario's
+    cost (the serial path would cost 64x)."""
+    import time
+
+    from repro.experiments import LoadSpec, ScenarioRunner, scenario_grid
+
+    loads = [LoadSpec(kind="line", z0=z0, td=1e-9, r=r)
+             for z0 in (40.0, 50.0, 65.0, 90.0)
+             for r in (33.0, 50.0, 75.0, 120.0, 200.0, 390.0, 1e3, 1e4)]
+    grid = scenario_grid(patterns=["01", "0110"], loads=loads,
+                         t_stop=8e-9)
+    assert len(grid) == 64
+    models = {("MD2", "typ"): md2_model}
+
+    def run():
+        runner = ScenarioRunner(models=models, n_workers=1,
+                                use_result_cache=False)
+        return runner.run(grid)
+
+    result = benchmark.pedantic(run, rounds=7, iterations=1,
+                                warmup_rounds=1)
+    assert len(result) == 64 and not result.failures
+
+    # one-scenario reference cost on the same core (median of 3)
+    from repro.studies import simulate_scenario
+    singles = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        out = simulate_scenario(grid[0], md2_model)
+        singles.append(time.perf_counter() - t0)
+        assert out.ok
+    single_s = sorted(singles)[1]
+    batch_s = benchmark.stats.stats.median
+    benchmark.extra_info["single_s"] = single_s
+    benchmark.extra_info["per_scenario_s"] = batch_s / 64.0
+    benchmark.extra_info["speedup_vs_serial"] = single_s * 64.0 / batch_s
+    # the gated amortization target: a 64-member batch within 20x one run
+    assert batch_s <= 20.0 * single_s, (
+        f"64-scenario batch took {batch_s:.3f}s vs single "
+        f"{single_s:.3f}s ({batch_s / single_s:.1f}x > 20x)")
+
+
+@pytest.mark.benchmark(group="engine")
 def test_spectrum_peak_hold_64(benchmark):
     """Spectral emissions hot path: windowed FFT + mask check + max-hold
     envelope over a 64-scenario grid's worth of waveforms."""

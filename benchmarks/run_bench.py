@@ -40,7 +40,8 @@ ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_GATES = ("test_linear_ladder_transient",
                  "test_branin_line_transient",
                  "test_spectrum_peak_hold_64",
-                 "test_qp_weighting_batch_64")
+                 "test_qp_weighting_batch_64",
+                 "test_batched_grid_64")
 
 
 def run_group(group: str, k_expr: str | None = None) -> list[dict]:
@@ -67,10 +68,16 @@ def run_group(group: str, k_expr: str | None = None) -> list[dict]:
             g = bench.get("group") or "<none>"
             dropped[g] = dropped.get(g, 0) + 1
             continue
-        results.append({
+        entry = {
             "test": bench["name"],
             "median_s": bench["stats"]["median"],
-        })
+        }
+        extra = bench.get("extra_info") or {}
+        if extra:
+            # e.g. the batched-grid amortization numbers (per-scenario
+            # cost, speedup vs serial) ride along in the trajectory
+            entry["extra_info"] = {k: extra[k] for k in sorted(extra)}
+        results.append(entry)
     if dropped:
         # the module name and the benchmark group label need not coincide;
         # make the filtering visible so no group silently vanishes from
@@ -177,7 +184,12 @@ def main(argv=None) -> int:
     width = max(len(r["test"]) for r in run["results"])
     print(f"\n{out.name} <- run {args.label!r}:")
     for r in run["results"]:
-        print(f"  {r['test']:<{width}}  {r['median_s'] * 1e3:9.3f} ms")
+        line = f"  {r['test']:<{width}}  {r['median_s'] * 1e3:9.3f} ms"
+        extra = r.get("extra_info") or {}
+        if "speedup_vs_serial" in extra:
+            line += (f"  ({extra['speedup_vs_serial']:.1f}x vs serial, "
+                     f"{extra['per_scenario_s'] * 1e3:.2f} ms/scenario)")
+        print(line)
     return 0
 
 

@@ -7,6 +7,7 @@ as circuit elements for validation.
 """
 
 from . import builders, netlist_io, waveforms
+from .batch import batch_signature, run_transient_batch
 from .builders import LineSpec, add_lossy_line, add_rlgc_ladder, fit_skin_ladder
 from .dcop import OperatingPoint, solve_dcop
 from .elements import *  # noqa: F401,F403 -- re-export the element library
@@ -19,7 +20,8 @@ from .transient import TransientOptions, TransientResult, run_transient
 __all__ = [
     "Circuit", "Element", "MNASystem",
     "NewtonOptions", "TransientOptions", "TransientResult",
-    "run_transient", "solve_dcop", "OperatingPoint",
+    "run_transient", "run_transient_batch", "batch_signature",
+    "solve_dcop", "OperatingPoint",
     "LineSpec", "add_lossy_line", "add_rlgc_ladder", "fit_skin_ladder",
     "waveforms", "builders", "netlist_io",
     *_elements_all,

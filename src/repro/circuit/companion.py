@@ -11,6 +11,8 @@ regardless of the element count:
 * :class:`Capacitor` / :class:`Inductor` -- plain two-terminal companions,
 * :class:`CoupledInductors` / :class:`CapacitanceMatrix` -- matrix
   companions, batched per conductor count with one ``einsum`` per step,
+* :class:`IdealLine` -- scalar Branin lines, batched with a shared wave
+  history and precomputed constant interpolation fractions,
 * :class:`CoupledIdealLine` -- modal Branin lines, batched per conductor
   count with a shared preallocated wave-history array and vectorized
   delayed-lookup interpolation.
@@ -23,6 +25,12 @@ the elements after ``init_state``/``prepare`` and written back by
 elements -- are authoritative.  ``TransientOptions.vector_groups=False``
 disables grouping entirely (every element stamps itself), which is how the
 equivalence tests pin the grouped path to the per-element reference.
+
+For the grid-batched backend (:mod:`repro.circuit.batch`) the same groups
+also span *multiple circuits at once*: ``build_companion_groups`` accepts a
+per-element index ``offsets`` map shifting every node/branch index by the
+owning member's slot in a flat ``(n_members * size,)`` solution vector, so
+one group advances the companion state of a whole scenario batch per step.
 """
 
 from __future__ import annotations
@@ -31,25 +39,33 @@ import numpy as np
 
 from .elements.rlc import (CapacitanceMatrix, Capacitor, CoupledInductors,
                            Inductor)
-from .elements.tline import CoupledIdealLine
+from .elements.tline import CoupledIdealLine, IdealLine
 
 __all__ = ["CompanionGroups", "build_companion_groups"]
+
+
+def _off_array(els, offsets) -> np.ndarray:
+    """Per-element flat-vector offsets (all zero for a single circuit)."""
+    if offsets is None:
+        return np.zeros(len(els), dtype=np.intp)
+    return np.array([offsets.get(id(el), 0) for el in els], dtype=np.intp)
 
 
 class _CapacitorGroup:
     """All plain two-terminal capacitors of a circuit, as arrays."""
 
-    def __init__(self, caps: list[Capacitor]):
+    def __init__(self, caps: list[Capacitor], offsets=None):
         self.caps = caps
-        self.a = np.array([c.nodes[0] for c in caps], dtype=np.intp)
-        self.b = np.array([c.nodes[1] for c in caps], dtype=np.intp)
-        self.mask_a = self.a >= 0
-        self.mask_b = self.b >= 0
-        self.ia = self.a[self.mask_a]
-        self.ib = self.b[self.mask_b]
+        off = _off_array(caps, offsets)
+        a = np.array([c.nodes[0] for c in caps], dtype=np.intp)
+        b = np.array([c.nodes[1] for c in caps], dtype=np.intp)
+        self.mask_a = a >= 0
+        self.mask_b = b >= 0
+        self.ia = (a + off)[self.mask_a]
+        self.ib = (b + off)[self.mask_b]
         # ground terminals read x[0] via the clipped index but are masked out
-        self.a_clip = np.where(self.mask_a, self.a, 0)
-        self.b_clip = np.where(self.mask_b, self.b, 0)
+        self.a_clip = np.where(self.mask_a, a + off, 0)
+        self.b_clip = np.where(self.mask_b, b + off, 0)
         self.geq = np.array([c._geq for c in caps])
         self.beta = (1.0 - caps[0]._theta) / caps[0]._theta
         self.v_prev = np.array([c._v_prev for c in caps])
@@ -78,15 +94,17 @@ class _CapacitorGroup:
 class _InductorGroup:
     """All plain two-terminal inductors of a circuit, as arrays."""
 
-    def __init__(self, inds: list[Inductor]):
+    def __init__(self, inds: list[Inductor], offsets=None):
         self.inds = inds
-        self.br = np.array([el.branches[0] for el in inds], dtype=np.intp)
-        self.a = np.array([el.nodes[0] for el in inds], dtype=np.intp)
-        self.b = np.array([el.nodes[1] for el in inds], dtype=np.intp)
-        self.mask_a = self.a >= 0
-        self.mask_b = self.b >= 0
-        self.a_clip = np.where(self.mask_a, self.a, 0)
-        self.b_clip = np.where(self.mask_b, self.b, 0)
+        off = _off_array(inds, offsets)
+        self.br = np.array([el.branches[0] for el in inds],
+                           dtype=np.intp) + off
+        a = np.array([el.nodes[0] for el in inds], dtype=np.intp)
+        b = np.array([el.nodes[1] for el in inds], dtype=np.intp)
+        self.mask_a = a >= 0
+        self.mask_b = b >= 0
+        self.a_clip = np.where(self.mask_a, a + off, 0)
+        self.b_clip = np.where(self.mask_b, b + off, 0)
         self.req = np.array([el._req for el in inds])
         self.beta = (1.0 - inds[0]._theta) / inds[0]._theta
         self.i_prev = np.array([el._i_prev for el in inds])
@@ -114,18 +132,19 @@ class _CoupledInductorsGroup:
     over the stacked ``(n_el, n, n)`` equivalent-resistance tensor.
     """
 
-    def __init__(self, els: list[CoupledInductors]):
+    def __init__(self, els: list[CoupledInductors], offsets=None):
         self.els = els
         n = els[0].n
-        self.br = np.array([el.branches for el in els], dtype=np.intp)
-        self.a = np.array([[el.nodes[2 * k] for k in range(n)]
-                           for el in els], dtype=np.intp)
-        self.b = np.array([[el.nodes[2 * k + 1] for k in range(n)]
-                           for el in els], dtype=np.intp)
-        self.mask_a = self.a >= 0
-        self.mask_b = self.b >= 0
-        self.a_clip = np.where(self.mask_a, self.a, 0)
-        self.b_clip = np.where(self.mask_b, self.b, 0)
+        off = _off_array(els, offsets)[:, None]
+        self.br = np.array([el.branches for el in els], dtype=np.intp) + off
+        a = np.array([[el.nodes[2 * k] for k in range(n)]
+                      for el in els], dtype=np.intp)
+        b = np.array([[el.nodes[2 * k + 1] for k in range(n)]
+                      for el in els], dtype=np.intp)
+        self.mask_a = a >= 0
+        self.mask_b = b >= 0
+        self.a_clip = np.where(self.mask_a, a + off, 0)
+        self.b_clip = np.where(self.mask_b, b + off, 0)
         self.Req = np.array([el._Req for el in els])
         self.beta = (1.0 - els[0]._theta) / els[0]._theta
         self.i_prev = np.array([el._i_prev for el in els])
@@ -155,10 +174,12 @@ class _CapacitanceMatrixGroup:
     injection scatter uses ``np.add.at``.
     """
 
-    def __init__(self, els: list[CapacitanceMatrix]):
+    def __init__(self, els: list[CapacitanceMatrix], offsets=None):
         self.els = els
-        self.nodes = np.array([el.nodes for el in els], dtype=np.intp)
-        self.mask = self.nodes >= 0
+        off = _off_array(els, offsets)[:, None]
+        self.nodes = np.array([el.nodes for el in els], dtype=np.intp) + off
+        raw = self.nodes - off
+        self.mask = raw >= 0
         self.clip = np.where(self.mask, self.nodes, 0)
         self.Geq = np.array([el._Geq for el in els])
         self.beta = (1.0 - els[0]._theta) / els[0]._theta
@@ -197,20 +218,23 @@ class _CoupledLineGroup:
     steps) match ``_History.lookup`` exactly.
     """
 
-    def __init__(self, els: list[CoupledIdealLine], dt: float):
+    def __init__(self, els: list[CoupledIdealLine], dt: float, offsets=None):
         self.els = els
         self.dt = float(dt)
         n = els[0].n
         self.n = n
         n_el = len(els)
-        self.br1 = np.array([el.branches[:n] for el in els], dtype=np.intp)
-        self.br2 = np.array([el.branches[n:] for el in els], dtype=np.intp)
-        self.n1 = np.array([el.nodes[:n] for el in els], dtype=np.intp)
-        self.n2 = np.array([el.nodes[n:] for el in els], dtype=np.intp)
-        self.m1 = self.n1 >= 0
-        self.m2 = self.n2 >= 0
-        self.c1 = np.where(self.m1, self.n1, 0)
-        self.c2 = np.where(self.m2, self.n2, 0)
+        off = _off_array(els, offsets)[:, None]
+        self.br1 = np.array([el.branches[:n] for el in els],
+                            dtype=np.intp) + off
+        self.br2 = np.array([el.branches[n:] for el in els],
+                            dtype=np.intp) + off
+        n1 = np.array([el.nodes[:n] for el in els], dtype=np.intp)
+        n2 = np.array([el.nodes[n:] for el in els], dtype=np.intp)
+        self.m1 = n1 >= 0
+        self.m2 = n2 >= 0
+        self.c1 = np.where(self.m1, n1 + off, 0)
+        self.c2 = np.where(self.m2, n2 + off, 0)
         self.W = np.array([el.W for el in els])          # (n_el, n, n)
         self.zm = np.array([el.zm for el in els])        # (n_el, n)
         self.td = np.array([el.td for el in els])        # (n_el, n)
@@ -298,6 +322,99 @@ class _CoupledLineGroup:
             el._hist._dt = self.dt
 
 
+class _IdealLineGroup:
+    """All scalar :class:`IdealLine` elements of a circuit, batched.
+
+    The per-element float-list histories (``_h1``/``_h2``) are replaced by
+    one preallocated ``(rows, n_el, 2)`` wave array shared by the group.
+    As in :class:`_CoupledLineGroup`, the fixed grid makes the delayed
+    lookup of element ``e`` at step ``k`` a constant row offset
+    ``k - ceil(td/dt)`` plus a constant interpolation fraction, both
+    precomputed; clamp semantics match ``IdealLine._lookup``.
+    """
+
+    def __init__(self, els: list[IdealLine], dt: float, offsets=None):
+        self.els = els
+        self.dt = float(dt)
+        n_el = len(els)
+        off = _off_array(els, offsets)
+        self.br1 = np.array([el.branches[0] for el in els],
+                            dtype=np.intp) + off
+        self.br2 = np.array([el.branches[1] for el in els],
+                            dtype=np.intp) + off
+        p1 = np.array([el.nodes[0] for el in els], dtype=np.intp)
+        p2 = np.array([el.nodes[1] for el in els], dtype=np.intp)
+        self.m1 = p1 >= 0
+        self.m2 = p2 >= 0
+        self.c1 = np.where(self.m1, p1 + off, 0)
+        self.c2 = np.where(self.m2, p2 + off, 0)
+        self.z0 = np.array([el.z0 for el in els])
+        d = np.array([el.td for el in els]) / self.dt
+        self._koff = np.ceil(d - 1e-12).astype(np.intp)   # rows of delay
+        self._frac = self._koff - d                        # in [0, 1)
+        self._one_m_frac = 1.0 - self._frac
+        self._koff_max = int(self._koff.max())
+        self._interior = int(self._koff.min()) >= 2
+        self._e_idx = np.arange(n_el)
+        # row k holds [a1, a2] accepted at t_k; init_state recorded row 0
+        self._hist = np.empty((256, n_el, 2))
+        self._hist[0, :, 0] = [el._h1[0] for el in els]
+        self._hist[0, :, 1] = [el._h2[0] for el in els]
+        self._rows = 1
+
+    def _lookup(self) -> tuple[np.ndarray, np.ndarray]:
+        """Interpolated (a1, a2) of every line at its own delayed time."""
+        H = self._hist
+        e = self._e_idx
+        nrow = self._rows
+        if nrow == 1:
+            return H[0, e, 0], H[0, e, 1]
+        k_idx = nrow - self._koff
+        if self._interior and nrow > self._koff_max:
+            a1 = self._one_m_frac * H[k_idx, e, 0] \
+                + self._frac * H[k_idx + 1, e, 0]
+            a2 = self._one_m_frac * H[k_idx, e, 1] \
+                + self._frac * H[k_idx + 1, e, 1]
+            return a1, a2
+        kc = np.clip(k_idx, 0, nrow - 2)
+        frac = self._frac
+        a1 = (1.0 - frac) * H[kc, e, 0] + frac * H[kc + 1, e, 0]
+        a2 = (1.0 - frac) * H[kc, e, 1] + frac * H[kc + 1, e, 1]
+        low = k_idx < 0           # t_delayed <= 0: wave not yet arrived
+        high = k_idx >= nrow - 1  # beyond the newest recorded row
+        if low.any():
+            a1 = np.where(low, H[0, e, 0], a1)
+            a2 = np.where(low, H[0, e, 1], a2)
+        if high.any():
+            a1 = np.where(high, H[nrow - 1, e, 0], a1)
+            a2 = np.where(high, H[nrow - 1, e, 1], a2)
+        return a1, a2
+
+    def add_rhs(self, rhs: np.ndarray) -> None:
+        a1, a2 = self._lookup()
+        # each end's Thevenin EMF is the wave launched from the other end
+        rhs[self.br1] += a2
+        rhs[self.br2] += a1
+
+    def update(self, x: np.ndarray) -> None:
+        a1 = x[self.c1] * self.m1 + self.z0 * x[self.br1]
+        a2 = x[self.c2] * self.m2 + self.z0 * x[self.br2]
+        if self._rows == self._hist.shape[0]:
+            grown = np.empty((2 * self._rows,) + self._hist.shape[1:])
+            grown[:self._rows] = self._hist
+            self._hist = grown
+        self._hist[self._rows, :, 0] = a1
+        self._hist[self._rows, :, 1] = a2
+        self._rows += 1
+
+    def flush(self) -> None:
+        for k, el in enumerate(self.els):
+            el._h1 = self._hist[:self._rows, k, 0].tolist()
+            el._h2 = self._hist[:self._rows, k, 1].tolist()
+            if self._rows > 1:
+                el._hist_dt = self.dt
+
+
 class CompanionGroups:
     """Bundle of vectorized companion groups plus the leftover elements."""
 
@@ -330,39 +447,49 @@ def _by_size(els):
     return sizes.values()
 
 
-def build_companion_groups(hist_els, upd_els,
-                           dt: float | None = None) -> CompanionGroups:
+def build_companion_groups(hist_els, upd_els, dt: float | None = None,
+                           offsets: dict | None = None) -> CompanionGroups:
     """Partition per-step elements into vectorized groups and leftovers.
 
     Only exact ``Capacitor``/``Inductor``/``CoupledInductors``/
-    ``CapacitanceMatrix``/``CoupledIdealLine`` types are grouped --
-    subclasses may override the stamping hooks, so they stay on the
-    per-element path.  Matrix and modal-line elements are batched per
+    ``CapacitanceMatrix``/``IdealLine``/``CoupledIdealLine`` types are
+    grouped -- subclasses may override the stamping hooks, so they stay on
+    the per-element path.  Matrix and modal-line elements are batched per
     conductor count so their state stacks into rectangular arrays.
     ``dt`` is the analysis timestep, needed by the delayed-wave lookups of
-    the line group (lines stay ungrouped when it is ``None``).
+    the line groups (lines stay ungrouped when it is ``None``).
     ``hist_els``/``upd_els`` are the lists the transient loop would
     otherwise iterate; grouped elements are removed from both.
+
+    ``offsets`` maps ``id(element) -> int`` index shifts for the
+    grid-batched backend, where elements of several same-topology circuits
+    share one flat solution vector (member ``m`` of a batch lives at offset
+    ``m * size``).  ``None`` (a single circuit) means no shift.
     """
     caps = [el for el in hist_els if type(el) is Capacitor]
     inds = [el for el in hist_els if type(el) is Inductor]
     cinds = [el for el in hist_els if type(el) is CoupledInductors]
     cmats = [el for el in hist_els if type(el) is CapacitanceMatrix]
+    ilines = [el for el in hist_els
+              if type(el) is IdealLine] if dt is not None else []
     lines = [el for el in hist_els
              if type(el) is CoupledIdealLine] if dt is not None else []
     grouped = set(map(id, caps)) | set(map(id, inds)) \
-        | set(map(id, cinds)) | set(map(id, cmats)) | set(map(id, lines))
+        | set(map(id, cinds)) | set(map(id, cmats)) \
+        | set(map(id, ilines)) | set(map(id, lines))
     groups = []
     if caps:
-        groups.append(_CapacitorGroup(caps))
+        groups.append(_CapacitorGroup(caps, offsets))
     if inds:
-        groups.append(_InductorGroup(inds))
+        groups.append(_InductorGroup(inds, offsets))
     for sub in _by_size(cinds):
-        groups.append(_CoupledInductorsGroup(sub))
+        groups.append(_CoupledInductorsGroup(sub, offsets))
     for sub in _by_size(cmats):
-        groups.append(_CapacitanceMatrixGroup(sub))
+        groups.append(_CapacitanceMatrixGroup(sub, offsets))
+    if ilines:
+        groups.append(_IdealLineGroup(ilines, dt, offsets))
     for sub in _by_size(lines):
-        groups.append(_CoupledLineGroup(sub, dt))
+        groups.append(_CoupledLineGroup(sub, dt, offsets))
     return CompanionGroups(
         groups,
         [el for el in hist_els if id(el) not in grouped],

@@ -134,6 +134,39 @@ class SourceTable:
         return table
 
 
+class StackedSourceTable:
+    """Column-sparse stack of ``N`` same-shape :class:`SourceTable` objects.
+
+    The grid-batched transient backend advances ``N`` same-topology circuits
+    per step; their per-member source tables merge into one table whose
+    column for ``row`` is an ``(n_t, N)`` array.  ``fill_row`` then writes
+    the source RHS of *every* member at time-row ``k`` in one pass.
+    """
+
+    __slots__ = ("n_t", "n_members", "size", "cols")
+
+    def __init__(self, tables: list):
+        if not tables:
+            raise ValueError("need at least one SourceTable")
+        self.n_t = tables[0].n_t
+        self.size = tables[0].size
+        self.n_members = len(tables)
+        if any(t.n_t != self.n_t or t.size != self.size for t in tables):
+            raise ValueError("source tables differ in shape; cannot stack")
+        rows = sorted(set().union(*(t.cols.keys() for t in tables)))
+        zero = np.zeros(self.n_t)
+        self.cols: dict[int, np.ndarray] = {
+            r: np.stack([t.cols.get(r, zero) for t in tables], axis=1)
+            for r in rows}
+
+    def fill_row(self, k: int, out: np.ndarray) -> np.ndarray:
+        """Write time-row ``k`` for all members into ``out`` (N, size)."""
+        out[:] = 0.0
+        for r, vals in self.cols.items():
+            out[:, r] = vals[k]
+        return out
+
+
 class TableStamper:
     """RHS stamper over a whole time grid at once.
 
@@ -306,6 +339,7 @@ class MNASystem:
         _tabled = set(map(id, self._table_els))
         self._hist_els = [el for el in self._rhs_els
                           if id(el) not in _tabled]
+        self._upd_els = None          # memoized update_state eligibility scan
         self._A_base: np.ndarray | sp.csc_matrix | None = None
         self._dt = None
         self._theta = None
@@ -317,6 +351,27 @@ class MNASystem:
         self._wb_R = self._wb_C = None
         self._wb_Z = None             # B^-1 E_R  (n x p)
         self._wb_S = None             # E_C^T B^-1 E_R  (q x p)
+
+    @property
+    def upd_els(self) -> list:
+        """Elements overriding ``update_state``, memoized on the system.
+
+        The transient loop used to re-derive this scan (a ``type``-level
+        attribute comparison per element) on every ``run_transient`` call;
+        repeated runs of the same assembled system -- grouped dispatch, the
+        legacy figure scripts -- now pay for it once.
+        """
+        if self._upd_els is None:
+            from .netlist import Element as _Base
+            self._upd_els = [el for el in self.circuit.elements
+                             if type(el).update_state
+                             is not _Base.update_state]
+        return self._upd_els
+
+    @property
+    def is_linear(self) -> bool:
+        """True when no element is nonlinear: the LU fast path is eligible."""
+        return not self._nl
 
     # -- base matrix (constant + companion) -------------------------------------
     def build_base(self, dt: float | None, theta: float) -> None:

@@ -167,9 +167,8 @@ def run_transient(circuit: Circuit, options: TransientOptions,
     for el in circuit.elements:
         el.init_state(x0, sys_)
     # only elements that actually track state need the per-step callback
-    from .netlist import Element as _Base
-    upd_els = [el for el in circuit.elements
-               if type(el).update_state is not _Base.update_state]
+    # (memoized on the system: repeated runs skip the per-element scan)
+    upd_els = sys_.upd_els
 
     sys_.build_base(options.dt, theta)
 
@@ -190,7 +189,7 @@ def run_transient(circuit: Circuit, options: TransientOptions,
     else:
         comp = CompanionGroups([], list(sys_._hist_els), list(upd_els))
     b_buf = np.empty(sys_.size)
-    linear = options.fast_path and not sys_._nl
+    linear = options.fast_path and sys_.is_linear
 
     x = x0
     x_prev = x0

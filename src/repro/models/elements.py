@@ -148,6 +148,33 @@ class PWRBFDriverElement(_DiscretePortElement):
         """Port current (into the device) at the last accepted step."""
         return getattr(self, "_last_i", 0.0)
 
+    @classmethod
+    def batch_bank(cls, els) -> "_DriverBank | None":
+        """Vectorized lockstep evaluator over same-model elements.
+
+        The grid-batched transient backend
+        (:mod:`repro.circuit.batch`) calls this to advance every member's
+        driver in one numpy pass per Newton iteration.  Returns ``None``
+        when the elements are not bank-compatible -- different model
+        objects, different weight-timeline lengths, a grounded port, or a
+        subclass (whose overridden evaluation the bank could not honor) --
+        in which case the group falls back to per-member simulation.
+        """
+        els = list(els)
+        if cls is not PWRBFDriverElement:
+            return None
+        first = els[0]
+        if any(type(el) is not cls for el in els):
+            return None
+        if any(el.model is not first.model for el in els[1:]):
+            return None
+        if any(el.wh.shape != first.wh.shape for el in els[1:]):
+            return None
+        if first.nodes[0] < 0 \
+                or any(el.nodes[0] != first.nodes[0] for el in els[1:]):
+            return None
+        return _DriverBank(els)
+
 
 class ParametricReceiverElement(_DiscretePortElement):
     """Eq. (2): ARX + up/down RBF submodels as a circuit element."""
@@ -269,3 +296,77 @@ class CVReceiverElement(Element):
     def current(self, x) -> float:
         v = self._port_voltage(x)
         return float(self.model.static_current(np.array(v))) + self._ic_prev
+
+
+class _DriverBank:
+    """Struct-of-arrays lockstep evaluator over N driver elements.
+
+    Built by :meth:`PWRBFDriverElement.batch_bank` for the grid-batched
+    transient backend: the members' NARX histories stack into ``(N, r)``
+    arrays, their switching-weight timelines into ``(N, n_w)`` arrays, and
+    each Newton pass evaluates both RBF submodels for the whole batch with
+    one vectorized call.  Zero-weight submodels are multiplied by exactly
+    ``0.0``, matching the scalar path's skip.  ``flush`` writes the
+    advanced histories back onto the elements, like the companion groups.
+    """
+
+    def __init__(self, els: list[PWRBFDriverElement]):
+        self.els = els
+        first = els[0]
+        self.model = first.model
+        self.node = first.nodes[0]
+        self.ts = first.ts
+        self.order = self.model.order
+        self.WH = np.stack([el.wh for el in els])       # (N, n_w)
+        self.WL = np.stack([el.wl for el in els])
+        self._bh = self.model.sub_high.compile_batch()
+        self._bl = self.model.sub_low.compile_batch()
+        self.Vh = np.zeros((len(els), self.order))      # v(k-1) .. v(k-r)
+        self.Ih = np.zeros((len(els), self.order))      # i(k-1) .. i(k-r)
+        self._last_i = np.zeros(len(els))
+
+    def load(self) -> None:
+        """Snapshot per-element NARX histories (call after ``init_state``)."""
+        n, r = len(self.els), self.order
+        self.Vh = np.array([el._v_hist for el in self.els],
+                           dtype=float).reshape(n, r)
+        self.Ih = np.array([el._i_hist for el in self.els],
+                           dtype=float).reshape(n, r)
+        self._last_i = np.array([getattr(el, "_last_i", 0.0)
+                                 for el in self.els])
+
+    def eval(self, V: np.ndarray, t: float, idx=None
+             ) -> tuple[np.ndarray, np.ndarray]:
+        """Port current and conductance of members ``idx`` (all when None).
+
+        Mirrors the element's ``stamp_nonlinear`` transient branch: the
+        weight index is ``round(t / ts)`` clamped to the timeline, the
+        regressor is ``[v(k), v-history, i-history]``.
+        """
+        k = int(round(t / self.ts))
+        k = min(max(k, 0), self.WH.shape[1] - 1)
+        if idx is None:
+            wh, wl = self.WH[:, k], self.WL[:, k]
+            Vh, Ih = self.Vh, self.Ih
+        else:
+            wh, wl = self.WH[idx, k], self.WL[idx, k]
+            Vh, Ih = self.Vh[idx], self.Ih[idx]
+        X = np.concatenate([V[:, None], Vh, Ih], axis=1)
+        fh, gh = self._bh.eval_grad(X)
+        fl, gl = self._bl.eval_grad(X)
+        return wh * fh + wl * fl, wh * gh + wl * gl
+
+    def update(self, V: np.ndarray, t: float) -> None:
+        """Accept the step: shift every member's NARX history by one."""
+        i, _ = self.eval(V, t)
+        if self.order:
+            self.Vh = np.hstack([V[:, None], self.Vh[:, :-1]])
+            self.Ih = np.hstack([i[:, None], self.Ih[:, :-1]])
+        self._last_i = i
+
+    def flush(self) -> None:
+        """Write bank state back onto the owning elements."""
+        for m, el in enumerate(self.els):
+            el._v_hist = self.Vh[m].tolist()
+            el._i_hist = self.Ih[m].tolist()
+            el._last_i = float(self._last_i[m])

@@ -62,7 +62,7 @@ from .cli import main
 from .kinds import KINDS, ScenarioKind, get_kind, kind_names, register_kind
 from .outcomes import ScenarioOutcome, StudyResult, SweepResult
 from .runner import ScenarioRunner
-from .simulate import simulate_scenario
+from .simulate import simulate_scenario, simulate_scenario_batch
 from .spec import (CORNERS, BaseLoadSpec, CoupledLoadSpec, LoadSpec,
                    RunnerOptions, Scenario, SpectralSpec, Study,
                    load_from_dict, scenario_grid)
@@ -73,5 +73,5 @@ __all__ = [
     "BaseLoadSpec", "LoadSpec", "CoupledLoadSpec", "SpectralSpec",
     "Scenario", "scenario_grid", "CORNERS", "load_from_dict",
     "ScenarioOutcome", "SweepResult", "ScenarioRunner",
-    "simulate_scenario", "main",
+    "simulate_scenario", "simulate_scenario_batch", "main",
 ]

@@ -161,6 +161,29 @@ class ScenarioKind:
         """Kind-specific metrics merged into the outcome summary."""
         return {}
 
+    # -- grid batching ------------------------------------------------------
+    def batch_structure(self, load) -> tuple | None:
+        """Structural batching identity of a load (``None`` = never batch).
+
+        The grid-batched transient backend
+        (:func:`repro.circuit.run_transient_batch`) advances many
+        same-topology benches in lockstep, one time step at a time.  A
+        kind that wants its scenarios batched returns a hashable tuple
+        capturing every load choice that changes the *shape* of the
+        circuit :meth:`build_circuit` produces (e.g. whether an optional
+        capacitor exists): loads with equal tuples must build circuits
+        with equal :func:`~repro.circuit.batch_signature`.  Parameter
+        *values* (resistances, impedances, delays) stay out of the tuple
+        -- varying them across members is the point of a grid.
+
+        The default ``None`` opts the kind out of batching entirely; the
+        runner then simulates its scenarios one by one, which is always
+        correct.  Built-in linear kinds (``"r"``, ``"rc"``, ``"line"``,
+        ``"coupled"``) opt in; ``"rx"`` stays out (its receiver
+        macromodel is a second nonlinear element per bench).
+        """
+        return None
+
     # -- auxiliary models ---------------------------------------------------
     def aux_models(self, load) -> dict:
         """Auxiliary macromodels the bench needs (label -> model).
@@ -251,6 +274,10 @@ class _ResistorKind(ScenarioKind):
         ckt.add(Resistor("rload", port, "0", load.r))
         return port
 
+    def batch_structure(self, load) -> tuple:
+        """Every ``"r"`` load builds the same one-resistor shape."""
+        return ()
+
 
 class _RCKind(ScenarioKind):
     """``"rc"``: shunt R parallel C at the driver pad."""
@@ -274,6 +301,10 @@ class _RCKind(ScenarioKind):
         ckt.add(Capacitor("cload", port, "0", load.c))
         return port
 
+    def batch_structure(self, load) -> tuple:
+        """Every valid ``"rc"`` load builds the same R||C shape."""
+        return ()
+
 
 class _LineKind(ScenarioKind):
     """``"line"``: ideal line into a far-end R (and optional C)."""
@@ -295,6 +326,10 @@ class _LineKind(ScenarioKind):
         if load.c > 0.0:
             ckt.add(Capacitor("cload", "far", "0", load.c))
         return "far"
+
+    def batch_structure(self, load) -> tuple:
+        """The far-end capacitor is optional; its presence is shape."""
+        return (load.c > 0.0,)
 
 
 class _ReceiverKind(ScenarioKind):
@@ -391,6 +426,10 @@ class _CoupledKind(ScenarioKind):
         ckt.add(Resistor("rvn", "v_ne", "0", load.r_victim_near))
         ckt.add(Resistor("rvf", "v_fe", "0", load.r_victim_far))
         return "a_fe"
+
+    def batch_structure(self, load) -> tuple:
+        """The aggressor far-end capacitor is the only optional part."""
+        return (load.c_far > 0.0,)
 
     def extra_metrics(self, load, sc, t, v, vdd, probes: dict) -> dict:
         """NEXT/FEXT crosstalk summary from the victim waveforms."""

@@ -4,8 +4,11 @@
 :class:`~repro.studies.spec.Scenario` (typically
 :meth:`~repro.studies.spec.Study.scenarios` or
 :func:`~repro.studies.spec.scenario_grid`), answers what it can from the
-in-memory / disk result caches, and fans the rest across
-``multiprocessing`` workers.  Waveforms and spectra come back through a
+in-memory / disk result caches, groups the rest by structural batch
+identity (:meth:`ScenarioRunner._batch_key`, built on the load kinds'
+:meth:`~repro.studies.kinds.ScenarioKind.batch_structure`) so each group
+can advance through the grid-batched transient backend, and fans the
+groups across ``multiprocessing`` workers.  Waveforms and spectra come back through a
 ``multiprocessing.shared_memory`` arena sized from the known per-scenario
 grid lengths (workers write arrays in place and only pickle the small
 scalar summary), with a transparent per-outcome fallback to pickling when
@@ -29,9 +32,11 @@ or hand-tweaked model is never served another model's waveforms.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import os
 import sys
+import time
 from dataclasses import replace
 
 import numpy as np
@@ -44,10 +49,26 @@ from ..models import PWRBFDriverModel
 from .kinds import get_kind
 from .outcomes import ScenarioOutcome, SweepResult
 from .simulate import (_expected_layout, _shm, _unpack_outcome,
-                       _worker_init, _worker_run, simulate_scenario)
+                       _worker_init, _worker_run, _worker_run_group,
+                       simulate_scenario, simulate_scenario_batch)
 from .spec import Scenario
 
 __all__ = ["ScenarioRunner"]
+
+
+def _unlink_arena(arena) -> None:
+    """Best-effort arena cleanup (the ``finally`` and ``atexit`` path).
+
+    Registered with :mod:`atexit` for the lifetime of a parallel run so
+    the ``/dev/shm`` segment cannot outlive the interpreter even when a
+    worker death (OOM kill, segfault) derails the normal teardown; the
+    runner unregisters and calls it directly in its ``finally``.
+    """
+    try:
+        arena.close()
+        arena.unlink()
+    except (OSError, ValueError):  # pragma: no cover - already gone
+        pass
 
 
 def _dispatchable(sc: Scenario) -> Scenario:
@@ -88,14 +109,21 @@ class ScenarioRunner:
     parallel runs: ``None`` (default) uses it whenever
     ``multiprocessing.shared_memory`` is available, ``False`` forces the
     pickling path (e.g. for debugging), ``True`` insists but still falls
-    back per-outcome if the arena cannot be created.
+    back per-outcome if the arena cannot be created.  ``batch``
+    (default on) groups scenarios whose load kind reports a
+    :meth:`~repro.studies.kinds.ScenarioKind.batch_structure` by
+    structural identity and advances each group through the grid-batched
+    transient backend (:func:`repro.circuit.run_transient_batch`) --
+    same waveforms, verdicts and cache digests, a fraction of the per-
+    scenario cost; ``False`` forces one simulation per scenario.
     """
 
     def __init__(self, models: dict | None = None,
                  n_workers: int | None = None,
                  use_result_cache: bool = True,
                  disk_cache: str | os.PathLike | None = None,
-                 shared_waveforms: bool | None = None):
+                 shared_waveforms: bool | None = None,
+                 batch: bool = True):
         if disk_cache is not None and not use_result_cache:
             raise ExperimentError(
                 "disk_cache requires use_result_cache=True; pass one or "
@@ -113,6 +141,10 @@ class ScenarioRunner:
         if shared_waveforms is None:
             shared_waveforms = _shm is not None
         self.shared_waveforms = bool(shared_waveforms) and _shm is not None
+        self.batch = bool(batch)
+        # how long surviving workers may keep delivering after a worker
+        # death before the parent recomputes the stragglers itself
+        self._grace_s = 5.0
 
     def _model_for(self, sc: Scenario) -> PWRBFDriverModel:
         key = (sc.driver, sc.corner)
@@ -231,6 +263,54 @@ class ScenarioRunner:
             payloads[key] = memo[1]
         return payloads
 
+    def _batch_key(self, sc: Scenario):
+        """Batching identity of a scenario (``None`` = run it alone).
+
+        Scenarios with equal keys build structurally identical benches
+        on identical time grids, so the grid-batched backend can advance
+        them together: the key folds the load kind's
+        :meth:`~repro.studies.kinds.ScenarioKind.batch_structure` (which
+        is ``None`` for kinds that opt out) with everything else that
+        shapes the circuit or the grid -- driver and corner (one shared
+        model object and sampling time), the explicit ``dt``, the
+        resolved ``t_stop`` and the spectral quantity (``"i_port"`` adds
+        a series probe element).
+        """
+        structure = get_kind(sc.load.kind).batch_structure(sc.load)
+        if structure is None:
+            return None
+        spec = sc.spectral_spec()
+        t_stop = sc.t_stop if sc.t_stop is not None \
+            else (len(sc.pattern) + 2) * sc.bit_time
+        return (sc.load.kind, structure, sc.driver, sc.corner,
+                None if sc.dt is None else float(sc.dt), float(t_stop),
+                None if spec is None else spec.quantity)
+
+    def _group_pending(self, pending) -> list:
+        """Partition pending ``(idx, Scenario)`` pairs into batch groups.
+
+        Scenarios sharing a :meth:`_batch_key` gather into one group (in
+        first-seen order); un-batchable scenarios -- their kind opted
+        out, or batching is disabled on this runner -- become singleton
+        groups, which every dispatch path runs through plain
+        :func:`~repro.studies.simulate.simulate_scenario`.
+        """
+        if not self.batch:
+            return [[job] for job in pending]
+        groups: list = []
+        by_key: dict = {}
+        for idx, sc in pending:
+            key = self._batch_key(sc)
+            if key is None:
+                groups.append([(idx, sc)])
+                continue
+            grp = by_key.get(key)
+            if grp is None:
+                grp = by_key[key] = []
+                groups.append(grp)
+            grp.append((idx, sc))
+        return groups
+
     def run(self, scenarios) -> SweepResult:
         """Simulate every scenario; order of outcomes matches the input."""
         scenarios = list(scenarios)
@@ -263,9 +343,21 @@ class ScenarioRunner:
 
         if parallel:
             arena, slots = self._build_arena(pending)
-            jobs = [(idx, _dispatchable(sc), (sc.driver, sc.corner),
-                     slots.get(idx))
-                    for idx, sc in pending]
+            if arena is not None:
+                # safety net: an interpreter exit with the teardown
+                # derailed (a worker death cascading into an unhandled
+                # error, a signal) must not leak the /dev/shm segment
+                atexit.register(_unlink_arena, arena)
+            workers = min(self.n_workers, len(pending))
+            job_groups: list = []
+            for group in self._group_pending(pending):
+                # spread one big group over the whole pool
+                chunk = -(-len(group) // workers)
+                for i in range(0, len(group), chunk):
+                    job_groups.append(
+                        [(idx, _dispatchable(sc),
+                          (sc.driver, sc.corner), slots.get(idx))
+                         for idx, sc in group[i:i + chunk]])
             # fork only where it is the safe default (Linux): on macOS the
             # interpreter lists 'fork' as available but forking after
             # threaded BLAS/Objective-C work can crash the children, which
@@ -273,32 +365,39 @@ class ScenarioRunner:
             use_fork = (sys.platform.startswith("linux")
                         and "fork" in mp.get_all_start_methods())
             ctx = mp.get_context("fork") if use_fork else mp.get_context()
-            workers = min(self.n_workers, len(pending))
+            unfinished: list = []
             try:
                 with ctx.Pool(workers, initializer=_worker_init,
                               initargs=(payloads,
                                         arena.name if arena else None)
                               ) as pool:
-                    for idx, outcome, packed in \
-                            pool.imap_unordered(_worker_run, jobs):
-                        if packed:
-                            offset, layout = slots[idx]
-                            outcome = _unpack_outcome(
-                                outcome, arena.buf, offset, layout)
-                        # hand back the caller's scenario object, not the
-                        # mask-resolved dispatch copy
-                        outcome.scenario = scenarios[idx]
-                        outcomes[idx] = outcome
+                    unfinished = self._drain_pool(
+                        pool, job_groups, outcomes, scenarios, arena,
+                        slots)
             finally:
                 if arena is not None:
-                    arena.close()
-                    try:
-                        arena.unlink()
-                    except (OSError, FileNotFoundError):  # pragma: no cover
-                        pass
+                    atexit.unregister(_unlink_arena)
+                    _unlink_arena(arena)
+            # jobs lost to a dead worker are recomputed in-process (the
+            # batch path never raises), so the sweep still returns a
+            # complete outcome list instead of hanging or aborting
+            for jobs in unfinished:
+                outs = simulate_scenario_batch(
+                    [(scenarios[idx], self._model_for(scenarios[idx]))
+                     for idx, _, _, _ in jobs])
+                for (idx, _, _, _), out in zip(jobs, outs):
+                    outcomes[idx] = out
         else:
-            for idx, sc in pending:
-                outcomes[idx] = simulate_scenario(sc, self._model_for(sc))
+            for group in self._group_pending(pending):
+                if len(group) == 1:
+                    idx, sc = group[0]
+                    outcomes[idx] = simulate_scenario(
+                        sc, self._model_for(sc))
+                else:
+                    outs = simulate_scenario_batch(
+                        [(sc, self._model_for(sc)) for _, sc in group])
+                    for (idx, _), out in zip(group, outs):
+                        outcomes[idx] = out
 
         if self.use_result_cache:
             for idx, sc in pending:
@@ -321,6 +420,57 @@ class ScenarioRunner:
                                 for k, v in out.verdicts_by.items()},
                         }, name=sc.resolved_name())
         return SweepResult(outcomes)
+
+    def _drain_pool(self, pool, job_groups, outcomes, scenarios, arena,
+                    slots) -> list:
+        """Dispatch the group jobs and collect results as they finish.
+
+        Unlike ``imap_unordered`` -- which blocks forever on a task
+        whose worker was killed mid-run -- this polls per-job
+        ``AsyncResult`` objects while watching the worker processes.  A
+        worker death (OOM kill, a segfault in a native library) starts a
+        grace period during which surviving workers still deliver, after
+        which whatever never arrived is returned for an in-parent
+        recompute instead of hanging the sweep.
+        """
+        asyncs = [pool.apply_async(_worker_run_group, (jobs,))
+                  for jobs in job_groups]
+        # snapshot the worker processes: the pool's maintenance thread
+        # replaces dead workers, but a death still means the job that
+        # worker held is lost
+        procs = list(pool._pool)
+        remaining = set(range(len(asyncs)))
+        lost: set = set()
+        deadline = None
+        while remaining:
+            for j in sorted(remaining):
+                a = asyncs[j]
+                if not a.ready():
+                    continue
+                remaining.discard(j)
+                try:
+                    results = a.get()
+                except Exception:  # noqa: BLE001 - died delivering
+                    lost.add(j)
+                    continue
+                for idx, outcome, packed in results:
+                    if packed:
+                        offset, layout = slots[idx]
+                        outcome = _unpack_outcome(
+                            outcome, arena.buf, offset, layout)
+                    # hand back the caller's scenario object, not the
+                    # mask-resolved dispatch copy
+                    outcome.scenario = scenarios[idx]
+                    outcomes[idx] = outcome
+            if not remaining:
+                break
+            if deadline is None \
+                    and any(p.exitcode is not None for p in procs):
+                deadline = time.monotonic() + self._grace_s
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(0.005)
+        return [job_groups[j] for j in sorted(remaining | lost)]
 
     def _build_arena(self, pending):
         """Allocate the shared waveform arena for a parallel run.

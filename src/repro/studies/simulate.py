@@ -18,7 +18,7 @@ from dataclasses import replace
 import numpy as np
 
 from ..circuit import (Circuit, CurrentProbe, TransientOptions,
-                       run_transient)
+                       run_transient, run_transient_batch)
 from ..emc.detectors import apply_detector
 from ..emc.metrics import threshold_crossings
 from ..emc.radiated import radiated_spectrum
@@ -28,7 +28,7 @@ from .kinds import get_kind
 from .outcomes import ScenarioOutcome
 from .spec import Scenario
 
-__all__ = ["simulate_scenario"]
+__all__ = ["simulate_scenario", "simulate_scenario_batch"]
 
 try:
     from multiprocessing import shared_memory as _shm
@@ -104,6 +104,101 @@ def _emc_metrics(t: np.ndarray, v: np.ndarray, vdd: float,
     return out
 
 
+def _build_bench(sc: Scenario, model: PWRBFDriverModel):
+    """Construct one driver-plus-load bench circuit (pre-simulation half).
+
+    Returns ``(ckt, obs, spec, dt, t_stop)``: the wired circuit, the
+    observation node, the effective spectral request, and the resolved
+    time grid.  Raises on an undescribable scenario; the callers
+    (:func:`simulate_scenario`, :func:`simulate_scenario_batch`) turn
+    that into an error outcome.
+    """
+    dt = model.ts if sc.dt is None else sc.dt
+    t_stop = sc.t_stop
+    if t_stop is None:
+        t_stop = (len(sc.pattern) + 2) * sc.bit_time
+    spec = sc.spectral_spec()
+    ckt = Circuit(sc.resolved_name())
+    ckt.add(PWRBFDriverElement.for_pattern(
+        "drv", "out", model, sc.pattern, sc.bit_time, t_stop))
+    load_port = "out"
+    if spec is not None and spec.quantity == "i_port":
+        # series ammeter between the driver pad and the load: its MNA
+        # branch records the conducted port current without changing
+        # the circuit solution
+        ckt.add(CurrentProbe("iprobe", "out", "load"))
+        load_port = "load"
+    obs = sc.load.build(ckt, load_port)
+    return ckt, obs, spec, dt, t_stop
+
+
+def _finish_outcome(sc: Scenario, model: PWRBFDriverModel, res, obs: str,
+                    spec, t0: float) -> ScenarioOutcome:
+    """Waveforms to outcome (post-simulation half; raises on error).
+
+    Extracts the observed waveforms from the transient result, computes
+    the requested spectra / detector weightings / radiated estimate /
+    mask verdicts, and assembles the :class:`ScenarioOutcome` with the
+    EMC metric summary.  ``t0`` is the ``perf_counter`` start stamp of
+    the work attributed to this scenario.
+    """
+    # copy: res.v() is a view into the full (n_steps, size) solution
+    # matrix, which must not stay alive per retained outcome
+    v = res.v(obs).copy()
+    probes = {name: res.v(node).copy()
+              for name, node in sc.load.probes().items()}
+    spectra: dict = {}
+    verdicts_by: dict = {}
+    verdict = None
+    if spec is not None:
+        if spec.quantity == "i_port":
+            wave = res.probe("i(iprobe)").copy()
+            probes["i_port"] = wave
+            unit = "A"
+        else:
+            wave, unit = v, "V"
+        spectrum = amplitude_spectrum(
+            res.t, wave, window=spec.window, n_fft=spec.n_fft,
+            unit=unit, label=f"{sc.resolved_name()}:{spec.quantity}")
+        spectra[spec.quantity] = spectrum
+        mask = spec.resolved_mask()
+        rmask = spec.resolved_radiated_mask()
+        for det in spec.detectors:
+            if det == "peak":
+                weighted = spectrum
+            else:
+                weighted = apply_detector(spectrum, det, spec.prf)
+                spectra[f"{spec.quantity}@{det}"] = weighted
+            if mask is not None:
+                verdicts_by[det] = mask.check(weighted)
+            if spec.antenna is not None:
+                e_spec = radiated_spectrum(weighted, spec.antenna)
+                e_key = "e_field" if det == "peak" \
+                    else f"e_field@{det}"
+                spectra[e_key] = e_spec
+                if rmask is not None:
+                    verdicts_by[f"rad:{det}"] = rmask.check(e_spec)
+        if verdicts_by:
+            verdict = min(verdicts_by.values(),
+                          key=lambda vd: vd.margin_db)
+    return ScenarioOutcome(
+        scenario=sc, t=res.t, v_port=v,
+        metrics=_emc_metrics(res.t, v, model.vdd, sc, probes,
+                             spectra, verdict, verdicts_by),
+        warnings=list(res.warnings),
+        elapsed_s=time.perf_counter() - t0, probes=probes,
+        spectra=spectra, verdict=verdict, verdicts_by=verdicts_by)
+
+
+def _error_outcome(sc: Scenario, exc: Exception,
+                   elapsed_s: float) -> ScenarioOutcome:
+    """The uniform error outcome of a scenario that failed to simulate."""
+    return ScenarioOutcome(
+        scenario=sc, t=np.empty(0), v_port=np.empty(0), metrics={},
+        warnings=[], elapsed_s=elapsed_s,
+        error=f"{type(exc).__name__}: {exc}")
+
+
 def simulate_scenario(sc: Scenario,
                       model: PWRBFDriverModel) -> ScenarioOutcome:
     """Build and run one driver-plus-load bench; never raises.
@@ -116,75 +211,78 @@ def simulate_scenario(sc: Scenario,
     """
     t0 = time.perf_counter()
     try:
-        dt = model.ts if sc.dt is None else sc.dt
-        t_stop = sc.t_stop
-        if t_stop is None:
-            t_stop = (len(sc.pattern) + 2) * sc.bit_time
-        spec = sc.spectral_spec()
-        ckt = Circuit(sc.resolved_name())
-        ckt.add(PWRBFDriverElement.for_pattern(
-            "drv", "out", model, sc.pattern, sc.bit_time, t_stop))
-        load_port = "out"
-        if spec is not None and spec.quantity == "i_port":
-            # series ammeter between the driver pad and the load: its MNA
-            # branch records the conducted port current without changing
-            # the circuit solution
-            ckt.add(CurrentProbe("iprobe", "out", "load"))
-            load_port = "load"
-        obs = sc.load.build(ckt, load_port)
+        ckt, obs, spec, dt, t_stop = _build_bench(sc, model)
         res = run_transient(ckt, TransientOptions(
             dt=dt, t_stop=t_stop, method="damped", strict=False))
-        # copy: res.v() is a view into the full (n_steps, size) solution
-        # matrix, which must not stay alive per retained outcome
-        v = res.v(obs).copy()
-        probes = {name: res.v(node).copy()
-                  for name, node in sc.load.probes().items()}
-        spectra: dict = {}
-        verdicts_by: dict = {}
-        verdict = None
-        if spec is not None:
-            if spec.quantity == "i_port":
-                wave = res.probe("i(iprobe)").copy()
-                probes["i_port"] = wave
-                unit = "A"
-            else:
-                wave, unit = v, "V"
-            spectrum = amplitude_spectrum(
-                res.t, wave, window=spec.window, n_fft=spec.n_fft,
-                unit=unit, label=f"{sc.resolved_name()}:{spec.quantity}")
-            spectra[spec.quantity] = spectrum
-            mask = spec.resolved_mask()
-            rmask = spec.resolved_radiated_mask()
-            for det in spec.detectors:
-                if det == "peak":
-                    weighted = spectrum
-                else:
-                    weighted = apply_detector(spectrum, det, spec.prf)
-                    spectra[f"{spec.quantity}@{det}"] = weighted
-                if mask is not None:
-                    verdicts_by[det] = mask.check(weighted)
-                if spec.antenna is not None:
-                    e_spec = radiated_spectrum(weighted, spec.antenna)
-                    e_key = "e_field" if det == "peak" \
-                        else f"e_field@{det}"
-                    spectra[e_key] = e_spec
-                    if rmask is not None:
-                        verdicts_by[f"rad:{det}"] = rmask.check(e_spec)
-            if verdicts_by:
-                verdict = min(verdicts_by.values(),
-                              key=lambda vd: vd.margin_db)
-        return ScenarioOutcome(
-            scenario=sc, t=res.t, v_port=v,
-            metrics=_emc_metrics(res.t, v, model.vdd, sc, probes,
-                                 spectra, verdict, verdicts_by),
-            warnings=list(res.warnings),
-            elapsed_s=time.perf_counter() - t0, probes=probes,
-            spectra=spectra, verdict=verdict, verdicts_by=verdicts_by)
+        return _finish_outcome(sc, model, res, obs, spec, t0)
     except Exception as exc:  # noqa: BLE001 - one bad corner must not kill a sweep
-        return ScenarioOutcome(
-            scenario=sc, t=np.empty(0), v_port=np.empty(0), metrics={},
-            warnings=[], elapsed_s=time.perf_counter() - t0,
-            error=f"{type(exc).__name__}: {exc}")
+        return _error_outcome(sc, exc, time.perf_counter() - t0)
+
+
+def simulate_scenario_batch(items) -> list[ScenarioOutcome]:
+    """Simulate a group of same-shape scenarios in one batch; never raises.
+
+    ``items`` is a sequence of ``(Scenario, PWRBFDriverModel)`` pairs
+    sharing a batch key (same load kind and
+    :meth:`~repro.studies.kinds.ScenarioKind.batch_structure`, driver,
+    corner, time grid and spectral quantity -- the grouping the runner
+    computes).  The whole group advances through
+    :func:`~repro.circuit.run_transient_batch`, then each member's
+    waveforms finish into a :class:`ScenarioOutcome` exactly as
+    :func:`simulate_scenario` would; per-member metrics, spectra and
+    verdicts are bit-identical to the serial path's.  ``elapsed_s`` is
+    the group's wall time amortized evenly over its members.
+
+    The fallback ladder preserves the serial path's never-raise
+    contract: a scenario whose bench cannot build gets an error outcome
+    while the rest still batch; a group the batched backend rejects or
+    that fails wholesale is re-simulated per scenario.
+    """
+    items = list(items)
+    if len(items) <= 1:
+        return [simulate_scenario(sc, model) for sc, model in items]
+    t0 = time.perf_counter()
+    outcomes: list = [None] * len(items)
+    benches: list = []   # (pos, ckt, obs, spec, dt, t_stop)
+    for pos, (sc, model) in enumerate(items):
+        try:
+            ckt, obs, spec, dt, t_stop = _build_bench(sc, model)
+        except Exception as exc:  # noqa: BLE001 - isolate the bad member
+            outcomes[pos] = _error_outcome(sc, exc,
+                                           time.perf_counter() - t0)
+            continue
+        benches.append((pos, ckt, obs, spec, dt, t_stop))
+    if not benches:
+        return outcomes
+    grids = {(b[4], b[5]) for b in benches}
+    if len(grids) != 1:
+        # the runner groups by resolved time grid, so this only happens
+        # with a hand-rolled grouping -- each member runs on its own grid
+        for pos, *_ in benches:
+            sc, model = items[pos]
+            outcomes[pos] = simulate_scenario(sc, model)
+        return outcomes
+    (dt, t_stop), = grids
+    try:
+        results = run_transient_batch(
+            [b[1] for b in benches],
+            TransientOptions(dt=dt, t_stop=t_stop, method="damped",
+                             strict=False))
+    except Exception:  # noqa: BLE001 - the serial path is the safety net
+        for pos, *_ in benches:
+            sc, model = items[pos]
+            outcomes[pos] = simulate_scenario(sc, model)
+        return outcomes
+    for (pos, _, obs, spec, _, _), res in zip(benches, results):
+        sc, model = items[pos]
+        try:
+            outcomes[pos] = _finish_outcome(sc, model, res, obs, spec, t0)
+        except Exception as exc:  # noqa: BLE001 - isolate the bad member
+            outcomes[pos] = _error_outcome(sc, exc, 0.0)
+    share = (time.perf_counter() - t0) / len(items)
+    for out in outcomes:
+        out.elapsed_s = share
+    return outcomes
 
 
 # kept under the old private name for the deprecation shim
@@ -305,12 +403,35 @@ def _worker_init(model_payloads: dict, arena_name: str | None = None) -> None:
             _WORKER_ARENA = None  # fall back to pickling the arrays
 
 
-def _worker_run(args):
-    idx, sc, model_key, slot = args
-    out = simulate_scenario(sc, _WORKER_MODELS[model_key])
+def _pack_if_possible(idx, out, slot):
+    """One result triple: the arena-packed outcome when the slot fits."""
     if slot is not None and _WORKER_ARENA is not None and out.ok:
         offset, layout = slot
         packed = _pack_outcome(out, _WORKER_ARENA.buf, offset, layout)
         if packed is not None:
             return idx, packed, True
     return idx, out, False
+
+
+def _worker_run(args):
+    idx, sc, model_key, slot = args
+    out = simulate_scenario(sc, _WORKER_MODELS[model_key])
+    return _pack_if_possible(idx, out, slot)
+
+
+def _worker_run_group(jobs):
+    """Worker entry for one batch group of ``_worker_run`` job tuples.
+
+    The jobs share a batch key (the parent grouped them), so the group
+    advances through :func:`simulate_scenario_batch`; each member's
+    outcome then packs into its arena slot exactly as a
+    :func:`_worker_run` result would.  Returns a list of
+    ``(idx, outcome, packed)`` triples, one per job.
+    """
+    if len(jobs) == 1:
+        return [_worker_run(jobs[0])]
+    outs = simulate_scenario_batch(
+        [(sc, _WORKER_MODELS[model_key])
+         for _, sc, model_key, _ in jobs])
+    return [_pack_if_possible(idx, out, slot)
+            for (idx, _, _, slot), out in zip(jobs, outs)]

@@ -493,15 +493,19 @@ class RunnerOptions:
     ``n_workers`` ``None`` uses the CPU count, ``0``/``1`` runs
     serially; ``disk_cache`` names a directory backing the persistent
     result cache; ``shared_waveforms`` controls the shared-memory
-    waveform return (``None`` = auto).  These knobs never affect the
-    produced waveforms or verdicts -- only how they are computed -- so
-    they stay out of every cache key.
+    waveform return (``None`` = auto); ``batch`` lets the runner advance
+    same-shape scenario groups through the grid-batched transient
+    backend (``False`` forces one simulation per scenario, e.g. for
+    equivalence debugging).  These knobs never affect the produced
+    waveforms or verdicts -- only how they are computed -- so they stay
+    out of every cache key.
     """
 
     n_workers: int | None = None
     use_result_cache: bool = True
     disk_cache: str | None = None
     shared_waveforms: bool | None = None
+    batch: bool = True
 
     def __post_init__(self):
         # ScenarioRunner accepts any PathLike; normalize here so the
@@ -531,6 +535,8 @@ class RunnerOptions:
             kw["n_workers"] = int(kw["n_workers"])
         if kw.get("disk_cache") is not None:
             kw["disk_cache"] = str(kw["disk_cache"])
+        if "batch" in kw:
+            kw["batch"] = bool(kw["batch"])
         return cls(**kw)
 
 
@@ -761,7 +767,8 @@ class Study:
                 models=models, n_workers=opts.n_workers,
                 use_result_cache=opts.use_result_cache,
                 disk_cache=opts.disk_cache,
-                shared_waveforms=opts.shared_waveforms)
+                shared_waveforms=opts.shared_waveforms,
+                batch=opts.batch)
         elif overrides or models is not None:
             # an explicit runner already carries its models and options;
             # silently ignoring either argument would simulate with the

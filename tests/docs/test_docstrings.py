@@ -13,6 +13,7 @@ import inspect
 import pytest
 
 MODULES = [
+    "repro.circuit.batch",
     "repro.emc.spectrum",
     "repro.emc.limits",
     "repro.emc.detectors",
