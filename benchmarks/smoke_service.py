@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI smoke drill for the study service: serve, submit, poll, fetch, verify.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_service.py [study.toml]
+
+Exercises the whole service loop exactly the way a user would, across
+real process boundaries:
+
+1. start ``python -m repro.studies serve`` as a subprocess on an
+   ephemeral port with a throwaway cache directory, and parse the bound
+   address from its banner line;
+2. submit the study (default ``examples/study_minimal.toml``) through
+   the ``python -m repro.studies submit --wait`` CLI, capturing the job
+   id from the ``job <id>`` line;
+3. fetch the result CSV over HTTP with the stdlib client helpers;
+4. run the same study in-process (``Study.run``, no cache) and assert
+   the service's verdict rows are byte-identical.
+
+Exit status 0 on success; any mismatch, timeout or server death is a
+non-zero exit with a diagnostic -- CI-gate friendly.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_STUDY = REPO / "examples" / "study_minimal.toml"
+
+
+def _start_server(cache_dir: str) -> tuple[subprocess.Popen, str]:
+    """Launch ``serve`` on an ephemeral port; returns (proc, base_url)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.studies", "serve",
+         "--cache", cache_dir, "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.monotonic() + 60.0
+    banner = ""
+    while time.monotonic() < deadline:
+        banner = proc.stdout.readline()
+        if "serving on http://" in banner:
+            url = banner.split("serving on ", 1)[1].split()[0]
+            return proc, url
+        if proc.poll() is not None:
+            break
+        if not banner:
+            time.sleep(0.05)
+    raise SystemExit(f"serve never came up (last output: {banner!r})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the smoke drill; returns the process exit status."""
+    study_file = Path((argv or sys.argv[1:] or [str(DEFAULT_STUDY)])[0])
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.studies import Study
+    from repro.studies.service import fetch_result
+
+    study = Study.load(study_file)
+    with tempfile.TemporaryDirectory(prefix="study-smoke-") as cache_dir:
+        proc, url = _start_server(cache_dir)
+        try:
+            submit = subprocess.run(
+                [sys.executable, "-m", "repro.studies", "submit",
+                 str(study_file), "--url", url, "--wait",
+                 "--poll", "0.5", "--timeout", "600"],
+                capture_output=True, text=True, timeout=900)
+            print(submit.stdout, end="")
+            if submit.returncode != 0:
+                print(submit.stderr, end="", file=sys.stderr)
+                print(f"FAIL: submit --wait exited {submit.returncode}")
+                return 1
+            first = submit.stdout.splitlines()[0].split()
+            if first[:1] != ["job"]:
+                print(f"FAIL: unexpected submit output {first!r}")
+                return 1
+            job_id = first[1]
+            served_csv = fetch_result(url, job_id, csv=True)
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+    direct_csv = study.run(n_workers=1).csv_text()
+    if served_csv != direct_csv:
+        print("FAIL: served CSV differs from the in-process Study.run")
+        print("--- served ---\n" + served_csv)
+        print("--- direct ---\n" + direct_csv)
+        return 1
+    n_rows = len(served_csv.splitlines()) - 1
+    print(f"OK: job {job_id} served {n_rows} verdict rows "
+          f"byte-identical to the in-process run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,9 +131,12 @@ def resample_uniform(t, v, n: int | None = None
     """Resample ``(t, v)`` onto a uniform grid spanning the same interval.
 
     Already-uniform grids (the fixed-step engine's output) pass through
-    untouched when ``n`` is not forcing a different length; non-uniform
+    unchanged when ``n`` is not forcing a different length; non-uniform
     grids (imported scope data, adaptive solvers) are linearly interpolated
-    onto ``n`` points (default: the input length).
+    onto ``n`` points (default: the input length).  Both paths return
+    *fresh* arrays the caller owns: the pass-through copies, so mutating
+    the resampled output can never corrupt the input waveform (the
+    interpolation path allocates new arrays anyway).
     """
     t = np.asarray(t, dtype=float)
     v = np.asarray(v, dtype=float)
@@ -146,7 +149,9 @@ def resample_uniform(t, v, n: int | None = None
         n = t.size
     dt0 = steps[0]
     if n == t.size and np.allclose(steps, dt0, rtol=1e-6, atol=0.0):
-        return t, v
+        # copy-on-passthrough: asarray above aliases ndarray inputs, and
+        # the two paths must agree on ownership of the returned arrays
+        return t.copy(), v.copy()
     t_u = np.linspace(t[0], t[-1], int(n))
     return t_u, np.interp(t_u, t, v)
 

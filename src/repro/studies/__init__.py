@@ -50,6 +50,10 @@ Layering (one module per concern):
 * :mod:`~repro.studies.runner` -- :class:`ScenarioRunner`: parallel
   fan-out, memoized dispatch preparation, result caches, shared-memory
   waveform return.
+* :mod:`~repro.studies.service` -- sharded async orchestration
+  (:func:`shard_plan`, :class:`JobManager`) and the HTTP study service
+  (:class:`StudyService`, ``python -m repro.studies serve`` plus the
+  ``submit``/``status``/``fetch`` client subcommands).
 * :mod:`~repro.studies.cli` -- the ``python -m repro.studies``
   command-line interface.
 
@@ -74,4 +78,21 @@ __all__ = [
     "Scenario", "scenario_grid", "CORNERS", "load_from_dict",
     "ScenarioOutcome", "SweepResult", "ScenarioRunner",
     "simulate_scenario", "simulate_scenario_batch", "main",
+    # lazily forwarded from repro.studies.service (PEP 562)
+    "StudyShard", "shard_plan", "JobManager", "ShardReport",
+    "StudyService",
 ]
+
+#: service-layer names resolved lazily: `import repro.studies` must not
+#: drag in asyncio/http.server for callers that only run studies inline
+_SERVICE_NAMES = frozenset({"StudyShard", "shard_plan", "JobManager",
+                            "ShardReport", "StudyService"})
+
+
+def __getattr__(name: str):
+    """PEP 562 forwarding of the service-layer names."""
+    if name in _SERVICE_NAMES:
+        from . import service
+        return getattr(service, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

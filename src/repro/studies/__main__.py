@@ -1,4 +1,9 @@
-"""Module entry point: ``python -m repro.studies run study.toml``."""
+"""Module entry point: ``python -m repro.studies <command>``.
+
+Local execution (``run``/``show``) and the study service
+(``serve``/``submit``/``status``/``fetch``) -- see
+:mod:`repro.studies.cli` for every subcommand's flags.
+"""
 
 import sys
 

@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro.studies``.
 
-Two subcommands::
+Local subcommands::
 
     python -m repro.studies run  study.toml   # simulate + report
     python -m repro.studies show study.toml   # parse + describe only
@@ -12,12 +12,28 @@ requests spectra -- and optionally exports the machine-readable verdicts
 the study file's ``[runner]`` table.  Exit status: 0 on success, 2 when
 any scenario failed to simulate, 1 when ``--strict`` is given and any
 compliance check failed.
+
+Service subcommands (the sharded async study service,
+:mod:`repro.studies.service`)::
+
+    python -m repro.studies serve  --cache DIR [--port N]  # the server
+    python -m repro.studies submit study.toml --url URL [--wait]
+    python -m repro.studies status JOB --url URL
+    python -m repro.studies fetch  JOB --url URL [--csv PATH] [--json PATH]
+
+``serve`` runs the HTTP front end (submit/status/result endpoints over a
+job queue and shard worker pool); ``submit``/``status``/``fetch`` are
+the matching stdlib-only client.  ``submit`` prints ``job <id>`` on its
+first line, so scripts can capture the job id; with ``--wait`` it polls
+to completion and exits 0 on success, 2 when the job errored.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from ..errors import ExperimentError
 from .spec import Study
@@ -49,6 +65,65 @@ def _build_parser() -> argparse.ArgumentParser:
 
     show = sub.add_parser("show", help="parse a study file and describe it")
     show.add_argument("study", help="path to a study .toml/.json file")
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP study service (submit/status/result)")
+    serve.add_argument("--cache", required=True, metavar="DIR",
+                       help="shared disk-cache directory (the service's "
+                            "persistent state)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks an ephemeral one "
+                            "(default 8765)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="max concurrent shard worker processes "
+                            "(default: CPU count)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="shards per study (default: worker count)")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="extra attempts per crashed/timed-out shard")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="S", help="per-shard-attempt timeout")
+    serve.add_argument("--job-slots", type=int, default=1,
+                       help="concurrently running studies (default 1)")
+
+    def add_url(p):
+        p.add_argument("--url", default="http://127.0.0.1:8765",
+                       help="service base URL "
+                            "(default http://127.0.0.1:8765)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a study file to a running service")
+    submit.add_argument("study", help="path to a study .toml/.json file")
+    add_url(submit)
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes")
+    submit.add_argument("--poll", type=float, default=0.5, metavar="S",
+                        help="poll interval with --wait (default 0.5)")
+    submit.add_argument("--timeout", type=float, default=None,
+                        metavar="S", help="give up polling after S "
+                                          "seconds (with --wait)")
+
+    status = sub.add_parser("status", help="print one job's status")
+    status.add_argument("job", help="job id (as printed by submit)")
+    add_url(status)
+
+    fetch = sub.add_parser(
+        "fetch", help="fetch a finished job's compliance result")
+    fetch.add_argument("job", help="job id (as printed by submit)")
+    add_url(fetch)
+    fetch.add_argument("--csv", default=None, metavar="PATH",
+                       help="write the compliance rows as CSV")
+    fetch.add_argument("--json", default=None, metavar="PATH",
+                       help="write the compliance report as JSON")
+    fetch.add_argument("--wait", action="store_true",
+                       help="poll until the job finishes first")
+    fetch.add_argument("--poll", type=float, default=0.5, metavar="S",
+                       help="poll interval with --wait (default 0.5)")
+    fetch.add_argument("--timeout", type=float, default=None,
+                       metavar="S", help="give up polling after S "
+                                         "seconds (with --wait)")
     return parser
 
 
@@ -97,12 +172,94 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the HTTP study service until interrupted."""
+    from .service.serve import StudyService, make_server
+    service = StudyService(
+        cache_dir=args.cache, max_workers=args.workers,
+        n_shards=args.shards, retries=args.retries,
+        timeout_s=args.timeout, job_slots=args.job_slots)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}  (cache: {args.cache})",
+          flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _finish_status(status: dict) -> int:
+    """Print a final job status; exit 0 when done, 2 when errored."""
+    if status["state"] == "done":
+        print(status.get("summary")
+              or f"job {status['job']} done")
+        return 0
+    print(f"job {status['job']} {status['state']}: "
+          f"{status.get('error') or 'not finished'}", file=sys.stderr)
+    return 2
+
+
+def _cmd_submit(args) -> int:
+    """Submit a study file; optionally poll it to completion."""
+    from .service.serve import submit_study, wait_for_job
+    study = Study.load(args.study)
+    status = submit_study(args.url, study)
+    dedup = "" if status.get("created", True) else "  (already known)"
+    print(f"job {status['job']}  state={status['state']}  "
+          f"scenarios={status['n_scenarios']}{dedup}")
+    if not args.wait:
+        return 0
+    status = wait_for_job(args.url, status["job"], poll_s=args.poll,
+                          timeout_s=args.timeout)
+    return _finish_status(status)
+
+
+def _cmd_status(args) -> int:
+    """Print one job's status record as JSON."""
+    from .service.serve import job_status
+    print(json.dumps(job_status(args.url, args.job), indent=1))
+    return 0
+
+
+def _cmd_fetch(args) -> int:
+    """Fetch a finished job's result; write CSV/JSON exports."""
+    from .service.serve import fetch_result, job_status, wait_for_job
+    if args.wait:
+        status = wait_for_job(args.url, args.job, poll_s=args.poll,
+                              timeout_s=args.timeout)
+    else:
+        status = job_status(args.url, args.job)
+    if status["state"] != "done":
+        return _finish_status(status)
+    doc = fetch_result(args.url, args.job)
+    if args.csv:
+        text = fetch_result(args.url, args.job, csv=True)
+        Path(args.csv).write_text(text, encoding="utf-8", newline="")
+        print(f"wrote {args.csv}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(doc, indent=1) + "\n",
+                                   encoding="utf-8")
+        print(f"wrote {args.json}")
+    print(doc.get("summary") or f"job {args.job} done")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
     args = _build_parser().parse_args(argv)
+    commands = {"serve": _cmd_serve, "submit": _cmd_submit,
+                "status": _cmd_status, "fetch": _cmd_fetch}
     try:
         if args.command == "show":
             return _cmd_show(Study.load(args.study))
+        if args.command in commands:
+            return commands[args.command](args)
         return _cmd_run(args)
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)

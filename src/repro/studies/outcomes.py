@@ -13,6 +13,7 @@ study description riding along.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -238,18 +239,30 @@ class SweepResult:
             rows.append(row)
         return rows
 
-    def to_csv(self, path) -> Path:
-        """Write :meth:`compliance_rows` as a CSV file (for CI/spreadsheet
-        consumption); returns the path.  ``None`` cells render empty."""
+    def csv_text(self) -> str:
+        """:meth:`compliance_rows` rendered as one CSV document string.
+
+        The exact bytes :meth:`to_csv` writes (the study service serves
+        this same rendering over HTTP, so a fetched result file is
+        byte-identical to an in-process export).  ``None`` cells render
+        empty.
+        """
         rows = self.compliance_rows()
-        path = Path(path)
         columns = list(rows[0]) if rows else ["scenario"]
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: ("" if v is None else v)
+                             for k, v in row.items()})
+        return buf.getvalue()
+
+    def to_csv(self, path) -> Path:
+        """Write :meth:`csv_text` as a CSV file (for CI/spreadsheet
+        consumption); returns the path."""
+        path = Path(path)
         with path.open("w", newline="", encoding="utf-8") as fh:
-            writer = csv.DictWriter(fh, fieldnames=columns)
-            writer.writeheader()
-            for row in rows:
-                writer.writerow({k: ("" if v is None else v)
-                                 for k, v in row.items()})
+            fh.write(self.csv_text())
         return path
 
     def to_json(self, path=None):

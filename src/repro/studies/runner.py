@@ -53,7 +53,33 @@ from .simulate import (_expected_layout, _shm, _unpack_outcome,
                        simulate_scenario, simulate_scenario_batch)
 from .spec import Scenario
 
-__all__ = ["ScenarioRunner"]
+__all__ = ["ScenarioRunner", "batch_key"]
+
+
+def batch_key(sc: Scenario):
+    """Batching identity of a scenario (``None`` = run it alone).
+
+    Scenarios with equal keys build structurally identical benches on
+    identical time grids, so the grid-batched backend can advance them
+    together: the key folds the load kind's
+    :meth:`~repro.studies.kinds.ScenarioKind.batch_structure` (which is
+    ``None`` for kinds that opt out) with everything else that shapes
+    the circuit or the grid -- driver and corner (one shared model
+    object and sampling time), the explicit ``dt``, the resolved
+    ``t_stop`` and the spectral quantity (``"i_port"`` adds a series
+    probe element).  Shared by :meth:`ScenarioRunner._batch_key` and the
+    service shard planner (:func:`repro.studies.service.shard_plan`), so
+    the two layers can never disagree about what batches together.
+    """
+    structure = get_kind(sc.load.kind).batch_structure(sc.load)
+    if structure is None:
+        return None
+    spec = sc.spectral_spec()
+    t_stop = sc.t_stop if sc.t_stop is not None \
+        else (len(sc.pattern) + 2) * sc.bit_time
+    return (sc.load.kind, structure, sc.driver, sc.corner,
+            None if sc.dt is None else float(sc.dt), float(t_stop),
+            None if spec is None else spec.quantity)
 
 
 def _unlink_arena(arena) -> None:
@@ -158,6 +184,23 @@ class ScenarioRunner:
         if self._disk is not None:
             self._disk.clear()
 
+    def _fingerprint(self, memo_key, model) -> str:
+        """Memoized :func:`~repro.experiments.cache.model_fingerprint`.
+
+        The memo is keyed on the *model object's identity*, exactly like
+        the payload memo in :meth:`prepare_dispatch`: a memo entry only
+        answers while it still refers to the same model instance, so a
+        replaced or re-estimated model under the same ``memo_key`` (a
+        swapped driver in ``self._models``, two loads reporting
+        different aux models under one label) re-fingerprints instead of
+        silently reusing the first model's digest.
+        """
+        memo = self._fingerprints.get(memo_key)
+        if memo is None or memo[0] is not model:
+            memo = (model, cache.model_fingerprint(model))
+            self._fingerprints[memo_key] = memo
+        return memo[1]
+
     def _disk_key(self, sc: Scenario) -> tuple:
         """Disk entries are scoped to the *content* of the models used.
 
@@ -172,18 +215,10 @@ class ScenarioRunner:
         request -- window, n_fft, mask content -- is already part of
         ``Scenario.key()`` itself.)
         """
-        fp_key = (sc.driver, sc.corner)
-        fp = self._fingerprints.get(fp_key)
-        if fp is None:
-            fp = cache.model_fingerprint(self._model_for(sc))
-            self._fingerprints[fp_key] = fp
+        fp = self._fingerprint((sc.driver, sc.corner), self._model_for(sc))
         aux = get_kind(sc.load.kind).aux_models(sc.load)
         for label in sorted(aux):
-            aux_fp = self._fingerprints.get(label)
-            if aux_fp is None:
-                aux_fp = cache.model_fingerprint(aux[label])
-                self._fingerprints[label] = aux_fp
-            fp = f"{fp}:{aux_fp}"
+            fp = f"{fp}:{self._fingerprint(label, aux[label])}"
         return (sc.key(), fp)
 
     def _lookup(self, sc: Scenario) -> ScenarioOutcome | None:
@@ -264,27 +299,10 @@ class ScenarioRunner:
         return payloads
 
     def _batch_key(self, sc: Scenario):
-        """Batching identity of a scenario (``None`` = run it alone).
-
-        Scenarios with equal keys build structurally identical benches
-        on identical time grids, so the grid-batched backend can advance
-        them together: the key folds the load kind's
-        :meth:`~repro.studies.kinds.ScenarioKind.batch_structure` (which
-        is ``None`` for kinds that opt out) with everything else that
-        shapes the circuit or the grid -- driver and corner (one shared
-        model object and sampling time), the explicit ``dt``, the
-        resolved ``t_stop`` and the spectral quantity (``"i_port"`` adds
-        a series probe element).
-        """
-        structure = get_kind(sc.load.kind).batch_structure(sc.load)
-        if structure is None:
-            return None
-        spec = sc.spectral_spec()
-        t_stop = sc.t_stop if sc.t_stop is not None \
-            else (len(sc.pattern) + 2) * sc.bit_time
-        return (sc.load.kind, structure, sc.driver, sc.corner,
-                None if sc.dt is None else float(sc.dt), float(t_stop),
-                None if spec is None else spec.quantity)
+        """Batching identity of a scenario (module-level
+        :func:`batch_key`; kept as a method for call sites and tests
+        that address it through the runner)."""
+        return batch_key(sc)
 
     def _group_pending(self, pending) -> list:
         """Partition pending ``(idx, Scenario)`` pairs into batch groups.
@@ -429,9 +447,14 @@ class ScenarioRunner:
         whose worker was killed mid-run -- this polls per-job
         ``AsyncResult`` objects while watching the worker processes.  A
         worker death (OOM kill, a segfault in a native library) starts a
-        grace period during which surviving workers still deliver, after
-        which whatever never arrived is returned for an in-parent
-        recompute instead of hanging the sweep.
+        grace period during which surviving workers still deliver; every
+        delivery during the grace window *extends* the deadline by the
+        full grace span (a worker that still answers is alive and making
+        progress, e.g. on a long batched group -- abandoning it would
+        recompute its jobs in the parent while it finishes anyway).
+        Only after a full grace span with no delivery is whatever never
+        arrived returned for an in-parent recompute instead of hanging
+        the sweep.
         """
         asyncs = [pool.apply_async(_worker_run_group, (jobs,))
                   for jobs in job_groups]
@@ -443,11 +466,13 @@ class ScenarioRunner:
         lost: set = set()
         deadline = None
         while remaining:
+            progressed = False
             for j in sorted(remaining):
                 a = asyncs[j]
                 if not a.ready():
                     continue
                 remaining.discard(j)
+                progressed = True
                 try:
                     results = a.get()
                 except Exception:  # noqa: BLE001 - died delivering
@@ -464,8 +489,8 @@ class ScenarioRunner:
                     outcomes[idx] = outcome
             if not remaining:
                 break
-            if deadline is None \
-                    and any(p.exitcode is not None for p in procs):
+            if any(p.exitcode is not None for p in procs) \
+                    and (deadline is None or progressed):
                 deadline = time.monotonic() + self._grace_s
             if deadline is not None and time.monotonic() >= deadline:
                 break

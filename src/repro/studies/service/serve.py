@@ -1,0 +1,419 @@
+"""The study service front end: HTTP submit/status/result + client helpers.
+
+A compliance study is something you *submit*, not run: the service keeps
+a job registry and a bounded dispatcher pool in front of one
+:class:`~repro.studies.service.jobs.JobManager`, so any number of
+clients can POST study descriptions and poll for verdicts while the
+simulation work fans out over shard worker processes behind one shared
+content-addressed disk cache.
+
+Job identity IS study identity: a job's id is the study's physics
+digest (:meth:`~repro.studies.spec.Study.digest`), so two clients
+submitting the same study -- concurrently or days apart -- share one
+job and one set of cached scenario results instead of simulating the
+grid twice.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /healthz                   liveness + job count
+    POST /studies                   submit a study (body: Study.to_dict
+                                    JSON, optionally under a "study"
+                                    key) -> {job, state, created, ...}
+    GET  /studies                   all jobs' status records
+    GET  /studies/<job>             one job's status record
+    GET  /studies/<job>/result      finished job's compliance report
+                                    (SweepResult.to_json document)
+    GET  /studies/<job>/result.csv  the same rows as CSV (text/csv),
+                                    byte-identical to StudyResult.to_csv
+
+The module also ships the matching stdlib-only client
+(:func:`submit_study`, :func:`job_status`, :func:`wait_for_job`,
+:func:`fetch_result`) used by the ``python -m repro.studies
+submit|status|fetch`` subcommands.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import re
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ...errors import ExperimentError
+from ..spec import Study
+from .jobs import JobManager
+
+__all__ = ["StudyService", "make_server", "submit_study", "job_status",
+           "wait_for_job", "fetch_result"]
+
+
+class StudyService:
+    """Job registry + dispatcher pool over one :class:`JobManager`.
+
+    ``cache_dir`` is the shared disk cache every job's shards write to
+    (the service's persistent state: restarting the service and
+    resubmitting a half-finished study only simulates the misses).
+    ``job_slots`` bounds how many *studies* run concurrently (each study
+    then fans out up to ``max_workers`` shard processes); further
+    submissions queue in FIFO order.  Thread-safe: the HTTP layer calls
+    :meth:`submit`/:meth:`status`/:meth:`result` from handler threads.
+    """
+
+    def __init__(self, cache_dir, max_workers: int | None = None,
+                 n_shards: int | None = None, retries: int = 1,
+                 timeout_s: float | None = None, job_slots: int = 1,
+                 models: dict | None = None):
+        self.cache_dir = str(cache_dir)
+        self.manager = JobManager(max_workers=max_workers,
+                                  retries=retries, timeout_s=timeout_s)
+        self.n_shards = n_shards
+        self.job_slots = max(1, int(job_slots))
+        self._models = dict(models or {})
+        self._jobs: dict = {}
+        self._order: list = []
+        self._lock = threading.Lock()
+        self._queue: queue.Queue = queue.Queue()
+        self._threads: list = []
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "StudyService":
+        """Start the dispatcher threads (idempotent); returns ``self``."""
+        with self._lock:
+            if self._threads:
+                return self
+            for i in range(self.job_slots):
+                th = threading.Thread(target=self._drain, daemon=True,
+                                      name=f"study-dispatch-{i}")
+                th.start()
+                self._threads.append(th)
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Stop the dispatcher threads after their current job."""
+        with self._lock:
+            threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(None)
+        for th in threads:
+            th.join(timeout=timeout_s)
+
+    def _drain(self) -> None:
+        """Dispatcher loop: run queued jobs one at a time per slot."""
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            self._run_job(job_id)
+
+    # -- job execution ------------------------------------------------------
+    def _run_job(self, job_id: str) -> None:
+        """Execute one queued job through the manager; record the result."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job["state"] != "queued":
+                return
+            job["state"] = "running"
+            job["started_s"] = time.time()
+            study = job["study"]
+
+        def progress(event: dict) -> None:
+            with self._lock:
+                p = job["progress"]
+                if event["event"] == "shard-start":
+                    p["n_shards"] = event["n_shards"]
+                elif event["event"] == "shard-done":
+                    p["n_shards"] = event["n_shards"]
+                    p["done_shards"] += 1
+                    p["done_scenarios"] = event["done_scenarios"]
+                    p["cache_hits"] += event["cache_hits"]
+                elif event["event"] == "shard-retry":
+                    p["retries"] += 1
+
+        try:
+            result = self.manager.run_study(
+                study, disk_cache=self.cache_dir, n_shards=self.n_shards,
+                models=self._models or None, progress=progress)
+            with self._lock:
+                job["result"] = result
+                job["state"] = "done"
+        except Exception as exc:  # noqa: BLE001 - job fails, service lives
+            with self._lock:
+                job["error"] = f"{type(exc).__name__}: {exc}"
+                job["state"] = "error"
+        finally:
+            with self._lock:
+                job["finished_s"] = time.time()
+
+    # -- client surface -----------------------------------------------------
+    def submit(self, study) -> tuple[str, bool]:
+        """Register a study for execution; returns ``(job_id, created)``.
+
+        ``study`` is a :class:`~repro.studies.spec.Study` or its
+        serialized dict.  The job id is the study's digest, so
+        resubmitting an identical study joins the existing job (queued,
+        running or done) instead of duplicating work -- ``created`` says
+        whether this call enqueued anything.  A previously *errored* job
+        is re-enqueued (its cached scenarios make the rerun cheap).
+        """
+        if not isinstance(study, Study):
+            study = Study.from_dict(study)
+        job_id = study.digest()
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None and job["state"] != "error":
+                return job_id, False
+            if job is None:
+                self._order.append(job_id)
+            self._jobs[job_id] = {
+                "id": job_id, "study": study, "state": "queued",
+                "submitted_s": time.time(), "started_s": None,
+                "finished_s": None, "result": None, "error": None,
+                "progress": {"n_shards": None, "done_shards": 0,
+                             "done_scenarios": 0, "cache_hits": 0,
+                             "retries": 0},
+            }
+        self._queue.put(job_id)
+        return job_id, True
+
+    def status(self, job_id: str) -> dict | None:
+        """JSON-able status record of one job (``None`` if unknown)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            study = job["study"]
+            out = {
+                "job": job["id"], "state": job["state"],
+                "study": study.name or "(unnamed)",
+                "n_scenarios": len(study),
+                "submitted_s": job["submitted_s"],
+                "started_s": job["started_s"],
+                "finished_s": job["finished_s"],
+                "progress": dict(job["progress"]),
+                "error": job["error"],
+            }
+            result = job["result"]
+        if result is not None:
+            out["summary"] = result.summary()
+            out["n_failures"] = len(result.failures)
+            out["n_cache_hits"] = result.n_cache_hits
+        return out
+
+    def jobs(self) -> list[dict]:
+        """Status records of every known job, submission order."""
+        with self._lock:
+            order = list(self._order)
+        return [s for s in (self.status(j) for j in order)
+                if s is not None]
+
+    def result(self, job_id: str):
+        """The finished job's :class:`StudyResult` (``None`` until
+        ``state == "done"`` or for unknown jobs)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return None if job is None else job["result"]
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer (stdlib ThreadingHTTPServer)
+# ---------------------------------------------------------------------------
+
+_JOB_RE = re.compile(r"^/studies/([0-9a-f]{8,64})(/result(\.csv)?)?$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bridging HTTP to the attached :class:`StudyService`.
+
+    The service instance rides on the server object
+    (``self.server.service``, set by :func:`make_server`).
+    """
+
+    server_version = "repro-studies/1"
+
+    @property
+    def service(self) -> StudyService:
+        """The :class:`StudyService` this server fronts."""
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (the service is polled)."""
+
+    def _send(self, code: int, payload,
+              content_type: str = "application/json") -> None:
+        if isinstance(payload, bytes):
+            body = payload
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send(code, {"error": message})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        """Route status/result reads."""
+        path = self.path.split("?", 1)[0]
+        if path in ("/", "/healthz"):
+            self._send(200, {"status": "ok",
+                             "jobs": len(self.service.jobs())})
+            return
+        if path == "/studies":
+            self._send(200, {"jobs": self.service.jobs()})
+            return
+        m = _JOB_RE.match(path)
+        if m is None:
+            self._error(404, f"unknown path {path!r}")
+            return
+        job_id, want_result, want_csv = m.group(1), m.group(2), m.group(3)
+        status = self.service.status(job_id)
+        if status is None:
+            self._error(404, f"unknown job {job_id!r}")
+            return
+        if not want_result:
+            self._send(200, status)
+            return
+        result = self.service.result(job_id)
+        if result is None:
+            self._error(409, f"job {job_id!r} is {status['state']}, "
+                             "not done; poll /studies/<job> first")
+            return
+        if want_csv:
+            self._send(200, result.csv_text().encode("utf-8"),
+                       content_type="text/csv; charset=utf-8")
+            return
+        doc = result.to_json()
+        doc["job"] = job_id
+        doc["summary"] = result.summary()
+        self._send(200, doc)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        """Route study submission."""
+        path = self.path.split("?", 1)[0]
+        if path != "/studies":
+            self._error(404, f"unknown path {path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            doc = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return
+        try:
+            study = Study.from_dict(doc)
+        except ExperimentError as exc:
+            self._error(400, f"invalid study: {exc}")
+            return
+        job_id, created = self.service.submit(study)
+        status = self.service.status(job_id)
+        status["created"] = created
+        self._send(202 if created else 200, status)
+
+
+def make_server(service: StudyService, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """Bind a :class:`ThreadingHTTPServer` fronting ``service``.
+
+    ``port=0`` picks an ephemeral port (read it back from
+    ``server.server_address``).  Starts the service's dispatcher
+    threads; the caller owns ``serve_forever``/``shutdown``.
+    """
+    service.start()
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.service = service
+    return server
+
+
+# ---------------------------------------------------------------------------
+# stdlib client (used by the submit/status/fetch CLI subcommands)
+# ---------------------------------------------------------------------------
+
+def _request(url: str, payload: dict | None = None):
+    """One HTTP exchange; returns ``(status_code, body_bytes, headers)``.
+
+    Service-level errors (4xx/5xx with a JSON ``error`` field) raise
+    :class:`ExperimentError`; transport failures raise it too, so CLI
+    callers surface one error type.
+    """
+    data = None if payload is None \
+        else json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(req, timeout=30.0) as resp:
+            return resp.status, resp.read(), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        try:
+            message = json.loads(body.decode("utf-8"))["error"]
+        except (ValueError, KeyError, UnicodeDecodeError):
+            message = body.decode("utf-8", "replace")[:200]
+        raise ExperimentError(
+            f"service error {exc.code} from {url}: {message}") from exc
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise ExperimentError(
+            f"cannot reach the study service at {url}: {exc}") from exc
+
+
+def submit_study(base_url: str, study) -> dict:
+    """POST a study to the service; returns the job status record.
+
+    ``study`` is a :class:`~repro.studies.spec.Study` or its serialized
+    dict.  The returned record carries ``job`` (the id to poll),
+    ``state`` and ``created`` (``False`` when an identical study was
+    already known -- the service deduplicates by study digest).
+    """
+    doc = study.to_dict() if isinstance(study, Study) else study
+    _, body, _ = _request(base_url.rstrip("/") + "/studies", payload=doc)
+    return json.loads(body.decode("utf-8"))
+
+
+def job_status(base_url: str, job_id: str) -> dict:
+    """GET one job's status record."""
+    _, body, _ = _request(f"{base_url.rstrip('/')}/studies/{job_id}")
+    return json.loads(body.decode("utf-8"))
+
+
+def wait_for_job(base_url: str, job_id: str, poll_s: float = 0.5,
+                 timeout_s: float | None = None) -> dict:
+    """Poll a job until it leaves the queued/running states.
+
+    Returns the final status record (``state`` is ``"done"`` or
+    ``"error"``); raises :class:`ExperimentError` when ``timeout_s``
+    elapses first.
+    """
+    t0 = time.monotonic()
+    while True:
+        status = job_status(base_url, job_id)
+        if status["state"] not in ("queued", "running"):
+            return status
+        if timeout_s is not None and time.monotonic() - t0 > timeout_s:
+            raise ExperimentError(
+                f"job {job_id} still {status['state']} after "
+                f"{timeout_s:g} s")
+        time.sleep(poll_s)
+
+
+def fetch_result(base_url: str, job_id: str, csv: bool = False):
+    """GET a finished job's result.
+
+    ``csv=False`` (default) returns the JSON compliance document as a
+    dict; ``csv=True`` returns the CSV text (byte-identical to
+    :meth:`~repro.studies.outcomes.SweepResult.to_csv` of an in-process
+    run).  A job that is not done yet raises (the service answers 409).
+    """
+    url = f"{base_url.rstrip('/')}/studies/{job_id}/result"
+    if csv:
+        _, body, _ = _request(url + ".csv")
+        return body.decode("utf-8")
+    _, body, _ = _request(url)
+    return json.loads(body.decode("utf-8"))

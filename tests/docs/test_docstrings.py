@@ -24,6 +24,9 @@ MODULES = [
     "repro.studies.simulate",
     "repro.studies.outcomes",
     "repro.studies.runner",
+    "repro.studies.service.shards",
+    "repro.studies.service.jobs",
+    "repro.studies.service.serve",
     "repro.studies.cli",
 ]
 
@@ -80,3 +83,5 @@ def test_walker_sees_the_api():
     assert counts["repro.studies.spec"] >= 25
     assert counts["repro.studies.kinds"] >= 5
     assert counts["repro.studies.outcomes"] >= 15
+    assert counts["repro.studies.service.shards"] >= 7
+    assert counts["repro.studies.service.serve"] >= 10

@@ -91,10 +91,17 @@ class TestAmplitudeSpectrum:
 # ---------------------------------------------------------------------------
 
 class TestResample:
-    def test_uniform_grid_passes_through_untouched(self):
+    def test_uniform_grid_passes_through_as_fresh_arrays(self):
+        """The pass-through copies: both paths hand the caller arrays it
+        owns, so mutating the result can never corrupt the input."""
         t, v = tone(50e6)
         t2, v2 = resample_uniform(t, v)
-        assert t2 is t and v2 is v
+        assert t2 is not t and v2 is not v
+        np.testing.assert_array_equal(t2, t)
+        np.testing.assert_array_equal(v2, v)
+        v2[0] = 123.0
+        t2[0] = -1.0
+        assert v[0] == tone(50e6)[1][0] and t[0] == 0.0
 
     def test_non_uniform_grid_is_interpolated(self):
         rng = np.random.default_rng(7)

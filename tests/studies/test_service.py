@@ -1,0 +1,461 @@
+"""The study service: shard planning, async orchestration, HTTP front end.
+
+The contract under test is *identity through indirection*: a study
+submitted to the service -- sharded, run in worker processes, merged
+through the shared disk cache, fetched over HTTP -- must produce results
+byte-identical to a plain in-process :meth:`Study.run`, and any scenario
+simulated once (by a crashed attempt, a previous submission, another
+client) must never be simulated again.
+"""
+
+import os
+import signal
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import Resistor
+from repro.errors import ExperimentError
+from repro.studies import (KINDS, LoadSpec, ScenarioKind, SpectralSpec,
+                           Study, register_kind)
+from repro.studies.runner import batch_key
+from repro.studies.service import (JobManager, StudyService, StudyShard,
+                                   fetch_result, job_status, make_server,
+                                   shard_plan, submit_study, wait_for_job)
+
+_PARENT_PID = os.getpid()
+_LINUX = sys.platform.startswith("linux")
+
+
+@pytest.fixture()
+def models(md2_model):
+    return {("MD2", "typ"): md2_model}
+
+
+def small_study(**spectral):
+    """2 patterns x 2 kinds = 4 scenarios in 4 batch groups."""
+    return Study(patterns=("0110", "010110"),
+                 loads=(LoadSpec(kind="r", r=50.0),
+                        LoadSpec(kind="rc", r=100.0, c=5e-12)),
+                 spectral=SpectralSpec(mask="board-b", **spectral))
+
+
+def mixed_study():
+    """2 patterns x (3 r + 2 line + 1 rx) = 12 scenarios, 8 groups."""
+    loads = tuple(LoadSpec(kind="r", r=r) for r in (50.0, 75.0, 150.0))
+    loads += tuple(LoadSpec(kind="line", z0=z0, td=1e-9, r=50.0)
+                   for z0 in (50.0, 75.0))
+    loads += (LoadSpec(kind="rx", z0=50.0, td=1e-9, r=50.0),)
+    return Study(patterns=("0110", "010110"), loads=loads)
+
+
+# ---------------------------------------------------------------------------
+# shard planning (pure, no simulation)
+# ---------------------------------------------------------------------------
+
+class TestShardPlan:
+    def test_partition_is_exact(self):
+        study = mixed_study()
+        shards = shard_plan(study, 3)
+        seen = [i for s in shards for i in s.indices]
+        assert sorted(seen) == list(range(len(study)))
+        assert len(seen) == len(set(seen))
+
+    def test_batch_groups_are_never_split(self):
+        study = mixed_study()
+        shards = shard_plan(study, 4)
+        owner = {i: k for k, s in enumerate(shards) for i in s.indices}
+        grid = study.scenarios()
+        by_key = {}
+        for idx, sc in enumerate(grid):
+            key = batch_key(sc)
+            if key is not None:
+                by_key.setdefault(key, []).append(idx)
+        for key, indices in by_key.items():
+            assert len({owner[i] for i in indices}) == 1, key
+
+    def test_plan_is_balanced_and_deterministic(self):
+        study = mixed_study()
+        shards = shard_plan(study, 2)
+        sizes = sorted(len(s) for s in shards)
+        assert sum(sizes) == len(study)
+        assert sizes[-1] - sizes[0] <= 3  # within one (largest) group
+        assert shard_plan(study, 2) == shards
+
+    def test_fewer_groups_than_shards(self):
+        """A group is never split: one-group grids yield one shard."""
+        study = Study(patterns=("0110",),
+                      loads=tuple(LoadSpec(kind="r", r=float(r))
+                                  for r in (25, 50, 75, 100)))
+        shards = shard_plan(study, 8)
+        assert len(shards) == 1
+        assert shards[0].indices == tuple(range(4))
+
+    def test_round_trip_and_digests(self):
+        study = mixed_study()
+        shards = study.shard(3)
+        assert shards == shard_plan(study, 3)
+        digests = {s.digest() for s in shards}
+        assert len(digests) == len(shards)
+        for s in shards:
+            again = StudyShard.from_dict(s.to_dict())
+            assert again == s
+            assert again.digest() == s.digest()
+            assert [sc.key() for sc in again.scenarios()] \
+                == [sc.key() for sc in s.scenarios()]
+
+    def test_validation(self):
+        study = mixed_study()
+        with pytest.raises(ExperimentError):
+            StudyShard(study=study, indices=())
+        with pytest.raises(ExperimentError):
+            StudyShard(study=study, indices=(0, len(study)))
+        with pytest.raises(ExperimentError):
+            StudyShard(study=study, indices=(1, 1))
+        with pytest.raises(ExperimentError):
+            shard_plan(study, 0)
+        with pytest.raises(ExperimentError):
+            StudyShard.from_dict({"indices": [0]})
+
+    def test_shard_run_matches_the_grid_slice(self, models):
+        study = Study(patterns=("0110",),
+                      loads=(LoadSpec(kind="r", r=50.0),
+                             LoadSpec(kind="r", r=150.0)))
+        shard = shard_plan(study, 1)[0]
+        result = shard.run(models=models, n_workers=1)
+        assert len(result) == 2
+        assert all(o.ok for o in result.outcomes)
+        with pytest.raises(ExperimentError):
+            shard.run(models=models, runner=object())
+
+
+# ---------------------------------------------------------------------------
+# the async job manager
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(not _LINUX, reason="shard workers rely on fork")
+class TestJobManager:
+    def test_sharded_run_matches_direct_run(self, models, tmp_path):
+        study = small_study()
+        events = []
+        mgr = JobManager(max_workers=2)
+        result = mgr.run_study(study, disk_cache=tmp_path, n_shards=2,
+                               models=models, progress=events.append)
+        direct = study.run(models=models, n_workers=1)
+        assert result.csv_text() == direct.csv_text()
+        names = [e["event"] for e in events]
+        assert names.count("shard-start") == 2
+        assert names.count("shard-done") == 2
+        assert names[-1] == "merge-done"
+        assert all(r.ok and r.attempts == 1
+                   for r in result.shard_reports)
+        # resubmission answers everything from the shared cache
+        again = mgr.run_study(study, disk_cache=tmp_path, n_shards=2,
+                              models=models)
+        assert all(r.n_cache_hits == r.n_scenarios
+                   for r in again.shard_reports)
+        assert again.csv_text() == direct.csv_text()
+
+    def test_missing_cache_is_rejected(self, models):
+        with pytest.raises(ExperimentError):
+            JobManager().run_study(small_study(), models=models)
+
+    def test_worker_death_retries_from_group_checkpoints(
+            self, models, tmp_path):
+        """A SIGKILLed shard attempt resumes instead of starting over.
+
+        The flaky kind kills the worker once, while it prepares its
+        second batch group; the first group is already checkpointed in
+        the shared cache, so the retry answers it from disk and only
+        simulates the remainder.
+        """
+        marker = tmp_path / "killed-once"
+
+        class _FlakyKind(ScenarioKind):
+            """Shunt resistor; SIGKILLs the first worker that builds it."""
+
+            name = "flaky"
+            physics_fields = ("r",)
+
+            def build_circuit(self, load, ckt, port: str) -> str:
+                if os.getpid() != _PARENT_PID and not marker.exists():
+                    marker.touch()
+                    os.kill(os.getpid(), signal.SIGKILL)
+                ckt.add(Resistor("rload", port, "0", load.r))
+                return port
+
+            def batch_structure(self, load) -> tuple:
+                return ()
+
+        kind = _FlakyKind()
+        kind.load_cls = LoadSpec
+        register_kind(kind, overwrite=True)
+        try:
+            # grid order puts both r scenarios (group 1) before the
+            # flaky ones (group 2): the kill lands after checkpoint 1
+            study = Study(patterns=("0110",),
+                          loads=(LoadSpec(kind="r", r=50.0),
+                                 LoadSpec(kind="r", r=150.0),
+                                 LoadSpec(kind="flaky", r=50.0),
+                                 LoadSpec(kind="flaky", r=150.0)))
+            cache_dir = tmp_path / "cache"
+            events = []
+            mgr = JobManager(max_workers=1, retries=1)
+            result = mgr.run_study(study, disk_cache=cache_dir,
+                                   n_shards=1, models=models,
+                                   progress=events.append)
+            assert marker.exists()
+            report = result.shard_reports[0]
+            assert report.ok
+            assert report.attempts == 2
+            assert "worker died" in [e for e in events
+                                     if e["event"] == "shard-retry"
+                                     ][0]["error"]
+            assert report.n_scenarios == 4
+            assert report.n_cache_hits >= 2  # group 1 came from disk
+            assert all(o.ok for o in result)
+            direct = study.run(models=models, n_workers=1)
+            assert result.csv_text() == direct.csv_text()
+        finally:
+            KINDS.pop("flaky", None)
+
+    def test_exhausted_retries_reports_not_ok(self, models, tmp_path):
+        """A shard that always dies is reported, not raised -- the merge
+        still simulates the scenarios in-process."""
+
+        class _AlwaysKill(ScenarioKind):
+            """SIGKILLs every worker that builds it (parent survives)."""
+
+            name = "alwayskill"
+            physics_fields = ("r",)
+
+            def build_circuit(self, load, ckt, port: str) -> str:
+                if os.getpid() != _PARENT_PID:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                ckt.add(Resistor("rload", port, "0", load.r))
+                return port
+
+        kind = _AlwaysKill()
+        kind.load_cls = LoadSpec
+        register_kind(kind, overwrite=True)
+        try:
+            study = Study(patterns=("0110",),
+                          loads=(LoadSpec(kind="alwayskill", r=50.0),))
+            mgr = JobManager(max_workers=1, retries=1)
+            result = mgr.run_study(study, disk_cache=tmp_path / "c",
+                                   n_shards=1, models=models)
+            report = result.shard_reports[0]
+            assert not report.ok
+            assert report.attempts == 2
+            assert "worker died" in report.error
+            # the merge pass ran the scenario in the parent, where the
+            # kind builds normally
+            assert all(o.ok for o in result)
+        finally:
+            KINDS.pop("alwayskill", None)
+
+
+# ---------------------------------------------------------------------------
+# the HTTP service
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def http_service(tmp_path, models):
+    """A served StudyService on an ephemeral port; yields (url, service)."""
+    service = StudyService(cache_dir=tmp_path / "cache", max_workers=1,
+                           retries=1, models=models)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+        thread.join(timeout=5.0)
+
+
+@pytest.mark.skipif(not _LINUX, reason="shard workers rely on fork")
+class TestHTTPService:
+    def test_submit_poll_fetch_round_trip(self, http_service, models):
+        url, _service = http_service
+        study = small_study()
+        status = submit_study(url, study)
+        assert status["created"] is True
+        assert status["n_scenarios"] == len(study)
+        final = wait_for_job(url, status["job"], poll_s=0.1,
+                             timeout_s=300.0)
+        assert final["state"] == "done"
+        assert final["n_failures"] == 0
+        assert final["progress"]["done_scenarios"] == len(study)
+        doc = fetch_result(url, status["job"])
+        assert doc["job"] == status["job"]
+        assert len(doc["rows"]) == len(study)
+        direct = study.run(models=models, n_workers=1)
+        assert fetch_result(url, status["job"], csv=True) \
+            == direct.csv_text()
+
+    def test_error_paths(self, http_service):
+        url, service = http_service
+        with pytest.raises(ExperimentError, match="unknown job"):
+            job_status(url, "0" * 32)
+        with pytest.raises(ExperimentError, match="service error 404"):
+            fetch_result(url, "not-a-job-id")
+        # a queued (dispatcher stopped) job answers 409 for its result
+        service.stop()
+        status = submit_study(url, small_study(window="blackman"))
+        assert status["state"] == "queued"
+        with pytest.raises(ExperimentError, match="409"):
+            fetch_result(url, status["job"])
+
+    def test_concurrent_clients_share_one_job(self, http_service,
+                                              models, tmp_path):
+        """Two clients submitting the same study share one job -- and
+        the grid is simulated exactly once."""
+        url, service = http_service
+        tally = tmp_path / "builds.log"
+
+        class _TallyKind(ScenarioKind):
+            """Shunt resistor that logs every circuit build."""
+
+            name = "tally"
+            physics_fields = ("r",)
+
+            def build_circuit(self, load, ckt, port: str) -> str:
+                with open(tally, "a") as fh:
+                    fh.write(f"{os.getpid()} {load.r}\n")
+                ckt.add(Resistor("rload", port, "0", load.r))
+                return port
+
+            def batch_structure(self, load) -> tuple:
+                return ()
+
+        kind = _TallyKind()
+        kind.load_cls = LoadSpec
+        register_kind(kind, overwrite=True)
+        try:
+            study = Study(patterns=("0110", "010110"),
+                          loads=(LoadSpec(kind="tally", r=50.0),
+                                 LoadSpec(kind="tally", r=150.0)))
+            results = [None, None]
+
+            def client(i):
+                results[i] = submit_study(url, study)
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(2)]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+            assert results[0]["job"] == results[1]["job"]
+            assert sorted(r["created"] for r in results) == [False, True]
+            final = wait_for_job(url, results[0]["job"], poll_s=0.1,
+                                 timeout_s=300.0)
+            assert final["state"] == "done"
+            csvs = {fetch_result(url, r["job"], csv=True)
+                    for r in results}
+            assert len(csvs) == 1
+            # every scenario was built exactly once, in a worker; the
+            # merge pass answered from the shared cache without building
+            builds = tally.read_text().splitlines()
+            assert len(builds) == len(study)
+            assert all(line.split()[0] != str(_PARENT_PID)
+                       for line in builds)
+        finally:
+            KINDS.pop("tally", None)
+
+
+# ---------------------------------------------------------------------------
+# the acceptance drill: 64 scenarios, crash mid-study, resume
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(not _LINUX, reason="shard workers rely on fork")
+class TestCrashResumeAcceptance:
+    def test_64_scenarios_in_two_halves_with_a_crash_between(
+            self, models, tmp_path):
+        """The service's crash-resume guarantee, end to end over HTTP.
+
+        A 64-scenario study (two 32-scenario batch groups) runs through
+        the service; the worker is SIGKILLed once the shared cache holds
+        the first half, so the study arrives in two halves with a dead
+        worker between them.  The resumed attempt must answer at least
+        the first half from disk-cache hits, and the fetched CSV must be
+        byte-identical to a single in-process ``Study.run``.
+        """
+        cache_dir = tmp_path / "cache"
+        marker = tmp_path / "killed-once"
+
+        class _HalfwayKill(ScenarioKind):
+            """Shunt resistor; kills the worker once half the grid is
+            durably cached."""
+
+            name = "ckpt"
+            physics_fields = ("r",)
+
+            def build_circuit(self, load, ckt, port: str) -> str:
+                if os.getpid() != _PARENT_PID and not marker.exists() \
+                        and len(list(Path(cache_dir).glob("**/*.npz"))) \
+                        >= 32:
+                    marker.touch()
+                    os.kill(os.getpid(), signal.SIGKILL)
+                ckt.add(Resistor("rload", port, "0", load.r))
+                return port
+
+            def batch_structure(self, load) -> tuple:
+                return ()
+
+        kind = _HalfwayKill()
+        kind.load_cls = LoadSpec
+        register_kind(kind, overwrite=True)
+        try:
+            # two patterns of different length -> different t_stop ->
+            # two 32-scenario batch groups (= the two halves)
+            study = Study(
+                name="accept64", patterns=("0110", "010110"),
+                loads=tuple(LoadSpec(kind="ckpt", r=float(r))
+                            for r in range(25, 25 + 32 * 5, 5)),
+                spectral=SpectralSpec(mask="board-b"))
+            assert len(study) == 64
+
+            service = StudyService(cache_dir=cache_dir, max_workers=1,
+                                   n_shards=1, retries=1, models=models)
+            server = make_server(service)
+            thread = threading.Thread(target=server.serve_forever,
+                                      kwargs={"poll_interval": 0.05},
+                                      daemon=True)
+            thread.start()
+            host, port = server.server_address[:2]
+            url = f"http://{host}:{port}"
+            try:
+                status = submit_study(url, study)
+                final = wait_for_job(url, status["job"], poll_s=0.2,
+                                     timeout_s=600.0)
+                assert final["state"] == "done"
+                assert final["n_failures"] == 0
+                csv = fetch_result(url, status["job"], csv=True)
+                result = service.result(status["job"])
+            finally:
+                server.shutdown()
+                server.server_close()
+                service.stop()
+                thread.join(timeout=5.0)
+
+            assert marker.exists(), "the crash never happened"
+            report = result.shard_reports[0]
+            assert report.attempts == 2, "expected one death + resume"
+            assert report.ok
+            # the resumed half answered >= the first half from disk
+            assert report.n_cache_hits >= 32
+            assert report.n_scenarios == 64
+            # byte-identical to one in-process run of the same study
+            direct = study.run(models=models, n_workers=1)
+            assert csv == direct.csv_text()
+            assert csv == result.csv_text()
+        finally:
+            KINDS.pop("ckpt", None)
