@@ -9,21 +9,28 @@ Exercises the whole service loop exactly the way a user would, across
 real process boundaries:
 
 1. start ``python -m repro.studies serve`` as a subprocess on an
-   ephemeral port with a throwaway cache directory, and parse the bound
-   address from its banner line;
+   ephemeral port with a throwaway cache directory and a ``--trace``
+   JSONL file, and parse the bound address from its banner line;
 2. submit the study (default ``examples/study_minimal.toml``) through
    the ``python -m repro.studies submit --wait`` CLI, capturing the job
    id from the ``job <id>`` line;
 3. fetch the result CSV over HTTP with the stdlib client helpers;
 4. run the same study in-process (``Study.run``, no cache) and assert
-   the service's verdict rows are byte-identical.
+   the service's verdict rows are byte-identical;
+5. assert ``GET /metrics`` parses as Prometheus text, its counters
+   advanced across the job (``cache_hits + cache_misses`` equals the
+   grid size), and the exported trace JSONL reconstructs into a span
+   tree rooted at the job with one ``scenario`` span per grid point.
 
-Exit status 0 on success; any mismatch, timeout or server death is a
-non-zero exit with a diagnostic -- CI-gate friendly.
+The trace file is left at ``$SMOKE_TRACE_OUT`` (default
+``smoke_trace.jsonl`` in the working directory) so CI can upload it as
+an artifact.  Exit status 0 on success; any mismatch, timeout or
+server death is a non-zero exit with a diagnostic -- CI-gate friendly.
 """
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 import tempfile
@@ -34,11 +41,13 @@ REPO = Path(__file__).resolve().parent.parent
 DEFAULT_STUDY = REPO / "examples" / "study_minimal.toml"
 
 
-def _start_server(cache_dir: str) -> tuple[subprocess.Popen, str]:
+def _start_server(cache_dir: str,
+                  trace_path: str) -> tuple[subprocess.Popen, str]:
     """Launch ``serve`` on an ephemeral port; returns (proc, base_url)."""
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.studies", "serve",
-         "--cache", cache_dir, "--port", "0", "--workers", "2"],
+         "--cache", cache_dir, "--port", "0", "--workers", "2",
+         "--trace", trace_path],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
     deadline = time.monotonic() + 60.0
     banner = ""
@@ -54,17 +63,36 @@ def _start_server(cache_dir: str) -> tuple[subprocess.Popen, str]:
     raise SystemExit(f"serve never came up (last output: {banner!r})")
 
 
+def _counter_total(text: str, name: str) -> float:
+    """Sum one counter across label sets in Prometheus exposition text;
+    also type-checks every sample line it scans."""
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        series, value = line.rsplit(" ", 1)
+        value = float(value)  # malformed exposition fails here
+        if series == name or series.startswith(name + "{"):
+            total += value
+    return total
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the smoke drill; returns the process exit status."""
     study_file = Path((argv or sys.argv[1:] or [str(DEFAULT_STUDY)])[0])
+    trace_out = Path(os.environ.get("SMOKE_TRACE_OUT",
+                                    "smoke_trace.jsonl")).resolve()
     sys.path.insert(0, str(REPO / "src"))
+    from repro.obs import read_spans, span_tree
     from repro.studies import Study
-    from repro.studies.service import fetch_result
+    from repro.studies.service import fetch_metrics, fetch_result
 
     study = Study.load(study_file)
+    trace_out.unlink(missing_ok=True)
     with tempfile.TemporaryDirectory(prefix="study-smoke-") as cache_dir:
-        proc, url = _start_server(cache_dir)
+        proc, url = _start_server(cache_dir, str(trace_out))
         try:
+            before = fetch_metrics(url)
             submit = subprocess.run(
                 [sys.executable, "-m", "repro.studies", "submit",
                  str(study_file), "--url", url, "--wait",
@@ -81,6 +109,7 @@ def main(argv: list[str] | None = None) -> int:
                 return 1
             job_id = first[1]
             served_csv = fetch_result(url, job_id, csv=True)
+            after = fetch_metrics(url)
         finally:
             proc.terminate()
             proc.wait(timeout=30)
@@ -91,9 +120,45 @@ def main(argv: list[str] | None = None) -> int:
         print("--- served ---\n" + served_csv)
         print("--- direct ---\n" + direct_csv)
         return 1
+
+    # -- /metrics: parses, and the job advanced the counters
+    hits = _counter_total(after, "cache_hits")
+    misses = _counter_total(after, "cache_misses")
+    if hits + misses != len(study):
+        print(f"FAIL: cache_hits ({hits:g}) + cache_misses ({misses:g}) "
+              f"!= grid size ({len(study)})")
+        return 1
+    if _counter_total(after, "scenarios_total") != len(study):
+        print("FAIL: scenarios_total does not cover the grid")
+        return 1
+    if not _counter_total(after, "http_requests_total") \
+            > _counter_total(before, "http_requests_total"):
+        print("FAIL: http_requests_total never advanced")
+        return 1
+
+    # -- the exported trace reconstructs into the job's span tree
+    if not trace_out.exists():
+        print(f"FAIL: no trace JSONL at {trace_out}")
+        return 1
+    spans = [s for s in read_spans(trace_out)
+             if s.get("trace_id") == job_id]
+    roots, _ = span_tree(spans)
+    root_names = [r["name"] for r in roots]
+    if root_names != ["job.run"]:
+        print(f"FAIL: expected one job.run trace root, got {root_names}")
+        return 1
+    n_scenarios = sum(1 for s in spans if s["name"] == "scenario")
+    if n_scenarios != len(study):
+        print(f"FAIL: {n_scenarios} scenario spans for a "
+              f"{len(study)}-scenario grid")
+        return 1
+
     n_rows = len(served_csv.splitlines()) - 1
     print(f"OK: job {job_id} served {n_rows} verdict rows "
-          f"byte-identical to the in-process run")
+          f"byte-identical to the in-process run; metrics balance "
+          f"({hits:g} hits + {misses:g} misses = {len(study)}) and "
+          f"{len(spans)} trace spans reconstruct under job.run "
+          f"({trace_out.name})")
     return 0
 
 

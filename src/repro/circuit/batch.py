@@ -37,6 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import CircuitError, ConvergenceError
+from ..obs import get_metrics, get_tracer
 from .companion import build_companion_groups
 from .elements.rlc import (CapacitanceMatrix, Capacitor, CoupledInductors,
                            Inductor)
@@ -135,14 +136,18 @@ def _newton_lockstep(A_sub, Zcol, svals, node, evalf, b_sub, X0,
     convergence tests against the new iterate -- with converged members
     frozen while the rest keep iterating.
 
-    Returns ``(X, converged, delta_norm)`` over the subset.
+    Returns ``(X, converged, delta_norm, iters)`` over the subset, where
+    ``iters`` counts member-iterations (one per still-active member per
+    pass) for the observability layer.
     """
     n_mem, size = X0.shape
     X = X0.copy()
     Y0 = np.linalg.solve(A_sub, b_sub[:, :, None])[:, :, 0]
     active = np.ones(n_mem, dtype=bool)
     delta_norm = np.full(n_mem, np.inf)
+    iters = 0
     for _ in range(opts.max_iter):
+        iters += int(active.sum())
         V = X[:, node]
         i_val, g_val = evalf(V)
         ieq = i_val - g_val * V
@@ -167,7 +172,7 @@ def _newton_lockstep(A_sub, Zcol, svals, node, evalf, b_sub, X0,
         active &= ~newly
         if not active.any():
             break
-    return X, ~active, delta_norm
+    return X, ~active, delta_norm, iters
 
 
 def run_transient_batch(circuits, options: TransientOptions
@@ -182,11 +187,24 @@ def run_transient_batch(circuits, options: TransientOptions
     :func:`~repro.circuit.transient.run_transient`, whose results are
     equivalent (``batched=False``).  ``options`` applies to every member,
     exactly as it would serially.
+
+    A ``transient.batch`` span wraps the whole group (members, step
+    count, lockstep Newton member-iterations, or the fallback reason);
+    fallback members additionally export their own ``transient.run``
+    spans underneath it.
     """
-    circuits = list(circuits)
+    with get_tracer().span("transient.batch") as sp:
+        return _run_transient_batch(list(circuits), options, sp)
+
+
+def _run_transient_batch(circuits: list, options: TransientOptions,
+                         sp) -> list[TransientResult]:
     if not circuits:
         return []
-    if len(circuits) == 1 or _ineligible_reason(circuits, options):
+    reason = ("single member" if len(circuits) == 1
+              else _ineligible_reason(circuits, options))
+    if reason:
+        sp.set(members=len(circuits), fallback=reason)
         return [run_transient(c, options) for c in circuits]
     if options.dt <= 0.0 or options.t_stop <= options.dt:
         raise CircuitError("need 0 < dt < t_stop")
@@ -195,6 +213,8 @@ def run_transient_batch(circuits, options: TransientOptions
     try:
         bank = _make_bank(circuits, systems)
     except CircuitError:
+        sp.set(members=len(circuits),
+               fallback="nonlinear elements are not bank-compatible")
         return [run_transient(c, options) for c in circuits]
 
     n_mem = len(circuits)
@@ -242,6 +262,7 @@ def run_transient_batch(circuits, options: TransientOptions
         svals = Zcol[:, node]
     X_prev = X.copy()
     newton = options.newton
+    newton_iters = 0
     try:
         for k in range(1, n_steps + 1):
             t = float(t_grid[k])
@@ -252,17 +273,19 @@ def run_transient_batch(circuits, options: TransientOptions
                 X_prev, X = X, x_new
             else:
                 guess = 2.0 * X - X_prev if k > 1 else X.copy()
-                x_try, conv, dnorm = _newton_lockstep(
+                x_try, conv, dnorm, it = _newton_lockstep(
                     A_stack, Zcol, svals, node,
                     lambda V: bank.eval(V, t), B, guess, n_nodes, newton)
+                newton_iters += it
                 if not conv.all():
                     # retry failed members from the previous accepted
                     # solution, no predictor -- exactly like the serial loop
                     idx = np.flatnonzero(~conv)
-                    x_re, conv_re, dn_re = _newton_lockstep(
+                    x_re, conv_re, dn_re, it_re = _newton_lockstep(
                         A_stack[idx], Zcol[idx], svals[idx], node,
                         lambda V: bank.eval(V, t, idx), B[idx], X[idx],
                         n_nodes, newton)
+                    newton_iters += it_re
                     x_try[idx] = x_re
                     dnorm[idx] = dn_re
                     conv = conv.copy()
@@ -290,4 +313,11 @@ def run_transient_batch(circuits, options: TransientOptions
                               fast_path=bank is None)
         res.batched = True
         results.append(res)
+    sp.set(members=n_mem, size=size, n_steps=n_steps,
+           fast_path=bank is None, newton_iters=newton_iters,
+           n_warnings=sum(len(w) for w in warnings))
+    met = get_metrics()
+    met.inc("solver_steps", n_steps * n_mem)
+    if newton_iters:
+        met.inc("newton_iters", newton_iters)
     return results

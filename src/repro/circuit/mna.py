@@ -345,6 +345,7 @@ class MNASystem:
         self._theta = None
         self._base_lu = None          # cached LU of the dense base matrix
         self._base_splu = None        # cached splu of the sparse base matrix
+        self.n_factorizations = 0     # base-matrix LU/splu factor count
         self._A_scratch = None        # reusable dense A for assemble_iter
         self._b_scratch = None        # reusable b for the Newton iteration
         self._wb_pattern = None       # (rows_key, cols_key) of nl stamps
@@ -550,6 +551,7 @@ class MNASystem:
             except (ValueError, sla.LinAlgError) as exc:
                 raise SingularMatrixError(
                     f"linear base matrix is singular: {exc}") from exc
+            self.n_factorizations += 1
 
     def _ensure_base_factor(self):
         """Cache the base-matrix factorization (dense LU or sparse splu)."""
@@ -562,6 +564,7 @@ class MNASystem:
             except (RuntimeError, ValueError) as exc:
                 raise SingularMatrixError(
                     f"linear base matrix is singular: {exc}") from exc
+            self.n_factorizations += 1
 
     def _wb_prepare(self, rows, cols):
         """(Re)build the position-dependent Woodbury caches."""

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CircuitError, ConvergenceError
+from ..obs import get_metrics, get_tracer
 from .companion import CompanionGroups, build_companion_groups
 from .dcop import solve_dcop
 from .mna import MNASystem
@@ -157,7 +158,22 @@ def _initial_solution(circuit: Circuit, system: MNASystem, options,
 
 def run_transient(circuit: Circuit, options: TransientOptions,
                   system: MNASystem | None = None) -> TransientResult:
-    """Run a fixed-step transient analysis and return the full solution."""
+    """Run a fixed-step transient analysis and return the full solution.
+
+    When tracing is enabled (:func:`repro.obs.configure_tracing`) the
+    run exports one ``transient.run`` span carrying the step count,
+    fast-path/Newton split, total Newton iterations and base-matrix
+    refactorization count; ``solver_steps``/``newton_iters`` counters
+    accumulate in the metrics registry either way.  The per-step loop
+    itself only touches local integers, so the instrumentation is free
+    at solver granularity.
+    """
+    with get_tracer().span("transient.run") as sp:
+        return _run_transient(circuit, options, system, sp)
+
+
+def _run_transient(circuit: Circuit, options: TransientOptions,
+                   system: MNASystem | None, sp) -> TransientResult:
     if options.dt <= 0.0 or options.t_stop <= options.dt:
         raise CircuitError("need 0 < dt < t_stop")
     theta = options.resolved_theta()
@@ -177,6 +193,7 @@ def run_transient(circuit: Circuit, options: TransientOptions,
     xs = np.empty((n_steps + 1, sys_.size))
     xs[0] = x0
     warnings: list[str] = []
+    newton_steps = newton_iters = newton_retries = 0
 
     # Per-analysis precomputation: every source waveform is sampled over the
     # whole grid in one vectorized pass, and plain C/L companion elements are
@@ -207,10 +224,14 @@ def run_transient(circuit: Circuit, options: TransientOptions,
                 guess = 2.0 * x - x_prev if k > 1 else x
                 res = newton_solve(sys_, guess, t, options.newton,
                                    b_step=b_buf)
+                newton_steps += 1
+                newton_iters += res.iterations
                 if not res.converged:
                     # retry from the previous accepted solution, no predictor
                     res = newton_solve(sys_, x, t, options.newton,
                                        b_step=b_buf)
+                    newton_retries += 1
+                    newton_iters += res.iterations
                 if not res.converged:
                     msg = (f"transient Newton failed at t={t:.4g}s "
                            f"(|delta|={res.delta_norm:.3g})")
@@ -226,5 +247,14 @@ def run_transient(circuit: Circuit, options: TransientOptions,
             xs[k] = x
     finally:
         comp.flush()
+    sp.set(size=sys_.size, n_steps=n_steps, fast_path=linear,
+           newton_steps=newton_steps, newton_iters=newton_iters,
+           newton_retries=newton_retries,
+           lu_factorizations=sys_.n_factorizations,
+           n_warnings=len(warnings))
+    met = get_metrics()
+    met.inc("solver_steps", n_steps)
+    if newton_iters:
+        met.inc("newton_iters", newton_iters)
     return TransientResult(circuit, sys_, t_grid, xs, warnings,
                            fast_path=linear)

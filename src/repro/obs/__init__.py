@@ -1,0 +1,55 @@
+"""Observability for the repro stack: tracing, metrics, profiling.
+
+Stdlib-only and zero-dependency.  Two layers:
+
+* :mod:`repro.obs.trace` — hierarchical spans with a process-safe JSONL
+  exporter and explicit cross-process context propagation;
+* :mod:`repro.obs.metrics` — a lock-protected registry of counters,
+  gauges and histograms with snapshot/merge aggregation across worker
+  pipes and Prometheus text rendering.
+
+Both layers are no-op-cheap when disabled: the module-level tracer
+defaults to :data:`~repro.obs.trace.NULL_TRACER` and instrumented hot
+paths only touch local integers, so the solver benches stay within
+noise of the uninstrumented engine (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from .metrics import (NULL_METRICS, MetricsRegistry, NullMetrics,
+                      get_metrics, set_metrics)
+from .trace import (NULL_TRACER, NullTracer, Span, SpanEvent, Tracer,
+                    configure_tracing, from_context, get_tracer,
+                    read_spans, set_tracer, span_tree)
+
+__all__ = [
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "configure_tracing",
+    "from_context",
+    "get_metrics",
+    "get_tracer",
+    "read_spans",
+    "set_metrics",
+    "set_tracer",
+    "span_tree",
+    "worker_setup",
+]
+
+
+def worker_setup(trace_ctx: dict | None) -> None:
+    """Configure observability inside a freshly started worker process.
+
+    Installs the tracer rebuilt from the parent's propagation context
+    (the null tracer when the parent traced nothing) and resets the
+    metrics registry so fork-inherited parent counts never double into
+    the deltas this worker later flushes back.
+    """
+    set_tracer(from_context(trace_ctx))
+    get_metrics().reset()

@@ -1,0 +1,352 @@
+"""Hierarchical tracing with a process-safe JSONL exporter.
+
+The tracing model is deliberately small: a :class:`Tracer` hands out
+:class:`Span` context managers; entering a span pushes it on a
+per-context stack (a :mod:`contextvars` variable, so concurrently
+running asyncio tasks and threads each see their own ancestry), and
+leaving it stamps the duration and exports one JSON line.  Spans carry
+
+* ``trace_id`` — groups one logical operation (a study job) across
+  processes; the service uses the job id (= study digest),
+* ``span_id`` / ``parent_id`` — the tree edges; span ids embed the live
+  ``os.getpid()`` so fork-inherited sequence counters cannot collide,
+* ``name``, ``attrs``, ``t_start`` (wall clock), ``duration_s``,
+* ``events`` — typed point-in-time annotations (the JobManager's
+  progress notifications become these).
+
+Export appends one line per finished span with a single ``O_APPEND``
+``os.write`` call, which POSIX keeps atomic across processes: solver
+workers, shard subprocesses and the service parent can all share one
+JSONL file.  Children finish before parents, so lines arrive
+leaves-first; :func:`span_tree` reconstructs the hierarchy regardless
+of order.
+
+Cross-process propagation is explicit: the parent captures
+:meth:`Tracer.context` (path + trace id + the id of the span the child
+should hang under) and the worker calls :func:`from_context` in its
+initializer.  When tracing is off the module-level tracer is
+:data:`NULL_TRACER`, whose ``span()`` returns a shared no-op context
+manager — no allocation, no branching in instrumented code.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+import uuid
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "configure_tracing",
+    "from_context",
+    "get_tracer",
+    "read_spans",
+    "set_tracer",
+    "span_tree",
+]
+
+#: per-context ancestry stack; an immutable tuple so tasks/threads that
+#: copy the context never share mutable state
+_STACK: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_obs_span_stack", default=())
+
+_SEQ = itertools.count(1)
+
+
+def _new_span_id() -> str:
+    """Process-unique span id; the pid prefix keeps forks collision-free."""
+    return f"{os.getpid():x}.{next(_SEQ)}"
+
+
+def _json_default(obj):
+    """Coerce numpy scalars and other strays into JSON-safe values."""
+    for cast in (int, float):
+        try:
+            return cast(obj)
+        except (TypeError, ValueError):
+            continue
+    return str(obj)
+
+
+class SpanEvent:
+    """A typed point-in-time annotation recorded on a span."""
+
+    __slots__ = ("name", "t", "attrs")
+
+    def __init__(self, name: str, t: float, attrs: dict):
+        self.name = name
+        self.t = t
+        self.attrs = attrs
+
+    def to_dict(self) -> dict:
+        """Plain-dict form used by the JSONL exporter."""
+        return {"name": self.name, "t": self.t, "attrs": self.attrs}
+
+
+class Span:
+    """One timed operation in the trace tree; also its own context manager.
+
+    Instances come from :meth:`Tracer.span`.  Attributes of interest:
+    ``name``, ``attrs``, ``events``, ``trace_id``, ``span_id``,
+    ``parent_id``, ``t_start`` (epoch seconds) and ``duration_s``
+    (filled on exit).  Exceptions escaping the ``with`` block are
+    recorded as an ``error`` attribute and re-raised.
+    """
+
+    __slots__ = ("tracer", "name", "attrs", "events", "trace_id",
+                 "span_id", "parent_id", "t_start", "duration_s",
+                 "_t0", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.events: list[SpanEvent] = []
+        self.trace_id = tracer.trace_id
+        self.span_id = _new_span_id()
+        self.parent_id: str | None = None
+        self.t_start = 0.0
+        self.duration_s = 0.0
+        self._t0 = 0.0
+        self._token = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach or overwrite attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs) -> SpanEvent:
+        """Record a typed event at the current time on this span."""
+        ev = SpanEvent(name, time.time(), attrs)
+        self.events.append(ev)
+        return ev
+
+    def to_dict(self) -> dict:
+        """Plain-dict form of the finished span (one JSONL line)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "pid": os.getpid(),
+            "t_start": self.t_start,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+    def __enter__(self) -> "Span":
+        stack = _STACK.get()
+        self.parent_id = (stack[-1].span_id if stack
+                          else self.tracer.remote_parent)
+        self._token = _STACK.set(stack + (self,))
+        self.t_start = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_s = time.perf_counter() - self._t0
+        if exc is not None:
+            self.attrs.setdefault("error", repr(exc))
+        if self._token is not None:
+            _STACK.reset(self._token)
+            self._token = None
+        self.tracer._export(self)
+
+
+class Tracer:
+    """Factory for spans, bound to an optional JSONL file.
+
+    ``path`` — when set, every finished span appends one JSON line
+    (atomic ``O_APPEND`` write, safe across processes).  ``collect`` —
+    when True, finished spans are also kept in :attr:`finished` for
+    in-process inspection (the service's ``/trace`` endpoint).
+    ``trace_id`` — identity stamped on every span; defaults to a fresh
+    random id.  ``remote_parent`` — span id in *another* process that
+    root spans of this tracer hang under (set via :func:`from_context`).
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | None = None, collect: bool = False,
+                 trace_id: str | None = None,
+                 remote_parent: str | None = None):
+        self.path = os.fspath(path) if path is not None else None
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        self.remote_parent = remote_parent
+        self.collect = collect
+        self.finished: list[Span] = []
+        self._lock = threading.Lock()
+        self._fd: int | None = None
+
+    def span(self, name: str, **attrs) -> Span:
+        """Create a span; use as ``with tracer.span("name") as sp:``."""
+        return Span(self, name, attrs)
+
+    def context(self, parent_id: str | None = None) -> dict:
+        """Propagation dict for a child process (pass to its initializer).
+
+        ``parent_id`` defaults to the currently entered span, so worker
+        root spans nest under whatever the parent was doing at dispatch.
+        """
+        if parent_id is None:
+            stack = _STACK.get()
+            parent_id = stack[-1].span_id if stack else self.remote_parent
+        return {"path": self.path, "trace_id": self.trace_id,
+                "parent_id": parent_id}
+
+    def _export(self, span: Span) -> None:
+        if self.collect:
+            with self._lock:
+                self.finished.append(span)
+        if self.path is None:
+            return
+        line = json.dumps(span.to_dict(), default=_json_default,
+                          separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._fd is None:
+                self._fd = os.open(self.path,
+                                   os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                                   0o644)
+            os.write(self._fd, line.encode())
+
+    def close(self) -> None:
+        """Release the output file descriptor (idempotent)."""
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+
+class _NullSpan:
+    """Shared no-op span: every tracing call is a constant-time no-op."""
+
+    __slots__ = ()
+    events: tuple = ()
+    attrs: dict = {}
+    span_id = parent_id = trace_id = None
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: ``span()`` hands back one shared no-op object."""
+
+    enabled = False
+    trace_id = None
+    path = None
+    remote_parent = None
+    finished: list = []
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        """Return the shared no-op span (no allocation)."""
+        return _NULL_SPAN
+
+    def context(self, parent_id: str | None = None) -> None:
+        """No propagation context — workers stay untraced."""
+        return None
+
+    def close(self) -> None:
+        """Nothing to release."""
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+_tracer: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide tracer (the null tracer unless configured)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | NullTracer | None
+               ) -> Tracer | NullTracer:
+    """Install ``tracer`` (None restores the null tracer); returns it."""
+    global _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return _tracer
+
+
+def configure_tracing(path: str | None = None, collect: bool = False,
+                      trace_id: str | None = None) -> Tracer:
+    """Create a real :class:`Tracer` and install it process-wide."""
+    tracer = Tracer(path=path, collect=collect, trace_id=trace_id)
+    set_tracer(tracer)
+    return tracer
+
+
+def from_context(ctx: dict | None) -> Tracer | NullTracer:
+    """Rebuild a tracer in a worker from :meth:`Tracer.context` output.
+
+    ``None`` (tracing off in the parent) yields the null tracer, so a
+    fork-inherited real tracer never leaks into untraced workers.
+    """
+    if not ctx:
+        return NULL_TRACER
+    return Tracer(path=ctx.get("path"), trace_id=ctx.get("trace_id"),
+                  remote_parent=ctx.get("parent_id"))
+
+
+def read_spans(path) -> list[dict]:
+    """Parse a span JSONL file into dicts, skipping malformed lines.
+
+    Tolerating a torn final line keeps readers usable while writers are
+    still running (the live ``/trace`` endpoint, CI artifact scrapes).
+    """
+    spans: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return spans
+
+
+def span_tree(spans: list[dict]) -> tuple[list[dict], dict]:
+    """Reconstruct the hierarchy from exported span dicts.
+
+    Returns ``(roots, by_id)`` where every span dict gains a
+    ``"children"`` list.  Spans whose parent is absent from ``spans``
+    (e.g. a remote parent that exported elsewhere) count as roots.
+    Export order does not matter — children commonly precede parents.
+    """
+    by_id = {}
+    for sp in spans:
+        sp = dict(sp)
+        sp["children"] = []
+        by_id[sp["span_id"]] = sp
+    roots = []
+    for sp in by_id.values():
+        parent = by_id.get(sp.get("parent_id"))
+        if parent is not None:
+            parent["children"].append(sp)
+        else:
+            roots.append(sp)
+    return roots, by_id

@@ -80,13 +80,14 @@ __all__ = [
     "simulate_scenario", "simulate_scenario_batch", "main",
     # lazily forwarded from repro.studies.service (PEP 562)
     "StudyShard", "shard_plan", "JobManager", "ShardReport",
-    "StudyService",
+    "StudyService", "fetch_trace", "fetch_metrics",
 ]
 
 #: service-layer names resolved lazily: `import repro.studies` must not
 #: drag in asyncio/http.server for callers that only run studies inline
 _SERVICE_NAMES = frozenset({"StudyShard", "shard_plan", "JobManager",
-                            "ShardReport", "StudyService"})
+                            "ShardReport", "StudyService",
+                            "fetch_trace", "fetch_metrics"})
 
 
 def __getattr__(name: str):

@@ -9,9 +9,12 @@ Local subcommands::
 prints the summary table -- plus the compliance table when the study
 requests spectra -- and optionally exports the machine-readable verdicts
 (``--csv`` / ``--json``).  Runner options on the command line override
-the study file's ``[runner]`` table.  Exit status: 0 on success, 2 when
-any scenario failed to simulate, 1 when ``--strict`` is given and any
-compliance check failed.
+the study file's ``[runner]`` table.  Observability switches:
+``--trace PATH`` exports hierarchical spans (solver, runner, workers)
+as JSONL, ``--metrics`` prints the Prometheus counters after the run,
+and non-quiet runs close with the per-kind timing summary.  Exit
+status: 0 on success, 2 when any scenario failed to simulate, 1 when
+``--strict`` is given and any compliance check failed.
 
 Service subcommands (the sharded async study service,
 :mod:`repro.studies.service`)::
@@ -25,7 +28,13 @@ Service subcommands (the sharded async study service,
 job queue and shard worker pool); ``submit``/``status``/``fetch`` are
 the matching stdlib-only client.  ``submit`` prints ``job <id>`` on its
 first line, so scripts can capture the job id; with ``--wait`` it polls
-to completion and exits 0 on success, 2 when the job errored.
+to completion and exits 0 on success, 2 when the job errored.  Server
+observability: ``serve --trace PATH`` writes every job's spans to a
+shared JSONL file and ``--access-log`` enables the structured request
+log on stderr; the client side mirrors it with ``submit --wait
+--trace PATH`` (download the finished job's span tree from
+``/studies/<id>/trace``) and ``submit --metrics`` (dump ``/metrics``
+after the job).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -62,6 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="exit 1 when any compliance check fails")
     run.add_argument("--quiet", action="store_true",
                      help="only print the one-line summary")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="export tracing spans as JSONL to PATH")
+    run.add_argument("--metrics", action="store_true",
+                     help="print Prometheus-format metrics after the run")
 
     show = sub.add_parser("show", help="parse a study file and describe it")
     show.add_argument("study", help="path to a study .toml/.json file")
@@ -87,6 +100,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="S", help="per-shard-attempt timeout")
     serve.add_argument("--job-slots", type=int, default=1,
                        help="concurrently running studies (default 1)")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="export every job's tracing spans as JSONL "
+                            "to PATH (shared across jobs and workers)")
+    serve.add_argument("--access-log", action="store_true",
+                       help="log one structured line per HTTP request "
+                            "to stderr")
 
     def add_url(p):
         p.add_argument("--url", default="http://127.0.0.1:8765",
@@ -104,6 +123,12 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--timeout", type=float, default=None,
                         metavar="S", help="give up polling after S "
                                           "seconds (with --wait)")
+    submit.add_argument("--trace", default=None, metavar="PATH",
+                        help="with --wait: download the finished job's "
+                             "span tree as JSONL to PATH")
+    submit.add_argument("--metrics", action="store_true",
+                        help="print the service's /metrics text after "
+                             "submitting (after completion with --wait)")
 
     status = sub.add_parser("status", help="print one job's status")
     status.add_argument("job", help="job id (as printed by submit)")
@@ -153,12 +178,24 @@ def _cmd_run(args) -> int:
         overrides["n_workers"] = args.workers
     if args.cache is not None:
         overrides["disk_cache"] = args.cache
+    if args.trace:
+        from ..obs import configure_tracing
+        configure_tracing(args.trace)
     result = study.run(**overrides)
+    if args.trace:
+        from ..obs import get_tracer
+        get_tracer().close()
+        print(f"wrote trace {args.trace}")
     if not args.quiet:
         print(result.table())
         if any(o.ok and o.spectra for o in result):
             print()
             print(result.compliance_table())
+        print()
+        print(result.timing_summary())
+    if args.metrics:
+        from ..obs import get_metrics
+        print(get_metrics().render_prometheus(), end="")
     print(result.summary())
     if args.csv:
         print(f"wrote {result.to_csv(args.csv)}")
@@ -178,8 +215,10 @@ def _cmd_serve(args) -> int:
     service = StudyService(
         cache_dir=args.cache, max_workers=args.workers,
         n_shards=args.shards, retries=args.retries,
-        timeout_s=args.timeout, job_slots=args.job_slots)
-    server = make_server(service, host=args.host, port=args.port)
+        timeout_s=args.timeout, job_slots=args.job_slots,
+        trace_path=args.trace)
+    server = make_server(service, host=args.host, port=args.port,
+                         quiet=not args.access_log)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}  (cache: {args.cache})",
           flush=True)
@@ -207,16 +246,28 @@ def _finish_status(status: dict) -> int:
 
 def _cmd_submit(args) -> int:
     """Submit a study file; optionally poll it to completion."""
-    from .service.serve import submit_study, wait_for_job
+    from .service.serve import (fetch_metrics, fetch_trace, submit_study,
+                                wait_for_job)
     study = Study.load(args.study)
     status = submit_study(args.url, study)
     dedup = "" if status.get("created", True) else "  (already known)"
     print(f"job {status['job']}  state={status['state']}  "
           f"scenarios={status['n_scenarios']}{dedup}")
     if not args.wait:
+        if args.metrics:
+            print(fetch_metrics(args.url), end="")
         return 0
-    status = wait_for_job(args.url, status["job"], poll_s=args.poll,
+    job_id = status["job"]
+    status = wait_for_job(args.url, job_id, poll_s=args.poll,
                           timeout_s=args.timeout)
+    if args.trace:
+        spans = fetch_trace(args.url, job_id)
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span) + "\n")
+        print(f"wrote trace {args.trace}  ({len(spans)} spans)")
+    if args.metrics:
+        print(fetch_metrics(args.url), end="")
     return _finish_status(status)
 
 

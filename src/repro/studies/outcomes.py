@@ -343,6 +343,58 @@ class SweepResult:
                          f"{rx:>5} {verdict:>8}")
         return "\n".join(lines)
 
+    # -- timing helpers ------------------------------------------------------
+    def timing_rows(self) -> list[dict]:
+        """Per-kind wall-clock statistics as machine-readable rows.
+
+        One row per scenario kind present on the grid (sorted by kind
+        name) with the scenario count, the cached vs simulated split and
+        the total / mean / p95 of the per-scenario ``elapsed_s``.  Cache
+        hits report their (near-zero) lookup time, so a mostly-cached
+        grid shows up as a collapsed ``total_s``.  This is the data
+        behind :meth:`timing_summary`.
+        """
+        by_kind: dict[str, list[ScenarioOutcome]] = {}
+        for o in self.outcomes:
+            by_kind.setdefault(o.scenario.load.kind, []).append(o)
+        rows = []
+        for kind in sorted(by_kind):
+            outs = by_kind[kind]
+            times = np.array([o.elapsed_s for o in outs], dtype=float)
+            rows.append({
+                "kind": kind,
+                "n": len(outs),
+                "cached": sum(1 for o in outs if o.cache_hit),
+                "simulated": sum(1 for o in outs if not o.cache_hit),
+                "total_s": float(times.sum()),
+                "mean_s": float(times.mean()),
+                "p95_s": float(np.percentile(times, 95.0)),
+            })
+        return rows
+
+    def timing_summary(self) -> str:
+        """Plain-text per-kind timing table (where did the time go?).
+
+        One row per scenario kind: count, cached/simulated split and
+        total / mean / p95 wall-clock, closed by a grid-total row.
+        """
+        rows = self.timing_rows()
+        header = (f"{'kind':<10} {'n':>5} {'cached':>7} {'simul':>6} "
+                  f"{'total_s':>9} {'mean_s':>9} {'p95_s':>9}")
+        lines = [header, "-" * len(header)]
+        for r in rows:
+            lines.append(
+                f"{r['kind']:<10} {r['n']:>5d} {r['cached']:>7d} "
+                f"{r['simulated']:>6d} {r['total_s']:>9.3f} "
+                f"{r['mean_s']:>9.4f} {r['p95_s']:>9.4f}")
+        total = sum(r["total_s"] for r in rows)
+        n = sum(r["n"] for r in rows)
+        cached = sum(r["cached"] for r in rows)
+        sim = sum(r["simulated"] for r in rows)
+        lines.append(f"{'total':<10} {n:>5d} {cached:>7d} {sim:>6d} "
+                     f"{total:>9.3f}")
+        return "\n".join(lines)
+
     def table(self) -> str:
         """Plain-text summary table of the sweep."""
         xtalk = any(o.ok and "fext_peak" in (o.metrics or {})
@@ -375,14 +427,19 @@ class StudyResult(SweepResult):
     """A :class:`SweepResult` with the producing study riding along.
 
     Returned by :meth:`repro.studies.spec.Study.run`; ``study`` is the
-    declarative description that produced the grid and ``elapsed_s`` the
-    wall-clock of the whole run (cache hits included).
+    declarative description that produced the grid, ``elapsed_s`` the
+    wall-clock of the whole run (cache hits included) and ``phases`` an
+    optional ``{phase name: seconds}`` breakdown recorded by the
+    producer (the async job manager stamps ``plan`` / ``shards`` /
+    ``merge``; inline runs may leave it empty).
     """
 
-    def __init__(self, outcomes, study=None, elapsed_s: float = 0.0):
+    def __init__(self, outcomes, study=None, elapsed_s: float = 0.0,
+                 phases: dict | None = None):
         super().__init__(outcomes)
         self.study = study
         self.elapsed_s = float(elapsed_s)
+        self.phases = dict(phases or {})
 
     def summary(self) -> str:
         """One-line run summary (name, grid size, hits, failures, time)."""
@@ -395,3 +452,19 @@ class StudyResult(SweepResult):
                 f"{self.n_cache_hits} cache hits, "
                 f"{len(self.failures)} failures{verdict} "
                 f"in {self.elapsed_s:.2f} s")
+
+    def timings(self) -> str:
+        """Per-phase wall-clock table of the run.
+
+        One row per recorded phase (in recorded order) with seconds and
+        the share of the total wall-clock, closed by the total.  Runs
+        that recorded no phase breakdown (plain inline
+        :meth:`~repro.studies.spec.Study.run`) report just the total.
+        """
+        lines = []
+        total = self.elapsed_s
+        for name, secs in self.phases.items():
+            share = f" ({100.0 * secs / total:5.1f}%)" if total > 0 else ""
+            lines.append(f"{name:<10} {secs:>9.3f} s{share}")
+        lines.append(f"{'total':<10} {total:>9.3f} s")
+        return "\n".join(lines)

@@ -46,6 +46,7 @@ from ..emc.limits import ComplianceVerdict, LimitMask, get_mask
 from ..errors import ExperimentError
 from ..experiments import cache
 from ..models import PWRBFDriverModel
+from ..obs import NULL_METRICS, get_metrics, get_tracer
 from .kinds import get_kind
 from .outcomes import ScenarioOutcome, SweepResult
 from .simulate import (_expected_layout, _shm, _unpack_outcome,
@@ -142,6 +143,17 @@ class ScenarioRunner:
     transient backend (:func:`repro.circuit.run_transient_batch`) --
     same waveforms, verdicts and cache digests, a fraction of the per-
     scenario cost; ``False`` forces one simulation per scenario.
+
+    Observability: each :meth:`run` exports a ``runner.run`` span with
+    per-group ``runner.group`` children (in pool workers these hang
+    under the run span through the propagated trace context) and
+    accumulates ``cache_hits``/``cache_misses``,
+    ``scenarios_total{status,kind}`` and ``worker_restarts`` counters.
+    ``record_metrics=False`` silences the counters (the service's merge
+    replay uses this so cache hits are not double-counted);
+    ``tracer`` pins span export to a specific
+    :class:`~repro.obs.Tracer` instead of the process-wide one (the
+    service gives every job its own, keyed by job id).
     """
 
     def __init__(self, models: dict | None = None,
@@ -149,7 +161,9 @@ class ScenarioRunner:
                  use_result_cache: bool = True,
                  disk_cache: str | os.PathLike | None = None,
                  shared_waveforms: bool | None = None,
-                 batch: bool = True):
+                 batch: bool = True,
+                 record_metrics: bool = True,
+                 tracer=None):
         if disk_cache is not None and not use_result_cache:
             raise ExperimentError(
                 "disk_cache requires use_result_cache=True; pass one or "
@@ -168,9 +182,19 @@ class ScenarioRunner:
             shared_waveforms = _shm is not None
         self.shared_waveforms = bool(shared_waveforms) and _shm is not None
         self.batch = bool(batch)
+        self.record_metrics = bool(record_metrics)
+        self._tracer = tracer
         # how long surviving workers may keep delivering after a worker
         # death before the parent recomputes the stragglers itself
         self._grace_s = 5.0
+
+    def _trace(self):
+        """The effective tracer: the pinned one, else the process-wide."""
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def _met(self):
+        """The effective metrics sink (the null sink when recording is off)."""
+        return get_metrics() if self.record_metrics else NULL_METRICS
 
     def _model_for(self, sc: Scenario) -> PWRBFDriverModel:
         key = (sc.driver, sc.corner)
@@ -330,10 +354,21 @@ class ScenarioRunner:
         return groups
 
     def run(self, scenarios) -> SweepResult:
-        """Simulate every scenario; order of outcomes matches the input."""
-        scenarios = list(scenarios)
+        """Simulate every scenario; order of outcomes matches the input.
+
+        Exports one ``runner.run`` span (scenario/hit/miss counts,
+        dispatch mode) whose children are the per-group ``runner.group``
+        spans -- local for serial runs, shipped through the worker
+        initializer's trace context for parallel ones.
+        """
+        with self._trace().span("runner.run") as sp:
+            return self._run(list(scenarios), sp)
+
+    def _run(self, scenarios: list, sp) -> SweepResult:
+        met = self._met()
         outcomes: list = [None] * len(scenarios)
         pending: list[tuple[int, Scenario]] = []
+        cache_hits = 0
         for idx, sc in enumerate(scenarios):
             try:
                 hit = self._lookup(sc)
@@ -352,15 +387,27 @@ class ScenarioRunner:
                 # the label (key() ignores `name`)
                 outcomes[idx] = hit.copy_data(scenario=sc, cache_hit=True,
                                               elapsed_s=0.0)
+                cache_hits += 1
             else:
                 pending.append((idx, sc))
+        # misses = everything the caches did not answer, including the
+        # scenarios whose lookup itself failed above -- hits + misses
+        # always partition the grid
+        cache_misses = len(scenarios) - cache_hits
+        met.inc("cache_hits", cache_hits)
+        met.inc("cache_misses", cache_misses)
 
+        tr = self._trace()
         parallel = len(pending) > 1 and self.n_workers > 1
-        payloads = self.prepare_dispatch(pending,
-                                         render_payloads=parallel)
+        with tr.span("runner.prepare", pending=len(pending)):
+            payloads = self.prepare_dispatch(pending,
+                                             render_payloads=parallel)
 
         if parallel:
-            arena, slots = self._build_arena(pending)
+            with tr.span("runner.arena") as asp:
+                arena, slots = self._build_arena(pending)
+                asp.set(shared=arena is not None,
+                        size_bytes=arena.size if arena else 0)
             if arena is not None:
                 # safety net: an interpreter exit with the teardown
                 # derailed (a worker death cascading into an unhandled
@@ -387,7 +434,8 @@ class ScenarioRunner:
             try:
                 with ctx.Pool(workers, initializer=_worker_init,
                               initargs=(payloads,
-                                        arena.name if arena else None)
+                                        arena.name if arena else None,
+                                        tr.context())
                               ) as pool:
                     unfinished = self._drain_pool(
                         pool, job_groups, outcomes, scenarios, arena,
@@ -400,22 +448,25 @@ class ScenarioRunner:
             # batch path never raises), so the sweep still returns a
             # complete outcome list instead of hanging or aborting
             for jobs in unfinished:
-                outs = simulate_scenario_batch(
-                    [(scenarios[idx], self._model_for(scenarios[idx]))
-                     for idx, _, _, _ in jobs])
+                with tr.span("runner.group", members=len(jobs),
+                             recompute=True):
+                    outs = simulate_scenario_batch(
+                        [(scenarios[idx], self._model_for(scenarios[idx]))
+                         for idx, _, _, _ in jobs])
                 for (idx, _, _, _), out in zip(jobs, outs):
                     outcomes[idx] = out
         else:
             for group in self._group_pending(pending):
-                if len(group) == 1:
-                    idx, sc = group[0]
-                    outcomes[idx] = simulate_scenario(
-                        sc, self._model_for(sc))
-                else:
-                    outs = simulate_scenario_batch(
-                        [(sc, self._model_for(sc)) for _, sc in group])
-                    for (idx, _), out in zip(group, outs):
-                        outcomes[idx] = out
+                with tr.span("runner.group", members=len(group)):
+                    if len(group) == 1:
+                        idx, sc = group[0]
+                        outcomes[idx] = simulate_scenario(
+                            sc, self._model_for(sc))
+                    else:
+                        outs = simulate_scenario_batch(
+                            [(sc, self._model_for(sc)) for _, sc in group])
+                        for (idx, _), out in zip(group, outs):
+                            outcomes[idx] = out
 
         if self.use_result_cache:
             for idx, sc in pending:
@@ -437,6 +488,18 @@ class ScenarioRunner:
                                 k: v.to_dict()
                                 for k, v in out.verdicts_by.items()},
                         }, name=sc.resolved_name())
+        if self.record_metrics and outcomes:
+            by_label: dict = {}
+            for out in outcomes:
+                status = ("cached" if out.cache_hit
+                          else "ok" if out.ok else "error")
+                key = (status, out.scenario.load.kind)
+                by_label[key] = by_label.get(key, 0) + 1
+            for (status, kind), n in by_label.items():
+                met.inc("scenarios_total", n, status=status, kind=kind)
+        sp.set(n_scenarios=len(scenarios), cache_hits=cache_hits,
+               cache_misses=cache_misses, parallel=parallel,
+               n_errors=sum(1 for out in outcomes if not out.ok))
         return SweepResult(outcomes)
 
     def _drain_pool(self, pool, job_groups, outcomes, scenarios, arena,
@@ -456,6 +519,7 @@ class ScenarioRunner:
         arrived returned for an in-parent recompute instead of hanging
         the sweep.
         """
+        met = self._met()
         asyncs = [pool.apply_async(_worker_run_group, (jobs,))
                   for jobs in job_groups]
         # snapshot the worker processes: the pool's maintenance thread
@@ -464,6 +528,7 @@ class ScenarioRunner:
         procs = list(pool._pool)
         remaining = set(range(len(asyncs)))
         lost: set = set()
+        dead: set = set()
         deadline = None
         while remaining:
             progressed = False
@@ -474,10 +539,11 @@ class ScenarioRunner:
                 remaining.discard(j)
                 progressed = True
                 try:
-                    results = a.get()
+                    results, worker_metrics = a.get()
                 except Exception:  # noqa: BLE001 - died delivering
                     lost.add(j)
                     continue
+                met.merge(worker_metrics)
                 for idx, outcome, packed in results:
                     if packed:
                         offset, layout = slots[idx]
@@ -489,8 +555,11 @@ class ScenarioRunner:
                     outcomes[idx] = outcome
             if not remaining:
                 break
-            if any(p.exitcode is not None for p in procs) \
-                    and (deadline is None or progressed):
+            for p in procs:
+                if p.exitcode is not None and p.pid not in dead:
+                    dead.add(p.pid)
+                    met.inc("worker_restarts")
+            if dead and (deadline is None or progressed):
                 deadline = time.monotonic() + self._grace_s
             if deadline is not None and time.monotonic() >= deadline:
                 break

@@ -13,8 +13,9 @@ studies are submitted over HTTP and fetched as JSON/CSV -- see
 """
 
 from .jobs import JobManager, ShardReport
-from .serve import (StudyService, fetch_result, job_status, make_server,
-                    submit_study, wait_for_job)
+from .serve import (StudyService, fetch_metrics, fetch_result,
+                    fetch_trace, job_status, make_server, submit_study,
+                    wait_for_job)
 from .shards import StudyShard, shard_plan
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "JobManager", "ShardReport",
     "StudyService", "make_server",
     "submit_study", "job_status", "wait_for_job", "fetch_result",
+    "fetch_trace", "fetch_metrics",
 ]

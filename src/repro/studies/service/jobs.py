@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 from ...errors import ExperimentError
 from ...experiments import cache as _model_cache
 from ...models import PWRBFDriverModel
+from ...obs import get_metrics, get_tracer
+from ...obs import worker_setup as _obs_worker_setup
 from ..runner import ScenarioRunner
 from ..spec import Study
 from .shards import StudyShard, shard_plan
@@ -54,7 +56,8 @@ def _mp_context():
 
 
 def _shard_worker(shard_dict: dict, cache_dir: str,
-                  model_payloads: dict, conn) -> None:
+                  model_payloads: dict, conn,
+                  obs_ctx: dict | None = None) -> None:
     """Worker-process entry: simulate one shard against the shared cache.
 
     Rebuilds the shard from its serialized form and runs it through a
@@ -67,8 +70,15 @@ def _shard_worker(shard_dict: dict, cache_dir: str,
     exception is reported as a summary with an ``error`` field -- the
     parent must distinguish "shard failed cleanly" from "worker died"
     (no message at all).
+
+    ``obs_ctx`` is the parent's trace propagation context: when set, the
+    per-group ``runner.run`` spans exported here hang under the parent's
+    ``job.shard.attempt`` span, and the summary carries the worker's
+    metrics delta under ``"metrics"`` (a killed worker simply never
+    delivers one -- cache accounting stays exact across retries).
     """
     t0 = time.perf_counter()
+    _obs_worker_setup(obs_ctx)
     try:
         shard = StudyShard.from_dict(shard_dict)
         models = {key: PWRBFDriverModel.from_dict(d)
@@ -85,6 +95,7 @@ def _shard_worker(shard_dict: dict, cache_dir: str,
             summary["failures"] += len(result.failures)
             summary["errors"] += [o.error for o in result.failures]
         summary["elapsed_s"] = time.perf_counter() - t0
+        summary["metrics"] = get_metrics().flush()
         conn.send(summary)
     except Exception as exc:  # noqa: BLE001 - report, never hang the parent
         try:
@@ -148,12 +159,15 @@ class JobManager:
 
     # -- one shard ----------------------------------------------------------
     async def _attempt(self, shard_dict: dict, cache_dir: str,
-                       payloads: dict) -> tuple[dict | None, str | None]:
-        """One worker-process attempt; returns ``(summary, error)``."""
+                       payloads: dict, obs_ctx: dict | None = None
+                       ) -> tuple[dict | None, str | None, int | None]:
+        """One worker-process attempt; returns ``(summary, error,
+        exitcode)``.  ``obs_ctx`` propagates the parent's trace context
+        into the worker (see :func:`_shard_worker`)."""
         recv, send = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=_shard_worker,
-            args=(shard_dict, cache_dir, payloads, send))
+            args=(shard_dict, cache_dir, payloads, send, obs_ctx))
         proc.start()
         send.close()  # parent's copy: EOF must track the child's life
         t0 = time.monotonic()
@@ -164,7 +178,7 @@ class JobManager:
                     proc.terminate()
                     proc.join()
                     return None, (f"shard attempt timed out after "
-                                  f"{self.timeout_s:g} s")
+                                  f"{self.timeout_s:g} s"), proc.exitcode
                 await asyncio.sleep(0.02)
             proc.join()
             try:
@@ -175,55 +189,85 @@ class JobManager:
                 summary = None
             if summary is not None:
                 if summary.get("error"):
-                    return None, summary["error"]
-                return summary, None
-            return None, f"worker died (exitcode {proc.exitcode})"
+                    return None, summary["error"], proc.exitcode
+                return summary, None, proc.exitcode
+            return None, f"worker died (exitcode {proc.exitcode})", \
+                proc.exitcode
         finally:
             recv.close()
 
     async def run_shard(self, shard: StudyShard, disk_cache,
                         models: dict | None = None,
-                        progress=None) -> ShardReport:
+                        progress=None, index: int | None = None,
+                        tracer=None) -> ShardReport:
         """Run one shard to completion (with retries); returns its report.
 
         ``disk_cache`` is the shared cache directory every shard of the
         plan writes to; ``models`` maps ``(driver, corner)`` to
         already-estimated models shipped to the worker as serialized
         payloads (drivers not in the map are estimated in the worker).
+        ``index`` is the shard's position in its plan, carried on the
+        progress events and spans so event ordering is checkable per
+        shard.  One ``job.shard`` span wraps the retry loop, with one
+        ``job.shard.attempt`` child per try (attrs: ``attempt``,
+        ``retry``, ``ok``, ``exitcode``, ``error``); the worker's
+        metrics delta merges into this process's registry, and each
+        failed attempt counts one ``shard_retries`` (plus
+        ``worker_restarts`` when the worker died rather than erred).
         """
+        tr = tracer if tracer is not None else get_tracer()
+        met = get_metrics()
         payloads = {key: m.to_dict() for key, m in (models or {}).items()}
         shard_dict = shard.to_dict()
         report = ShardReport(shard=shard)
         t0 = time.perf_counter()
-        for attempt in range(self.retries + 1):
-            report.attempts = attempt + 1
-            summary, error = await self._attempt(
-                shard_dict, str(disk_cache), payloads)
-            if summary is not None:
-                report.ok = True
-                report.error = None
-                report.n_scenarios = int(summary["n"])
-                report.n_cache_hits = int(summary["hits"])
-                report.n_failures = int(summary["failures"])
-                report.scenario_errors = list(summary.get("errors", []))
-                break
-            report.error = error
-            _emit(progress, {"event": "shard-retry", "shard": shard,
-                             "attempt": attempt + 1, "error": error})
+        with tr.span("job.shard", index=index,
+                     scenarios=len(shard)) as ssp:
+            for attempt in range(self.retries + 1):
+                report.attempts = attempt + 1
+                with tr.span("job.shard.attempt", index=index,
+                             attempt=attempt + 1,
+                             retry=attempt > 0) as asp:
+                    summary, error, exitcode = await self._attempt(
+                        shard_dict, str(disk_cache), payloads,
+                        obs_ctx=tr.context())
+                    asp.set(ok=summary is not None, exitcode=exitcode)
+                    if error is not None:
+                        asp.set(error=error)
+                if summary is not None:
+                    met.merge(summary.get("metrics"))
+                    report.ok = True
+                    report.error = None
+                    report.n_scenarios = int(summary["n"])
+                    report.n_cache_hits = int(summary["hits"])
+                    report.n_failures = int(summary["failures"])
+                    report.scenario_errors = list(summary.get("errors", []))
+                    break
+                report.error = error
+                met.inc("shard_retries")
+                if error and error.startswith("worker died"):
+                    met.inc("worker_restarts")
+                ssp.event("shard-retry", index=index,
+                          attempt=attempt + 1, error=error)
+                _emit(progress, {"event": "shard-retry", "shard": shard,
+                                 "index": index,
+                                 "attempt": attempt + 1, "error": error})
+            ssp.set(ok=report.ok, attempts=report.attempts)
         report.elapsed_s = time.perf_counter() - t0
         return report
 
     # -- whole studies ------------------------------------------------------
     async def run_shards(self, shards, disk_cache,
                          models: dict | None = None,
-                         progress=None) -> list[ShardReport]:
+                         progress=None, tracer=None) -> list[ShardReport]:
         """Submit every shard, await them all; reports in shard order.
 
         Concurrency is bounded by ``max_workers``; each shard streams
         ``shard-start`` / ``shard-done`` (and ``shard-retry``) events to
-        the ``progress`` callable as it advances.  A shard that exhausts
-        its retries is reported with ``ok=False`` -- the others still
-        run to completion.
+        the ``progress`` callable as it advances (every event carries
+        the shard ``index``).  A shard that exhausts its retries is
+        reported with ``ok=False`` -- the others still run to
+        completion.
         """
         shards = list(shards)
         sem = asyncio.Semaphore(self.max_workers)
@@ -236,7 +280,8 @@ class JobManager:
                                  "scenarios": len(shard)})
                 report = await self.run_shard(shard, disk_cache,
                                               models=models,
-                                              progress=progress)
+                                              progress=progress,
+                                              index=i, tracer=tracer)
                 done_box["scenarios"] += report.n_scenarios
                 _emit(progress, {"event": "shard-done", "index": i,
                                  "n_shards": len(shards), "shard": shard,
@@ -253,7 +298,7 @@ class JobManager:
                               disk_cache=None,
                               n_shards: int | None = None,
                               models: dict | None = None,
-                              progress=None):
+                              progress=None, tracer=None):
         """Shard, orchestrate and merge one study; returns a
         :class:`~repro.studies.outcomes.StudyResult`.
 
@@ -265,8 +310,18 @@ class JobManager:
         disk hit; a scenario whose simulation failed is retried here,
         serially, as the last line of defense).  The returned result
         additionally carries the per-shard execution records as
-        ``result.shard_reports``.
+        ``result.shard_reports`` and the per-phase wall-clock breakdown
+        behind :meth:`~repro.studies.outcomes.StudyResult.timings`.
+
+        One ``job.run`` span (exported through ``tracer``, or the
+        process-wide one) wraps the whole job; the merge replay runs
+        with metrics recording off, so the registry's
+        ``cache_hits + cache_misses`` stays exactly the grid size --
+        the merge would otherwise re-count every scenario as a hit.
+        The job's wall clock feeds the ``job_seconds`` histogram.
         """
+        tr = tracer if tracer is not None else get_tracer()
+        met = get_metrics()
         t0 = time.perf_counter()
         cache_dir = disk_cache if disk_cache is not None \
             else study.options.disk_cache
@@ -276,42 +331,65 @@ class JobManager:
                 "disk_cache=... or set it in the study's runner "
                 "options): the cache is how shard results reach the "
                 "parent and how a crashed study resumes")
-        shards = shard_plan(study, n_shards if n_shards is not None
-                            else self.max_workers)
-        # estimate every driver model once, parent-side, and ship the
-        # serialized payloads: without this each worker process would
-        # re-pay the seconds-scale estimation for the same catalog driver
-        models = dict(models or {})
-        for sc in study.scenarios():
-            key = (sc.driver, sc.corner)
-            if key not in models:
-                models[key] = _model_cache.driver_model(sc.driver,
-                                                        sc.corner)
-        reports = await self.run_shards(shards, cache_dir, models=models,
-                                        progress=progress)
-        _emit(progress, {"event": "merge-start",
-                         "n_shards": len(shards)})
-        from ..outcomes import StudyResult
-        merge_runner = ScenarioRunner(models=dict(models or {}),
-                                      n_workers=1, disk_cache=cache_dir,
-                                      batch=study.options.batch)
-        merged = merge_runner.run(study.scenarios())
-        result = StudyResult(merged.outcomes, study=study,
-                             elapsed_s=time.perf_counter() - t0)
-        result.shard_reports = reports
-        _emit(progress, {"event": "merge-done",
-                         "cache_hits": merged.n_cache_hits,
-                         "failures": len(merged.failures)})
+        with tr.span("job.run", job_id=study.digest()) as jsp:
+            phases: dict[str, float] = {}
+            shards = shard_plan(study, n_shards if n_shards is not None
+                                else self.max_workers)
+            # estimate every driver model once, parent-side, and ship the
+            # serialized payloads: without this each worker process would
+            # re-pay the seconds-scale estimation for the same catalog
+            # driver
+            models = dict(models or {})
+            for sc in study.scenarios():
+                key = (sc.driver, sc.corner)
+                if key not in models:
+                    models[key] = _model_cache.driver_model(sc.driver,
+                                                            sc.corner)
+            phases["plan"] = time.perf_counter() - t0
+            t1 = time.perf_counter()
+            reports = await self.run_shards(shards, cache_dir,
+                                            models=models,
+                                            progress=progress, tracer=tr)
+            phases["shards"] = time.perf_counter() - t1
+            jsp.event("merge-start", n_shards=len(shards))
+            _emit(progress, {"event": "merge-start",
+                             "n_shards": len(shards)})
+            t2 = time.perf_counter()
+            from ..outcomes import StudyResult
+            with tr.span("job.merge") as msp:
+                merge_runner = ScenarioRunner(models=dict(models or {}),
+                                              n_workers=1,
+                                              disk_cache=cache_dir,
+                                              batch=study.options.batch,
+                                              record_metrics=False,
+                                              tracer=tr)
+                merged = merge_runner.run(study.scenarios())
+                msp.set(cache_hits=merged.n_cache_hits,
+                        failures=len(merged.failures))
+            phases["merge"] = time.perf_counter() - t2
+            elapsed = time.perf_counter() - t0
+            result = StudyResult(merged.outcomes, study=study,
+                                 elapsed_s=elapsed, phases=phases)
+            result.shard_reports = reports
+            jsp.set(n_shards=len(shards), n_scenarios=len(merged),
+                    failures=len(merged.failures))
+            jsp.event("merge-done", cache_hits=merged.n_cache_hits,
+                      failures=len(merged.failures))
+            _emit(progress, {"event": "merge-done",
+                             "cache_hits": merged.n_cache_hits,
+                             "failures": len(merged.failures)})
+        met.observe("job_seconds", elapsed)
         return result
 
     def run_study(self, study: Study, disk_cache=None,
                   n_shards: int | None = None,
-                  models: dict | None = None, progress=None):
+                  models: dict | None = None, progress=None,
+                  tracer=None):
         """Synchronous wrapper around :meth:`run_study_async` (one
         ``asyncio.run`` per call; use the async form inside a loop)."""
         return asyncio.run(self.run_study_async(
             study, disk_cache=disk_cache, n_shards=n_shards,
-            models=models, progress=progress))
+            models=models, progress=progress, tracer=tracer))
 
 
 def _emit(progress, event: dict) -> None:

@@ -25,18 +25,33 @@ Endpoints (all JSON unless noted)::
                                     (SweepResult.to_json document)
     GET  /studies/<job>/result.csv  the same rows as CSV (text/csv),
                                     byte-identical to StudyResult.to_csv
+    GET  /studies/<job>/trace       the job's span tree (JSON list of
+                                    exported spans, trace id = job id)
+    GET  /metrics                   process-wide counters/histograms in
+                                    Prometheus text exposition format
+
+Observability: every job runs under its own :class:`~repro.obs.Tracer`
+keyed by the job id, collecting spans in memory for ``/trace`` and --
+when the service was built with ``trace_path`` -- appending them (and
+the shard workers' spans) to one shared JSONL file.  ``/metrics``
+renders the process-wide registry, which aggregates worker deltas
+shipped back over the shard result pipes.  Request logging is one
+structured access line (method, path, status, duration_ms) on stderr,
+off by default (``make_server(..., quiet=False)`` enables it).
 
 The module also ships the matching stdlib-only client
 (:func:`submit_study`, :func:`job_status`, :func:`wait_for_job`,
-:func:`fetch_result`) used by the ``python -m repro.studies
-submit|status|fetch`` subcommands.
+:func:`fetch_result`, :func:`fetch_trace`, :func:`fetch_metrics`) used
+by the ``python -m repro.studies submit|status|fetch`` subcommands.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import queue
 import re
+import sys
 import threading
 import time
 import urllib.error
@@ -44,11 +59,13 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ...errors import ExperimentError
+from ...obs import Tracer, get_metrics, read_spans
 from ..spec import Study
 from .jobs import JobManager
 
 __all__ = ["StudyService", "make_server", "submit_study", "job_status",
-           "wait_for_job", "fetch_result"]
+           "wait_for_job", "fetch_result", "fetch_trace",
+           "fetch_metrics"]
 
 
 class StudyService:
@@ -61,13 +78,20 @@ class StudyService:
     then fans out up to ``max_workers`` shard processes); further
     submissions queue in FIFO order.  Thread-safe: the HTTP layer calls
     :meth:`submit`/:meth:`status`/:meth:`result` from handler threads.
+
+    ``trace_path`` names a JSONL file every job's spans append to
+    (workers included); without it spans are still collected in memory
+    per job, so :meth:`trace` answers either way -- the file adds the
+    cross-process worker spans and survives the service.
     """
 
     def __init__(self, cache_dir, max_workers: int | None = None,
                  n_shards: int | None = None, retries: int = 1,
                  timeout_s: float | None = None, job_slots: int = 1,
-                 models: dict | None = None):
+                 models: dict | None = None,
+                 trace_path: str | os.PathLike | None = None):
         self.cache_dir = str(cache_dir)
+        self.trace_path = None if trace_path is None else str(trace_path)
         self.manager = JobManager(max_workers=max_workers,
                                   retries=retries, timeout_s=timeout_s)
         self.n_shards = n_shards
@@ -119,6 +143,12 @@ class StudyService:
             job["state"] = "running"
             job["started_s"] = time.time()
             study = job["study"]
+            # one tracer per job, keyed by the job id: /trace answers
+            # from the collected spans, the optional shared JSONL file
+            # adds the shard workers' spans
+            tracer = Tracer(path=self.trace_path, collect=True,
+                            trace_id=job_id)
+            job["tracer"] = tracer
 
         def progress(event: dict) -> None:
             with self._lock:
@@ -136,7 +166,8 @@ class StudyService:
         try:
             result = self.manager.run_study(
                 study, disk_cache=self.cache_dir, n_shards=self.n_shards,
-                models=self._models or None, progress=progress)
+                models=self._models or None, progress=progress,
+                tracer=tracer)
             with self._lock:
                 job["result"] = result
                 job["state"] = "done"
@@ -145,6 +176,7 @@ class StudyService:
                 job["error"] = f"{type(exc).__name__}: {exc}"
                 job["state"] = "error"
         finally:
+            tracer.close()
             with self._lock:
                 job["finished_s"] = time.time()
 
@@ -217,12 +249,38 @@ class StudyService:
             job = self._jobs.get(job_id)
             return None if job is None else job["result"]
 
+    def trace(self, job_id: str) -> list[dict] | None:
+        """Exported spans of one job (``None`` for unknown jobs).
+
+        Merges the job tracer's in-memory spans with any lines in the
+        shared ``trace_path`` file carrying this job's trace id (the
+        shard workers write there directly), deduplicated by span id.
+        Safe to call while the job is still running -- it returns
+        whatever has finished so far.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            tracer = job.get("tracer")
+        spans: dict[str, dict] = {}
+        if tracer is not None:
+            for sp in list(tracer.finished):
+                d = sp.to_dict()
+                spans[d["span_id"]] = d
+        if self.trace_path is not None and os.path.exists(self.trace_path):
+            for d in read_spans(self.trace_path):
+                if d.get("trace_id") == job_id:
+                    spans.setdefault(d.get("span_id"), d)
+        return list(spans.values())
+
 
 # ---------------------------------------------------------------------------
 # HTTP layer (stdlib ThreadingHTTPServer)
 # ---------------------------------------------------------------------------
 
-_JOB_RE = re.compile(r"^/studies/([0-9a-f]{8,64})(/result(\.csv)?)?$")
+_JOB_RE = re.compile(
+    r"^/studies/([0-9a-f]{8,64})(/result(\.csv)?|/trace)?$")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -240,7 +298,12 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        """Silence per-request stderr logging (the service is polled)."""
+        """Silence the stdlib's per-request stderr chatter.
+
+        The access log is one structured line per response, emitted by
+        :meth:`_send` when the server runs with ``quiet=False`` -- not
+        the stdlib's unconfigurable default format.
+        """
 
     def _send(self, code: int, payload,
               content_type: str = "application/json") -> None:
@@ -255,16 +318,30 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        get_metrics().inc("http_requests_total", method=self.command,
+                          status=code)
+        if not getattr(self.server, "quiet", True):
+            dur_ms = (time.perf_counter()
+                      - getattr(self, "_t0", time.perf_counter())) * 1e3
+            sys.stderr.write(
+                f"access method={self.command} path={self.path} "
+                f"status={code} duration_ms={dur_ms:.1f}\n")
 
     def _error(self, code: int, message: str) -> None:
         self._send(code, {"error": message})
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
-        """Route status/result reads."""
+        """Route status/result/trace/metrics reads."""
+        self._t0 = time.perf_counter()
         path = self.path.split("?", 1)[0]
         if path in ("/", "/healthz"):
             self._send(200, {"status": "ok",
                              "jobs": len(self.service.jobs())})
+            return
+        if path == "/metrics":
+            self._send(200, get_metrics().render_prometheus(),
+                       content_type="text/plain; version=0.0.4; "
+                                    "charset=utf-8")
             return
         if path == "/studies":
             self._send(200, {"jobs": self.service.jobs()})
@@ -273,12 +350,16 @@ class _Handler(BaseHTTPRequestHandler):
         if m is None:
             self._error(404, f"unknown path {path!r}")
             return
-        job_id, want_result, want_csv = m.group(1), m.group(2), m.group(3)
+        job_id, want, want_csv = m.group(1), m.group(2), m.group(3)
         status = self.service.status(job_id)
         if status is None:
             self._error(404, f"unknown job {job_id!r}")
             return
-        if not want_result:
+        if want == "/trace":
+            spans = self.service.trace(job_id)
+            self._send(200, {"job": job_id, "spans": spans or []})
+            return
+        if not want:
             self._send(200, status)
             return
         result = self.service.result(job_id)
@@ -297,6 +378,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
         """Route study submission."""
+        self._t0 = time.perf_counter()
         path = self.path.split("?", 1)[0]
         if path != "/studies":
             self._error(404, f"unknown path {path!r}")
@@ -319,16 +401,20 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def make_server(service: StudyService, host: str = "127.0.0.1",
-                port: int = 0) -> ThreadingHTTPServer:
+                port: int = 0, quiet: bool = True) -> ThreadingHTTPServer:
     """Bind a :class:`ThreadingHTTPServer` fronting ``service``.
 
     ``port=0`` picks an ephemeral port (read it back from
     ``server.server_address``).  Starts the service's dispatcher
     threads; the caller owns ``serve_forever``/``shutdown``.
+    ``quiet=False`` enables the one-line structured access log on
+    stderr (method, path, status, duration_ms); the default stays
+    silent, which is what tests and smoke drills want.
     """
     service.start()
     server = ThreadingHTTPServer((host, port), _Handler)
     server.service = service
+    server.quiet = bool(quiet)
     return server
 
 
@@ -417,3 +503,21 @@ def fetch_result(base_url: str, job_id: str, csv: bool = False):
         return body.decode("utf-8")
     _, body, _ = _request(url)
     return json.loads(body.decode("utf-8"))
+
+
+def fetch_trace(base_url: str, job_id: str) -> list[dict]:
+    """GET a job's exported spans (the ``/studies/<job>/trace`` list).
+
+    Answers while the job is still running with whatever spans have
+    finished; pass the dicts to :func:`repro.obs.span_tree` to
+    reconstruct the hierarchy.
+    """
+    _, body, _ = _request(
+        f"{base_url.rstrip('/')}/studies/{job_id}/trace")
+    return json.loads(body.decode("utf-8"))["spans"]
+
+
+def fetch_metrics(base_url: str) -> str:
+    """GET the service's ``/metrics`` Prometheus text exposition."""
+    _, body, _ = _request(base_url.rstrip("/") + "/metrics")
+    return body.decode("utf-8")

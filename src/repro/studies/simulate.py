@@ -24,6 +24,8 @@ from ..emc.metrics import threshold_crossings
 from ..emc.radiated import radiated_spectrum
 from ..emc.spectrum import Spectrum, amplitude_spectrum
 from ..models import PWRBFDriverElement, PWRBFDriverModel
+from ..obs import get_metrics, get_tracer
+from ..obs import worker_setup as _obs_worker_setup
 from .kinds import get_kind
 from .outcomes import ScenarioOutcome
 from .spec import Scenario
@@ -208,15 +210,24 @@ def simulate_scenario(sc: Scenario,
     windowed-FFT spectra, detector weighting, radiated estimation and
     mask verdicts exactly as documented on
     :class:`~repro.studies.spec.SpectralSpec`.
+
+    Each call exports one ``scenario`` span (name, kind, status) under
+    whatever span is current -- the runner's group span in-process, or
+    the remote dispatch span inside a pool worker.
     """
     t0 = time.perf_counter()
-    try:
-        ckt, obs, spec, dt, t_stop = _build_bench(sc, model)
-        res = run_transient(ckt, TransientOptions(
-            dt=dt, t_stop=t_stop, method="damped", strict=False))
-        return _finish_outcome(sc, model, res, obs, spec, t0)
-    except Exception as exc:  # noqa: BLE001 - one bad corner must not kill a sweep
-        return _error_outcome(sc, exc, time.perf_counter() - t0)
+    with get_tracer().span("scenario", scenario=sc.resolved_name(),
+                           kind=sc.load.kind) as sp:
+        try:
+            ckt, obs, spec, dt, t_stop = _build_bench(sc, model)
+            res = run_transient(ckt, TransientOptions(
+                dt=dt, t_stop=t_stop, method="damped", strict=False))
+            out = _finish_outcome(sc, model, res, obs, spec, t0)
+            sp.set(status="ok", n_warnings=len(out.warnings))
+            return out
+        except Exception as exc:  # noqa: BLE001 - one bad corner must not kill a sweep
+            sp.set(status="error")
+            return _error_outcome(sc, exc, time.perf_counter() - t0)
 
 
 def simulate_scenario_batch(items) -> list[ScenarioOutcome]:
@@ -248,6 +259,9 @@ def simulate_scenario_batch(items) -> list[ScenarioOutcome]:
         try:
             ckt, obs, spec, dt, t_stop = _build_bench(sc, model)
         except Exception as exc:  # noqa: BLE001 - isolate the bad member
+            with get_tracer().span("scenario", scenario=sc.resolved_name(),
+                                   kind=sc.load.kind, batched=True) as sp:
+                sp.set(status="error")
             outcomes[pos] = _error_outcome(sc, exc,
                                            time.perf_counter() - t0)
             continue
@@ -275,10 +289,15 @@ def simulate_scenario_batch(items) -> list[ScenarioOutcome]:
         return outcomes
     for (pos, _, obs, spec, _, _), res in zip(benches, results):
         sc, model = items[pos]
-        try:
-            outcomes[pos] = _finish_outcome(sc, model, res, obs, spec, t0)
-        except Exception as exc:  # noqa: BLE001 - isolate the bad member
-            outcomes[pos] = _error_outcome(sc, exc, 0.0)
+        with get_tracer().span("scenario", scenario=sc.resolved_name(),
+                               kind=sc.load.kind, batched=True) as sp:
+            try:
+                outcomes[pos] = _finish_outcome(sc, model, res, obs,
+                                                spec, t0)
+                sp.set(status="ok")
+            except Exception as exc:  # noqa: BLE001 - isolate the bad member
+                sp.set(status="error")
+                outcomes[pos] = _error_outcome(sc, exc, 0.0)
     share = (time.perf_counter() - t0) / len(items)
     for out in outcomes:
         out.elapsed_s = share
@@ -391,8 +410,10 @@ _WORKER_MODELS: dict = {}
 _WORKER_ARENA = None
 
 
-def _worker_init(model_payloads: dict, arena_name: str | None = None) -> None:
+def _worker_init(model_payloads: dict, arena_name: str | None = None,
+                 obs_ctx: dict | None = None) -> None:
     global _WORKER_MODELS, _WORKER_ARENA
+    _obs_worker_setup(obs_ctx)
     _WORKER_MODELS = {key: PWRBFDriverModel.from_dict(d)
                       for key, d in model_payloads.items()}
     _WORKER_ARENA = None
@@ -425,13 +446,21 @@ def _worker_run_group(jobs):
     The jobs share a batch key (the parent grouped them), so the group
     advances through :func:`simulate_scenario_batch`; each member's
     outcome then packs into its arena slot exactly as a
-    :func:`_worker_run` result would.  Returns a list of
-    ``(idx, outcome, packed)`` triples, one per job.
+    :func:`_worker_run` result would.  Returns ``(triples, metrics)``:
+    a list of ``(idx, outcome, packed)`` triples, one per job, plus the
+    worker's metrics-registry delta (:meth:`~repro.obs.MetricsRegistry.
+    flush`) for the parent to merge.  One ``runner.group`` span wraps
+    the batch, hanging under the parent's dispatch span when the pool
+    was started with a trace context.
     """
-    if len(jobs) == 1:
-        return [_worker_run(jobs[0])]
-    outs = simulate_scenario_batch(
-        [(sc, _WORKER_MODELS[model_key])
-         for _, sc, model_key, _ in jobs])
-    return [_pack_if_possible(idx, out, slot)
-            for (idx, _, _, slot), out in zip(jobs, outs)]
+    with get_tracer().span("runner.group", members=len(jobs)) as sp:
+        if len(jobs) == 1:
+            triples = [_worker_run(jobs[0])]
+        else:
+            outs = simulate_scenario_batch(
+                [(sc, _WORKER_MODELS[model_key])
+                 for _, sc, model_key, _ in jobs])
+            triples = [_pack_if_possible(idx, out, slot)
+                       for (idx, _, _, slot), out in zip(jobs, outs)]
+        sp.set(n_errors=sum(1 for _, out, _ in triples if not out.ok))
+    return triples, get_metrics().flush()

@@ -14,6 +14,9 @@ import pytest
 
 MODULES = [
     "repro.circuit.batch",
+    "repro.obs",
+    "repro.obs.trace",
+    "repro.obs.metrics",
     "repro.emc.spectrum",
     "repro.emc.limits",
     "repro.emc.detectors",
@@ -85,3 +88,5 @@ def test_walker_sees_the_api():
     assert counts["repro.studies.outcomes"] >= 15
     assert counts["repro.studies.service.shards"] >= 7
     assert counts["repro.studies.service.serve"] >= 10
+    assert counts["repro.obs.trace"] >= 10
+    assert counts["repro.obs.metrics"] >= 5

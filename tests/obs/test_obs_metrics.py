@@ -1,0 +1,131 @@
+"""The metrics registry: counters, labels, histograms, merge, rendering.
+
+The contract under test: a worker's flushed delta merged into the
+parent registry is indistinguishable from having counted in the parent
+directly, and the Prometheus rendering is well-formed text exposition.
+"""
+
+import pytest
+
+from repro.obs import (NULL_METRICS, MetricsRegistry, NullMetrics,
+                       get_metrics, set_metrics)
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_value_total(self, reg):
+        reg.inc("hits")
+        reg.inc("hits", 2)
+        assert reg.value("hits") == 3
+        reg.inc("scenarios_total", status="ok", kind="r")
+        reg.inc("scenarios_total", 4, status="ok", kind="line")
+        reg.inc("scenarios_total", status="error", kind="r")
+        assert reg.value("scenarios_total", status="ok", kind="line") == 4
+        assert reg.total("scenarios_total") == 6
+        assert reg.value("unseen") == 0.0
+
+    def test_label_order_is_irrelevant(self, reg):
+        reg.inc("m", status="ok", kind="r")
+        assert reg.value("m", kind="r", status="ok") == 1
+
+    def test_gauge_last_writer_wins(self, reg):
+        reg.gauge("depth", 3)
+        reg.gauge("depth", 1)
+        assert reg.value("depth") == 1
+
+
+class TestHistograms:
+    def test_observe_buckets_and_sum(self, reg):
+        reg.observe("lat", 0.3, buckets=(0.1, 1.0, 10.0))
+        reg.observe("lat", 0.05, buckets=(0.1, 1.0, 10.0))
+        reg.observe("lat", 99.0)  # bounds bound on first observe
+        h = reg.snapshot()["histograms"][("lat", ())]
+        assert h["bounds"] == (0.1, 1.0, 10.0)
+        assert h["counts"] == [1, 1, 0, 1]  # 0.05 | 0.3 | - | 99 (+Inf)
+        assert h["count"] == 3
+        assert h["sum"] == pytest.approx(99.35)
+
+
+class TestMergeAndFlush:
+    def test_worker_delta_merges_transparently(self, reg):
+        worker = MetricsRegistry()
+        worker.inc("hits", 2)
+        worker.inc("scenarios_total", 3, status="ok", kind="r")
+        worker.gauge("depth", 7)
+        worker.observe("lat", 0.2, buckets=(0.1, 1.0))
+        delta = worker.flush()
+        # flush reset the worker side
+        assert worker.value("hits") == 0.0
+        reg.inc("hits", 1)
+        reg.observe("lat", 5.0, buckets=(0.1, 1.0))
+        reg.merge(delta)
+        reg.merge(None)  # tolerated (failed attempts ship no metrics)
+        assert reg.value("hits") == 3
+        assert reg.value("scenarios_total", status="ok", kind="r") == 3
+        assert reg.value("depth") == 7
+        h = reg.snapshot()["histograms"][("lat", ())]
+        assert h["counts"] == [0, 1, 1]
+        assert h["count"] == 2
+
+    def test_reset_drops_everything(self, reg):
+        reg.inc("a")
+        reg.gauge("b", 1)
+        reg.observe("c", 1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestRendering:
+    def test_prometheus_text_exposition(self, reg):
+        reg.inc("cache_hits", 3)
+        reg.inc("scenarios_total", 2, status="ok", kind="r")
+        reg.gauge("queue_depth", 1.5)
+        reg.observe("job_seconds", 0.2, buckets=(0.1, 1.0))
+        reg.observe("job_seconds", 7.0, buckets=(0.1, 1.0))
+        text = reg.render_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE cache_hits counter" in lines
+        assert "cache_hits 3" in lines
+        assert 'scenarios_total{kind="r",status="ok"} 2' in lines
+        assert "# TYPE queue_depth gauge" in lines
+        assert "queue_depth 1.5" in lines
+        # histogram: cumulative buckets, +Inf equals _count
+        assert 'job_seconds_bucket{le="0.1"} 0' in lines
+        assert 'job_seconds_bucket{le="1.0"} 1' in lines
+        assert 'job_seconds_bucket{le="+Inf"} 2' in lines
+        assert "job_seconds_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_every_series_has_one_type_head(self, reg):
+        reg.inc("m", status="ok")
+        reg.inc("m", status="error")
+        text = reg.render_prometheus()
+        assert text.count("# TYPE m counter") == 1
+
+
+class TestNullAndGlobal:
+    def test_null_registry_is_inert(self):
+        NULL_METRICS.inc("a")
+        NULL_METRICS.gauge("b", 1)
+        NULL_METRICS.observe("c", 1.0)
+        NULL_METRICS.merge({"counters": {("a", ()): 1.0}})
+        assert NULL_METRICS.value("a") == 0.0
+        assert NULL_METRICS.total("a") == 0.0
+        assert NULL_METRICS.snapshot() == {}
+        assert NULL_METRICS.flush() == {}
+        assert NULL_METRICS.render_prometheus() == "\n"
+        assert isinstance(NULL_METRICS, NullMetrics)
+
+    def test_set_and_get_global(self):
+        original = get_metrics()
+        mine = MetricsRegistry()
+        set_metrics(mine)
+        try:
+            assert get_metrics() is mine
+        finally:
+            set_metrics(original)

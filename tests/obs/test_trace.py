@@ -1,0 +1,173 @@
+"""The tracing layer: span nesting, JSONL export, propagation, nulls.
+
+The contract under test: spans entered with ``with`` reconstruct into
+the same tree from the exported JSONL regardless of export order or
+which process wrote which line, and the disabled path allocates
+nothing and writes nothing.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (NULL_TRACER, NullTracer, Tracer, configure_tracing,
+                       from_context, get_tracer, read_spans, set_tracer,
+                       span_tree)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_tracer():
+    """Tests that install a tracer must not leak it into the suite."""
+    yield
+    set_tracer(None)
+
+
+class TestSpans:
+    def test_nesting_parents_and_durations(self):
+        tr = Tracer(collect=True)
+        with tr.span("outer", a=1) as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.trace_id == inner.trace_id == tr.trace_id
+        assert outer.duration_s >= inner.duration_s >= 0.0
+        assert outer.attrs == {"a": 1}
+        # children export first (leaves-first JSONL order)
+        assert [s.name for s in tr.finished] == ["inner", "outer"]
+
+    def test_siblings_share_a_parent(self):
+        tr = Tracer(collect=True)
+        with tr.span("root") as root:
+            with tr.span("a") as a:
+                pass
+            with tr.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_exception_recorded_and_reraised(self):
+        tr = Tracer(collect=True)
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("no")
+        (sp,) = tr.finished
+        assert "ValueError" in sp.attrs["error"]
+
+    def test_set_and_event(self):
+        tr = Tracer(collect=True)
+        with tr.span("op") as sp:
+            sp.set(k=1).set(k=2, j=3)
+            sp.event("tick", n=7)
+        d = sp.to_dict()
+        assert d["attrs"] == {"k": 2, "j": 3}
+        (ev,) = d["events"]
+        assert ev["name"] == "tick" and ev["attrs"] == {"n": 7}
+
+    def test_threads_get_independent_stacks(self):
+        """A new thread starts with an empty contextvars context, so its
+        spans root independently instead of corrupting the main stack."""
+        tr = Tracer(collect=True)
+        seen = {}
+
+        def worker():
+            with tr.span("thread-root") as sp:
+                seen["parent"] = sp.parent_id
+
+        with tr.span("main-root") as main:
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+            with tr.span("main-child") as child:
+                pass
+        assert seen["parent"] is None
+        assert child.parent_id == main.span_id
+
+
+class TestExport:
+    def test_jsonl_round_trip_and_tree(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tr = Tracer(path=path, trace_id="job1")
+        with tr.span("root"):
+            with tr.span("child"):
+                with tr.span("leaf", deep=True):
+                    pass
+            with tr.span("child2"):
+                pass
+        tr.close()
+        spans = read_spans(path)
+        assert len(spans) == 4
+        roots, by_id = span_tree(spans)
+        assert [r["name"] for r in roots] == ["root"]
+        names = sorted(c["name"] for c in roots[0]["children"])
+        assert names == ["child", "child2"]
+        assert all(s["trace_id"] == "job1" for s in spans)
+
+    def test_read_spans_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps({"span_id": "1.1", "parent_id": None,
+                           "name": "ok"})
+        path.write_text(good + "\n{\"span_id\": \"1.2\", \"trunc\n")
+        spans = read_spans(path)
+        assert [s["name"] for s in spans] == ["ok"]
+
+    def test_numpy_attrs_are_coerced(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tr = Tracer(path=path)
+        with tr.span("np", n=np.int64(3), x=np.float64(0.5)):
+            pass
+        tr.close()
+        (sp,) = read_spans(path)
+        assert sp["attrs"] == {"n": 3, "x": 0.5}
+
+    def test_orphan_parents_count_as_roots(self):
+        spans = [{"span_id": "a.2", "parent_id": "elsewhere.9",
+                  "name": "worker-root"},
+                 {"span_id": "a.3", "parent_id": "a.2", "name": "leaf"}]
+        roots, _ = span_tree(spans)
+        assert [r["name"] for r in roots] == ["worker-root"]
+        assert [c["name"] for c in roots[0]["children"]] == ["leaf"]
+
+
+class TestPropagation:
+    def test_context_carries_the_entered_span(self, tmp_path):
+        tr = Tracer(path=tmp_path / "t.jsonl", trace_id="tid")
+        with tr.span("dispatch") as sp:
+            ctx = tr.context()
+        assert ctx == {"path": str(tmp_path / "t.jsonl"),
+                       "trace_id": "tid", "parent_id": sp.span_id}
+
+    def test_from_context_rebuilds_a_remote_child(self, tmp_path):
+        ctx = {"path": str(tmp_path / "t.jsonl"), "trace_id": "tid",
+               "parent_id": "dead.7"}
+        child = from_context(ctx)
+        with child.span("worker-root") as sp:
+            pass
+        child.close()
+        assert sp.trace_id == "tid"
+        assert sp.parent_id == "dead.7"
+
+    def test_null_context_stays_null(self):
+        assert from_context(None) is NULL_TRACER
+        assert NULL_TRACER.context() is None
+
+
+class TestNullAndGlobal:
+    def test_null_tracer_is_allocation_free(self):
+        s1 = NULL_TRACER.span("a", k=1)
+        s2 = NULL_TRACER.span("b")
+        assert s1 is s2
+        with s1 as sp:
+            assert sp.set(x=1) is sp
+            assert sp.event("e") is None
+        assert not NullTracer.enabled
+
+    def test_configure_and_restore(self, tmp_path):
+        assert get_tracer() is NULL_TRACER
+        tr = configure_tracing(tmp_path / "t.jsonl", trace_id="x")
+        assert get_tracer() is tr
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER
