@@ -41,7 +41,8 @@ DEFAULT_GATES = ("test_linear_ladder_transient",
                  "test_branin_line_transient",
                  "test_spectrum_peak_hold_64",
                  "test_qp_weighting_batch_64",
-                 "test_batched_grid_64")
+                 "test_batched_grid_64",
+                 "test_fd_spectrum_64")
 
 
 def run_group(group: str, k_expr: str | None = None) -> list[dict]:

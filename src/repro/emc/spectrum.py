@@ -273,11 +273,12 @@ def peak_hold(spectra, interpolate: bool = True) -> Spectrum:
     level any scenario produced in each bin.  Spectra sharing one
     frequency grid (same ``n_fft`` and record duration) reduce in a single
     vectorized ``max`` over the stacked magnitude matrix.  Mixed grids
-    (e.g. different pattern lengths across the sweep) are linearly
-    interpolated onto the finest grid present, clipped to the common
-    covered band, before the same one-pass reduction --
-    ``interpolate=False`` raises instead, for callers that require exact
-    bin alignment.
+    (e.g. different pattern lengths across the sweep, or FD-backend
+    spectra alongside transient ones) are linearly interpolated onto the
+    finest grid present (smallest median bin spacing), clipped at both
+    ends to the band every spectrum actually covers, before the same
+    one-pass reduction -- ``interpolate=False`` raises instead, for
+    callers that require exact bin alignment.
     """
     spectra = list(spectra)
     if not spectra:
@@ -302,9 +303,22 @@ def peak_hold(spectra, interpolate: bool = True) -> Spectrum:
             "peak_hold(interpolate=False) needs a common frequency grid; "
             "use matching n_fft/t_stop across the sweep")
     else:
-        finest = min(spectra, key=lambda s: s.df if s.df > 0 else np.inf)
+        # finest = smallest typical bin spacing; the median is robust to
+        # one irregular first bin (an FD grid whose fundamental differs
+        # from its spacing would win or lose on f[1]-f[0] alone)
+        def typical_df(s):
+            d = np.median(np.diff(s.f)) if s.f.size > 1 else np.inf
+            return d if d > 0 else np.inf
+        finest = min(spectra, key=typical_df)
+        # clip to the band every spectrum covers on BOTH ends: np.interp
+        # flat-extrapolates outside [s.f[0], s.f[-1]], which below a
+        # coarse grid's first bin would hold its lowest-frequency level
+        # across bins it never measured
+        f_lo = max(float(s.f[0]) for s in spectra)
         f_hi = min(float(s.f[-1]) for s in spectra)
-        f = finest.f[finest.f <= f_hi * (1.0 + 1e-12)].copy()
+        keep = (finest.f >= f_lo * (1.0 - 1e-12)) \
+            & (finest.f <= f_hi * (1.0 + 1e-12))
+        f = finest.f[keep].copy()
         if f.size < 2:
             raise ExperimentError("spectra share no frequency band")
         mags = np.stack([np.interp(f, s.f, s.mag) for s in spectra])

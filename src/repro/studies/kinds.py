@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..circuit import Capacitor, CoupledIdealLine, IdealLine, Resistor
+import numpy as np
+
+from ..circuit import Capacitor, CoupledIdealLine, IdealLine, Resistor, fd
 from ..emc.metrics import crosstalk_metrics, logic_eye_metrics
 from ..errors import ExperimentError
 
@@ -184,6 +186,33 @@ class ScenarioKind:
         """
         return None
 
+    # -- frequency-domain backend -------------------------------------------
+    def fd_eligible(self, load) -> bool:
+        """Whether the FD (ABCD) backend can solve loads of this kind.
+
+        A kind opts in by returning ``True`` and implementing
+        :meth:`fd_network`; the default keeps the kind on the transient
+        engine (``RunnerOptions(backend="fd")`` then silently falls back
+        for its scenarios).  Built-in linear kinds ``"r"``, ``"rc"`` and
+        ``"line"`` opt in; ``"rx"`` (nonlinear receiver) and
+        ``"coupled"`` (multi-conductor, two observation ports) stay on
+        the transient engine.
+        """
+        return False
+
+    def fd_network(self, load, f):
+        """Frequency-domain network of this load on the rfft grid ``f``.
+
+        Returns a :class:`repro.circuit.fd.FDNetwork`: the composed ABCD
+        cascade from the driver pad to the observation port plus the
+        termination admittance loading it.  Only called when
+        :meth:`fd_eligible` is ``True``; kinds that never opt in keep
+        this default, which raises.
+        """
+        raise ExperimentError(
+            f"kind {self.name!r} is not FD-eligible; it has no ABCD "
+            "network description")
+
     # -- auxiliary models ---------------------------------------------------
     def aux_models(self, load) -> dict:
         """Auxiliary macromodels the bench needs (label -> model).
@@ -278,6 +307,16 @@ class _ResistorKind(ScenarioKind):
         """Every ``"r"`` load builds the same one-resistor shape."""
         return ()
 
+    def fd_eligible(self, load) -> bool:
+        """A shunt resistor is a one-bin-per-frequency FD termination."""
+        return True
+
+    def fd_network(self, load, f) -> fd.FDNetwork:
+        """No cascade; the pad sees the resistive termination directly."""
+        self.validate(load)
+        return fd.FDNetwork(
+            y_term=np.full(np.size(f), 1.0 / load.r, complex))
+
 
 class _RCKind(ScenarioKind):
     """``"rc"``: shunt R parallel C at the driver pad."""
@@ -305,6 +344,16 @@ class _RCKind(ScenarioKind):
         """Every valid ``"rc"`` load builds the same R||C shape."""
         return ()
 
+    def fd_eligible(self, load) -> bool:
+        """R||C is a pure per-bin admittance for the FD backend."""
+        return True
+
+    def fd_network(self, load, f) -> fd.FDNetwork:
+        """No cascade; termination admittance ``1/R + j w C`` at the pad."""
+        self.validate(load)
+        y = 1.0 / load.r + 2j * np.pi * np.asarray(f, float) * load.c
+        return fd.FDNetwork(y_term=y)
+
 
 class _LineKind(ScenarioKind):
     """``"line"``: ideal line into a far-end R (and optional C)."""
@@ -330,6 +379,19 @@ class _LineKind(ScenarioKind):
     def batch_structure(self, load) -> tuple:
         """The far-end capacitor is optional; its presence is shape."""
         return (load.c > 0.0,)
+
+    def fd_eligible(self, load) -> bool:
+        """An ideal line into R (|| C) is exactly an ABCD cascade."""
+        return True
+
+    def fd_network(self, load, f) -> fd.FDNetwork:
+        """Lossless-line block into the far-end ``1/R + j w C``
+        termination; observation port is the far end."""
+        f = np.asarray(f, float)
+        y = 1.0 / load.r + 2j * np.pi * f * load.c
+        return fd.FDNetwork(
+            y_term=y, chain=fd.lossless_line(f, load.z0, load.td),
+            delay=load.td, n_blocks=1)
 
 
 class _ReceiverKind(ScenarioKind):

@@ -49,9 +49,10 @@ from ..models import PWRBFDriverModel
 from ..obs import NULL_METRICS, get_metrics, get_tracer
 from .kinds import get_kind
 from .outcomes import ScenarioOutcome, SweepResult
-from .simulate import (_expected_layout, _shm, _unpack_outcome,
+from .simulate import (BACKENDS, _expected_layout, _shm, _unpack_outcome,
                        _worker_init, _worker_run, _worker_run_group,
-                       simulate_scenario, simulate_scenario_batch)
+                       fd_applicable, simulate_scenario,
+                       simulate_scenario_batch)
 from .spec import Scenario
 
 __all__ = ["ScenarioRunner", "batch_key"]
@@ -143,6 +144,14 @@ class ScenarioRunner:
     transient backend (:func:`repro.circuit.run_transient_batch`) --
     same waveforms, verdicts and cache digests, a fraction of the per-
     scenario cost; ``False`` forces one simulation per scenario.
+    ``backend`` (default ``"transient"``) selects the simulation engine:
+    ``"fd"`` routes every scenario the frequency-domain ABCD backend can
+    represent (:func:`~repro.studies.simulate.fd_applicable` -- linear
+    ``r``/``rc``/``line`` loads without probe elements on the model's
+    native time grid) through :func:`repro.circuit.fd.solve_driver_port`
+    and falls back to the transient engine for the rest.  Memory- and
+    disk-cache identities fold the *effective* backend in, so FD and
+    transient waveforms for one scenario are never conflated.
 
     Observability: each :meth:`run` exports a ``runner.run`` span with
     per-group ``runner.group`` children (in pool workers these hang
@@ -163,11 +172,16 @@ class ScenarioRunner:
                  shared_waveforms: bool | None = None,
                  batch: bool = True,
                  record_metrics: bool = True,
-                 tracer=None):
+                 tracer=None,
+                 backend: str = "transient"):
         if disk_cache is not None and not use_result_cache:
             raise ExperimentError(
                 "disk_cache requires use_result_cache=True; pass one or "
                 "the other, not the conflicting combination")
+        if backend not in BACKENDS:
+            raise ExperimentError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        self.backend = backend
         self._models: dict = dict(models or {})
         self.n_workers = (os.cpu_count() or 1) if n_workers is None \
             else int(n_workers)
@@ -201,6 +215,24 @@ class ScenarioRunner:
         if key not in self._models:
             self._models[key] = cache.driver_model(sc.driver, sc.corner)
         return self._models[key]
+
+    def _effective_backend(self, sc: Scenario) -> str:
+        """The backend this scenario actually runs on.
+
+        The default transient runner short-circuits without touching the
+        model (no estimation cost just to answer "transient"); an FD
+        runner asks :func:`~repro.studies.simulate.fd_applicable`, so
+        ineligible scenarios (receiver/coupled kinds, probe requests,
+        off-grid ``dt``) transparently fall back to the transient engine.
+        """
+        if self.backend != "fd":
+            return "transient"
+        return "fd" if fd_applicable(sc, self._model_for(sc)) \
+            else "transient"
+
+    def _mem_key(self, sc: Scenario) -> tuple:
+        """In-memory cache identity: scenario key x effective backend."""
+        return (sc.key(), self._effective_backend(sc))
 
     def clear_cache(self) -> None:
         """Drop every cached result (memory, and disk when configured)."""
@@ -237,19 +269,24 @@ class ScenarioRunner:
         :meth:`~repro.studies.kinds.ScenarioKind.aux_models`; their
         fingerprints fold in alongside the driver's.  (The spectral
         request -- window, n_fft, mask content -- is already part of
-        ``Scenario.key()`` itself.)
+        ``Scenario.key()`` itself.)  Entries written by the FD backend
+        carry an ``fd:`` fingerprint prefix, so a persistent cache shared
+        between transient and FD runs never serves one engine's
+        waveforms to the other.
         """
         fp = self._fingerprint((sc.driver, sc.corner), self._model_for(sc))
         aux = get_kind(sc.load.kind).aux_models(sc.load)
         for label in sorted(aux):
             fp = f"{fp}:{self._fingerprint(label, aux[label])}"
+        if self._effective_backend(sc) == "fd":
+            fp = f"fd:{fp}"
         return (sc.key(), fp)
 
     def _lookup(self, sc: Scenario) -> ScenarioOutcome | None:
         """Memory-first, then disk; promotes disk hits into memory."""
         if not self.use_result_cache:
             return None
-        hit = self._result_cache.get(sc.key())
+        hit = self._result_cache.get(self._mem_key(sc))
         if hit is None and self._disk is not None:
             payload = self._disk.get(self._disk_key(sc))
             if payload is not None:
@@ -266,7 +303,7 @@ class ScenarioRunner:
                         k: ComplianceVerdict.from_dict(d)
                         for k, d in
                         (payload.get("verdicts_by") or {}).items()})
-                self._result_cache[sc.key()] = hit
+                self._result_cache[self._mem_key(sc)] = hit
         return hit
 
     def prepare_dispatch(self, pending,
@@ -333,9 +370,11 @@ class ScenarioRunner:
 
         Scenarios sharing a :meth:`_batch_key` gather into one group (in
         first-seen order); un-batchable scenarios -- their kind opted
-        out, or batching is disabled on this runner -- become singleton
-        groups, which every dispatch path runs through plain
-        :func:`~repro.studies.simulate.simulate_scenario`.
+        out, batching is disabled on this runner, or they run on the FD
+        backend (which solves one port problem at a time) -- become
+        singleton groups, which every dispatch path runs through plain
+        :func:`~repro.studies.simulate.simulate_scenario`.  Multi-member
+        groups therefore always run transient.
         """
         if not self.batch:
             return [[job] for job in pending]
@@ -343,7 +382,7 @@ class ScenarioRunner:
         by_key: dict = {}
         for idx, sc in pending:
             key = self._batch_key(sc)
-            if key is None:
+            if key is None or self._effective_backend(sc) == "fd":
                 groups.append([(idx, sc)])
                 continue
             grp = by_key.get(key)
@@ -421,7 +460,8 @@ class ScenarioRunner:
                 for i in range(0, len(group), chunk):
                     job_groups.append(
                         [(idx, _dispatchable(sc),
-                          (sc.driver, sc.corner), slots.get(idx))
+                          (sc.driver, sc.corner), slots.get(idx),
+                          self._effective_backend(sc))
                          for idx, sc in group[i:i + chunk]])
             # fork only where it is the safe default (Linux): on macOS the
             # interpreter lists 'fork' as available but forking after
@@ -448,12 +488,15 @@ class ScenarioRunner:
             # batch path never raises), so the sweep still returns a
             # complete outcome list instead of hanging or aborting
             for jobs in unfinished:
+                # a job group is backend-uniform: FD scenarios are
+                # singleton groups, everything else runs transient
                 with tr.span("runner.group", members=len(jobs),
                              recompute=True):
                     outs = simulate_scenario_batch(
                         [(scenarios[idx], self._model_for(scenarios[idx]))
-                         for idx, _, _, _ in jobs])
-                for (idx, _, _, _), out in zip(jobs, outs):
+                         for idx, *_ in jobs],
+                        backend=jobs[0][4])
+                for (idx, *_), out in zip(jobs, outs):
                     outcomes[idx] = out
         else:
             for group in self._group_pending(pending):
@@ -461,7 +504,8 @@ class ScenarioRunner:
                     if len(group) == 1:
                         idx, sc = group[0]
                         outcomes[idx] = simulate_scenario(
-                            sc, self._model_for(sc))
+                            sc, self._model_for(sc),
+                            backend=self._effective_backend(sc))
                     else:
                         outs = simulate_scenario_batch(
                             [(sc, self._model_for(sc)) for _, sc in group])
@@ -474,7 +518,7 @@ class ScenarioRunner:
                 if out.ok:
                     # store a private copy so in-place edits on the returned
                     # outcome cannot poison later cache hits
-                    self._result_cache[sc.key()] = out.copy_data()
+                    self._result_cache[self._mem_key(sc)] = out.copy_data()
                     if self._disk is not None:
                         self._disk.put(self._disk_key(sc), {
                             "t": out.t, "v_port": out.v_port,

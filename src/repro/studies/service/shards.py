@@ -115,7 +115,7 @@ class StudyShard:
                 use_result_cache=opts.use_result_cache,
                 disk_cache=opts.disk_cache,
                 shared_waveforms=opts.shared_waveforms,
-                batch=opts.batch)
+                batch=opts.batch, backend=opts.backend)
         elif overrides or models is not None:
             raise ExperimentError(
                 "pass models/runner options either via an explicit "

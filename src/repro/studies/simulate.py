@@ -17,12 +17,13 @@ from dataclasses import replace
 
 import numpy as np
 
-from ..circuit import (Circuit, CurrentProbe, TransientOptions,
+from ..circuit import (Circuit, CurrentProbe, TransientOptions, fd,
                        run_transient, run_transient_batch)
 from ..emc.detectors import apply_detector
 from ..emc.metrics import threshold_crossings
 from ..emc.radiated import radiated_spectrum
 from ..emc.spectrum import Spectrum, amplitude_spectrum
+from ..errors import ExperimentError
 from ..models import PWRBFDriverElement, PWRBFDriverModel
 from ..obs import get_metrics, get_tracer
 from ..obs import worker_setup as _obs_worker_setup
@@ -30,7 +31,10 @@ from .kinds import get_kind
 from .outcomes import ScenarioOutcome
 from .spec import Scenario
 
-__all__ = ["simulate_scenario", "simulate_scenario_batch"]
+__all__ = ["fd_applicable", "simulate_scenario", "simulate_scenario_batch"]
+
+#: backends :func:`simulate_scenario` accepts
+BACKENDS = ("transient", "fd")
 
 try:
     from multiprocessing import shared_memory as _shm
@@ -192,6 +196,72 @@ def _finish_outcome(sc: Scenario, model: PWRBFDriverModel, res, obs: str,
         spectra=spectra, verdict=verdict, verdicts_by=verdicts_by)
 
 
+def fd_applicable(sc: Scenario, model: PWRBFDriverModel) -> bool:
+    """Whether the FD (ABCD) backend can solve this scenario exactly.
+
+    True when the load kind opts in
+    (:meth:`~repro.studies.kinds.ScenarioKind.fd_eligible`), declares no
+    extra probe nodes (the FD solver produces pad/observation records
+    only), and the scenario's time grid is the driver model's own
+    sampling grid (``dt`` unset or equal to ``model.ts`` -- the NARX
+    regressors are only defined there).  Scenarios where this is False
+    fall back to the transient engine under ``backend="fd"``; the
+    runner folds the *effective* backend into its cache keys, so the
+    fallback never conflates cache entries.  Raises for an unregistered
+    load kind, exactly like bench building would.
+    """
+    kind = get_kind(sc.load.kind)
+    if not kind.fd_eligible(sc.load):
+        return False
+    if kind.probes(sc.load):
+        return False
+    if sc.dt is not None and abs(sc.dt - model.ts) > 1e-12 * model.ts:
+        return False
+    return True
+
+
+class _FDResult:
+    """Duck-typed transient-result stand-in built from an FD solution.
+
+    Provides exactly the surface :func:`_finish_outcome` touches --
+    ``t``, ``v(node)``, ``probe(name)``, ``warnings`` -- so the FD and
+    transient paths share every line of spectrum/verdict/metric code.
+    """
+
+    def __init__(self, t, nodes: dict, probes: dict, warnings: list):
+        self.t = t
+        self._nodes = nodes
+        self._probes = probes
+        self.warnings = list(warnings)
+
+    def v(self, node: str):
+        return self._nodes[node]
+
+    def probe(self, name: str):
+        return self._probes[name]
+
+
+def _run_fd(sc: Scenario, model: PWRBFDriverModel):
+    """FD counterpart of bench-build + ``run_transient``.
+
+    Resolves the scenario's record, asks the load kind for its
+    :class:`~repro.circuit.fd.FDNetwork`, solves the driver port with
+    :func:`repro.circuit.fd.solve_driver_port` and wraps the records in
+    a :class:`_FDResult`.  Returns ``(res, obs, spec)`` with the same
+    meaning as the transient path's.
+    """
+    t_stop = sc.t_stop
+    if t_stop is None:
+        t_stop = (len(sc.pattern) + 2) * sc.bit_time
+    spec = sc.spectral_spec()
+    src = fd.extract_thevenin(model, sc.pattern, sc.bit_time, t_stop)
+    net = get_kind(sc.load.kind).fd_network(sc.load, src.f)
+    sol = fd.solve_driver_port(model, sc.pattern, sc.bit_time, t_stop, net)
+    res = _FDResult(sol.t, {"out": sol.v_pad, "fd_obs": sol.v_obs},
+                    {"i(iprobe)": sol.i_port}, sol.warnings)
+    return res, "fd_obs", spec
+
+
 def _error_outcome(sc: Scenario, exc: Exception,
                    elapsed_s: float) -> ScenarioOutcome:
     """The uniform error outcome of a scenario that failed to simulate."""
@@ -201,8 +271,8 @@ def _error_outcome(sc: Scenario, exc: Exception,
         error=f"{type(exc).__name__}: {exc}")
 
 
-def simulate_scenario(sc: Scenario,
-                      model: PWRBFDriverModel) -> ScenarioOutcome:
+def simulate_scenario(sc: Scenario, model: PWRBFDriverModel,
+                      backend: str = "transient") -> ScenarioOutcome:
     """Build and run one driver-plus-load bench; never raises.
 
     The circuit wiring comes from the scenario's load kind; the spectral
@@ -211,17 +281,32 @@ def simulate_scenario(sc: Scenario,
     mask verdicts exactly as documented on
     :class:`~repro.studies.spec.SpectralSpec`.
 
-    Each call exports one ``scenario`` span (name, kind, status) under
-    whatever span is current -- the runner's group span in-process, or
-    the remote dispatch span inside a pool worker.
+    ``backend="fd"`` routes the scenario through the frequency-domain
+    ABCD backend (:mod:`repro.circuit.fd`) when :func:`fd_applicable`
+    says its load kind and time grid support it, and silently falls
+    back to the transient engine otherwise; the waveform records,
+    spectra, verdicts and metrics come back in exactly the same shape
+    either way (equivalence tolerance: see ``docs/fd_backend.md``).
+
+    Each call exports one ``scenario`` span (name, kind, status, and
+    the backend actually used) under whatever span is current -- the
+    runner's group span in-process, or the remote dispatch span inside
+    a pool worker.
     """
     t0 = time.perf_counter()
     with get_tracer().span("scenario", scenario=sc.resolved_name(),
                            kind=sc.load.kind) as sp:
         try:
-            ckt, obs, spec, dt, t_stop = _build_bench(sc, model)
-            res = run_transient(ckt, TransientOptions(
-                dt=dt, t_stop=t_stop, method="damped", strict=False))
+            if backend not in BACKENDS:
+                raise ExperimentError(
+                    f"unknown backend {backend!r}; pick from {BACKENDS}")
+            if backend == "fd" and fd_applicable(sc, model):
+                res, obs, spec = _run_fd(sc, model)
+                sp.set(backend="fd")
+            else:
+                ckt, obs, spec, dt, t_stop = _build_bench(sc, model)
+                res = run_transient(ckt, TransientOptions(
+                    dt=dt, t_stop=t_stop, method="damped", strict=False))
             out = _finish_outcome(sc, model, res, obs, spec, t0)
             sp.set(status="ok", n_warnings=len(out.warnings))
             return out
@@ -230,7 +315,9 @@ def simulate_scenario(sc: Scenario,
             return _error_outcome(sc, exc, time.perf_counter() - t0)
 
 
-def simulate_scenario_batch(items) -> list[ScenarioOutcome]:
+def simulate_scenario_batch(items,
+                            backend: str = "transient"
+                            ) -> list[ScenarioOutcome]:
     """Simulate a group of same-shape scenarios in one batch; never raises.
 
     ``items`` is a sequence of ``(Scenario, PWRBFDriverModel)`` pairs
@@ -244,12 +331,36 @@ def simulate_scenario_batch(items) -> list[ScenarioOutcome]:
     verdicts are bit-identical to the serial path's.  ``elapsed_s`` is
     the group's wall time amortized evenly over its members.
 
+    ``backend="fd"`` peels the FD-applicable members off first (each is
+    solved alone -- the FD solver has no cross-scenario batching to
+    amortize and needs none) and advances only the rest through the
+    batched transient engine; the runner's grouping already makes FD
+    scenarios singleton groups, so this split only matters for
+    hand-rolled groupings and the dead-worker recompute path.
+
     The fallback ladder preserves the serial path's never-raise
     contract: a scenario whose bench cannot build gets an error outcome
     while the rest still batch; a group the batched backend rejects or
     that fails wholesale is re-simulated per scenario.
     """
     items = list(items)
+    if backend == "fd":
+        outcomes = [None] * len(items)
+        rest = []
+        for pos, (sc, model) in enumerate(items):
+            try:
+                applies = fd_applicable(sc, model)
+            except ExperimentError:
+                applies = False  # let the transient path report the error
+            if applies:
+                outcomes[pos] = simulate_scenario(sc, model, backend="fd")
+            else:
+                rest.append(pos)
+        if rest:
+            outs = simulate_scenario_batch([items[pos] for pos in rest])
+            for pos, out in zip(rest, outs):
+                outcomes[pos] = out
+        return outcomes
     if len(items) <= 1:
         return [simulate_scenario(sc, model) for sc, model in items]
     t0 = time.perf_counter()
@@ -435,23 +546,24 @@ def _pack_if_possible(idx, out, slot):
 
 
 def _worker_run(args):
-    idx, sc, model_key, slot = args
-    out = simulate_scenario(sc, _WORKER_MODELS[model_key])
+    idx, sc, model_key, slot, backend = args
+    out = simulate_scenario(sc, _WORKER_MODELS[model_key], backend=backend)
     return _pack_if_possible(idx, out, slot)
 
 
 def _worker_run_group(jobs):
     """Worker entry for one batch group of ``_worker_run`` job tuples.
 
-    The jobs share a batch key (the parent grouped them), so the group
-    advances through :func:`simulate_scenario_batch`; each member's
-    outcome then packs into its arena slot exactly as a
-    :func:`_worker_run` result would.  Returns ``(triples, metrics)``:
-    a list of ``(idx, outcome, packed)`` triples, one per job, plus the
-    worker's metrics-registry delta (:meth:`~repro.obs.MetricsRegistry.
-    flush`) for the parent to merge.  One ``runner.group`` span wraps
-    the batch, hanging under the parent's dispatch span when the pool
-    was started with a trace context.
+    The jobs share a batch key (the parent grouped them; FD-backend
+    scenarios arrive as singleton groups), so the group advances through
+    :func:`simulate_scenario_batch`; each member's outcome then packs
+    into its arena slot exactly as a :func:`_worker_run` result would.
+    Returns ``(triples, metrics)``: a list of ``(idx, outcome, packed)``
+    triples, one per job, plus the worker's metrics-registry delta
+    (:meth:`~repro.obs.MetricsRegistry.flush`) for the parent to merge.
+    One ``runner.group`` span wraps the batch, hanging under the
+    parent's dispatch span when the pool was started with a trace
+    context.
     """
     with get_tracer().span("runner.group", members=len(jobs)) as sp:
         if len(jobs) == 1:
@@ -459,8 +571,9 @@ def _worker_run_group(jobs):
         else:
             outs = simulate_scenario_batch(
                 [(sc, _WORKER_MODELS[model_key])
-                 for _, sc, model_key, _ in jobs])
+                 for _, sc, model_key, _, _ in jobs],
+                backend=jobs[0][4])
             triples = [_pack_if_possible(idx, out, slot)
-                       for (idx, _, _, slot), out in zip(jobs, outs)]
+                       for (idx, _, _, slot, _), out in zip(jobs, outs)]
         sp.set(n_errors=sum(1 for _, out, _ in triples if not out.ok))
     return triples, get_metrics().flush()

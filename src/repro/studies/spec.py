@@ -496,9 +496,18 @@ class RunnerOptions:
     waveform return (``None`` = auto); ``batch`` lets the runner advance
     same-shape scenario groups through the grid-batched transient
     backend (``False`` forces one simulation per scenario, e.g. for
-    equivalence debugging).  These knobs never affect the produced
+    equivalence debugging).  ``backend`` selects the simulation engine:
+    ``"transient"`` (default) or ``"fd"``, the frequency-domain ABCD
+    backend, which routes eligible linear-load scenarios through
+    :func:`repro.circuit.fd.solve_driver_port` and falls back to the
+    transient engine for the rest (see :doc:`docs/fd_backend`).
+
+    Except for ``backend``, these knobs never affect the produced
     waveforms or verdicts -- only how they are computed -- so they stay
-    out of every cache key.
+    out of every cache key.  ``backend`` is the one exception: the two
+    engines agree within a documented tolerance but are not bit-exact,
+    so a non-default backend folds into :meth:`Study.canonical` (and the
+    runner's cache identities fold the per-scenario effective backend).
     """
 
     n_workers: int | None = None
@@ -506,6 +515,7 @@ class RunnerOptions:
     disk_cache: str | None = None
     shared_waveforms: bool | None = None
     batch: bool = True
+    backend: str = "transient"
 
     def __post_init__(self):
         # ScenarioRunner accepts any PathLike; normalize here so the
@@ -513,6 +523,10 @@ class RunnerOptions:
         if self.disk_cache is not None:
             object.__setattr__(self, "disk_cache",
                                os.fspath(self.disk_cache))
+        if self.backend not in ("transient", "fd"):
+            raise ExperimentError(
+                f"unknown backend {self.backend!r}; expected 'transient' "
+                "or 'fd'")
 
     def to_dict(self) -> dict:
         """Non-default options as a JSON/TOML-able dict."""
@@ -537,6 +551,8 @@ class RunnerOptions:
             kw["disk_cache"] = str(kw["disk_cache"])
         if "batch" in kw:
             kw["batch"] = bool(kw["batch"])
+        if "backend" in kw:
+            kw["backend"] = str(kw["backend"])
         return cls(**kw)
 
 
@@ -684,10 +700,17 @@ class Study:
         or execution-only is excluded: the study ``name``, load labels
         and runner options never change the produced waveforms, and two
         studies that simulate identical grids share one digest
-        (load-level spectral requests included).
+        (load-level spectral requests included).  The one runner option
+        that *does* shape the waveforms -- a non-default ``backend`` --
+        folds in, so an FD study and its transient twin never dedup to
+        one digest (the service keys jobs on :meth:`digest`); the
+        default keeps every pre-existing digest unchanged.
         """
-        return _canonical_json(
-            {"scenarios": [sc.canonical() for sc in self.scenarios()]})
+        doc: dict = {"scenarios": [sc.canonical()
+                                   for sc in self.scenarios()]}
+        if self.options.backend != "transient":
+            doc["backend"] = self.options.backend
+        return _canonical_json(doc)
 
     def digest(self) -> str:
         """Short content digest of :meth:`canonical` (study identity)."""
@@ -782,7 +805,7 @@ class Study:
                 use_result_cache=opts.use_result_cache,
                 disk_cache=opts.disk_cache,
                 shared_waveforms=opts.shared_waveforms,
-                batch=opts.batch)
+                batch=opts.batch, backend=opts.backend)
         elif overrides or models is not None:
             # an explicit runner already carries its models and options;
             # silently ignoring either argument would simulate with the

@@ -1,0 +1,140 @@
+"""Unit tests of the FD ABCD layer: blocks, cascades and passivity.
+
+The passivity checker is the backend's self-audit: every network built
+from physical R/L/C/line blocks must come out passive (``1 - sigma_max``
+of the S-matrix non-negative up to tolerance), a deliberately active
+synthetic block must be flagged, and the adaptive sampler must spend its
+refinement budget where the margin is smallest rather than uniformly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Capacitor, IdealLine, Resistor, fd
+from repro.errors import ExperimentError
+
+
+F = np.geomspace(1e6, 5e9, 64)
+
+
+def test_abcd_identity_and_compose_shapes():
+    eye = fd.abcd_identity(F.size)
+    blk = fd.series_impedance(50.0, nf=F.size)
+    np.testing.assert_allclose(fd.compose(eye, blk, eye), blk)
+    with pytest.raises(ExperimentError):
+        fd.compose(blk, fd.abcd_identity(3))
+
+
+def test_lossless_line_matches_rlgc_limit():
+    """An LC-only RLGC line degenerates to the ideal-line block."""
+    z0, td, length = 75.0, 0.5e-9, 0.1
+    l_pul = z0 * td / length
+    c_pul = td / (z0 * length)
+    ideal = fd.lossless_line(F, z0, td)
+    rlgc = fd.rlgc_line(F, length, l=l_pul, c=c_pul)
+    np.testing.assert_allclose(rlgc, ideal, rtol=1e-9, atol=1e-12)
+
+
+def test_element_abcd_hooks_match_module_blocks():
+    r = Resistor("r1", "a", "b", 120.0)
+    np.testing.assert_allclose(r.abcd(F),
+                               fd.series_impedance(120.0, nf=F.size))
+    np.testing.assert_allclose(r.abcd(F, series=False),
+                               fd.shunt_admittance(1.0 / 120.0, nf=F.size))
+    c = Capacitor("c1", "a", "0", 2e-12)
+    np.testing.assert_allclose(c.abcd(F),
+                               fd.shunt_admittance(2j * np.pi * F * 2e-12))
+    line = IdealLine("t1", "a", "b", z0=65.0, td=0.4e-9)
+    np.testing.assert_allclose(line.abcd(F),
+                               fd.lossless_line(F, 65.0, 0.4e-9))
+
+
+def test_lossless_cascade_is_passive_everywhere():
+    """Lossless blocks have unitary S: margin 0 to rounding, passive."""
+    def network(f):
+        return fd.compose(fd.lossless_line(f, 50.0, 0.3e-9),
+                          fd.series_impedance(2j * np.pi * f * 5e-9),
+                          fd.lossless_line(f, 80.0, 0.2e-9),
+                          fd.shunt_admittance(2j * np.pi * f * 1e-12))
+    report = fd.check_passivity(network, 1e6, 5e9, margin_tol=1e-6)
+    assert report.passive
+    # unitary S: the margin never strays from zero beyond rounding
+    assert float(np.abs(report.margin).max()) < 1e-6
+    s = fd.abcd_to_s(network(F))
+    assert float(np.abs(fd.passivity_margin(s)).max()) < 1e-9
+
+
+def test_dissipative_cascade_has_positive_margin():
+    """A resistive L-pad attenuates every excitation (a lone series or
+    shunt resistor still has margin 0: open-circuit / shorted drive
+    dissipates nothing), so its margin is strictly positive."""
+    def network(f):
+        return fd.compose(fd.series_impedance(20.0, nf=f.size),
+                          fd.shunt_admittance(1.0 / 200.0, nf=f.size),
+                          fd.lossless_line(f, 50.0, 0.3e-9))
+    report = fd.check_passivity(network, 1e6, 5e9)
+    assert report.passive
+    assert report.worst_margin > 1e-3
+
+
+def test_active_block_is_flagged():
+    """A negative series resistance amplifies: sigma_max > 1 somewhere."""
+    def network(f):
+        return fd.series_impedance(-25.0, nf=f.size)
+    report = fd.check_passivity(network, 1e6, 5e9)
+    assert not report.passive
+    assert report.worst_margin < 0.0
+
+
+def test_adaptive_sampler_refines_near_the_margin_dip():
+    """An L-pad with a parallel-RLC series trap: away from resonance the
+    trap is a near-short and the pad's dissipation sets a flat margin
+    floor; at resonance the trap turns reflective and the margin dips.
+    The sampler must find the dip and cluster refinement there."""
+    r_trap, l_res, c_res = 2.0e3, 10e-9, 1e-12
+    f0 = 1.0 / (2 * np.pi * np.sqrt(l_res * c_res))
+
+    def network(f):
+        w = 2 * np.pi * f
+        z_trap = 1.0 / (1.0 / r_trap + 1j * w * c_res
+                        + 1.0 / (1j * w * l_res))
+        return fd.compose(fd.series_impedance(20.0, nf=f.size),
+                          fd.shunt_admittance(1.0 / 200.0, nf=f.size),
+                          fd.series_impedance(z_trap))
+
+    # the true margin minimum on a dense reference grid
+    dense = np.geomspace(1e8, 1e10, 4001)
+    margin = fd.passivity_margin(fd.abcd_to_s(network(dense)))
+    f_true = float(dense[np.argmin(margin)])
+    assert abs(np.log(f_true / f0)) < np.log(2)  # the dip is the resonance
+
+    report = fd.check_passivity(network, 1e8, 1e10,
+                                n_coarse=12, n_refine=24)
+    assert report.passive
+    assert abs(np.log(report.worst_f / f_true)) < np.log(2)
+    refined = np.asarray(report.refined, float)
+    assert refined.size > 0
+    near = np.abs(np.log(refined / f_true)) < np.log(2)
+    # the budget concentrates around the dip instead of spreading evenly
+    assert near.mean() > 0.5
+    # and the adaptive estimate is at least as deep as the coarse grid's
+    coarse = np.geomspace(1e8, 1e10, 12)
+    coarse_min = float(np.min(
+        fd.passivity_margin(fd.abcd_to_s(network(coarse)))))
+    assert report.worst_margin <= coarse_min + 1e-12
+
+
+def test_kind_networks_are_passive():
+    """The networks the study kinds hand the FD solver audit clean."""
+    from repro.studies import LoadSpec
+    from repro.studies.kinds import get_kind
+    loads = [LoadSpec(kind="r", r=75.0),
+             LoadSpec(kind="rc", r=120.0, c=2e-12),
+             LoadSpec(kind="line", z0=65.0, td=0.4e-9, r=150.0, c=1e-12)]
+    for load in loads:
+        net = get_kind(load.kind).fd_network(load, F)
+        if net.chain is None:
+            continue
+        report = fd.check_passivity(lambda f, ld=load: get_kind(
+            ld.kind).fd_network(ld, f).chain, 1e6, 5e9, margin_tol=1e-6)
+        assert report.passive, load.describe()

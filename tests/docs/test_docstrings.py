@@ -14,6 +14,7 @@ import pytest
 
 MODULES = [
     "repro.circuit.batch",
+    "repro.circuit.fd",
     "repro.obs",
     "repro.obs.trace",
     "repro.obs.metrics",

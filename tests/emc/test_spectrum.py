@@ -212,6 +212,43 @@ class TestDbAndPeakHold:
         with pytest.raises(ExperimentError):
             peak_hold([a, b], interpolate=False)
 
+    def test_peak_hold_clips_the_low_end_of_mixed_grids(self):
+        """A grid that starts above DC (an FD-backend spectrum whose
+        fundamental is the pattern repetition rate) must not be flat-
+        extrapolated below its first bin: the envelope clips to the band
+        every spectrum actually covers, at BOTH ends."""
+        fa = np.linspace(0.0, 2e9, 201)          # fine, from DC
+        fb = np.arange(1, 17) * 125e6            # coarse, starts at 125 MHz
+        a = Spectrum(fa, np.full(201, 1e-3))
+        # a loud low-frequency bin that flat extrapolation would smear
+        # across [0, 125 MHz) of the envelope
+        b = Spectrum(fb, np.where(fb == 125e6, 5.0, 1e-3))
+        env = peak_hold([a, b])
+        assert env.meta["interpolated"]
+        assert env.f[0] >= 125e6 * (1.0 - 1e-9)  # low end clipped
+        assert env.f[-1] <= 2e9 * (1.0 + 1e-9)
+        # below b's coverage nothing is reported, so nothing inherited
+        # b's 5.0 level except the genuine 125 MHz neighborhood
+        loud = env.mag > 1.0
+        assert loud.any()
+        assert env.f[loud].min() >= 125e6 * (1.0 - 1e-9)
+
+    def test_peak_hold_finest_grid_is_by_median_spacing(self):
+        """An irregular first gap (no DC bin) must not disqualify the
+        genuinely finest grid: spacing is judged by the median step, not
+        ``f[1] - f[0]``."""
+        # fine grid, 10 MHz steps, but starting at 100 MHz: first diff
+        # is 100 MHz while the typical step is 10 MHz
+        fa = np.concatenate(([0.0], np.arange(10, 101) * 10e6))
+        fb = np.arange(0, 21) * 50e6             # uniform 50 MHz
+        a = Spectrum(fa, np.full(fa.size, 2.0))
+        b = Spectrum(fb, np.full(fb.size, 1.0))
+        env = peak_hold([a, b])
+        assert env.meta["interpolated"]
+        # the envelope rides a's 10 MHz grid, not b's 50 MHz one
+        assert np.median(np.diff(env.f)) == pytest.approx(10e6)
+        np.testing.assert_allclose(env.mag, 2.0)
+
     def test_peak_hold_rejects_mixed_units_and_empty(self):
         f = np.linspace(0.0, 1e9, 11)
         with pytest.raises(ExperimentError):
