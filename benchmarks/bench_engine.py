@@ -251,6 +251,62 @@ def test_fd_spectrum_64(benchmark, md2_model):
 
 
 @pytest.mark.benchmark(group="engine")
+def test_stochastic_128draws(benchmark, md2_model):
+    """Monte Carlo study cost: a 128-draw stochastic line study (random
+    RLL traffic + resistor spread) through the FD backend on one core,
+    including quantile-band aggregation, must amortize each draw to no
+    more than one single transient run -- randomized patterns must not
+    forfeit the sweep-regime economics of the FD engine."""
+    import time
+
+    from repro.studies import (Distribution, LoadSpec, ScenarioRunner,
+                               SpectralSpec, StochasticSpec,
+                               StochasticStudy, TrafficModel)
+
+    study = StochasticStudy(
+        name="bench-mc",
+        loads=LoadSpec(kind="line", z0=50.0, td=1e-9, r=50.0),
+        spectral=SpectralSpec(mask="board-b"),
+        stochastic=StochasticSpec(
+            seed=7, n_draws=128,
+            traffic=TrafficModel(model="rll", n_bits=8),
+            params={"r": Distribution(dist="uniform", low=40.0,
+                                      high=60.0)}))
+    grid = study.scenarios()  # memoized: rendering stays untimed
+    assert len(grid) == 128
+    models = {("MD2", "typ"): md2_model}
+
+    def run():
+        runner = ScenarioRunner(models=models, n_workers=1,
+                                use_result_cache=False, backend="fd")
+        return study.run(runner=runner)
+
+    result = benchmark.pedantic(run, rounds=7, iterations=1,
+                                warmup_rounds=1)
+    assert len(result) == 128 and not result.failures
+    bands = result.quantile_bands()
+    assert set(bands) == {"p50", "p95", "p99"}
+
+    # one-draw transient reference cost on the same core (median of 3)
+    from repro.studies import simulate_scenario
+    singles = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        out = simulate_scenario(grid[0], md2_model)
+        singles.append(time.perf_counter() - t0)
+        assert out.ok
+    single_s = sorted(singles)[1]
+    batch_s = benchmark.stats.stats.median
+    per_draw = batch_s / 128.0
+    benchmark.extra_info["single_s"] = single_s
+    benchmark.extra_info["per_draw_s"] = per_draw
+    benchmark.extra_info["speedup_vs_serial"] = single_s * 128.0 / batch_s
+    assert per_draw <= single_s, (
+        f"per-draw cost {per_draw * 1e3:.2f} ms exceeds one transient "
+        f"run {single_s * 1e3:.2f} ms")
+
+
+@pytest.mark.benchmark(group="engine")
 def test_spectrum_peak_hold_64(benchmark):
     """Spectral emissions hot path: windowed FFT + mask check + max-hold
     envelope over a 64-scenario grid's worth of waveforms."""

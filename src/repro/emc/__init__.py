@@ -9,14 +9,16 @@ from .metrics import (TimingReport, crosstalk_metrics, logic_eye_metrics,
                       match_crossings, max_error, nrmse, rms_error,
                       threshold_crossings, timing_error)
 from .radiated import MU0, AntennaModel, radiated_spectrum
-from .spectrum import (Spectrum, amplitude_spectrum, peak_hold,
-                       resample_uniform, to_db_micro, to_dbua, to_dbuv,
+from .spectrum import (Spectrogram, Spectrum, amplitude_spectrum,
+                       peak_hold, quantile_hold, resample_uniform,
+                       spectrogram, to_db_micro, to_dbua, to_dbuv,
                        welch_psd)
 
 __all__ = ["rms_error", "max_error", "nrmse", "threshold_crossings",
            "match_crossings", "timing_error", "TimingReport",
            "crosstalk_metrics", "logic_eye_metrics",
-           "Spectrum", "amplitude_spectrum", "welch_psd", "peak_hold",
+           "Spectrum", "Spectrogram", "amplitude_spectrum", "welch_psd",
+           "peak_hold", "quantile_hold", "spectrogram",
            "resample_uniform", "to_db_micro", "to_dbuv", "to_dbua",
            "LimitMask", "LimitSegment", "ComplianceVerdict", "MASKS",
            "get_mask", "register_mask",

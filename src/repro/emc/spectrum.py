@@ -33,8 +33,9 @@ import numpy as np
 
 from ..errors import ExperimentError
 
-__all__ = ["Spectrum", "resample_uniform", "amplitude_spectrum",
-           "welch_psd", "to_db_micro", "to_dbuv", "to_dbua", "peak_hold",
+__all__ = ["Spectrum", "Spectrogram", "resample_uniform",
+           "amplitude_spectrum", "welch_psd", "to_db_micro", "to_dbuv",
+           "to_dbua", "peak_hold", "quantile_hold", "spectrogram",
            "WINDOWS"]
 
 #: supported window generators (name -> callable(n) -> array)
@@ -266,30 +267,29 @@ def welch_psd(t, v, window: str = "hann", nperseg: int | None = None,
                           "n_segments": len(starts), "dt": dt})
 
 
-def peak_hold(spectra, interpolate: bool = True) -> Spectrum:
-    """Max-hold envelope across many spectra.
+def _common_grid(spectra, interpolate: bool, what: str):
+    """Stack many spectra onto one frequency grid.
 
-    This is the sweep-level aggregation an EMC report quotes: the worst
-    level any scenario produced in each bin.  Spectra sharing one
-    frequency grid (same ``n_fft`` and record duration) reduce in a single
-    vectorized ``max`` over the stacked magnitude matrix.  Mixed grids
-    (e.g. different pattern lengths across the sweep, or FD-backend
-    spectra alongside transient ones) are linearly interpolated onto the
-    finest grid present (smallest median bin spacing), clipped at both
-    ends to the band every spectrum actually covers, before the same
-    one-pass reduction -- ``interpolate=False`` raises instead, for
-    callers that require exact bin alignment.
+    Shared machinery of the sweep-level aggregations
+    (:func:`peak_hold`, :func:`quantile_hold`): validates that
+    unit/kind/detector match across the set, then returns ``(f, mags,
+    same_grid)`` where ``mags`` is the ``(n_spectra, n_bins)`` magnitude
+    matrix on the common grid ``f``.  Spectra sharing one grid stack
+    directly; mixed grids are linearly interpolated onto the finest grid
+    present (smallest median bin spacing), clipped at both ends to the
+    band every spectrum actually covers -- ``interpolate=False`` raises
+    instead, for callers that require exact bin alignment.
     """
     spectra = list(spectra)
     if not spectra:
-        raise ExperimentError("peak_hold needs at least one spectrum")
+        raise ExperimentError(f"{what} needs at least one spectrum")
     first = spectra[0]
     for s in spectra[1:]:
         if s.unit != first.unit or s.kind != first.kind:
-            raise ExperimentError("peak_hold needs matching unit/kind")
+            raise ExperimentError(f"{what} needs matching unit/kind")
         if s.detector != first.detector:
             raise ExperimentError(
-                "peak_hold needs matching detectors; got "
+                f"{what} needs matching detectors; got "
                 f"{first.detector!r} and {s.detector!r} -- an envelope "
                 "mixing detector weightings is not a measurement")
     same_grid = all(s.f.shape == first.f.shape
@@ -300,7 +300,7 @@ def peak_hold(spectra, interpolate: bool = True) -> Spectrum:
         mags = np.stack([s.mag for s in spectra])
     elif not interpolate:
         raise ExperimentError(
-            "peak_hold(interpolate=False) needs a common frequency grid; "
+            f"{what}(interpolate=False) needs a common frequency grid; "
             "use matching n_fft/t_stop across the sweep")
     else:
         # finest = smallest typical bin spacing; the median is robust to
@@ -322,9 +322,158 @@ def peak_hold(spectra, interpolate: bool = True) -> Spectrum:
         if f.size < 2:
             raise ExperimentError("spectra share no frequency band")
         mags = np.stack([np.interp(f, s.f, s.mag) for s in spectra])
+    return f, mags, same_grid
+
+
+def peak_hold(spectra, interpolate: bool = True) -> Spectrum:
+    """Max-hold envelope across many spectra.
+
+    This is the sweep-level aggregation an EMC report quotes: the worst
+    level any scenario produced in each bin.  Spectra sharing one
+    frequency grid (same ``n_fft`` and record duration) reduce in a single
+    vectorized ``max`` over the stacked magnitude matrix.  Mixed grids
+    (e.g. different pattern lengths across the sweep, or FD-backend
+    spectra alongside transient ones) are linearly interpolated onto the
+    finest grid present (smallest median bin spacing), clipped at both
+    ends to the band every spectrum actually covers, before the same
+    one-pass reduction -- ``interpolate=False`` raises instead, for
+    callers that require exact bin alignment.
+    """
+    spectra = list(spectra)
+    f, mags, same_grid = _common_grid(spectra, interpolate, "peak_hold")
+    first = spectra[0]
     env = np.max(mags, axis=0)
     return Spectrum(f, env, unit=first.unit, kind=first.kind,
                     label=f"peak-hold({len(spectra)})",
                     detector=first.detector,
                     meta={"n_spectra": len(spectra),
                           "interpolated": not same_grid})
+
+
+def quantile_hold(spectra, qs=(0.5, 0.95, 0.99),
+                  interpolate: bool = True) -> dict:
+    """Per-frequency quantile bands across many spectra.
+
+    The statistical counterpart of :func:`peak_hold`: where the max-hold
+    envelope answers "how bad can any bin get", the quantile bands
+    answer "how bad is bin ``f`` for a fraction ``q`` of the population"
+    -- the aggregation a Monte Carlo emission study
+    (:class:`repro.studies.stochastic.StochasticStudy`) reports.  The
+    spectra stack onto one common grid (same rules as
+    :func:`peak_hold`, mixed grids interpolate onto the finest) and each
+    requested quantile reduces the ``(n_spectra, n_bins)`` magnitude
+    matrix along the population axis with ``np.quantile`` (linear
+    interpolation between order statistics, so the result is
+    deterministic for a given draw set regardless of how it was
+    computed).
+
+    Returns ``{"p50": Spectrum, "p95": Spectrum, ...}`` keyed by
+    ``f"p{100 q:g}"``; magnitudes are linear, in the input unit, and by
+    construction pointwise monotone in ``q`` (``p50 <= p95 <= p99 <=``
+    the :func:`peak_hold` envelope of the same set).
+    """
+    spectra = list(spectra)
+    qs = tuple(float(q) for q in qs)
+    if not qs or any(not 0.0 <= q <= 1.0 for q in qs):
+        raise ExperimentError("quantiles must lie in [0, 1]")
+    f, mags, same_grid = _common_grid(spectra, interpolate,
+                                      "quantile_hold")
+    first = spectra[0]
+    levels = np.quantile(mags, qs, axis=0)
+    out = {}
+    for q, level in zip(qs, levels):
+        name = f"p{100.0 * q:g}"
+        out[name] = Spectrum(
+            f.copy(), np.asarray(level, dtype=float),
+            unit=first.unit, kind=first.kind,
+            label=f"{name}({len(spectra)})", detector=first.detector,
+            meta={"n_spectra": len(spectra), "q": q,
+                  "interpolated": not same_grid})
+    return out
+
+
+@dataclass
+class Spectrogram:
+    """Time-resolved emission view of one long record.
+
+    ``mag[i, j]`` is the linear single-sided amplitude of frequency bin
+    ``f[j]`` measured over the time window centered at ``t[i]`` -- the
+    short-time counterpart of :class:`Spectrum`, produced by
+    :func:`spectrogram`.  ``db()`` applies the same EMC convention as
+    :meth:`Spectrum.db` (dBuV / dBuA per bin); :meth:`peak_hold`
+    collapses the time axis into the max-hold :class:`Spectrum` an EMC
+    receiver in max-hold mode would have accumulated over the record.
+    """
+
+    t: np.ndarray
+    f: np.ndarray
+    mag: np.ndarray
+    unit: str = "V"
+    label: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.t = np.asarray(self.t, dtype=float)
+        self.f = np.asarray(self.f, dtype=float)
+        self.mag = np.asarray(self.mag, dtype=float)
+        if self.mag.shape != (self.t.size, self.f.size):
+            raise ExperimentError(
+                "mag must be an (n_windows, n_bins) matrix matching t/f")
+
+    def db(self) -> np.ndarray:
+        """The magnitude matrix in dB-micro units (floored, never
+        ``-inf``)."""
+        return to_db_micro(self.mag)
+
+    def peak_hold(self) -> Spectrum:
+        """Max-hold over the time windows, as a :class:`Spectrum`."""
+        return Spectrum(self.f.copy(), np.max(self.mag, axis=0),
+                        unit=self.unit,
+                        label=f"peak-hold({self.t.size}w)",
+                        meta=dict(self.meta, n_windows=int(self.t.size)))
+
+
+def spectrogram(t, v, window: str = "hann", nperseg: int | None = None,
+                overlap: float = 0.5, unit: str = "V",
+                label: str = "") -> Spectrogram:
+    """Short-time amplitude spectrogram of one transient record.
+
+    The record is uniformly resampled, split into ``nperseg``-sample
+    windows advanced by ``nperseg * (1 - overlap)``, and each window is
+    scaled exactly like :func:`amplitude_spectrum` (coherent-gain
+    corrected single-sided amplitude), so a tone of amplitude ``A``
+    present during a window reads ``A`` in that window's row.  This is
+    the time-resolved emission view a long random bit stream needs:
+    which portions of the traffic light up which bands, with
+    :meth:`Spectrogram.peak_hold` recovering the receiver's max-hold
+    trace.
+
+    ``nperseg`` defaults to an eighth of the record (at least 16
+    samples); ``overlap`` is the fractional window overlap in ``[0,
+    1)``.
+    """
+    t, v = resample_uniform(t, v)
+    dt = (t[-1] - t[0]) / (t.size - 1)
+    n = t.size
+    if nperseg is None:
+        nperseg = max(16, n // 8)
+    nperseg = int(min(nperseg, n))
+    if nperseg < 2:
+        raise ExperimentError("need nperseg >= 2")
+    if not 0.0 <= overlap < 1.0:
+        raise ExperimentError("overlap must lie in [0, 1)")
+    step = max(1, int(round(nperseg * (1.0 - overlap))))
+    w = _window(window, nperseg)
+    starts = np.arange(0, n - nperseg + 1, step)
+    idx = starts[:, None] + np.arange(nperseg)[None, :]
+    spec = np.fft.rfft(v[idx] * w, axis=1)
+    mags = np.abs(spec) * (2.0 / np.sum(w))
+    mags[:, 0] *= 0.5
+    if nperseg % 2 == 0:
+        mags[:, -1] *= 0.5
+    centers = t[0] + (starts + (nperseg - 1) / 2.0) * dt
+    return Spectrogram(centers, np.fft.rfftfreq(nperseg, d=dt), mags,
+                       unit=unit, label=label,
+                       meta={"window": window, "nperseg": nperseg,
+                             "overlap": float(overlap), "dt": dt,
+                             "n_windows": int(starts.size)})

@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ascii_plot", "ascii_spectrum"]
+__all__ = ["ascii_plot", "ascii_spectrum", "ascii_spectrogram"]
 
 _MARKERS = "*o+x#@%&"
+
+#: intensity ramp for the spectrogram heat map (low -> high level)
+_RAMP = " .:-=+*#%@"
 
 
 def _si_freq(f: float) -> str:
@@ -89,6 +92,78 @@ def ascii_spectrum(spectrum, mask=None, width: int = 78, height: int = 18,
     if mask is not None:
         legend += f"  ==limit {mask.name} ({mask.unit})"
     lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_spectrogram(spg, width: int = 78, height: int = 18,
+                      f_min: float | None = None,
+                      db_range: float = 60.0) -> str:
+    """Render a :class:`~repro.emc.spectrum.Spectrogram` as a character
+    heat map: time left to right, frequency bottom to top (log scale),
+    level as an intensity ramp spanning ``db_range`` dB below the
+    record's hottest cell.
+
+    ``f_min`` clips the plotted band from below (default: the first
+    positive bin).  Cells pool their bins/windows with ``max`` so narrow
+    bursts and peaks survive the downsampling, exactly like
+    :func:`ascii_spectrum`.
+    """
+    f_all = np.asarray(spg.f, dtype=float)
+    db = spg.db()
+    pos = f_all > 0.0
+    if f_min is not None:
+        pos &= f_all >= f_min
+    if not np.any(pos):
+        return "(no bins above f_min)"
+    f = f_all[pos]
+    db = db[:, pos]
+    x_lo, x_hi = np.log10(f[0]), np.log10(f[-1])
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    v_hi = float(db.max())
+    v_lo = v_hi - float(db_range)
+
+    # pool windows into columns and bins into rows, both with max
+    n_w = db.shape[0]
+    cols = (np.arange(n_w) / max(n_w - 1, 1) * (width - 1)).astype(int)
+    rows = ((x_hi - np.log10(f)) / (x_hi - x_lo)
+            * (height - 1)).astype(int)
+    canvas = np.full((height, width), -np.inf)
+    for wi in range(n_w):
+        c = cols[wi]
+        for bi in range(f.size):
+            r = rows[bi]
+            if db[wi, bi] > canvas[r, c]:
+                canvas[r, c] = db[wi, bi]
+
+    def short_freq(fv: float) -> str:
+        for scale, suffix in ((1e9, "GHz"), (1e6, "MHz"), (1e3, "kHz")):
+            if fv >= scale:
+                return f"{fv / scale:.3g}{suffix}"
+        return f"{fv:.3g}Hz"
+
+    lines = []
+    for r in range(height):
+        f_axis = 10.0 ** (x_hi - (x_hi - x_lo) * r / (height - 1))
+        chars = []
+        for c in range(width):
+            level = canvas[r, c]
+            if not np.isfinite(level):
+                chars.append(" ")
+                continue
+            frac = (level - v_lo) / (v_hi - v_lo)
+            k = int(np.clip(frac * (len(_RAMP) - 1), 0, len(_RAMP) - 1))
+            chars.append(_RAMP[k])
+        lines.append(f"{short_freq(f_axis):>9s} |" + "".join(chars))
+    lines.append(" " * 10 + "+" + "-" * width)
+    t = np.asarray(spg.t, dtype=float)
+    unit = {"A": "dBuA", "V/m": "dBuV/m"}.get(
+        getattr(spg, "unit", "V"), "dBuV")
+    lines.append(f"{'':10s} {t[0] * 1e9:<11.2f}"
+                 f"{f't [ns]  ramp {_RAMP!r} = {v_lo:.0f}..{v_hi:.0f} {unit}':^{max(width - 24, 6)}}"
+                 f"{t[-1] * 1e9:>11.2f}")
+    if getattr(spg, "label", ""):
+        lines.append(f"  {spg.label}")
     return "\n".join(lines)
 
 

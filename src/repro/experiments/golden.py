@@ -9,6 +9,11 @@ never drift apart.
 
 The cases pin the paper's validation workhorses:
 
+* ``fig1`` -- Example 1: MD1 drives the Fig. 1 ideal line (capacitive
+  far end) through a low-to-high transition; near-end voltages of the
+  transistor-level reference, the PW-RBF macromodel and the three IBIS
+  corners -- the paper's headline "macromodel overlays the reference,
+  the IBIS fan brackets it" picture;
 * ``fig2_panel1`` -- MD2 sends a 1 ns pulse into the first Fig. 2 ideal
   line (z0 = 50 ohm, td = 0.5 ns, 1 pF far-end load): transistor-level
   reference and PW-RBF macromodel far-end voltages;
@@ -53,6 +58,7 @@ __all__ = ["CASES", "TOLERANCES", "generate"]
 #: fig5; fig2_spectrum is linear volts per bin -- the FFT is a bounded
 #: linear map of the waveform, so the waveform tolerance carries over)
 TOLERANCES = {
+    "fig1": 2e-3,
     "fig2_panel1": 2e-3,
     "fig5_receiver": 2e-5,
     "fig2_spectrum": 2e-3,
@@ -62,6 +68,43 @@ TOLERANCES = {
     # solution difference, not just BLAS noise
     "fig2_spectrum_fd": 5e-3,
 }
+
+
+def fig1_waveforms(driver_model=None,
+                   ibis_model=None) -> dict[str, np.ndarray]:
+    """Fig. 1 near-end voltages: reference, PW-RBF and IBIS corners."""
+    from ..ibis import IbisDriverElement
+    from ..models import PWRBFDriverElement
+    from .fig1 import _simulate
+    from .setups import FIG1
+    model = driver_model if driver_model is not None \
+        else cache.driver_model("MD1")
+    ibis = ibis_model if ibis_model is not None \
+        else cache.ibis_model("MD1")
+    setup = FIG1
+
+    def ref_driver(ckt):
+        from ..devices import MD1, build_driver
+        drv = build_driver(ckt, MD1, "dut", "out",
+                           initial_state=setup.pattern[0])
+        drv.drive_pattern(setup.pattern, setup.bit_time)
+
+    ref = _simulate(ref_driver, setup, ic="dcop")
+    mm = _simulate(
+        lambda ckt: ckt.add(PWRBFDriverElement.for_pattern(
+            "dut", "out", model, setup.pattern, setup.bit_time,
+            setup.t_stop)),
+        setup, ic="dcop")
+    out = {"t": ref.t, "ref_ne": ref.v("out").copy(),
+           "pwrbf_ne": mm.v("out").copy()}
+    for corner in ("slow", "typ", "fast"):
+        res = _simulate(
+            lambda ckt, c=corner: ckt.add(IbisDriverElement.for_pattern(
+                "dut", "out", ibis.corner(c), setup.pattern,
+                setup.bit_time)),
+            setup, ic="dcop")
+        out[f"ibis_{corner}_ne"] = res.v("out").copy()
+    return out
 
 
 def fig2_panel1(driver_model=None) -> dict[str, np.ndarray]:
@@ -154,6 +197,7 @@ def fig2_spectrum_fd(driver_model=None) -> dict[str, np.ndarray]:
 
 
 CASES = {
+    "fig1": fig1_waveforms,
     "fig2_panel1": fig2_panel1,
     "fig5_receiver": fig5_receiver,
     "fig2_spectrum": fig2_spectrum,

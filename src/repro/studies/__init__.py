@@ -70,9 +70,15 @@ from .simulate import simulate_scenario, simulate_scenario_batch
 from .spec import (CORNERS, BaseLoadSpec, CoupledLoadSpec, LoadSpec,
                    RunnerOptions, Scenario, SpectralSpec, Study,
                    load_from_dict, scenario_grid)
+from .stochastic import (Distribution, JitterSpec, PassProbability,
+                         StochasticResult, StochasticSpec,
+                         StochasticStudy, TrafficModel, wilson_interval)
 
 __all__ = [
     "Study", "StudyResult", "RunnerOptions",
+    "StochasticStudy", "StochasticSpec", "StochasticResult",
+    "TrafficModel", "JitterSpec", "Distribution", "PassProbability",
+    "wilson_interval",
     "ScenarioKind", "register_kind", "get_kind", "kind_names", "KINDS",
     "BaseLoadSpec", "LoadSpec", "CoupledLoadSpec", "SpectralSpec",
     "Scenario", "scenario_grid", "CORNERS", "load_from_dict",

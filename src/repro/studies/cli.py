@@ -9,12 +9,19 @@ Local subcommands::
 prints the summary table -- plus the compliance table when the study
 requests spectra -- and optionally exports the machine-readable verdicts
 (``--csv`` / ``--json``).  Runner options on the command line override
-the study file's ``[runner]`` table.  Observability switches:
-``--trace PATH`` exports hierarchical spans (solver, runner, workers)
-as JSONL, ``--metrics`` prints the Prometheus counters after the run,
-and non-quiet runs close with the per-kind timing summary.  Exit
-status: 0 on success, 2 when any scenario failed to simulate, 1 when
-``--strict`` is given and any compliance check failed.
+the study file's ``[runner]`` table.  Study files carrying a
+``[stochastic]`` table load as Monte Carlo studies
+(:class:`~repro.studies.stochastic.StochasticStudy`): ``--draws N`` /
+``--seed S`` override the sampler's draw budget and seed, and the
+report gains the population digest (quantile bands, pass-probability
+with its Wilson interval).  Observability switches: ``--trace PATH``
+exports hierarchical spans (solver, runner, workers) as JSONL,
+``--metrics`` prints the Prometheus counters after the run, and
+non-quiet runs close with the per-kind timing summary.  Exit status: 0
+on success, 2 when any scenario failed to simulate -- or on a usage
+error, e.g. ``--draws``/``--seed`` against a study without a
+``[stochastic]`` table -- and 1 when ``--strict`` is given and any
+compliance check failed.
 
 Service subcommands (the sharded async study service,
 :mod:`repro.studies.service`)::
@@ -28,7 +35,11 @@ Service subcommands (the sharded async study service,
 job queue and shard worker pool); ``submit``/``status``/``fetch`` are
 the matching stdlib-only client.  ``submit`` prints ``job <id>`` on its
 first line, so scripts can capture the job id; with ``--wait`` it polls
-to completion and exits 0 on success, 2 when the job errored.  Server
+to completion and exits 0 on success, 2 when the job errored.
+Stochastic studies submit like any other (the ``[stochastic]`` table
+rides the study document, and the job id folds the sampler config, so
+two seeds never dedup to one job); ``submit --draws/--seed`` adjust
+the sampler before shipping it.  Server
 observability: ``serve --trace PATH`` writes every job's spans to a
 shared JSONL file and ``--access-log`` enables the structured request
 log on stderr; the client side mirrors it with ``submit --wait
@@ -68,6 +79,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="override runner.backend: 'fd' routes eligible "
                           "linear-load scenarios through the frequency-"
                           "domain ABCD backend")
+    run.add_argument("--draws", type=int, default=None, metavar="N",
+                     help="override stochastic.n_draws (stochastic "
+                          "studies only; exit 2 otherwise)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override stochastic.seed (stochastic "
+                          "studies only; exit 2 otherwise)")
     run.add_argument("--csv", default=None, metavar="PATH",
                      help="export the compliance rows as CSV")
     run.add_argument("--json", default=None, metavar="PATH",
@@ -121,6 +138,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "submit", help="submit a study file to a running service")
     submit.add_argument("study", help="path to a study .toml/.json file")
     add_url(submit)
+    submit.add_argument("--draws", type=int, default=None, metavar="N",
+                        help="override stochastic.n_draws before "
+                             "submitting (stochastic studies only)")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="override stochastic.seed before "
+                             "submitting (stochastic studies only)")
     submit.add_argument("--wait", action="store_true",
                         help="poll until the job finishes")
     submit.add_argument("--poll", type=float, default=0.5, metavar="S",
@@ -175,9 +198,35 @@ def _cmd_show(study: Study) -> int:
     return 0
 
 
+def _apply_stochastic_overrides(study: Study, args) -> Study:
+    """Fold ``--draws``/``--seed`` into a stochastic study's sampler.
+
+    A plain (non-stochastic) study given either switch is a usage
+    error: the flags name sampler fields that do not exist on it, so
+    the command exits 2 rather than silently ignoring them.
+    """
+    draws = getattr(args, "draws", None)
+    seed = getattr(args, "seed", None)
+    if draws is None and seed is None:
+        return study
+    from dataclasses import replace
+
+    from .stochastic import StochasticStudy
+    if not isinstance(study, StochasticStudy):
+        raise ExperimentError(
+            "--draws/--seed apply only to stochastic studies (a "
+            "[stochastic] table in the study file)")
+    spec = study.stochastic
+    if draws is not None:
+        spec = replace(spec, n_draws=draws)
+    if seed is not None:
+        spec = replace(spec, seed=seed)
+    return replace(study, stochastic=spec)
+
+
 def _cmd_run(args) -> int:
     """Load, simulate, report, export; compute the exit status."""
-    study = Study.load(args.study)
+    study = _apply_stochastic_overrides(Study.load(args.study), args)
     overrides = {}
     if args.workers is not None:
         overrides["n_workers"] = args.workers
@@ -198,6 +247,9 @@ def _cmd_run(args) -> int:
         if any(o.ok and o.spectra for o in result):
             print()
             print(result.compliance_table())
+        if hasattr(result, "stochastic_summary"):
+            print()
+            print(result.stochastic_summary())
         print()
         print(result.timing_summary())
     if args.metrics:
@@ -255,7 +307,7 @@ def _cmd_submit(args) -> int:
     """Submit a study file; optionally poll it to completion."""
     from .service.serve import (fetch_metrics, fetch_trace, submit_study,
                                 wait_for_job)
-    study = Study.load(args.study)
+    study = _apply_stochastic_overrides(Study.load(args.study), args)
     status = submit_study(args.url, study)
     dedup = "" if status.get("created", True) else "  (already known)"
     print(f"job {status['job']}  state={status['state']}  "

@@ -356,7 +356,6 @@ class JobManager:
             _emit(progress, {"event": "merge-start",
                              "n_shards": len(shards)})
             t2 = time.perf_counter()
-            from ..outcomes import StudyResult
             with tr.span("job.merge") as msp:
                 # the merge replays the shard workers' disk entries, so
                 # its cache identities (effective backend included) must
@@ -373,8 +372,10 @@ class JobManager:
                         failures=len(merged.failures))
             phases["merge"] = time.perf_counter() - t2
             elapsed = time.perf_counter() - t0
-            result = StudyResult(merged.outcomes, study=study,
-                                 elapsed_s=elapsed, phases=phases)
+            # the study's own aggregation hook: a StochasticStudy job
+            # merges into a StochasticResult with draw accounting
+            result = study.make_result(merged.outcomes,
+                                       elapsed_s=elapsed, phases=phases)
             result.shard_reports = reports
             jsp.set(n_shards=len(shards), n_scenarios=len(merged),
                     failures=len(merged.failures))

@@ -654,9 +654,19 @@ class Study:
     @classmethod
     def from_dict(cls, d: dict) -> "Study":
         """Rebuild a study from :meth:`to_dict` output (also accepts the
-        whole dict nested under a ``"study"`` table)."""
+        whole dict nested under a ``"study"`` table).
+
+        A dict carrying a ``"stochastic"`` table rebuilds as a
+        :class:`~repro.studies.stochastic.StochasticStudy` -- the
+        service and shard workers deserialize through this one
+        classmethod, so the dispatch keeps Monte Carlo studies
+        round-tripping everywhere a plain study does.
+        """
         if "study" in d and isinstance(d["study"], dict):
             d = d["study"]
+        if "stochastic" in d and cls is Study:
+            from .stochastic import StochasticStudy
+            return StochasticStudy.from_dict(d)
         kw = dict(d)
         unknown = set(kw) - {f.name for f in fields(cls)} - {"runner"}
         if unknown:
@@ -775,6 +785,21 @@ class Study:
         return shard_plan(self, n)
 
     # -- execution ----------------------------------------------------------
+    def make_result(self, outcomes, elapsed_s: float = 0.0,
+                    phases: dict | None = None):
+        """Wrap simulated outcomes in this study's result type.
+
+        The one aggregation hook: :meth:`run` and the service's merge
+        both finish through it, so a subclass that aggregates
+        differently (:class:`~repro.studies.stochastic.StochasticStudy`
+        returns a
+        :class:`~repro.studies.stochastic.StochasticResult`) changes
+        every execution path at once.
+        """
+        from .outcomes import StudyResult
+        return StudyResult(outcomes, study=self, elapsed_s=elapsed_s,
+                           phases=phases)
+
     def run(self, models: dict | None = None, runner=None, **overrides):
         """Simulate the study; returns a
         :class:`~repro.studies.outcomes.StudyResult`.
@@ -794,7 +819,6 @@ class Study:
         """
         import time
 
-        from .outcomes import StudyResult
         from .runner import ScenarioRunner
         t0 = time.perf_counter()
         if runner is None:
@@ -814,8 +838,8 @@ class Study:
                 "pass models/runner options either via an explicit "
                 "runner or as run() arguments, not both")
         result = runner.run(self.scenarios())
-        return StudyResult(result.outcomes, study=self,
-                           elapsed_s=time.perf_counter() - t0)
+        return self.make_result(result.outcomes,
+                                elapsed_s=time.perf_counter() - t0)
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ MODULES = [
     "repro.emc.metrics",
     "repro.studies.kinds",
     "repro.studies.spec",
+    "repro.studies.stochastic",
     "repro.studies.simulate",
     "repro.studies.outcomes",
     "repro.studies.runner",

@@ -51,6 +51,33 @@ def test_golden_files_are_committed():
     assert {p.stem for p in GOLDEN_DIR.glob("*.npz")} >= set(golden.CASES)
 
 
+def test_fig1_matches_golden():
+    # MD1 estimation and IBIS extraction ride the process-wide model
+    # cache (seconds, once per session)
+    _compare("fig1", golden.fig1_waveforms())
+
+
+def test_fig1_reference_is_physical():
+    """The committed fig1 file itself stays sane: a full low-to-high
+    swing arrives at the near end, the PW-RBF macromodel overlays the
+    reference far more tightly than any IBIS corner, and the IBIS fan
+    actually fans (slow and fast corners differ visibly)."""
+    fig1 = _load("fig1")
+    ref = fig1["ref_ne"]
+    swing = float(ref.max() - ref.min())
+    assert swing > 1.0                      # the transition happened
+    assert ref[-1] > ref[0]                 # ... and it was low-to-high
+    err_mm = float(np.max(np.abs(fig1["pwrbf_ne"] - ref)))
+    err_ibis = min(
+        float(np.max(np.abs(fig1[f"ibis_{c}_ne"] - ref)))
+        for c in ("slow", "typ", "fast"))
+    assert err_mm < 0.25 * swing
+    assert err_mm < err_ibis                # the paper's headline claim
+    fan = float(np.max(np.abs(fig1["ibis_fast_ne"]
+                              - fig1["ibis_slow_ne"])))
+    assert fan > 0.1                        # the corner fan is visible
+
+
 def test_fig2_panel1_matches_golden(md2_model):
     _compare("fig2_panel1", golden.fig2_panel1(driver_model=md2_model))
 

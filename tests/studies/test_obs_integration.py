@@ -19,9 +19,10 @@ import pytest
 
 from repro.circuit import Resistor
 from repro.obs import (MetricsRegistry, Tracer, get_metrics, read_spans,
-                       set_metrics, span_tree)
-from repro.studies import (KINDS, LoadSpec, ScenarioKind, Study,
-                           register_kind)
+                       set_metrics, set_tracer, span_tree)
+from repro.studies import (KINDS, Distribution, LoadSpec, ScenarioKind,
+                           SpectralSpec, StochasticSpec, StochasticStudy,
+                           Study, TrafficModel, register_kind)
 from repro.studies.service import (JobManager, StudyService, fetch_metrics,
                                    fetch_trace, make_server, submit_study,
                                    wait_for_job)
@@ -289,6 +290,72 @@ class TestTracedServiceDrill:
             assert _metric_total(metrics_text, "job_seconds_count") == 1
         finally:
             KINDS.pop("obsdrill", None)
+
+
+# ---------------------------------------------------------------------------
+# stochastic draw accounting through a killed-worker retry
+# ---------------------------------------------------------------------------
+
+@pytest.mark.skipif(not _LINUX, reason="shard workers rely on fork")
+class TestStochasticDrawAccounting:
+    def test_draw_accounting_balances_across_a_killed_worker(
+            self, models, tmp_path, fresh_metrics):
+        """A sharded stochastic job with one SIGKILLed attempt must
+        count every draw exactly once: ``draws_total`` sums to the
+        budget (a retry never double-counts a draw), every draw is
+        durably cached by merge time (``draws_cached`` == budget), and
+        the sampler's ``stochastic.sample`` span carries the seed and
+        budget it rendered."""
+        marker = tmp_path / "killed-once"
+        _register_kill_once("mcobs", marker)
+        try:
+            study = StochasticStudy(
+                name="mcobs",
+                loads=(LoadSpec(kind="r", r=50.0),
+                       LoadSpec(kind="mcobs", r=50.0)),
+                spectral=SpectralSpec(mask="board-b"),
+                stochastic=StochasticSpec(
+                    seed=7, n_draws=24,
+                    traffic=TrafficModel(model="bernoulli", n_bits=8),
+                    params={"r": Distribution(dist="uniform", low=40.0,
+                                              high=60.0)}))
+            tr = set_tracer(Tracer(collect=True, trace_id="mc-obs"))
+            try:
+                mgr = JobManager(max_workers=2, retries=1)
+                result = mgr.run_study(study,
+                                       disk_cache=tmp_path / "cache",
+                                       n_shards=2, models=models,
+                                       tracer=tr)
+            finally:
+                set_tracer(None)
+            assert marker.exists(), "the kill never happened"
+            assert all(o.ok for o in result)
+            assert sorted(r.attempts for r in result.shard_reports) \
+                == [1, 2]
+
+            # -- the accounting invariant: one increment per draw, no
+            # matter how many worker attempts it took
+            text = fresh_metrics.render_prometheus()
+            assert _metric_total(text, "draws_total") == len(study)
+            ok = sum(float(line.split()[1])
+                     for line in text.splitlines()
+                     if line.startswith('draws_total{status="ok"}'))
+            assert ok == len(study)
+            # every draw is durably in the shared cache by merge time
+            assert _metric_total(text, "draws_cached") == len(study)
+            assert result.n_cache_hits == len(study)
+
+            # -- the sampler span rode the global tracer
+            spans = [s.to_dict() for s in tr.finished]
+            sample = [s for s in spans
+                      if s["name"] == "stochastic.sample"]
+            assert len(sample) == 1
+            attrs = sample[0]["attrs"]
+            assert attrs["n_draws"] == 24
+            assert attrs["seed"] == 7
+            assert attrs["traffic"] == "bernoulli"
+        finally:
+            KINDS.pop("mcobs", None)
 
 
 # ---------------------------------------------------------------------------
